@@ -1,0 +1,288 @@
+package geosphere
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// Figure/table regeneration benches. Each one runs the same code path
+// as `cmd/geosim -experiment <id>` at reduced (QuickOptions) size, so
+// `go test -bench=.` exercises every experiment in the paper's
+// evaluation. Run cmd/geosim for the full-size numbers recorded in
+// EXPERIMENTS.md.
+// ---------------------------------------------------------------------------
+
+func benchExperiment(b *testing.B, fn func(sim.Options) (*sim.Table, error)) {
+	b.Helper()
+	opts := sim.QuickOptions()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(2014 + i)
+		if _, err := fn(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9ChannelCharacterization regenerates the κ² CDFs of
+// Figure 9 over the synthetic testbed.
+func BenchmarkFig9ChannelCharacterization(b *testing.B) { benchExperiment(b, sim.Fig9) }
+
+// BenchmarkFig10SNRDegradation regenerates the Λ CDFs of Figure 10.
+func BenchmarkFig10SNRDegradation(b *testing.B) { benchExperiment(b, sim.Fig10) }
+
+// BenchmarkFig11Throughput regenerates the testbed throughput
+// comparison of Figure 11 (ZF vs Geosphere, 12 operating points).
+func BenchmarkFig11Throughput(b *testing.B) { benchExperiment(b, sim.Fig11) }
+
+// BenchmarkFig12ClientScaling regenerates Figure 12 (throughput vs
+// client count at a 4-antenna AP).
+func BenchmarkFig12ClientScaling(b *testing.B) { benchExperiment(b, sim.Fig12) }
+
+// BenchmarkFig13MMSESIC regenerates Figure 13 (10-antenna AP over
+// Rayleigh fading: ZF vs MMSE-SIC vs Geosphere).
+func BenchmarkFig13MMSESIC(b *testing.B) { benchExperiment(b, sim.Fig13) }
+
+// BenchmarkFig14Complexity regenerates Figure 14 (PED computations per
+// subcarrier behind the Figure 11 throughput runs).
+func BenchmarkFig14Complexity(b *testing.B) { benchExperiment(b, sim.Fig14) }
+
+// BenchmarkFig15a regenerates Figure 15(a): decoder complexity at
+// ≈10% FER, two clients and four AP antennas.
+func BenchmarkFig15a(b *testing.B) { benchExperiment(b, sim.Fig15a) }
+
+// BenchmarkFig15b regenerates Figure 15(b): four clients, four AP
+// antennas.
+func BenchmarkFig15b(b *testing.B) { benchExperiment(b, sim.Fig15b) }
+
+// BenchmarkPruningAblation regenerates the §5.3.2 pruning ablation at
+// a 1% FER target.
+func BenchmarkPruningAblation(b *testing.B) { benchExperiment(b, sim.PruningAblation) }
+
+// BenchmarkTable1Summary regenerates the Table 1 headline numbers.
+func BenchmarkTable1Summary(b *testing.B) { benchExperiment(b, sim.Table1) }
+
+// BenchmarkSoftVsHard regenerates the §7 soft-vs-hard decoding
+// extension experiment.
+func BenchmarkSoftVsHard(b *testing.B) { benchExperiment(b, sim.SoftVsHard) }
+
+// BenchmarkHybridAblation regenerates the §5.3.1/§6.1 κ-threshold
+// hybrid ablation.
+func BenchmarkHybridAblation(b *testing.B) { benchExperiment(b, sim.HybridAblation) }
+
+// BenchmarkOrderingAblation regenerates the §6.1 sorted-QR ordering
+// ablation.
+func BenchmarkOrderingAblation(b *testing.B) { benchExperiment(b, sim.OrderingAblation) }
+
+// BenchmarkDetectSoft measures the soft-output list sphere decoder at
+// the paper's densest practical configuration for soft receivers.
+func BenchmarkDetectSoft(b *testing.B) {
+	src := rng.New(17)
+	cons := QAM16
+	det := core.NewListSphereDecoder(cons)
+	h := NewRayleighChannel(src, 4, 4)
+	if err := det.Prepare(h); err != nil {
+		b.Fatal(err)
+	}
+	noiseVar := NoiseVarForSNRdB(20)
+	x := make([]complex128, 4)
+	for k := range x {
+		x[k] = cons.PointIndex(src.Intn(cons.Size()))
+	}
+	y := Transmit(nil, src, h, x, noiseVar)
+	llrs := make([]float64, 4*cons.Bits())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.DetectSoft(llrs, y, noiseVar); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Detector micro-benchmarks: per-Detect cost of each decoder across
+// constellations and array sizes, with the paper's complexity metric
+// (PED computations per detection) reported alongside ns/op.
+// ---------------------------------------------------------------------------
+
+func benchDetector(b *testing.B, det Detector, cons *constellation.Constellation, na, nc int, snrdB float64) {
+	b.Helper()
+	src := rng.New(1)
+	h := NewRayleighChannel(src, na, nc)
+	if err := det.Prepare(h); err != nil {
+		b.Fatal(err)
+	}
+	// Pre-draw a pool of received vectors at the operating SNR.
+	const pool = 256
+	noiseVar := NoiseVarForSNRdB(snrdB)
+	ys := make([][]complex128, pool)
+	x := make([]complex128, nc)
+	for i := range ys {
+		for k := range x {
+			x[k] = cons.PointIndex(src.Intn(cons.Size()))
+		}
+		ys[i] = Transmit(nil, src, h, x, noiseVar)
+	}
+	dst := make([]int, nc)
+	if c, ok := det.(Counter); ok {
+		c.ResetStats()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Detect(dst, ys[i%pool]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if c, ok := det.(Counter); ok {
+		st := c.Stats()
+		b.ReportMetric(st.PEDPerDetection(), "PED/op")
+		b.ReportMetric(st.NodesPerDetection(), "nodes/op")
+	}
+}
+
+// BenchmarkDetect sweeps every detector over the constellations and
+// array sizes of the evaluation at a 25 dB operating point.
+func BenchmarkDetect(b *testing.B) {
+	shapes := []struct{ na, nc int }{{2, 2}, {4, 2}, {4, 4}}
+	conss := []*constellation.Constellation{QPSK, QAM16, QAM64, QAM256}
+	type mk struct {
+		name string
+		make func(cons *constellation.Constellation) Detector
+	}
+	makers := []mk{
+		{"Geosphere", func(c *constellation.Constellation) Detector { return NewGeosphere(c) }},
+		{"Geosphere2DZigzag", func(c *constellation.Constellation) Detector { return NewGeosphereZigzagOnly(c) }},
+		{"ETHSD", func(c *constellation.Constellation) Detector { return NewETHSD(c) }},
+		{"ZF", func(c *constellation.Constellation) Detector { return NewZF(c) }},
+		{"MMSESIC", func(c *constellation.Constellation) Detector {
+			return NewMMSESIC(c, NoiseVarForSNRdB(25))
+		}},
+		{"KBest", func(c *constellation.Constellation) Detector {
+			d, err := NewKBest(c, c.Side())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d
+		}},
+		{"FCSD", func(c *constellation.Constellation) Detector {
+			d, err := NewFCSD(c, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d
+		}},
+	}
+	for _, m := range makers {
+		for _, cons := range conss {
+			for _, sh := range shapes {
+				name := fmt.Sprintf("%s/%s/%dx%d", m.name, cons.Name(), sh.nc, sh.na)
+				b.Run(name, func(b *testing.B) {
+					benchDetector(b, m.make(cons), cons, sh.na, sh.nc, 25)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkGeosphere256QAM4x4 is the paper's headline configuration:
+// the first practical 4×4 MIMO 256-QAM sphere decoder.
+func BenchmarkGeosphere256QAM4x4(b *testing.B) {
+	benchDetector(b, NewGeosphere(QAM256), QAM256, 4, 4, 39)
+}
+
+// BenchmarkETHSD256QAM4x4 is the prior state of the art on the same
+// configuration, for the order-of-magnitude comparison.
+func BenchmarkETHSD256QAM4x4(b *testing.B) {
+	benchDetector(b, NewETHSD(QAM256), QAM256, 4, 4, 39)
+}
+
+// BenchmarkQRDecompose measures the per-subcarrier channel preparation
+// cost the sphere decoders amortize.
+func BenchmarkQRDecompose(b *testing.B) {
+	src := rng.New(3)
+	h := NewRayleighChannel(src, 4, 4)
+	det := core.NewGeosphere(QAM64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := det.Prepare(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViterbiFrame measures the FEC decoder over one frame's
+// worth of coded bits, the other significant receiver cost.
+func BenchmarkViterbiFrame(b *testing.B) {
+	benchViterbi(b)
+}
+
+// BenchmarkDownlinkPrecoding regenerates the §6.3 downlink precoding
+// extension experiment.
+func BenchmarkDownlinkPrecoding(b *testing.B) { benchExperiment(b, sim.DownlinkPrecoding) }
+
+// BenchmarkVPEncode measures the vector-perturbation sphere encoder on
+// a 4×4 downlink.
+func BenchmarkVPEncode(b *testing.B) {
+	src := rng.New(19)
+	cons := QAM16
+	vp := NewVPPrecoder(cons)
+	h := NewRayleighChannel(src, 4, 4)
+	if err := vp.Prepare(h); err != nil {
+		b.Fatal(err)
+	}
+	s := make([]complex128, 4)
+	for i := range s {
+		s[i] = cons.PointIndex(src.Intn(cons.Size()))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := vp.Encode(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatedCSI regenerates the estimated-vs-genie CSI
+// experiment.
+func BenchmarkEstimatedCSI(b *testing.B) { benchExperiment(b, sim.EstimatedCSI) }
+
+// BenchmarkChannelHardening regenerates the §6.2 channel-hardening
+// sweep.
+func BenchmarkChannelHardening(b *testing.B) { benchExperiment(b, sim.ChannelHardening) }
+
+// BenchmarkIterativeReceiver regenerates the §7 iterative
+// detection-decoding experiment.
+func BenchmarkIterativeReceiver(b *testing.B) { benchExperiment(b, sim.IterativeReceiver) }
+
+// BenchmarkFERWaterfall regenerates the detector FER-vs-SNR sweep.
+func BenchmarkFERWaterfall(b *testing.B) { benchExperiment(b, sim.FERWaterfall) }
+
+// BenchmarkRVDAblation regenerates the §6.1 real-valued-decomposition
+// ablation.
+func BenchmarkRVDAblation(b *testing.B) { benchExperiment(b, sim.RVDAblation) }
+
+// BenchmarkGeosphere1024QAM4x4 pushes past the paper's densest
+// constellation; the flat-cost property persists.
+func BenchmarkGeosphere1024QAM4x4(b *testing.B) {
+	benchDetector(b, NewGeosphere(QAM1024), QAM1024, 4, 4, 45)
+}
+
+// BenchmarkETHSD1024QAM4x4 is the prior art on the same configuration.
+func BenchmarkETHSD1024QAM4x4(b *testing.B) {
+	benchDetector(b, NewETHSD(QAM1024), QAM1024, 4, 4, 45)
+}
+
+// BenchmarkStatisticalPruningAblation regenerates the §6.1
+// probabilistic-pruning trade-off ablation.
+func BenchmarkStatisticalPruningAblation(b *testing.B) {
+	benchExperiment(b, sim.StatisticalPruningAblation)
+}

@@ -1,0 +1,73 @@
+// Command geosim regenerates the tables and figures of the Geosphere
+// paper's evaluation (§5) from the reproduction's simulators.
+//
+// Usage:
+//
+//	geosim -experiment fig11            # one experiment
+//	geosim -experiment all              # everything (slow)
+//	geosim -experiment fig15a -quick    # reduced-size smoke run
+//	geosim -list                        # show experiment ids
+//
+// Every run is deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (see -list), or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		quick      = flag.Bool("quick", false, "use reduced sizes (fast smoke run)")
+		seed       = flag.Int64("seed", 0, "override the experiment seed (0 keeps the default)")
+		frames     = flag.Int("frames", 0, "override frames per measurement point (0 keeps the default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range sim.ExperimentNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "geosim: -experiment is required (try -list)")
+		os.Exit(2)
+	}
+	opts := sim.DefaultOptions()
+	if *quick {
+		opts = sim.QuickOptions()
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *frames > 0 {
+		opts.Frames = *frames
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = sim.ExperimentNames()
+	}
+	for _, name := range names {
+		fn, ok := sim.Experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "geosim: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "geosim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

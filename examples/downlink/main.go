@@ -1,0 +1,86 @@
+// Downlink precoding: the §6.3 complement to Geosphere's uplink
+// receiver. The AP pre-distorts its transmission so each single-
+// antenna client hears only its own stream. Plain channel inversion
+// pays a large power penalty on poorly-conditioned channels — the same
+// penalty uplink zero-forcing pays as noise amplification — and the
+// vector-perturbation sphere encoder recovers most of it.
+//
+//	go run ./examples/downlink
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	geosphere "repro"
+)
+
+func main() {
+	cons := geosphere.QAM16
+	src := geosphere.NewSource(17)
+	const (
+		clients = 4
+		trials  = 300
+		snrdB   = 22
+	)
+	zf := geosphere.NewZFPrecoder(cons)
+	vp := geosphere.NewVPPrecoder(cons)
+	noiseVar := geosphere.NoiseVarForSNRdB(snrdB)
+
+	var zfErrs, vpErrs, total int
+	var zfPow, vpPow float64
+	for trial := 0; trial < trials; trial++ {
+		// Square downlink (4 clients, 4 antennas): conditioning bites.
+		h := geosphere.NewRayleighChannel(src, clients, clients)
+		if err := zf.Prepare(h); err != nil {
+			continue
+		}
+		if err := vp.Prepare(h); err != nil {
+			continue
+		}
+		idx := make([]int, clients)
+		s := make([]complex128, clients)
+		for i := range s {
+			idx[i] = src.Intn(cons.Size())
+			s[i] = cons.PointIndex(idx[i])
+		}
+		xz, gz, err := zf.Encode(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		xv, gv, err := vp.Encode(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		zfPow += gz
+		vpPow += gv
+		// Each client hears its channel row applied to the transmit
+		// vector plus noise.
+		yz := h.MulVec(nil, xz)
+		yv := h.MulVec(nil, xv)
+		for i := range yz {
+			yz[i] += src.CN(noiseVar)
+			yv[i] += src.CN(noiseVar)
+		}
+		for i := range idx {
+			total++
+			if zf.Decode(yz[i], gz) != idx[i] {
+				zfErrs++
+			}
+			if vp.Decode(yv[i], gv) != idx[i] {
+				vpErrs++
+			}
+		}
+	}
+	fmt.Printf("downlink, %d clients × %d antennas, %s at %d dB (%d symbol vectors)\n",
+		clients, clients, cons.Name(), snrdB, trials)
+	fmt.Printf("  channel inversion:    SER %.4f, mean power factor γ = %.1f\n",
+		float64(zfErrs)/float64(total), zfPow/trials)
+	fmt.Printf("  vector perturbation:  SER %.4f, mean power factor γ = %.1f\n",
+		float64(vpErrs)/float64(total), vpPow/trials)
+	fmt.Printf("  perturbation search saves %.1f dB of transmit power\n",
+		10*math.Log10(zfPow/vpPow))
+	fmt.Println("\nThe same conditioning penalty Geosphere removes at the receiver is")
+	fmt.Println("removed here at the transmitter — the two compose across the link.")
+}

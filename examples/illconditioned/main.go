@@ -1,0 +1,76 @@
+// Ill-conditioned channels: the Figure 2(b) scenario. When the MIMO
+// channel matrix is poorly conditioned, zero-forcing amplifies noise
+// and its symbol error rate collapses, while the maximum-likelihood
+// sphere decoder keeps working. This example sweeps channel
+// correlation and SNR and prints the resulting error rates for
+// zero-forcing, MMSE, MMSE-SIC and Geosphere.
+//
+//	go run ./examples/illconditioned
+package main
+
+import (
+	"fmt"
+	"log"
+
+	geosphere "repro"
+)
+
+const (
+	trials = 400
+	nc     = 2
+	na     = 2
+)
+
+func main() {
+	cons := geosphere.QAM16
+	fmt.Println("Symbol error rates over 2×2 16-QAM channels (400 vectors per point)")
+	fmt.Printf("%-28s %8s | %10s %10s %10s %10s\n",
+		"channel", "SNR(dB)", "ZF", "MMSE", "MMSE-SIC", "Geosphere")
+	for _, rho := range []float64{0.0, 0.9, 0.99} {
+		for _, snr := range []float64{15, 25} {
+			noiseVar := geosphere.NoiseVarForSNRdB(snr)
+			dets := []geosphere.Detector{
+				geosphere.NewZF(cons),
+				geosphere.NewMMSE(cons, noiseVar),
+				geosphere.NewMMSESIC(cons, noiseVar),
+				geosphere.NewGeosphere(cons),
+			}
+			sers := make([]float64, len(dets))
+			var avgLambda float64
+			src := geosphere.NewSource(7)
+			for trial := 0; trial < trials; trial++ {
+				h, err := geosphere.NewCorrelatedChannel(src, na, nc, rho, rho)
+				if err != nil {
+					log.Fatal(err)
+				}
+				avgLambda += geosphere.LambdaDB(h) / trials
+				sent := make([]int, nc)
+				x := make([]complex128, nc)
+				for i := range x {
+					sent[i] = src.Intn(cons.Size())
+					x[i] = cons.PointIndex(sent[i])
+				}
+				y := geosphere.Transmit(nil, src, h, x, noiseVar)
+				for di, det := range dets {
+					if err := det.Prepare(h); err != nil {
+						log.Fatal(err)
+					}
+					got, err := det.Detect(nil, y)
+					if err != nil {
+						log.Fatal(err)
+					}
+					for i := range sent {
+						if got[i] != sent[i] {
+							sers[di] += 1 / float64(trials*nc)
+						}
+					}
+				}
+			}
+			label := fmt.Sprintf("ρ=%.2f (avg Λ %.1f dB)", rho, avgLambda)
+			fmt.Printf("%-28s %8.0f | %10.4f %10.4f %10.4f %10.4f\n",
+				label, snr, sers[0], sers[1], sers[2], sers[3])
+		}
+	}
+	fmt.Println("\nAs correlation (and Λ) grows, zero-forcing's error rate explodes")
+	fmt.Println("while Geosphere degrades gracefully — the capacity gap the paper closes.")
+}

@@ -1,0 +1,46 @@
+// Multi-user uplink: the Figure 12 scenario through the full coded
+// PHY pipeline. A four-antenna AP serves a growing number of
+// single-antenna clients over the synthetic indoor testbed; Geosphere
+// keeps per-client throughput flat where zero-forcing saturates.
+//
+//	go run ./examples/multiuser
+package main
+
+import (
+	"fmt"
+	"log"
+
+	geosphere "repro"
+)
+
+func main() {
+	fmt.Println("Coded uplink throughput, 4-antenna AP at 20 dB over the indoor testbed")
+	fmt.Printf("%-8s %14s %14s %16s\n", "clients", "ZF (Mbps)", "Geosphere", "Geo per client")
+	for nc := 1; nc <= 4; nc++ {
+		base := geosphere.UplinkOptions{
+			Cons:       geosphere.QAM16,
+			NumSymbols: 8,
+			Frames:     30,
+			SNRdB:      20,
+			Seed:       100 + int64(nc),
+			NA:         4,
+			NC:         nc,
+		}
+		zfOpts := base
+		zfOpts.Detector = func(cons *geosphere.Constellation, _ float64) geosphere.Detector {
+			return geosphere.NewZF(cons)
+		}
+		zf, err := geosphere.MeasureUplinkTestbed(zfOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		geo, err := geosphere.MeasureUplinkTestbed(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %14.1f %14.1f %16.1f\n",
+			nc, zf.NetMbps, geo.NetMbps, geo.NetMbps/float64(nc))
+	}
+	fmt.Println("\nGeosphere's throughput grows linearly with the client count; adding")
+	fmt.Println("a client does not hurt the others, which zero-forcing cannot promise.")
+}

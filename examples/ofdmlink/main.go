@@ -1,0 +1,101 @@
+// OFDM link: a complete time-domain single-stream link — OFDM
+// modulation with cyclic prefix, a multipath channel, least-squares
+// channel estimation from a preamble, per-subcarrier equalization and
+// demodulation — the substrate under the MIMO experiments, driven
+// end-to-end through the public API.
+//
+//	go run ./examples/ofdmlink
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+
+	geosphere "repro"
+)
+
+func main() {
+	cons := geosphere.QAM64
+	src := geosphere.NewSource(99)
+
+	// Build one OFDM symbol of random 64-QAM data.
+	data := make([]complex128, geosphere.OFDMDataCarriers)
+	sent := make([]int, geosphere.OFDMDataCarriers)
+	for i := range data {
+		sent[i] = src.Intn(cons.Size())
+		data[i] = cons.PointIndex(sent[i])
+	}
+
+	// Preamble for channel estimation + the data symbol.
+	ref := geosphere.OFDMPreamble()
+	preamble, err := geosphere.OFDMModulate(nil, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload, err := geosphere.OFDMModulate(nil, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A three-tap multipath channel inside the cyclic prefix, plus
+	// AWGN at 30 dB relative to the measured time-domain signal power
+	// (the IFFT spreads unit-energy subcarriers over 64 samples, so
+	// the noise must be scaled to the samples, not the bins).
+	taps := []complex128{complex(0.85, 0.1), complex(0.35, -0.25), complex(0.12, 0.07)}
+	var txPower float64
+	for _, v := range payload {
+		txPower += real(v)*real(v) + imag(v)*imag(v)
+	}
+	txPower /= float64(len(payload))
+	noiseVar := txPower * geosphere.NoiseVarForSNRdB(30)
+	convolve := func(x []complex128) []complex128 {
+		y := make([]complex128, len(x))
+		for n := range x {
+			var s complex128
+			for d, tap := range taps {
+				if n-d >= 0 {
+					s += tap * x[n-d]
+				}
+			}
+			y[n] = s + src.CN(noiseVar)
+		}
+		return y
+	}
+	rxPre := convolve(preamble)
+	rxPay := convolve(payload)
+
+	// Receiver: demodulate the preamble, estimate the channel,
+	// equalize the payload per subcarrier, slice.
+	preBins := make([]complex128, geosphere.OFDMDataCarriers)
+	if err := geosphere.OFDMDemodulate(preBins, rxPre); err != nil {
+		log.Fatal(err)
+	}
+	est := make([]complex128, geosphere.OFDMDataCarriers)
+	if err := geosphere.OFDMEstimateChannel(est, preBins, ref); err != nil {
+		log.Fatal(err)
+	}
+	payBins := make([]complex128, geosphere.OFDMDataCarriers)
+	if err := geosphere.OFDMDemodulate(payBins, rxPay); err != nil {
+		log.Fatal(err)
+	}
+
+	errors := 0
+	var evm float64
+	for i := range payBins {
+		eq := payBins[i] / est[i]
+		evm += cmplx.Abs(eq-data[i]) * cmplx.Abs(eq-data[i])
+		col, row := cons.Slice(eq)
+		if cons.Index(col, row) != sent[i] {
+			errors++
+		}
+	}
+	fmt.Printf("multipath OFDM link, %s over %d subcarriers at 30 dB SNR\n",
+		cons.Name(), geosphere.OFDMDataCarriers)
+	fmt.Printf("  channel taps: %v\n", taps)
+	fmt.Printf("  post-equalization EVM: %.4f\n", evm/float64(len(payBins)))
+	fmt.Printf("  symbol errors: %d / %d\n", errors, len(payBins))
+	if errors == 0 {
+		fmt.Println("  link clean: cyclic prefix turned multipath into per-subcarrier scalars")
+	}
+}

@@ -1,0 +1,42 @@
+package geosphere
+
+import (
+	"repro/internal/core"
+)
+
+// SoftDetector extends Detector with per-bit log-likelihood-ratio
+// output, the §7 future-work receiver interface.
+type SoftDetector = core.SoftDetector
+
+// NewListSphereDecoder returns a soft-output Geosphere decoder: it
+// reuses the two-dimensional zigzag tree search to compute exact
+// max-log LLRs for every transmitted bit, feeding soft-decision
+// Viterbi decoding (§7: "a promising next step is to extend our
+// techniques to this setting").
+func NewListSphereDecoder(cons *Constellation) SoftDetector {
+	return core.NewListSphereDecoder(cons)
+}
+
+// NewHybrid returns the Maurer et al. condition-threshold detector
+// discussed in §6.1: zero-forcing (or any linear detector) on
+// well-conditioned channels, the sphere decoder when κ(H) exceeds the
+// threshold. It exists as the ablation showing Geosphere's adaptive
+// complexity makes such switching unnecessary.
+func NewHybrid(cons *Constellation, linear Detector, thresholdKappa float64) (Detector, error) {
+	return core.NewHybrid(cons, linear, thresholdKappa)
+}
+
+// NewGeosphereReordered returns Geosphere with sorted-QR column
+// reordering enabled (strongest stream at the top of the tree), the
+// §6.1 ordering optimization. The result remains exactly
+// maximum-likelihood.
+func NewGeosphereReordered(cons *Constellation) Detector {
+	d := core.NewGeosphere(cons)
+	d.EnableColumnReordering(true)
+	return d
+}
+
+// NewRVD returns the real-valued-decomposition sphere decoder, the
+// §6.1 baseline whose doubled tree height Geosphere's complex-domain
+// search avoids. It is exactly maximum-likelihood.
+func NewRVD(cons *Constellation) Detector { return core.NewRVD(cons) }

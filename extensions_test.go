@@ -1,0 +1,161 @@
+package geosphere
+
+import (
+	"testing"
+
+	"repro/internal/testbed"
+)
+
+func TestFacadeSoftDetector(t *testing.T) {
+	src := NewSource(61)
+	cons := QAM16
+	det := NewListSphereDecoder(cons)
+	h := NewRayleighChannel(src, 4, 2)
+	if err := det.Prepare(h); err != nil {
+		t.Fatal(err)
+	}
+	x := []complex128{cons.PointIndex(5), cons.PointIndex(11)}
+	nv := NoiseVarForSNRdB(20)
+	y := Transmit(nil, src, h, x, nv)
+	llrs, err := det.DetectSoft(nil, y, nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(llrs) != 2*cons.Bits() {
+		t.Fatalf("%d LLRs", len(llrs))
+	}
+	// At 20 dB every LLR should be decisively signed.
+	for i, l := range llrs {
+		if l == 0 {
+			t.Fatalf("LLR %d exactly zero", i)
+		}
+	}
+}
+
+func TestFacadeHybrid(t *testing.T) {
+	cons := QAM16
+	hy, err := NewHybrid(cons, NewZF(cons), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(62)
+	h := NewRayleighChannel(src, 4, 2)
+	if err := hy.Prepare(h); err != nil {
+		t.Fatal(err)
+	}
+	x := []complex128{cons.PointIndex(1), cons.PointIndex(2)}
+	y := Transmit(nil, src, h, x, 0)
+	got, err := hy.Detect(nil, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("hybrid noiseless detection wrong: %v", got)
+	}
+	if _, err := NewHybrid(cons, nil, 5); err == nil {
+		t.Fatal("nil linear accepted")
+	}
+}
+
+func TestFacadeReordered(t *testing.T) {
+	cons := QAM64
+	src := NewSource(63)
+	plain := NewGeosphere(cons)
+	ordered := NewGeosphereReordered(cons)
+	for trial := 0; trial < 20; trial++ {
+		h := NewRayleighChannel(src, 4, 4)
+		x := make([]complex128, 4)
+		sent := make([]int, 4)
+		for i := range x {
+			sent[i] = src.Intn(cons.Size())
+			x[i] = cons.PointIndex(sent[i])
+		}
+		y := Transmit(nil, src, h, x, NoiseVarForSNRdB(30))
+		for _, d := range []Detector{plain, ordered} {
+			if err := d.Prepare(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, err := plain.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ordered.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: reordered result differs: %v vs %v", trial, a, b)
+			}
+		}
+	}
+}
+
+func TestMeasureUplinkSoft(t *testing.T) {
+	res, err := MeasureUplinkRayleigh(UplinkOptions{
+		Cons: QAM16, NumSymbols: 4, Frames: 3, SNRdB: 30, Seed: 64, NA: 4, NC: 2,
+		Detector: func(cons *Constellation, _ float64) Detector {
+			return NewListSphereDecoder(cons)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FER() != 0 {
+		t.Fatalf("soft-capable detector failed easy frames: %+v", res)
+	}
+}
+
+func TestMeasureUplinkTraceHappyPath(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/t.trace.gz"
+	tr, err := testbed.Generate(testbed.OfficePlan(), testbed.GenerateConfig{
+		Seed: 77, NumClients: 2, NumAntennas: 4, LinksPerAP: 1, Realizations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureUplinkTrace(UplinkOptions{
+		Cons: QPSK, NumSymbols: 4, Frames: 2, SNRdB: 30, Seed: 3, NA: 4, NC: 2,
+	}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 2 {
+		t.Fatalf("ran %d frames", res.Frames)
+	}
+	// Shape mismatch must be rejected.
+	if _, err := MeasureUplinkTrace(UplinkOptions{
+		Cons: QPSK, NumSymbols: 4, Frames: 1, NA: 2, NC: 2,
+	}, path); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestMeasureUplinkWithJitterAndEstimation(t *testing.T) {
+	res, err := MeasureUplinkRayleigh(UplinkOptions{
+		Cons: QAM16, NumSymbols: 8, Frames: 3, SNRdB: 32, Seed: 21,
+		NA: 4, NC: 2, SNRJitterDB: 5, EstimatedCSI: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FER() != 0 {
+		t.Fatalf("estimation+jitter at 32 dB failed: %+v", res)
+	}
+	// Preamble air time must reduce net throughput below the
+	// genie-CSI figure for the same format.
+	genie, err := MeasureUplinkRayleigh(UplinkOptions{
+		Cons: QAM16, NumSymbols: 8, Frames: 3, SNRdB: 32, Seed: 21, NA: 4, NC: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetMbps >= genie.NetMbps {
+		t.Fatalf("estimated CSI (%g) should cost air time vs genie (%g)", res.NetMbps, genie.NetMbps)
+	}
+}

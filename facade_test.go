@@ -1,0 +1,216 @@
+package geosphere
+
+import (
+	"testing"
+
+	"repro/internal/fec"
+	"repro/internal/rng"
+)
+
+// benchViterbi lives here so bench_test.go stays a pure catalogue.
+func benchViterbi(b *testing.B) {
+	src := rng.New(5)
+	bits := make([]byte, 922) // one 16-QAM rate-1/2 10-symbol frame
+	src.Bits(bits)
+	coded := fec.ConvEncode(bits)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fec.ViterbiDecode(coded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeDetectRoundTrip(t *testing.T) {
+	src := NewSource(1)
+	for _, cons := range []*Constellation{QPSK, QAM16, QAM64, QAM256} {
+		h := NewRayleighChannel(src, 4, 4)
+		det := NewGeosphere(cons)
+		if err := det.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		x := make([]complex128, 4)
+		sent := make([]int, 4)
+		for i := range x {
+			sent[i] = src.Intn(cons.Size())
+			x[i] = cons.PointIndex(sent[i])
+		}
+		y := Transmit(nil, src, h, x, 0) // noiseless
+		got, err := det.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sent {
+			if got[i] != sent[i] {
+				t.Fatalf("%s: stream %d: got %d want %d", cons.Name(), i, got[i], sent[i])
+			}
+		}
+		syms := Symbols(cons, got)
+		if syms[0] != cons.PointIndex(got[0]) {
+			t.Fatal("Symbols mapping inconsistent")
+		}
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	nv := NoiseVarForSNRdB(20)
+	dets := []Detector{
+		NewGeosphere(QAM16),
+		NewGeosphereZigzagOnly(QAM16),
+		NewETHSD(QAM16),
+		NewML(QPSK),
+		NewZF(QAM16),
+		NewMMSE(QAM16, nv),
+		NewMMSESIC(QAM16, nv),
+	}
+	kb, err := NewKBest(QAM16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewFCSD(QAM16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets = append(dets, kb, fc)
+	src := NewSource(2)
+	h := NewRayleighChannel(src, 4, 2)
+	x := []complex128{QAM16.PointIndex(3), QAM16.PointIndex(9)}
+	y := Transmit(nil, src, h, x, nv)
+	for _, d := range dets {
+		if d.Name() == "" {
+			t.Fatal("unnamed detector")
+		}
+		if err := d.Prepare(h); err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if _, err := d.Detect(nil, y); err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+	}
+	if _, err := NewKBest(QAM16, 0); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := NewFCSD(QAM16, -1); err == nil {
+		t.Fatal("negative fullLevels accepted")
+	}
+}
+
+func TestFacadeConstellationByBits(t *testing.T) {
+	for _, q := range []int{2, 4, 6, 8} {
+		c, err := ConstellationByBits(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Bits() != q {
+			t.Fatalf("bits %d", c.Bits())
+		}
+	}
+	if _, err := ConstellationByBits(3); err == nil {
+		t.Fatal("odd bits accepted")
+	}
+}
+
+func TestFacadeChannelMetrics(t *testing.T) {
+	src := NewSource(3)
+	h, err := NewCorrelatedChannel(src, 2, 2, 0.95, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iid := NewRayleighChannel(src, 2, 2)
+	// A strongly correlated channel should look worse than an average
+	// i.i.d. draw on both metrics.
+	if Kappa2dB(h) < Kappa2dB(iid)-20 {
+		t.Fatalf("correlated κ² (%.1f) implausibly better than i.i.d. (%.1f)", Kappa2dB(h), Kappa2dB(iid))
+	}
+	if LambdaDB(h) <= 0 {
+		t.Fatalf("Λ must be positive, got %.1f", LambdaDB(h))
+	}
+	if _, err := NewCorrelatedChannel(src, 2, 2, 1.5, 0); err == nil {
+		t.Fatal("invalid correlation accepted")
+	}
+}
+
+func TestMeasureUplinkRayleigh(t *testing.T) {
+	res, err := MeasureUplinkRayleigh(UplinkOptions{
+		Cons: QAM16, NumSymbols: 4, Frames: 4, SNRdB: 35, Seed: 9, NA: 4, NC: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 4 {
+		t.Fatalf("ran %d frames", res.Frames)
+	}
+	if res.NetMbps <= 0 {
+		t.Fatalf("no throughput at 35 dB: %+v", res)
+	}
+	if res.Stats.Detections == 0 {
+		t.Fatal("sphere decoder stats not collected")
+	}
+}
+
+func TestMeasureUplinkTestbed(t *testing.T) {
+	zf := func(cons *Constellation, _ float64) Detector { return NewZF(cons) }
+	res, err := MeasureUplinkTestbed(UplinkOptions{
+		Cons: QPSK, NumSymbols: 4, Frames: 3, SNRdB: 30, Seed: 4, NA: 4, NC: 2,
+		Detector: zf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detector != "Zero-forcing" {
+		t.Fatalf("factory ignored: %s", res.Detector)
+	}
+}
+
+func TestMeasureUplinkTraceShapeMismatch(t *testing.T) {
+	if _, err := MeasureUplinkTrace(UplinkOptions{
+		Cons: QPSK, NumSymbols: 2, Frames: 1, NA: 4, NC: 2,
+	}, "does-not-exist.trace.gz"); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+func TestOFDMFacade(t *testing.T) {
+	data := make([]complex128, OFDMDataCarriers)
+	for i := range data {
+		data[i] = complex(float64(i%3)-1, 0.5)
+	}
+	sym, err := OFDMModulate(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sym) != OFDMSymbolLen {
+		t.Fatalf("symbol length %d", len(sym))
+	}
+	back := make([]complex128, OFDMDataCarriers)
+	if err := OFDMDemodulate(back, sym); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		d := back[i] - data[i]
+		if real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+			t.Fatalf("subcarrier %d changed", i)
+		}
+	}
+	ref := OFDMPreamble()
+	est := make([]complex128, OFDMDataCarriers)
+	if err := OFDMEstimateChannel(est, ref, ref); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range est {
+		if v != 1 {
+			t.Fatalf("flat channel estimate %v at %d", v, i)
+		}
+	}
+	x := []complex128{1, 2, 3, 4}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if real(x[0])-1 > 1e-9 {
+		t.Fatal("FFT/IFFT round trip failed")
+	}
+}

@@ -1,0 +1,177 @@
+// Package geosphere is a from-scratch reproduction of "Geosphere:
+// Consistently Turning MIMO Capacity into Throughput" (Nikitopoulos,
+// Zhou, Congdon, Jamieson — SIGCOMM 2014): an uplink multi-user MIMO
+// receiver built around a depth-first sphere decoder whose
+// two-dimensional zigzag enumeration and geometrical pruning make
+// maximum-likelihood detection practical up to 4×4 MIMO with 256-QAM.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Detectors: NewGeosphere (the paper's contribution), NewETHSD
+//     (the best prior depth-first sphere decoder), NewZF, NewMMSE,
+//     NewMMSESIC (the linear baselines), NewKBest and NewFCSD (the
+//     breadth-first related work), and NewML (exhaustive search, for
+//     validation).
+//   - Channels: NewRayleighChannel draws i.i.d. fading; the
+//     cmd/tracegen tool records synthetic indoor-testbed traces.
+//   - Metrics: Kappa2dB and LambdaDB quantify how badly zero-forcing
+//     will do on a given channel (§5.1).
+//
+// A minimal detection round trip:
+//
+//	cons := geosphere.QAM64
+//	det := geosphere.NewGeosphere(cons)
+//	if err := det.Prepare(h); err != nil { ... }   // h: na×nc channel
+//	idx, err := det.Detect(nil, y)                 // y: received vector
+//
+// Detect returns one constellation-point index per transmit stream;
+// cons.PointIndex and cons.SymbolBits map indices back to symbols and
+// bits. See examples/ for complete programs, including the full coded
+// MIMO-OFDM frame pipeline.
+package geosphere
+
+import (
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/kbest"
+	"repro/internal/linear"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// Detector is the common interface of all MIMO detectors: Prepare
+// fixes the channel matrix, Detect demultiplexes a received vector
+// into one constellation-point index per stream.
+type Detector = core.Detector
+
+// Counter is implemented by detectors that track complexity
+// statistics (sphere decoders, K-best, FCSD).
+type Counter = core.Counter
+
+// Stats counts detector work: exact partial-Euclidean-distance
+// computations (the paper's §5.3 complexity metric), visited tree
+// nodes, geometric bound checks, leaves, and detections.
+type Stats = core.Stats
+
+// Constellation is a Gray-mapped square QAM alphabet.
+type Constellation = constellation.Constellation
+
+// Matrix is a dense complex channel matrix with na rows (receive
+// antennas) and nc columns (transmit streams).
+type Matrix = cmplxmat.Matrix
+
+// Source is a deterministic random stream for reproducible simulation.
+type Source = rng.Source
+
+// The square QAM constellations of the evaluation.
+var (
+	QPSK   = constellation.QPSK
+	QAM16  = constellation.QAM16
+	QAM64  = constellation.QAM64
+	QAM256 = constellation.QAM256
+	// QAM1024 extends beyond the paper's densest evaluated alphabet;
+	// Geosphere's per-node cost stays flat even here (see the
+	// BenchmarkDetect1024QAM pair).
+	QAM1024 = constellation.QAM1024
+)
+
+// ConstellationByBits returns the square QAM alphabet with q bits per
+// symbol (q ∈ {2, 4, 6, 8}).
+func ConstellationByBits(q int) (*Constellation, error) {
+	return constellation.ByBits(q)
+}
+
+// NewGeosphere returns the paper's detector: a depth-first
+// Schnorr-Euchner sphere decoder with two-dimensional zigzag
+// enumeration (§3.1.1) and geometrical pruning (§3.2). It is exactly
+// maximum-likelihood.
+func NewGeosphere(cons *Constellation) Detector { return core.NewGeosphere(cons) }
+
+// NewGeosphereZigzagOnly returns Geosphere without geometrical
+// pruning, the §5.3.2 ablation variant.
+func NewGeosphereZigzagOnly(cons *Constellation) Detector {
+	return core.NewGeosphereZigzagOnly(cons)
+}
+
+// NewETHSD returns the comparison decoder of §5.3: the Burg et al.
+// depth-first sphere decoder with Hess et al. row-subconstellation
+// enumeration. Exactly maximum-likelihood, but its per-node cost grows
+// with √|O|.
+func NewETHSD(cons *Constellation) Detector { return core.NewETHSD(cons) }
+
+// NewML returns the exhaustive maximum-likelihood reference detector
+// (only practical for small systems).
+func NewML(cons *Constellation) Detector { return core.NewML(cons) }
+
+// NewZF returns a zero-forcing detector, the baseline of SAM,
+// BigStation, IAC and 802.11n+.
+func NewZF(cons *Constellation) Detector { return linear.NewZF(cons) }
+
+// NewMMSE returns a linear MMSE detector for the given total complex
+// noise variance per receive antenna.
+func NewMMSE(cons *Constellation, noiseVar float64) Detector {
+	return linear.NewMMSE(cons, noiseVar)
+}
+
+// NewMMSESIC returns the MMSE successive-interference-cancellation
+// receiver of §5.2.1, ordered by descending received SNR.
+func NewMMSESIC(cons *Constellation, noiseVar float64) Detector {
+	return linear.NewMMSESIC(cons, noiseVar)
+}
+
+// NewKBest returns a breadth-first K-best decoder keeping k survivors
+// per tree level (§6.1 related work).
+func NewKBest(cons *Constellation, k int) (Detector, error) {
+	return kbest.NewKBest(cons, k)
+}
+
+// NewFCSD returns a fixed-complexity sphere decoder that fully expands
+// the top fullLevels tree levels (§6.1 related work).
+func NewFCSD(cons *Constellation, fullLevels int) (Detector, error) {
+	return kbest.NewFCSD(cons, fullLevels)
+}
+
+// NewSource returns a deterministic random source.
+func NewSource(seed int64) *Source { return rng.New(seed) }
+
+// NewRayleighChannel draws an na×nc channel with independent CN(0,1)
+// entries.
+func NewRayleighChannel(src *Source, na, nc int) *Matrix {
+	return channel.Rayleigh(src, na, nc)
+}
+
+// NewCorrelatedChannel draws a Kronecker-correlated Rayleigh channel;
+// correlation coefficients near 1 produce the poorly-conditioned
+// matrices on which zero-forcing collapses.
+func NewCorrelatedChannel(src *Source, na, nc int, rhoRx, rhoTx float64) (*Matrix, error) {
+	return channel.Correlated(src, na, nc, rhoRx, rhoTx)
+}
+
+// Transmit applies y = H·x + w with CN(0, noiseVar) noise per receive
+// antenna, writing into dst (allocated when nil).
+func Transmit(dst []complex128, src *Source, h *Matrix, x []complex128, noiseVar float64) []complex128 {
+	return channel.Transmit(dst, src, h, x, noiseVar)
+}
+
+// NoiseVarForSNRdB converts a per-stream average SNR in dB to the
+// total complex noise variance under the repository's conventions
+// (unit symbol energy, CN(0,1) channel entries).
+func NoiseVarForSNRdB(snrdB float64) float64 {
+	return channel.NoiseVarForSNRdB(snrdB)
+}
+
+// Kappa2dB returns κ²(H) in decibels, the Figure 9 channel-
+// conditioning metric; large values mean zero-forcing will amplify
+// noise.
+func Kappa2dB(h *Matrix) float64 { return metrics.Kappa2dB(h) }
+
+// LambdaDB returns Λ in decibels: the worst-stream SNR degradation a
+// zero-forcing receiver inflicts on the channel (Figure 10).
+func LambdaDB(h *Matrix) float64 { return metrics.LambdaDB(h) }
+
+// Symbols maps detected point indices to complex symbols.
+func Symbols(cons *Constellation, idx []int) []complex128 {
+	return core.SymbolsFromIndices(cons, idx)
+}

@@ -1,0 +1,105 @@
+// Package channel provides the statistical MIMO channel models used by
+// the simulation-based parts of the evaluation (§5.2.1, §5.3.2):
+// i.i.d. Rayleigh fading with per-frame realizations, optional
+// Kronecker spatial correlation, and complex AWGN with the paper's SNR
+// conventions.
+//
+// SNR convention: transmit symbols have unit average energy per
+// stream, channel entries are CN(0,1), so the average received SNR per
+// stream at one antenna is 1/σ² where σ² is the total complex noise
+// variance. SNRdB therefore maps to σ² = 10^(−SNRdB/10).
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/rng"
+)
+
+// NoiseVarForSNRdB converts a per-stream average SNR in dB to the
+// total complex noise variance σ² under the package's conventions.
+func NoiseVarForSNRdB(snrdB float64) float64 {
+	return math.Pow(10, -snrdB/10)
+}
+
+// SNRdBForNoiseVar is the inverse of NoiseVarForSNRdB.
+func SNRdBForNoiseVar(noiseVar float64) float64 {
+	return -10 * math.Log10(noiseVar)
+}
+
+// Rayleigh draws an na×nc channel with independent CN(0,1) entries,
+// the i.i.d. Rayleigh-fading model sampled per frame in §5.3.2.
+func Rayleigh(src *rng.Source, na, nc int) *cmplxmat.Matrix {
+	h := cmplxmat.New(na, nc)
+	for i := range h.Data {
+		h.Data[i] = src.CN(1)
+	}
+	return h
+}
+
+// Correlated draws a Kronecker-correlated channel R_r^{1/2}·G·R_t^{1/2}
+// where G is i.i.d. Rayleigh and the correlation roots are formed from
+// exponential correlation matrices with coefficients rhoRx and rhoTx.
+// rho = 0 reduces to i.i.d. Rayleigh; rho → 1 yields nearly
+// rank-deficient (poorly conditioned) channels.
+func Correlated(src *rng.Source, na, nc int, rhoRx, rhoTx float64) (*cmplxmat.Matrix, error) {
+	if rhoRx < 0 || rhoRx >= 1 || rhoTx < 0 || rhoTx >= 1 {
+		return nil, fmt.Errorf("channel: correlation coefficients must lie in [0,1), got %g, %g", rhoRx, rhoTx)
+	}
+	g := Rayleigh(src, na, nc)
+	rr := expCorrRoot(na, rhoRx)
+	rt := expCorrRoot(nc, rhoTx)
+	return cmplxmat.Mul(cmplxmat.Mul(rr, g), rt), nil
+}
+
+// expCorrRoot returns the principal square root of the exponential
+// correlation matrix R[i][j] = rho^|i−j|, computed via its (real,
+// symmetric) eigendecomposition.
+func expCorrRoot(n int, rho float64) *cmplxmat.Matrix {
+	r := cmplxmat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			r.Set(i, j, complex(math.Pow(rho, math.Abs(float64(i-j))), 0))
+		}
+	}
+	return hermitianSqrt(r)
+}
+
+// hermitianSqrt computes the principal square root of a Hermitian
+// positive semi-definite matrix via Denman-Beavers iteration, which
+// only needs inverses and keeps the implementation self-contained.
+func hermitianSqrt(a *cmplxmat.Matrix) *cmplxmat.Matrix {
+	n := a.Rows
+	y := a.Clone()
+	z := cmplxmat.Identity(n)
+	for iter := 0; iter < 60; iter++ {
+		yi, err := y.Inverse()
+		if err != nil {
+			break
+		}
+		zi, err := z.Inverse()
+		if err != nil {
+			break
+		}
+		ny := cmplxmat.Scale(0.5, cmplxmat.Add(y, zi))
+		nz := cmplxmat.Scale(0.5, cmplxmat.Add(z, yi))
+		if cmplxmat.MaxAbsDiff(y, ny) < 1e-13 {
+			y = ny
+			break
+		}
+		y, z = ny, nz
+	}
+	return y
+}
+
+// Transmit applies y = H·x + w with CN(0, noiseVar) noise per receive
+// antenna, writing into dst (allocated when nil).
+func Transmit(dst []complex128, src *rng.Source, h *cmplxmat.Matrix, x []complex128, noiseVar float64) []complex128 {
+	dst = h.MulVec(dst, x)
+	for i := range dst {
+		dst[i] += src.CN(noiseVar)
+	}
+	return dst
+}

@@ -1,0 +1,143 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/rng"
+)
+
+func TestNoiseVarSNRRoundTrip(t *testing.T) {
+	for _, snr := range []float64{-10, 0, 15, 20, 25, 40} {
+		nv := NoiseVarForSNRdB(snr)
+		if got := SNRdBForNoiseVar(nv); math.Abs(got-snr) > 1e-12 {
+			t.Fatalf("SNR %g round-tripped to %g", snr, got)
+		}
+	}
+	if NoiseVarForSNRdB(0) != 1 {
+		t.Fatal("0 dB should mean unit noise variance")
+	}
+}
+
+func TestRayleighStatistics(t *testing.T) {
+	src := rng.New(1)
+	var power float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		h := Rayleigh(src, 4, 4)
+		for _, v := range h.Data {
+			power += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	mean := power / (trials * 16)
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("mean entry power %g, want 1", mean)
+	}
+}
+
+func TestCorrelatedReducesToIID(t *testing.T) {
+	src := rng.New(2)
+	h, err := Correlated(src, 3, 3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows != 3 || h.Cols != 3 {
+		t.Fatalf("shape %d×%d", h.Rows, h.Cols)
+	}
+	// With rho=0 the correlation roots are identity, so entries stay
+	// unit-power on average.
+	var power float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		h, err := Correlated(src, 2, 2, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range h.Data {
+			power += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	if mean := power / (trials * 4); math.Abs(mean-1) > 0.05 {
+		t.Fatalf("rho=0 mean entry power %g", mean)
+	}
+}
+
+func TestCorrelatedWorsensConditioning(t *testing.T) {
+	src := rng.New(3)
+	var iid, corr float64
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		h0 := Rayleigh(src, 2, 2)
+		h1, err := Correlated(src, 2, 2, 0.95, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iid += h0.Cond2() / trials
+		c := h1.Cond2()
+		if math.IsInf(c, 1) {
+			c = 1e6
+		}
+		corr += c / trials
+	}
+	if corr < 2*iid {
+		t.Fatalf("correlation did not worsen conditioning: iid κ=%g, corr κ=%g", iid, corr)
+	}
+}
+
+func TestCorrelatedValidation(t *testing.T) {
+	src := rng.New(4)
+	for _, rho := range []float64{-0.1, 1.0, 2.0} {
+		if _, err := Correlated(src, 2, 2, rho, 0); err == nil {
+			t.Fatalf("rho=%g accepted", rho)
+		}
+		if _, err := Correlated(src, 2, 2, 0, rho); err == nil {
+			t.Fatalf("tx rho=%g accepted", rho)
+		}
+	}
+}
+
+func TestExpCorrRootSquares(t *testing.T) {
+	for _, rho := range []float64{0.3, 0.7, 0.95} {
+		root := expCorrRoot(4, rho)
+		sq := cmplxmat.Mul(root, root)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				want := math.Pow(rho, math.Abs(float64(i-j)))
+				got := sq.At(i, j)
+				if math.Abs(real(got)-want) > 1e-9 || math.Abs(imag(got)) > 1e-9 {
+					t.Fatalf("rho=%g: root² at (%d,%d) = %v, want %g", rho, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTransmitNoiseless(t *testing.T) {
+	src := rng.New(5)
+	h := Rayleigh(src, 3, 2)
+	x := []complex128{1, complex(0, -1)}
+	y := Transmit(nil, src, h, x, 0)
+	want := h.MulVec(nil, x)
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("noiseless transmit differs at %d", i)
+		}
+	}
+}
+
+func TestTransmitNoisePower(t *testing.T) {
+	src := rng.New(6)
+	h := cmplxmat.New(1, 1) // zero channel isolates the noise
+	x := []complex128{0}
+	var power float64
+	const trials = 100000
+	y := make([]complex128, 1)
+	for i := 0; i < trials; i++ {
+		Transmit(y, src, h, x, 0.5)
+		power += (real(y[0])*real(y[0]) + imag(y[0])*imag(y[0])) / trials
+	}
+	if math.Abs(power-0.5) > 0.02 {
+		t.Fatalf("noise power %g, want 0.5", power)
+	}
+}

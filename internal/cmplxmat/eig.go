@@ -1,0 +1,121 @@
+package cmplxmat
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// HermitianEigenvalues returns the eigenvalues of a Hermitian matrix in
+// descending order, computed with the cyclic complex Jacobi method.
+// The input is not modified. Results for non-Hermitian input are
+// undefined; callers in this repo always pass Gram matrices H*H.
+func HermitianEigenvalues(a *Matrix) []float64 {
+	if a.Rows != a.Cols {
+		panic(ErrShape)
+	}
+	n := a.Rows
+	w := a.Clone()
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += cmplx.Abs(w.At(i, j))
+			}
+		}
+		if off < 1e-13*(1+w.FrobeniusNorm()) {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				jacobiRotate(w, p, q)
+			}
+		}
+	}
+	ev := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ev[i] = real(w.At(i, i))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ev)))
+	return ev
+}
+
+// jacobiRotate zeroes element (p,q) of the Hermitian matrix w with a
+// complex Givens rotation applied on both sides.
+func jacobiRotate(w *Matrix, p, q int) {
+	apq := w.At(p, q)
+	if cmplx.Abs(apq) == 0 {
+		return
+	}
+	app := real(w.At(p, p))
+	aqq := real(w.At(q, q))
+	// Phase of the off-diagonal element.
+	abspq := cmplx.Abs(apq)
+	e := apq / complex(abspq, 0) // e^{jφ}
+	// Rotation angle for the equivalent real 2×2 problem.
+	theta := 0.5 * math.Atan2(2*abspq, app-aqq)
+	c := math.Cos(theta)
+	s := math.Sin(theta)
+	// Unitary: [c, s·e; -s·conj(e), c] — columns p,q mixing.
+	cp := complex(c, 0)
+	se := complex(s, 0) * e
+	n := w.Rows
+	// w ← J* · w · J.
+	for i := 0; i < n; i++ {
+		wip := w.At(i, p)
+		wiq := w.At(i, q)
+		w.Set(i, p, wip*cp+wiq*cmplx.Conj(se))
+		w.Set(i, q, -wip*se+wiq*cp)
+	}
+	for j := 0; j < n; j++ {
+		wpj := w.At(p, j)
+		wqj := w.At(q, j)
+		w.Set(p, j, cmplx.Conj(cp)*wpj+se*wqj)
+		w.Set(q, j, -cmplx.Conj(se)*wpj+cp*wqj)
+	}
+	// Clean up roundoff: force Hermitian structure on the touched pair.
+	w.Set(p, q, complex(real(w.At(p, q)), imag(w.At(p, q))))
+	w.Set(q, p, cmplx.Conj(w.At(p, q)))
+	w.Set(p, p, complex(real(w.At(p, p)), 0))
+	w.Set(q, q, complex(real(w.At(q, q)), 0))
+}
+
+// SingularValues returns the singular values of m (any shape) in
+// descending order, as the square roots of the eigenvalues of the
+// smaller Gram matrix.
+func (m *Matrix) SingularValues() []float64 {
+	var gram *Matrix
+	if m.Rows >= m.Cols {
+		gram = Mul(m.ConjT(), m)
+	} else {
+		gram = Mul(m, m.ConjT())
+	}
+	ev := HermitianEigenvalues(gram)
+	sv := make([]float64, len(ev))
+	for i, v := range ev {
+		if v < 0 {
+			v = 0 // roundoff guard
+		}
+		sv[i] = math.Sqrt(v)
+	}
+	return sv
+}
+
+// Cond2 returns the 2-norm condition number κ(m) = σ_max/σ_min. It
+// returns +Inf for matrices that are rank-deficient to working
+// precision (σ_min below the standard tolerance n·ε·σ_max).
+func (m *Matrix) Cond2() float64 {
+	sv := m.SingularValues()
+	smax := sv[0]
+	smin := sv[len(sv)-1]
+	dim := m.Rows
+	if m.Cols > dim {
+		dim = m.Cols
+	}
+	tol := float64(dim) * 2.220446049250313e-16 * smax
+	if smin <= tol {
+		return math.Inf(1)
+	}
+	return smax / smin
+}

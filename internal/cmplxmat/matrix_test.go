@@ -1,0 +1,325 @@
+package cmplxmat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return m
+}
+
+func TestIdentityMul(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for n := 1; n <= 6; n++ {
+		a := randMatrix(r, n, n)
+		if d := MaxAbsDiff(Mul(Identity(n), a), a); d > 1e-12 {
+			t.Fatalf("I·A differs from A by %g for n=%d", d, n)
+		}
+		if d := MaxAbsDiff(Mul(a, Identity(n)), a); d > 1e-12 {
+			t.Fatalf("A·I differs from A by %g for n=%d", d, n)
+		}
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	Mul(New(2, 3), New(2, 3))
+}
+
+func TestConjTInvolution(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := randMatrix(r, 3, 5)
+	if d := MaxAbsDiff(a.ConjT().ConjT(), a); d > 0 {
+		t.Fatalf("(A*)* differs from A by %g", d)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for n := 1; n <= 8; n++ {
+		a := randMatrix(r, n, n)
+		inv, err := a.Inverse()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := MaxAbsDiff(Mul(a, inv), Identity(n)); d > 1e-9 {
+			t.Fatalf("n=%d: A·A⁻¹ differs from I by %g", n, d)
+		}
+		if d := MaxAbsDiff(Mul(inv, a), Identity(n)); d > 1e-9 {
+			t.Fatalf("n=%d: A⁻¹·A differs from I by %g", n, d)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := a.Inverse(); err == nil {
+		t.Fatal("expected ErrSingular for a rank-1 matrix")
+	}
+}
+
+func TestSolveMatchesInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(7)
+		a := randMatrix(r, n, n)
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ax := a.MulVec(nil, x)
+		for i := range b {
+			if d := abs(ax[i] - b[i]); d > 1e-8 {
+				t.Fatalf("trial %d: residual %g at %d", trial, d, i)
+			}
+		}
+	}
+}
+
+func abs(z complex128) float64 {
+	return math.Hypot(real(z), imag(z))
+}
+
+func TestPseudoInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		nc := 1 + r.Intn(4)
+		na := nc + r.Intn(4)
+		h := randMatrix(r, na, nc)
+		w, err := h.PseudoInverse()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := MaxAbsDiff(Mul(w, h), Identity(nc)); d > 1e-8 {
+			t.Fatalf("trial %d: W·H differs from I by %g (%d×%d)", trial, d, na, nc)
+		}
+	}
+}
+
+func TestPseudoInverseWideRejected(t *testing.T) {
+	if _, err := New(2, 4).PseudoInverse(); err == nil {
+		t.Fatal("expected error for wide matrix")
+	}
+}
+
+func TestQRProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		nc := 1 + r.Intn(5)
+		na := nc + r.Intn(5)
+		a := randMatrix(r, na, nc)
+		qr := QRDecompose(a)
+		// A = Q·R.
+		if d := MaxAbsDiff(Mul(qr.Q, qr.R), a); d > 1e-10 {
+			t.Fatalf("trial %d: QR differs from A by %g", trial, d)
+		}
+		// Q*Q = I.
+		if d := MaxAbsDiff(Mul(qr.Q.ConjT(), qr.Q), Identity(nc)); d > 1e-10 {
+			t.Fatalf("trial %d: Q*Q differs from I by %g", trial, d)
+		}
+		// R upper triangular with real non-negative diagonal.
+		for i := 0; i < nc; i++ {
+			d := qr.R.At(i, i)
+			if imag(d) != 0 || real(d) < 0 {
+				t.Fatalf("trial %d: R[%d][%d] = %v not real non-negative", trial, i, i, d)
+			}
+			for j := 0; j < i; j++ {
+				if qr.R.At(i, j) != 0 {
+					t.Fatalf("trial %d: R[%d][%d] = %v below diagonal", trial, i, j, qr.R.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestApplyQConjT(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := randMatrix(r, 6, 4)
+	qr := QRDecompose(a)
+	y := make([]complex128, 6)
+	for i := range y {
+		y[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	got := qr.ApplyQConjT(nil, y)
+	want := qr.Q.ConjT().MulVec(nil, y)
+	for i := range want {
+		if d := abs(got[i] - want[i]); d > 1e-12 {
+			t.Fatalf("entry %d differs by %g", i, d)
+		}
+	}
+}
+
+func TestHermitianEigenvaluesDiagonal(t *testing.T) {
+	a := New(3, 3)
+	a.Set(0, 0, 5)
+	a.Set(1, 1, -2)
+	a.Set(2, 2, 3)
+	ev := HermitianEigenvalues(a)
+	want := []float64{5, 3, -2}
+	for i := range want {
+		if math.Abs(ev[i]-want[i]) > 1e-12 {
+			t.Fatalf("eigenvalue %d: got %g want %g", i, ev[i], want[i])
+		}
+	}
+}
+
+func TestHermitianEigenvaluesKnown(t *testing.T) {
+	// [[2, i], [-i, 2]] has eigenvalues 3 and 1.
+	a := New(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, complex(0, 1))
+	a.Set(1, 0, complex(0, -1))
+	a.Set(1, 1, 2)
+	ev := HermitianEigenvalues(a)
+	if math.Abs(ev[0]-3) > 1e-10 || math.Abs(ev[1]-1) > 1e-10 {
+		t.Fatalf("got eigenvalues %v, want [3 1]", ev)
+	}
+}
+
+func TestEigenvaluesMatchTraceAndDet(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(5)
+		g := randMatrix(r, n+2, n)
+		a := Mul(g.ConjT(), g) // Hermitian PSD
+		ev := HermitianEigenvalues(a)
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += real(a.At(i, i))
+			sum += ev[i]
+		}
+		if math.Abs(trace-sum) > 1e-8*(1+math.Abs(trace)) {
+			t.Fatalf("trial %d: Σλ=%g but trace=%g", trial, sum, trace)
+		}
+		det := real(a.Det())
+		prod := 1.0
+		for _, v := range ev {
+			prod *= v
+		}
+		if math.Abs(det-prod) > 1e-6*(1+math.Abs(det)) {
+			t.Fatalf("trial %d: Πλ=%g but det=%g", trial, prod, det)
+		}
+	}
+}
+
+func TestSingularValuesOrthogonalColumns(t *testing.T) {
+	// A matrix with orthogonal columns of norms 3 and 1 has singular
+	// values exactly 3 and 1 and condition number 3.
+	a := New(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	sv := a.SingularValues()
+	if math.Abs(sv[0]-3) > 1e-12 || math.Abs(sv[1]-1) > 1e-12 {
+		t.Fatalf("singular values %v, want [3 1]", sv)
+	}
+	if c := a.Cond2(); math.Abs(c-3) > 1e-12 {
+		t.Fatalf("cond %g, want 3", c)
+	}
+}
+
+func TestCond2SingularIsInf(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	if c := a.Cond2(); !math.IsInf(c, 1) {
+		t.Fatalf("cond of singular matrix = %g, want +Inf", c)
+	}
+}
+
+// TestQRQuick drives the QR invariants through testing/quick with
+// arbitrary well-scaled inputs.
+func TestQRQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nc := 1 + r.Intn(4)
+		na := nc + r.Intn(4)
+		a := randMatrix(r, na, nc)
+		qr := QRDecompose(a)
+		return MaxAbsDiff(Mul(qr.Q, qr.R), a) < 1e-10 &&
+			MaxAbsDiff(Mul(qr.Q.ConjT(), qr.Q), Identity(nc)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInverseQuick drives A·A⁻¹ = I through testing/quick.
+func TestInverseQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := randMatrix(r, n, n)
+		inv, err := a.Inverse()
+		if err != nil {
+			// Random Gaussian matrices are almost surely invertible;
+			// treat a singular draw as a vacuous pass.
+			return true
+		}
+		return MaxAbsDiff(Mul(a, inv), Identity(n)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetTriangular(t *testing.T) {
+	a := New(3, 3)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 7)
+	a.Set(1, 1, complex(0, 1))
+	a.Set(1, 2, -4)
+	a.Set(2, 2, 3)
+	got := a.Det()
+	want := complex(0, 6) // 2·i·3
+	if abs(got-want) > 1e-12 {
+		t.Fatalf("det = %v, want %v", got, want)
+	}
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]complex128{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v", m.At(1, 0))
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Fatalf("Set/At failed")
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	b := FromRows([][]complex128{{5, 6}, {7, 8}})
+	if d := MaxAbsDiff(Sub(Add(a, b), b), a); d > 0 {
+		t.Fatalf("(A+B)−B differs from A by %g", d)
+	}
+	if d := MaxAbsDiff(Scale(2, a), Add(a, a)); d > 0 {
+		t.Fatalf("2A differs from A+A by %g", d)
+	}
+}

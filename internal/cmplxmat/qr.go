@@ -1,0 +1,145 @@
+package cmplxmat
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// QR holds the thin QR factorization of an m×n matrix with m ≥ n:
+// A = Q·R with Q m×n having orthonormal columns (Q*Q = I) and R n×n
+// upper triangular. The sphere decoder requires the diagonal of R to
+// be real and non-negative, which this implementation guarantees.
+type QR struct {
+	Q *Matrix // m×n, Q*Q = I
+	R *Matrix // n×n, upper triangular, real non-negative diagonal
+}
+
+// QRDecompose computes the thin QR factorization of a using Householder
+// reflections. It panics if a has more columns than rows.
+func QRDecompose(a *Matrix) *QR {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(ErrShape)
+	}
+	r := a.Clone()       // will become the triangular factor (top n rows)
+	qfull := Identity(m) // accumulates the product of reflections
+	v := make([]complex128, m)
+
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			x := r.At(i, k)
+			norm += real(x)*real(x) + imag(x)*imag(x)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		x0 := r.At(k, k)
+		// alpha = -e^{jθ(x0)}·‖x‖ so that the new diagonal is real ≥ 0
+		// after the sign fix below.
+		var phase complex128
+		if x0 == 0 {
+			phase = 1
+		} else {
+			phase = x0 / complex(cmplx.Abs(x0), 0)
+		}
+		alpha := -phase * complex(norm, 0)
+		var vnorm2 float64
+		for i := k; i < m; i++ {
+			v[i] = r.At(i, k)
+		}
+		v[k] -= alpha
+		for i := k; i < m; i++ {
+			vnorm2 += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		beta := complex(2/vnorm2, 0)
+		// Apply I − β·v·v* to the remaining columns of r.
+		for j := k; j < n; j++ {
+			var dot complex128
+			for i := k; i < m; i++ {
+				dot += cmplx.Conj(v[i]) * r.At(i, j)
+			}
+			dot *= beta
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-dot*v[i])
+			}
+		}
+		// Accumulate into qfull: qfull ← qfull·(I − β·v·v*).
+		for i := 0; i < m; i++ {
+			var dot complex128
+			for l := k; l < m; l++ {
+				dot += qfull.At(i, l) * v[l]
+			}
+			dot *= beta
+			for l := k; l < m; l++ {
+				qfull.Set(i, l, qfull.At(i, l)-dot*cmplx.Conj(v[l]))
+			}
+		}
+	}
+
+	// Force the diagonal of R real non-negative by absorbing phases
+	// into Q's columns.
+	for k := 0; k < n; k++ {
+		d := r.At(k, k)
+		ad := cmplx.Abs(d)
+		if ad == 0 {
+			continue
+		}
+		ph := d / complex(ad, 0)
+		if ph == 1 {
+			continue
+		}
+		inv := cmplx.Conj(ph)
+		for j := k; j < n; j++ {
+			r.Set(k, j, inv*r.At(k, j))
+		}
+		r.Set(k, k, complex(ad, 0)) // exact: kill phase-fix roundoff
+		for i := 0; i < m; i++ {
+			qfull.Set(i, k, ph*qfull.At(i, k))
+		}
+	}
+
+	// Extract the thin factors.
+	q := New(m, n)
+	for i := 0; i < m; i++ {
+		copy(q.Row(i), qfull.Row(i)[:n])
+	}
+	rt := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j >= i {
+				rt.Set(i, j, r.At(i, j))
+			}
+		}
+	}
+	// Clean up negative-zero / roundoff on the strictly lower part is
+	// already handled by only copying the upper triangle.
+	return &QR{Q: q, R: rt}
+}
+
+// ApplyQConjT computes ŷ = Q*·y without forming intermediates, the
+// receive-side rotation of Equation 3 in the paper. dst may be nil.
+func (qr *QR) ApplyQConjT(dst, y []complex128) []complex128 {
+	m, n := qr.Q.Rows, qr.Q.Cols
+	if len(y) != m {
+		panic(ErrShape)
+	}
+	if dst == nil {
+		dst = make([]complex128, n)
+	} else if len(dst) != n {
+		panic(ErrShape)
+	}
+	for j := 0; j < n; j++ {
+		var s complex128
+		for i := 0; i < m; i++ {
+			s += cmplx.Conj(qr.Q.At(i, j)) * y[i]
+		}
+		dst[j] = s
+	}
+	return dst
+}

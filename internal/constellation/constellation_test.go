@@ -1,0 +1,198 @@
+package constellation
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizes(t *testing.T) {
+	cases := []struct {
+		c          *Constellation
+		bits, side int
+	}{
+		{QPSK, 2, 2}, {QAM16, 4, 4}, {QAM64, 6, 8}, {QAM256, 8, 16},
+	}
+	for _, tc := range cases {
+		if tc.c.Bits() != tc.bits || tc.c.Side() != tc.side || tc.c.Size() != tc.side*tc.side {
+			t.Fatalf("%s: bits=%d side=%d size=%d", tc.c, tc.c.Bits(), tc.c.Side(), tc.c.Size())
+		}
+	}
+}
+
+func TestUnitAverageEnergy(t *testing.T) {
+	for _, c := range All() {
+		var e float64
+		for i := 0; i < c.Size(); i++ {
+			p := c.PointIndex(i)
+			e += real(p)*real(p) + imag(p)*imag(p)
+		}
+		e /= float64(c.Size())
+		if math.Abs(e-1) > 1e-12 {
+			t.Fatalf("%s: mean symbol energy %g, want 1", c, e)
+		}
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	for _, c := range All() {
+		// Measure the actual minimum pairwise distance.
+		min := math.Inf(1)
+		for i := 0; i < c.Size(); i++ {
+			for j := i + 1; j < c.Size(); j++ {
+				if d := cmplx.Abs(c.PointIndex(i) - c.PointIndex(j)); d < min {
+					min = d
+				}
+			}
+		}
+		if math.Abs(min-c.MinDist()) > 1e-12 {
+			t.Fatalf("%s: MinDist %g, measured %g", c, c.MinDist(), min)
+		}
+	}
+}
+
+func TestSliceIsNearestPoint(t *testing.T) {
+	f := func(re, im float64) bool {
+		// Clamp the quick-generated values to a sane range.
+		y := complex(math.Mod(re, 3), math.Mod(im, 3))
+		for _, c := range []*Constellation{QPSK, QAM16, QAM64} {
+			got := c.SlicePoint(y)
+			best := math.Inf(1)
+			var bestPt complex128
+			for i := 0; i < c.Size(); i++ {
+				if d := cmplx.Abs(y - c.PointIndex(i)); d < best {
+					best = d
+					bestPt = c.PointIndex(i)
+				}
+			}
+			if cmplx.Abs(got-y) > best+1e-12 {
+				return false
+			}
+			_ = bestPt
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceClamping(t *testing.T) {
+	c := QAM16
+	// Far outside the constellation slices to a corner.
+	col, row := c.Slice(complex(100, -100))
+	if col != c.Side()-1 || row != 0 {
+		t.Fatalf("clamped to (%d,%d)", col, row)
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	for _, c := range All() {
+		buf := make([]byte, c.Bits())
+		for col := 0; col < c.Side(); col++ {
+			for row := 0; row < c.Side(); row++ {
+				c.SymbolBits(buf, col, row)
+				gc, gr := c.MapBits(buf)
+				if gc != col || gr != row {
+					t.Fatalf("%s: (%d,%d) round-tripped to (%d,%d)", c, col, row, gc, gr)
+				}
+			}
+		}
+	}
+}
+
+// TestGrayAdjacency: adjacent constellation points (one lattice step
+// apart) must differ in exactly one bit — the property that makes Gray
+// mapping minimize bit errors per symbol error.
+func TestGrayAdjacency(t *testing.T) {
+	for _, c := range All() {
+		b1 := make([]byte, c.Bits())
+		b2 := make([]byte, c.Bits())
+		diff := func(col1, row1, col2, row2 int) int {
+			c.SymbolBits(b1, col1, row1)
+			c.SymbolBits(b2, col2, row2)
+			d := 0
+			for i := range b1 {
+				if b1[i] != b2[i] {
+					d++
+				}
+			}
+			return d
+		}
+		for col := 0; col < c.Side(); col++ {
+			for row := 0; row < c.Side(); row++ {
+				if col+1 < c.Side() && diff(col, row, col+1, row) != 1 {
+					t.Fatalf("%s: horizontal neighbours (%d,%d)-(%d,%d) differ in %d bits",
+						c, col, row, col+1, row, diff(col, row, col+1, row))
+				}
+				if row+1 < c.Side() && diff(col, row, col, row+1) != 1 {
+					t.Fatalf("%s: vertical neighbours differ in %d bits", c, diff(col, row, col, row+1))
+				}
+			}
+		}
+	}
+}
+
+func TestDemapMatchesSliceAndBits(t *testing.T) {
+	c := QAM64
+	y := complex(0.3, -0.7)
+	got := make([]byte, c.Bits())
+	c.Demap(got, y)
+	col, row := c.Slice(y)
+	want := make([]byte, c.Bits())
+	c.SymbolBits(want, col, row)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("Demap disagrees with Slice+SymbolBits")
+		}
+	}
+}
+
+func TestIndexCoords(t *testing.T) {
+	for _, c := range All() {
+		for i := 0; i < c.Size(); i++ {
+			col, row := c.Coords(i)
+			if c.Index(col, row) != i {
+				t.Fatalf("%s: index %d round-tripped to %d", c, i, c.Index(col, row))
+			}
+			if c.Point(col, row) != c.PointIndex(i) {
+				t.Fatalf("%s: Point and PointIndex disagree at %d", c, i)
+			}
+		}
+	}
+}
+
+func TestByBits(t *testing.T) {
+	for _, q := range []int{2, 4, 6, 8, 10} {
+		c, err := ByBits(q)
+		if err != nil || c.Bits() != q {
+			t.Fatalf("ByBits(%d): %v", q, err)
+		}
+	}
+	for _, q := range []int{0, 1, 3, 5, 7, 12} {
+		if _, err := ByBits(q); err == nil {
+			t.Fatalf("ByBits(%d) accepted", q)
+		}
+	}
+}
+
+func TestAxisCoordSymmetry(t *testing.T) {
+	for _, c := range All() {
+		for i := 0; i < c.Side(); i++ {
+			if math.Abs(c.AxisCoord(i)+c.AxisCoord(c.Side()-1-i)) > 1e-15 {
+				t.Fatalf("%s: axis not symmetric at %d", c, i)
+			}
+		}
+		// Neighbouring levels are exactly 2·Scale apart.
+		if math.Abs(c.AxisCoord(1)-c.AxisCoord(0)-2*c.Scale()) > 1e-15 {
+			t.Fatalf("%s: lattice spacing wrong", c)
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if QPSK.String() != "QPSK" || QAM256.Name() != "256-QAM" {
+		t.Fatal("names wrong")
+	}
+}

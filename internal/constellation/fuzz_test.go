@@ -1,0 +1,57 @@
+package constellation
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// FuzzSlice: for any finite received point, Slice must return the
+// nearest constellation point (ties allowed within float tolerance).
+func FuzzSlice(f *testing.F) {
+	f.Add(0.3, -0.7)
+	f.Add(100.0, -100.0)
+	f.Add(0.0, 0.0)
+	f.Fuzz(func(t *testing.T, re, im float64) {
+		if math.IsNaN(re) || math.IsNaN(im) || math.Abs(re) > 1e6 || math.Abs(im) > 1e6 {
+			return
+		}
+		y := complex(re, im)
+		for _, c := range All() {
+			got := c.SlicePoint(y)
+			best := math.Inf(1)
+			for i := 0; i < c.Size(); i++ {
+				if d := cmplx.Abs(y - c.PointIndex(i)); d < best {
+					best = d
+				}
+			}
+			if cmplx.Abs(y-got) > best+1e-9 {
+				t.Fatalf("%s: sliced %v to %v (dist %g) but nearest is %g away",
+					c, y, got, cmplx.Abs(y-got), best)
+			}
+		}
+	})
+}
+
+// FuzzBitsRoundTrip: MapBits(SymbolBits(·)) is the identity for any
+// bit pattern.
+func FuzzBitsRoundTrip(f *testing.F) {
+	f.Add(uint16(0xb5))
+	f.Fuzz(func(t *testing.T, pattern uint16) {
+		for _, c := range All() {
+			q := c.Bits()
+			bits := make([]byte, q)
+			for b := 0; b < q; b++ {
+				bits[b] = byte(pattern>>b) & 1
+			}
+			col, row := c.MapBits(bits)
+			back := make([]byte, q)
+			c.SymbolBits(back, col, row)
+			for b := range bits {
+				if back[b] != bits[b] {
+					t.Fatalf("%s: bit %d lost for pattern %#x", c, b, pattern)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,620 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/rng"
+)
+
+// zfStub is a minimal zero-forcing detector for the hybrid tests (the
+// real one lives in internal/linear, which imports this package).
+type zfStub struct {
+	cons *constellation.Constellation
+	w    *cmplxmat.Matrix
+}
+
+func (d *zfStub) Name() string                                { return "zf-stub" }
+func (d *zfStub) Constellation() *constellation.Constellation { return d.cons }
+
+func (d *zfStub) Prepare(h *cmplxmat.Matrix) error {
+	w, err := h.PseudoInverse()
+	if err != nil {
+		return err
+	}
+	d.w = w
+	return nil
+}
+
+func (d *zfStub) Detect(dst []int, y []complex128) ([]int, error) {
+	if d.w == nil {
+		return nil, ErrNotPrepared
+	}
+	est := d.w.MulVec(nil, y)
+	if dst == nil {
+		dst = make([]int, len(est))
+	}
+	for k, e := range est {
+		col, row := d.cons.Slice(e)
+		dst[k] = d.cons.Index(col, row)
+	}
+	return dst, nil
+}
+
+// --- Soft-output list sphere decoder -------------------------------------
+
+func TestSoftHardDecisionMatchesML(t *testing.T) {
+	src := rng.New(20)
+	cons := constellation.QAM16
+	soft := NewListSphereDecoder(cons)
+	ml := NewML(cons)
+	for trial := 0; trial < 40; trial++ {
+		h, _, y := randomScenario(src, cons, 4, 2, 5+src.Float64()*25)
+		if err := soft.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := ml.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		got, err := soft.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ml.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gd := distanceOf(h, y, cons, got)
+		wd := distanceOf(h, y, cons, want)
+		if gd > wd*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: soft hard-decision distance %g worse than ML %g", trial, gd, wd)
+		}
+	}
+}
+
+// TestSoftLLRSignsMatchML: the sign of every max-log LLR must agree
+// with the maximum-likelihood hard decision's bits (the ML vector is
+// the minimizer, so λ with the bit forced the other way is ≥ λ_ML).
+func TestSoftLLRSignsMatchML(t *testing.T) {
+	src := rng.New(21)
+	cons := constellation.QAM16
+	soft := NewListSphereDecoder(cons)
+	q := cons.Bits()
+	bits := make([]byte, q)
+	for trial := 0; trial < 40; trial++ {
+		h, _, y := randomScenario(src, cons, 4, 2, 15)
+		if err := soft.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		hard, err := soft.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llrs, err := soft.DetectSoft(nil, y, channel.NoiseVarForSNRdB(15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, idx := range hard {
+			col, row := cons.Coords(idx)
+			cons.SymbolBits(bits, col, row)
+			for b := 0; b < q; b++ {
+				llr := llrs[k*q+b]
+				if bits[b] == 1 && llr < 0 {
+					t.Fatalf("trial %d: stream %d bit %d is 1 but LLR %g < 0", trial, k, b, llr)
+				}
+				if bits[b] == 0 && llr > 0 {
+					t.Fatalf("trial %d: stream %d bit %d is 0 but LLR %g > 0", trial, k, b, llr)
+				}
+			}
+		}
+	}
+}
+
+// TestSoftLLRExactMaxLog cross-checks the tree-search LLRs against a
+// brute-force max-log computation over the full alphabet.
+func TestSoftLLRExactMaxLog(t *testing.T) {
+	src := rng.New(22)
+	cons := constellation.QPSK
+	soft := NewListSphereDecoder(cons)
+	q := cons.Bits()
+	bits := make([]byte, q)
+	nv := channel.NoiseVarForSNRdB(10)
+	for trial := 0; trial < 30; trial++ {
+		h, _, y := randomScenario(src, cons, 2, 2, 10)
+		if err := soft.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		llrs, err := soft.DetectSoft(nil, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force: λ_min per (stream, bit, value).
+		nc := 2
+		best := make([][][2]float64, nc)
+		for k := range best {
+			best[k] = make([][2]float64, q)
+			for b := range best[k] {
+				best[k][b] = [2]float64{math.Inf(1), math.Inf(1)}
+			}
+		}
+		idx := []int{0, 0}
+		for i := 0; i < cons.Size(); i++ {
+			for j := 0; j < cons.Size(); j++ {
+				idx[0], idx[1] = i, j
+				dist := distanceOf(h, y, cons, idx)
+				for k := 0; k < nc; k++ {
+					col, row := cons.Coords(idx[k])
+					cons.SymbolBits(bits, col, row)
+					for b := 0; b < q; b++ {
+						v := bits[b] & 1
+						if dist < best[k][b][v] {
+							best[k][b][v] = dist
+						}
+					}
+				}
+			}
+		}
+		for k := 0; k < nc; k++ {
+			for b := 0; b < q; b++ {
+				want := (best[k][b][0] - best[k][b][1]) / nv
+				if want > 50 {
+					want = 50
+				} else if want < -50 {
+					want = -50
+				}
+				got := llrs[k*q+b]
+				if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+					t.Fatalf("trial %d stream %d bit %d: LLR %g want %g", trial, k, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSoftValidation(t *testing.T) {
+	cons := constellation.QAM16
+	d := NewListSphereDecoder(cons)
+	if _, err := d.DetectSoft(nil, []complex128{1}, 1); err == nil {
+		t.Fatal("DetectSoft before Prepare accepted")
+	}
+	src := rng.New(23)
+	h := channel.Rayleigh(src, 4, 2)
+	if err := d.Prepare(h); err != nil {
+		t.Fatal(err)
+	}
+	y := make([]complex128, 4)
+	if _, err := d.DetectSoft(nil, y, 0); err == nil {
+		t.Fatal("zero noise variance accepted")
+	}
+	if _, err := d.DetectSoft(make([]float64, 3), y, 1); err == nil {
+		t.Fatal("short LLR buffer accepted")
+	}
+	if err := d.Prepare(channel.Rayleigh(src, 2, 4)); err == nil {
+		t.Fatal("wide channel accepted")
+	}
+}
+
+// --- Hybrid (condition-threshold) detector --------------------------------
+
+func TestHybridSwitchesOnKappa(t *testing.T) {
+	cons := constellation.QAM16
+	hy, err := NewHybrid(cons, &zfStub{cons: cons}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(24)
+	sphereUses := 0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		h, sent, y := randomScenario(src, cons, 4, 2, 200)
+		if err := hy.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		got, err := hy.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sent {
+			if got[i] != sent[i] {
+				t.Fatalf("trial %d: noiseless detection failed", trial)
+			}
+		}
+	}
+	sphereUses = hy.SphereSelections
+	if hy.Preparations != trials {
+		t.Fatalf("preparations %d", hy.Preparations)
+	}
+	if sphereUses == 0 || sphereUses == trials {
+		t.Fatalf("threshold 3 should split 4×2 Rayleigh draws, got %d/%d sphere", sphereUses, trials)
+	}
+	hy.ResetStats()
+	if hy.SphereSelections != 0 || hy.Preparations != 0 {
+		t.Fatal("ResetStats incomplete")
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	cons := constellation.QPSK
+	if _, err := NewHybrid(cons, nil, 3); err == nil {
+		t.Fatal("nil linear accepted")
+	}
+	if _, err := NewHybrid(cons, &zfStub{cons: cons}, 0.5); err == nil {
+		t.Fatal("threshold < 1 accepted")
+	}
+	hy, err := NewHybrid(cons, &zfStub{cons: cons}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hy.Detect(nil, []complex128{1}); err == nil {
+		t.Fatal("Detect before Prepare accepted")
+	}
+	if hy.Name() == "" || hy.Constellation() != cons {
+		t.Fatal("metadata wrong")
+	}
+}
+
+// --- Column reordering -----------------------------------------------------
+
+// TestReorderingPreservesML: reordering only changes the search order;
+// the detected vector must stay the maximum-likelihood one.
+func TestReorderingPreservesML(t *testing.T) {
+	src := rng.New(25)
+	cons := constellation.QAM16
+	plain := NewGeosphere(cons)
+	ordered := NewGeosphere(cons)
+	ordered.EnableColumnReordering(true)
+	for trial := 0; trial < 60; trial++ {
+		h, _, y := randomScenario(src, cons, 4, 4, 8+src.Float64()*20)
+		for _, d := range []*SphereDecoder{plain, ordered} {
+			if err := d.Prepare(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, err := plain.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ordered.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		da := distanceOf(h, y, cons, a)
+		db := distanceOf(h, y, cons, b)
+		if math.Abs(da-db) > 1e-9*(1+da) {
+			t.Fatalf("trial %d: reordered distance %g differs from plain %g", trial, db, da)
+		}
+	}
+}
+
+// TestReorderingReducesNodesAtLowSNR: the point of the ordering is a
+// smaller tree when the channel is noisy.
+func TestReorderingReducesNodesAtLowSNR(t *testing.T) {
+	src := rng.New(26)
+	cons := constellation.QAM16
+	plain := NewGeosphere(cons)
+	ordered := NewGeosphere(cons)
+	ordered.EnableColumnReordering(true)
+	for trial := 0; trial < 150; trial++ {
+		h, _, y := randomScenario(src, cons, 4, 4, 10)
+		for _, d := range []*SphereDecoder{plain, ordered} {
+			if err := d.Prepare(h); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Detect(nil, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pn := plain.Stats().VisitedNodes
+	on := ordered.Stats().VisitedNodes
+	t.Logf("visited nodes at 10 dB over 150 vectors: plain=%d ordered=%d", pn, on)
+	if on > pn {
+		t.Fatalf("ordering increased visited nodes: %d > %d", on, pn)
+	}
+}
+
+func TestColumnOrderSorted(t *testing.T) {
+	src := rng.New(27)
+	h := channel.Rayleigh(src, 4, 4)
+	order := columnOrder(h)
+	energy := func(c int) float64 {
+		var e float64
+		for r := 0; r < h.Rows; r++ {
+			v := h.At(r, c)
+			e += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return e
+	}
+	for i := 1; i < len(order); i++ {
+		if energy(order[i-1]) > energy(order[i]) {
+			t.Fatalf("order not ascending: %v", order)
+		}
+	}
+	perm := permuteColumns(h, order)
+	for newCol, oldCol := range order {
+		for r := 0; r < h.Rows; r++ {
+			if perm.At(r, newCol) != h.At(r, oldCol) {
+				t.Fatal("permutation mangled entries")
+			}
+		}
+	}
+}
+
+// --- Node budget -----------------------------------------------------------
+
+func TestNodeBudgetBoundsWork(t *testing.T) {
+	src := rng.New(28)
+	cons := constellation.QAM64
+	budgeted := NewGeosphere(cons)
+	budgeted.SetNodeBudget(10)
+	exact := NewGeosphere(cons)
+	for trial := 0; trial < 40; trial++ {
+		// Very low SNR forces big trees for the exact decoder.
+		h, _, y := randomScenario(src, cons, 4, 4, 2)
+		for _, d := range []*SphereDecoder{budgeted, exact} {
+			d.ResetStats()
+			if err := d.Prepare(h); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Detect(nil, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := budgeted.Stats().VisitedNodes; n > 10+4 {
+			t.Fatalf("trial %d: budget 10 but visited %d nodes", trial, n)
+		}
+	}
+	if exact.Stats().VisitedNodes == 0 {
+		t.Fatal("exact decoder did no work")
+	}
+}
+
+// TestNodeBudgetNeverWorseDistanceThanDF: even when truncated, the
+// budgeted decoder returns at least the decision-feedback (first-leaf)
+// solution.
+func TestNodeBudgetHighBudgetIsExact(t *testing.T) {
+	src := rng.New(29)
+	cons := constellation.QAM16
+	budgeted := NewGeosphere(cons)
+	budgeted.SetNodeBudget(1 << 40)
+	ml := NewML(cons)
+	for trial := 0; trial < 20; trial++ {
+		h, _, y := randomScenario(src, cons, 4, 2, 12)
+		if err := budgeted.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := ml.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		a, err := budgeted.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ml.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		da, db := distanceOf(h, y, cons, a), distanceOf(h, y, cons, b)
+		if da > db*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: huge budget lost optimality", trial)
+		}
+	}
+	budgeted.SetNodeBudget(-5) // negative clamps to unlimited
+}
+
+// --- Real-valued decomposition baseline ------------------------------------
+
+// TestRVDMatchesML: the unfolded real search is still exactly maximum
+// likelihood.
+func TestRVDMatchesML(t *testing.T) {
+	src := rng.New(30)
+	for _, cons := range []*constellation.Constellation{constellation.QPSK, constellation.QAM16, constellation.QAM64} {
+		rvd := NewRVD(cons)
+		ml := NewML(cons)
+		for trial := 0; trial < 30; trial++ {
+			nc := 2
+			if cons == constellation.QPSK {
+				nc = 3
+			}
+			h, _, y := randomScenario(src, cons, 4, nc, 4+src.Float64()*24)
+			if err := rvd.Prepare(h); err != nil {
+				t.Fatal(err)
+			}
+			if err := ml.Prepare(h); err != nil {
+				t.Fatal(err)
+			}
+			got, err := rvd.Detect(nil, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ml.Detect(nil, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gd := distanceOf(h, y, cons, got)
+			wd := distanceOf(h, y, cons, want)
+			if gd > wd*(1+1e-9)+1e-12 {
+				t.Fatalf("%s trial %d: RVD distance %g worse than ML %g", cons, trial, gd, wd)
+			}
+		}
+	}
+}
+
+// TestRVDVisitsMoreNodes quantifies the §6.1 critique: unfolding the
+// complex tree doubles its height, and the real search visits more
+// nodes than the complex-domain Geosphere on the same problems.
+func TestRVDVisitsMoreNodes(t *testing.T) {
+	src := rng.New(31)
+	cons := constellation.QAM16
+	rvd := NewRVD(cons)
+	geo := NewGeosphere(cons)
+	for trial := 0; trial < 100; trial++ {
+		h, _, y := randomScenario(src, cons, 4, 4, 18)
+		for _, prep := range []Detector{rvd, geo} {
+			if err := prep.Prepare(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := rvd.Detect(nil, y); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := geo.Detect(nil, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rn := rvd.Stats().VisitedNodes
+	gn := geo.Stats().VisitedNodes
+	t.Logf("visited nodes over 100 4×4 16-QAM vectors at 18 dB: RVD=%d complex=%d", rn, gn)
+	if rn <= gn {
+		t.Fatalf("RVD (%d nodes) should visit more nodes than the complex tree (%d)", rn, gn)
+	}
+}
+
+func TestRVDValidation(t *testing.T) {
+	d := NewRVD(constellation.QAM16)
+	if _, err := d.Detect(nil, []complex128{1}); err == nil {
+		t.Fatal("Detect before Prepare accepted")
+	}
+	src := rng.New(32)
+	if err := d.Prepare(channel.Rayleigh(src, 2, 4)); err == nil {
+		t.Fatal("wide channel accepted")
+	}
+	h := channel.Rayleigh(src, 4, 2)
+	if err := d.Prepare(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Detect(make([]int, 5), make([]complex128, 4)); err == nil {
+		t.Fatal("bad dst accepted")
+	}
+	if d.Name() == "" || d.Constellation() != constellation.QAM16 {
+		t.Fatal("metadata wrong")
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Fatal("stats not reset")
+	}
+}
+
+// --- 1024-QAM (beyond the paper's densest alphabet) -------------------------
+
+// TestGeosphere1024QAM: the enumeration and pruning machinery scales
+// to 1024-QAM unchanged — exact ML versus exhaustive search, and the
+// per-node cost gap to ETH-SD keeps widening with density.
+func TestGeosphere1024QAM(t *testing.T) {
+	src := rng.New(33)
+	cons := constellation.QAM1024
+	geo := NewGeosphere(cons)
+	eth := NewETHSD(cons)
+	ml := NewML(cons)
+	for trial := 0; trial < 6; trial++ {
+		h, _, y := randomScenario(src, cons, 2, 2, 25+src.Float64()*10)
+		for _, d := range []Detector{geo, eth, ml} {
+			if err := d.Prepare(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := ml.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd := distanceOf(h, y, cons, want)
+		for _, d := range []Detector{geo, eth} {
+			got, err := d.Detect(nil, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gd := distanceOf(h, y, cons, got); gd > wd*(1+1e-9)+1e-12 {
+				t.Fatalf("%s trial %d: distance %g worse than ML %g", d.Name(), trial, gd, wd)
+			}
+		}
+	}
+	gs, es := geo.Stats(), eth.Stats()
+	if gs.VisitedNodes != es.VisitedNodes {
+		t.Fatalf("visited nodes differ at 1024-QAM: %d vs %d", gs.VisitedNodes, es.VisitedNodes)
+	}
+	if gs.PEDCalcs*5 > es.PEDCalcs {
+		t.Fatalf("1024-QAM PED gap too small: geo=%d eth=%d", gs.PEDCalcs, es.PEDCalcs)
+	}
+	t.Logf("1024-QAM 2×2: %d nodes for both; PEDs geo=%d eth=%d (%.1f×)",
+		gs.VisitedNodes, gs.PEDCalcs, es.PEDCalcs, float64(es.PEDCalcs)/float64(gs.PEDCalcs))
+}
+
+// --- Statistical pruning (§6.1 baseline) -----------------------------------
+
+// TestStatisticalPruningTradeoff: aggressive probabilistic pruning
+// must shrink the tree and, at low SNR, lose maximum-likelihood
+// decisions — the §6.1 argument against the approach, measured.
+func TestStatisticalPruningTradeoff(t *testing.T) {
+	src := rng.New(34)
+	cons := constellation.QAM16
+	noiseVar := channel.NoiseVarForSNRdB(12)
+	exact := NewGeosphere(cons)
+	stat := NewStatisticalPruning(cons, noiseVar, 4)
+	ml := NewML(cons)
+	mlLosses := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		h, _, y := randomScenario(src, cons, 4, 4, 12)
+		for _, d := range []Detector{exact, stat, ml} {
+			if err := d.Prepare(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := stat.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ml.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exact.Detect(nil, y); err != nil {
+			t.Fatal(err)
+		}
+		if distanceOf(h, y, cons, got) > distanceOf(h, y, cons, want)*(1+1e-9)+1e-12 {
+			mlLosses++
+		}
+	}
+	en := exact.Stats().VisitedNodes
+	sn := stat.Stats().VisitedNodes
+	t.Logf("α=4 statistical pruning over %d 4×4 16-QAM vectors at 12 dB: nodes %d→%d, %d ML losses",
+		trials, en, sn, mlLosses)
+	if sn >= en {
+		t.Fatalf("statistical pruning did not shrink the tree: %d ≥ %d", sn, en)
+	}
+	if mlLosses == 0 {
+		t.Fatal("aggressive pruning never lost ML — the trade-off the paper criticizes is absent")
+	}
+}
+
+// TestStatisticalPruningZeroAlphaIsExact: α=0 must recover the exact
+// decoder bit for bit.
+func TestStatisticalPruningZeroAlphaIsExact(t *testing.T) {
+	src := rng.New(35)
+	cons := constellation.QAM16
+	stat := NewStatisticalPruning(cons, 0.1, 0)
+	ml := NewML(cons)
+	for trial := 0; trial < 30; trial++ {
+		h, _, y := randomScenario(src, cons, 4, 2, 10)
+		if err := stat.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := ml.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		got, err := stat.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ml.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if distanceOf(h, y, cons, got) > distanceOf(h, y, cons, want)*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: α=0 lost optimality", trial)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/constellation"
+)
+
+// NewGeosphere returns the full Geosphere detector: a depth-first
+// Schnorr-Euchner sphere decoder using two-dimensional zigzag
+// enumeration (§3.1.1) and geometrical pruning (§3.2).
+func NewGeosphere(cons *constellation.Constellation) *SphereDecoder {
+	return newSphereDecoder("Geosphere", cons, func(c *constellation.Constellation, st *Stats) enumerator {
+		return newGeoEnumerator(c, st, true)
+	})
+}
+
+// NewGeosphereZigzagOnly returns the "2D zigzag only" Geosphere
+// variant of §5.3.2: the same enumeration order but with every
+// candidate's exact partial distance computed (no geometric pruning).
+// It is used to break down the source of Geosphere's complexity gains.
+func NewGeosphereZigzagOnly(cons *constellation.Constellation) *SphereDecoder {
+	return newSphereDecoder("Geosphere-2Dzigzag", cons, func(c *constellation.Constellation, st *Stats) enumerator {
+		return newGeoEnumerator(c, st, false)
+	})
+}
+
+// geoCand is one outstanding candidate in the priority queue: a
+// constellation point whose exact cumulative distance has been
+// computed but which has not yet been explored.
+type geoCand struct {
+	idx int // flat constellation index
+	col int // column (PAM subconstellation) of the point
+	row int
+	ped float64 // cumulative distance: base + rll2·|ỹ−point|²
+}
+
+// geoEnumerator implements the two-dimensional zigzag of Figure 5.
+//
+// Invariants maintained for exactness of the Schnorr-Euchner order:
+//   - the queue holds at most one candidate per column (vertical PAM
+//     subconstellation);
+//   - columns are activated one at a time in proximity order of their
+//     I-coordinate to the received symbol — exploring any point of the
+//     k-th column activates the (k+1)-th;
+//   - within a column, rows are enumerated by one-dimensional zigzag
+//     around the received symbol's Q-coordinate.
+//
+// With constellation spacing 2s and a slicing offset of at most s per
+// axis, the resulting pop order is provably non-decreasing in distance,
+// so the decoder remains exactly maximum-likelihood and visits exactly
+// the same tree nodes as any other Schnorr-Euchner decoder.
+//
+// Geometrical pruning (§3.2) lower-bounds a candidate's branch cost by
+// table lookup before its exact distance is computed. Because both the
+// per-column vertical offset and the cross-column horizontal offset
+// are monotone along the zigzag, a single bound violation retires the
+// whole direction, which is how the decoder prunes the remainder of
+// the tree "without any additional calculation".
+type geoEnumerator struct {
+	cons  *constellation.Constellation
+	stats *Stats
+	prune bool
+	side  int
+
+	// lbsq[dI][dQ] = s²·(max(2dI−1,0)² + max(2dQ−1,0)²), Equation 9
+	// with the d=0 clamp, in the normalized constellation plane.
+	lbsq [][]float64
+
+	// Per-node state, reset by init.
+	ytilde     complex128
+	yI, yQ     float64
+	base       float64
+	rll2       float64
+	col0, row0 int
+
+	// Columns are activated strictly in proximity order of their
+	// I-coordinate, so the activated set is always the contiguous
+	// range [colLo, colHi] and only the most recently activated
+	// column (the frontier) can extend it — which makes per-node
+	// initialization O(1) instead of O(√|O|).
+	colLo, colHi  int
+	lastActivated int
+	colDead       []bool // column exhausted or retired by the bound
+	rowLo         []int  // per-column enumerated row range [rowLo, rowHi]
+	rowHi         []int
+	hDead         bool // no further column can enter the sphere
+	queue         []geoCand
+
+	// pending is the last explored point whose zigzag successors have
+	// not been materialized yet. Deferring their (bounded, then exact)
+	// distance computations until the search returns to this level is
+	// the "as late as possible" rule of §3.1.1: by then the sphere has
+	// usually shrunk and the geometric bound retires them for free.
+	pending    geoCand
+	hasPending bool
+
+	// radius is the most recent squared sphere radius seen by next.
+	// It only ever shrinks during one node's lifetime, which keeps
+	// the direction-retirement logic sound.
+	radius float64
+}
+
+func newGeoEnumerator(cons *constellation.Constellation, st *Stats, prune bool) *geoEnumerator {
+	side := cons.Side()
+	e := &geoEnumerator{
+		cons:    cons,
+		stats:   st,
+		prune:   prune,
+		side:    side,
+		colDead: make([]bool, side),
+		rowLo:   make([]int, side),
+		rowHi:   make([]int, side),
+		queue:   make([]geoCand, 0, side),
+	}
+	s2 := cons.Scale() * cons.Scale()
+	e.lbsq = make([][]float64, side)
+	for dI := 0; dI < side; dI++ {
+		e.lbsq[dI] = make([]float64, side)
+		for dQ := 0; dQ < side; dQ++ {
+			bI := math.Max(float64(2*dI-1), 0)
+			bQ := math.Max(float64(2*dQ-1), 0)
+			e.lbsq[dI][dQ] = s2 * (bI*bI + bQ*bQ)
+		}
+	}
+	return e
+}
+
+// pedOf computes a candidate's exact cumulative distance. This is the
+// operation §5.3 counts.
+func (e *geoEnumerator) pedOf(col, row int) float64 {
+	e.stats.PEDCalcs++
+	p := e.cons.Point(col, row)
+	dr := real(e.ytilde) - real(p)
+	di := imag(e.ytilde) - imag(p)
+	return e.base + e.rll2*(dr*dr+di*di)
+}
+
+// lowerBound returns the geometric lower bound on the cumulative
+// distance of the point at (col, row), Equation 9.
+func (e *geoEnumerator) lowerBound(col, row int) float64 {
+	e.stats.BoundChecks++
+	dI := col - e.col0
+	if dI < 0 {
+		dI = -dI
+	}
+	dQ := row - e.row0
+	if dQ < 0 {
+		dQ = -dQ
+	}
+	return e.base + e.rll2*e.lbsq[dI][dQ]
+}
+
+func (e *geoEnumerator) init(ytilde complex128, base, rll2 float64) {
+	e.ytilde = ytilde
+	e.yI = real(ytilde)
+	e.yQ = imag(ytilde)
+	e.base = base
+	e.rll2 = rll2
+	e.col0, e.row0 = e.cons.Slice(ytilde)
+	e.hDead = false
+	e.hasPending = false
+	e.radius = math.Inf(1)
+	e.queue = e.queue[:0]
+	// Enqueue the sliced point (step 2 of Figure 5). Its bound is
+	// zero, so pruning never rejects it. Per-column state is written
+	// lazily at activation, so nothing needs clearing here.
+	e.colLo, e.colHi = e.col0, e.col0
+	e.lastActivated = e.col0
+	e.activate(e.col0)
+}
+
+// activate gives column c its first candidate: the point in the column
+// closest to the received symbol (at the sliced row).
+func (e *geoEnumerator) activate(c int) {
+	e.colDead[c] = false
+	e.rowLo[c] = e.row0
+	e.rowHi[c] = e.row0
+	e.push(c, e.row0)
+}
+
+// push computes the exact distance of (col,row) and inserts it into
+// the queue, unless geometric pruning rejects it first. It reports
+// whether the candidate was within the current radius bound.
+func (e *geoEnumerator) push(col, row int) bool {
+	if e.prune && e.lowerBound(col, row) >= e.radius {
+		return false
+	}
+	e.queue = append(e.queue, geoCand{
+		idx: e.cons.Index(col, row),
+		col: col,
+		row: row,
+		ped: e.pedOf(col, row),
+	})
+	return true
+}
+
+// nextRowOf returns the next unenumerated row of column c by
+// one-dimensional zigzag around the received symbol's Q-coordinate.
+func (e *geoEnumerator) nextRowOf(c int) (int, bool) {
+	lo, hi := e.rowLo[c], e.rowHi[c]
+	loOK := lo-1 >= 0
+	hiOK := hi+1 < e.side
+	switch {
+	case !loOK && !hiOK:
+		return 0, false
+	case loOK && !hiOK:
+		return lo - 1, true
+	case !loOK && hiOK:
+		return hi + 1, true
+	}
+	dlo := math.Abs(e.cons.AxisCoord(lo-1) - e.yQ)
+	dhi := math.Abs(e.cons.AxisCoord(hi+1) - e.yQ)
+	if dlo <= dhi {
+		return lo - 1, true
+	}
+	return hi + 1, true
+}
+
+func (e *geoEnumerator) next(radius2 float64) (int, float64, bool) {
+	e.radius = radius2
+	if e.hasPending {
+		e.hasPending = false
+		e.materialize(e.pending)
+	}
+	if len(e.queue) == 0 {
+		return 0, 0, false
+	}
+	// Extract the minimum-distance candidate. The queue never exceeds
+	// √|O| entries, so a linear scan is cheaper than heap bookkeeping.
+	best := 0
+	for i := 1; i < len(e.queue); i++ {
+		if e.queue[i].ped < e.queue[best].ped {
+			best = i
+		}
+	}
+	x := e.queue[best]
+	last := len(e.queue) - 1
+	e.queue[best] = e.queue[last]
+	e.queue = e.queue[:last]
+	if x.ped >= radius2 {
+		// The global minimum of all unexplored candidates is outside
+		// the sphere, so every remaining child is too (and x's
+		// successors, which only lie farther out, need not exist).
+		return 0, 0, false
+	}
+	// Defer x's zigzag successors until the search returns here.
+	e.pending = x
+	e.hasPending = true
+	return x.idx, x.ped, true
+}
+
+// materialize generates the zigzag successors of an explored point
+// (steps 3(a) and 3(b) of Figure 5) against the current radius.
+func (e *geoEnumerator) materialize(x geoCand) {
+	// Step 3(a): vertical zigzag within x's column.
+	if !e.colDead[x.col] {
+		if row, ok := e.nextRowOf(x.col); ok {
+			if e.push(x.col, row) {
+				if row < e.rowLo[x.col] {
+					e.rowLo[x.col] = row
+				} else {
+					e.rowHi[x.col] = row
+				}
+			} else {
+				// The bound retires the nearer vertical direction;
+				// the farther one has an equal-or-larger offset, so
+				// the whole column is outside the sphere.
+				e.colDead[x.col] = true
+			}
+		} else {
+			e.colDead[x.col] = true
+		}
+	}
+
+	// Step 3(b): horizontal zigzag — activate the column after x's in
+	// proximity order. Columns activate sequentially, so that column
+	// is fresh only when x's was the frontier; otherwise it already
+	// holds (or has exhausted) a candidate and the step is skipped.
+	if !e.hDead && x.col == e.lastActivated {
+		c := -1
+		loOK := e.colLo-1 >= 0
+		hiOK := e.colHi+1 < e.side
+		switch {
+		case loOK && hiOK:
+			dlo := math.Abs(e.cons.AxisCoord(e.colLo-1) - e.yI)
+			dhi := math.Abs(e.cons.AxisCoord(e.colHi+1) - e.yI)
+			if dlo <= dhi {
+				c = e.colLo - 1
+			} else {
+				c = e.colHi + 1
+			}
+		case loOK:
+			c = e.colLo - 1
+		case hiOK:
+			c = e.colHi + 1
+		}
+		if c >= 0 {
+			if c < e.colLo {
+				e.colLo = c
+			} else {
+				e.colHi = c
+			}
+			e.lastActivated = c
+			e.colDead[c] = false
+			e.rowLo[c] = e.row0
+			e.rowHi[c] = e.row0
+			if !e.push(c, e.row0) {
+				// The entry point carries the column's minimal
+				// horizontal offset; farther columns only grow it.
+				e.hDead = true
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+)
+
+// SoftDetector extends Detector with per-bit soft output. DetectSoft
+// returns max-log log-likelihood ratios (positive means bit=1 more
+// likely), Q bits per stream, laid out stream-major in the same bit
+// order constellation.SymbolBits uses.
+//
+// This is the §7 future-work direction: the paper notes that soft
+// receiver processing is required to actually reach MIMO capacity and
+// that state-of-the-art soft sphere decoders build on ETH-SD, so
+// extending Geosphere's enumeration to the soft setting inherits its
+// complexity advantage.
+type SoftDetector interface {
+	Detector
+	// DetectSoft writes len = nc·Q LLRs into dst (allocating when
+	// nil), scaled by 1/noiseVar.
+	DetectSoft(dst []float64, y []complex128, noiseVar float64) ([]float64, error)
+}
+
+// ListSphereDecoder produces soft output by running a Geosphere search
+// that, instead of keeping only the best leaf, records the best
+// distance observed for each (stream, bit, value) hypothesis — the
+// standard single-tree-search max-log approximation. The search keeps
+// Geosphere's two-dimensional zigzag enumeration; the pruning radius
+// is the largest distance any hypothesis still needs, so the output is
+// exactly the max-log LLR (no list-size approximation).
+type ListSphereDecoder struct {
+	cons *constellation.Constellation
+
+	h  *cmplxmat.Matrix
+	qr *cmplxmat.QR
+	nc int
+
+	stats Stats
+	enums []enumerator
+	yhat  []complex128
+	path  []int
+	sym   []complex128
+	// lambdaML is the best overall distance; lambdaBit[k][b][v] the
+	// best distance with stream k's bit b forced to v.
+	lambdaBit [][][2]float64
+	bitbuf    []byte
+	clamp     float64
+}
+
+var _ SoftDetector = (*ListSphereDecoder)(nil)
+var _ Counter = (*ListSphereDecoder)(nil)
+
+// NewListSphereDecoder returns a soft-output Geosphere decoder.
+func NewListSphereDecoder(cons *constellation.Constellation) *ListSphereDecoder {
+	return &ListSphereDecoder{cons: cons, clamp: 50}
+}
+
+// Name implements Detector.
+func (d *ListSphereDecoder) Name() string { return "Geosphere-soft" }
+
+// Constellation implements Detector.
+func (d *ListSphereDecoder) Constellation() *constellation.Constellation { return d.cons }
+
+// Stats implements Counter.
+func (d *ListSphereDecoder) Stats() Stats { return d.stats }
+
+// ResetStats implements Counter.
+func (d *ListSphereDecoder) ResetStats() { d.stats = Stats{} }
+
+// Prepare implements Detector.
+func (d *ListSphereDecoder) Prepare(h *cmplxmat.Matrix) error {
+	if h == nil {
+		return ErrNotPrepared
+	}
+	if h.Rows < h.Cols {
+		return fmt.Errorf("core: soft decoder needs na ≥ nc, got %d×%d channel", h.Rows, h.Cols)
+	}
+	d.h = h
+	d.qr = cmplxmat.QRDecompose(h)
+	d.nc = h.Cols
+	for l := 0; l < d.nc; l++ {
+		rll := d.qr.R.At(l, l)
+		if rll == 0 {
+			return fmt.Errorf("core: rank-deficient channel: %w", cmplxmat.ErrSingular)
+		}
+	}
+	if len(d.enums) != d.nc {
+		d.enums = make([]enumerator, d.nc)
+		for l := range d.enums {
+			d.enums[l] = newGeoEnumerator(d.cons, &d.stats, false)
+		}
+		d.yhat = make([]complex128, d.nc)
+		d.path = make([]int, d.nc)
+		d.sym = make([]complex128, d.nc)
+		d.lambdaBit = make([][][2]float64, d.nc)
+		for k := range d.lambdaBit {
+			d.lambdaBit[k] = make([][2]float64, d.cons.Bits())
+		}
+		d.bitbuf = make([]byte, d.cons.Bits())
+	}
+	return nil
+}
+
+// Detect implements Detector with the hard (maximum-likelihood)
+// decision of the underlying search.
+func (d *ListSphereDecoder) Detect(dst []int, y []complex128) ([]int, error) {
+	if err := checkDims(d.h, y); err != nil {
+		return nil, err
+	}
+	if dst == nil {
+		dst = make([]int, d.nc)
+	} else if len(dst) != d.nc {
+		return nil, fmt.Errorf("core: dst has %d entries, want %d", len(dst), d.nc)
+	}
+	if err := d.search(y, dst, nil, math.Inf(1)); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// DetectSoft implements SoftDetector.
+func (d *ListSphereDecoder) DetectSoft(dst []float64, y []complex128, noiseVar float64) ([]float64, error) {
+	if err := checkDims(d.h, y); err != nil {
+		return nil, err
+	}
+	q := d.cons.Bits()
+	want := d.nc * q
+	if dst == nil {
+		dst = make([]float64, want)
+	} else if len(dst) != want {
+		return nil, fmt.Errorf("core: LLR buffer has %d entries, want %d", len(dst), want)
+	}
+	if noiseVar <= 0 {
+		return nil, fmt.Errorf("core: DetectSoft needs a positive noise variance, got %g", noiseVar)
+	}
+	hard := make([]int, d.nc)
+	// Counter-hypotheses farther than clamp·σ² from the ML solution
+	// clip to ±clamp after scaling, so the search may prune them
+	// without changing the output (the standard LLR-clipped
+	// single-tree-search rule).
+	if err := d.search(y, hard, dst, d.clamp*noiseVar); err != nil {
+		return nil, err
+	}
+	inv := 1 / noiseVar
+	for i := range dst {
+		l := dst[i] * inv
+		if l > d.clamp {
+			l = d.clamp
+		} else if l < -d.clamp {
+			l = -d.clamp
+		}
+		dst[i] = l
+	}
+	return dst, nil
+}
+
+// search runs a full-tree Geosphere traversal maintaining per-bit
+// counter-hypothesis distances. When llrs is nil only the hard
+// decision is tracked (and sibling pruning can use the ML radius);
+// with llrs the radius is the weakest per-bit bound, the single
+// tree-search rule of Studer & Bölcskei, additionally capped at
+// λ_ML + clampDist (hypotheses beyond the cap clip anyway).
+func (d *ListSphereDecoder) search(y []complex128, hard []int, llrs []float64, clampDist float64) error {
+	nc, q := d.nc, d.cons.Bits()
+	d.qr.ApplyQConjT(d.yhat, y)
+	lambdaML := math.Inf(1)
+	for k := 0; k < nc; k++ {
+		for b := 0; b < q; b++ {
+			d.lambdaBit[k][b] = [2]float64{math.Inf(1), math.Inf(1)}
+		}
+	}
+	radius := func() float64 {
+		if llrs == nil {
+			return lambdaML
+		}
+		// The search may only prune paths that cannot improve any
+		// hypothesis: prune at the loosest outstanding bound, capped
+		// at the clipping horizon above the best solution so far.
+		r := lambdaML
+		for k := 0; k < nc; k++ {
+			for b := 0; b < q; b++ {
+				for v := 0; v < 2; v++ {
+					if d.lambdaBit[k][b][v] > r {
+						r = d.lambdaBit[k][b][v]
+					}
+				}
+			}
+		}
+		if cap := lambdaML + clampDist; r > cap {
+			r = cap
+		}
+		return r
+	}
+
+	top := nc - 1
+	d.enums[top].init(d.ytildeAt(top), 0, d.rll2At(top))
+	level := top
+	found := false
+	for {
+		idx, ped, ok := d.enums[level].next(radius())
+		if !ok || ped >= radius() {
+			level++
+			if level > top {
+				break
+			}
+			continue
+		}
+		d.stats.VisitedNodes++
+		d.path[level] = idx
+		d.sym[level] = d.cons.PointIndex(idx)
+		if level == 0 {
+			d.stats.Leaves++
+			// Update the ML hypothesis and every per-bit minimum.
+			if ped < lambdaML {
+				lambdaML = ped
+				copy(hard, d.path)
+				found = true
+			}
+			for k := 0; k < nc; k++ {
+				col, row := d.cons.Coords(d.path[k])
+				d.cons.SymbolBits(d.bitbuf, col, row)
+				for b := 0; b < q; b++ {
+					v := d.bitbuf[b] & 1
+					if ped < d.lambdaBit[k][b][v] {
+						d.lambdaBit[k][b][v] = ped
+					}
+				}
+			}
+			continue
+		}
+		level--
+		d.enums[level].init(d.ytildeAt(level), ped, d.rll2At(level))
+	}
+	d.stats.Detections++
+	if !found {
+		return fmt.Errorf("core: soft search found no leaf")
+	}
+	if llrs != nil {
+		for k := 0; k < nc; k++ {
+			for b := 0; b < q; b++ {
+				l0 := d.lambdaBit[k][b][0]
+				l1 := d.lambdaBit[k][b][1]
+				// LLR(bit) = (λ|bit=0 − λ|bit=1); unvisited
+				// hypotheses saturate at the clamp after scaling.
+				var llr float64
+				switch {
+				case math.IsInf(l1, 1) && math.IsInf(l0, 1):
+					llr = 0
+				case math.IsInf(l1, 1):
+					llr = -math.MaxFloat64
+				case math.IsInf(l0, 1):
+					llr = math.MaxFloat64
+				default:
+					llr = l0 - l1
+				}
+				llrs[k*q+b] = llr
+			}
+		}
+	}
+	return nil
+}
+
+func (d *ListSphereDecoder) ytildeAt(l int) complex128 {
+	s := d.yhat[l]
+	row := d.qr.R.Row(l)
+	for j := l + 1; j < d.nc; j++ {
+		s -= row[j] * d.sym[j]
+	}
+	return s / d.qr.R.At(l, l)
+}
+
+func (d *ListSphereDecoder) rll2At(l int) float64 {
+	rll := d.qr.R.At(l, l)
+	return real(rll)*real(rll) + imag(rll)*imag(rll)
+}

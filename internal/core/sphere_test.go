@@ -1,0 +1,379 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/rng"
+)
+
+// randomScenario draws a Rayleigh channel, a transmitted symbol
+// vector, and a noisy observation at the given SNR.
+func randomScenario(src *rng.Source, cons *constellation.Constellation, na, nc int, snrdB float64) (h *cmplxmat.Matrix, x []int, y []complex128) {
+	hm := channel.Rayleigh(src, na, nc)
+	xs := make([]complex128, nc)
+	xi := make([]int, nc)
+	for i := range xs {
+		xi[i] = src.Intn(cons.Size())
+		xs[i] = cons.PointIndex(xi[i])
+	}
+	yv := channel.Transmit(nil, src, hm, xs, channel.NoiseVarForSNRdB(snrdB))
+	return hm, xi, yv
+}
+
+func TestSphereDecodersMatchML(t *testing.T) {
+	cases := []struct {
+		cons   *constellation.Constellation
+		na, nc int
+	}{
+		{constellation.QPSK, 2, 2},
+		{constellation.QPSK, 4, 3},
+		{constellation.QPSK, 4, 4},
+		{constellation.QAM16, 2, 2},
+		{constellation.QAM16, 4, 3},
+		{constellation.QAM64, 2, 2},
+		{constellation.QAM64, 4, 2},
+	}
+	src := rng.New(42)
+	for _, tc := range cases {
+		geo := NewGeosphere(tc.cons)
+		zig := NewGeosphereZigzagOnly(tc.cons)
+		eth := NewETHSD(tc.cons)
+		ml := NewML(tc.cons)
+		for trial := 0; trial < 40; trial++ {
+			snr := 3 + src.Float64()*27 // 3..30 dB: include hard low-SNR cases
+			h, _, y := randomScenario(src, tc.cons, tc.na, tc.nc, snr)
+			for _, d := range []Detector{geo, zig, eth, ml} {
+				if err := d.Prepare(h); err != nil {
+					t.Fatalf("%s %s %d×%d: %v", d.Name(), tc.cons, tc.na, tc.nc, err)
+				}
+			}
+			want, err := ml.Detect(nil, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDist := distanceOf(h, y, tc.cons, want)
+			for _, d := range []Detector{geo, zig, eth} {
+				got, err := d.Detect(nil, y)
+				if err != nil {
+					t.Fatalf("%s: %v", d.Name(), err)
+				}
+				gotDist := distanceOf(h, y, tc.cons, got)
+				// Accept ties (distinct vectors at the same distance)
+				// but nothing worse than the exhaustive optimum.
+				if gotDist > wantDist*(1+1e-9)+1e-12 {
+					t.Fatalf("%s %s %d×%d trial %d: distance %g worse than ML %g (got %v want %v)",
+						d.Name(), tc.cons, tc.na, tc.nc, trial, gotDist, wantDist, got, want)
+				}
+			}
+		}
+	}
+}
+
+func distanceOf(h *cmplxmat.Matrix, y []complex128, cons *constellation.Constellation, idx []int) float64 {
+	var dist float64
+	for r := 0; r < h.Rows; r++ {
+		row := h.Row(r)
+		acc := y[r]
+		for c, ix := range idx {
+			acc -= row[c] * cons.PointIndex(ix)
+		}
+		dist += real(acc)*real(acc) + imag(acc)*imag(acc)
+	}
+	return dist
+}
+
+// TestVisitedNodesIdentical verifies the paper's claim (§5.3.2) that
+// all exact Schnorr-Euchner decoders visit the same tree nodes: only
+// the PED bookkeeping differs.
+func TestVisitedNodesIdentical(t *testing.T) {
+	src := rng.New(7)
+	for _, cons := range []*constellation.Constellation{constellation.QPSK, constellation.QAM16, constellation.QAM64, constellation.QAM256} {
+		geo := NewGeosphere(cons)
+		zig := NewGeosphereZigzagOnly(cons)
+		eth := NewETHSD(cons)
+		for trial := 0; trial < 25; trial++ {
+			h, _, y := randomScenario(src, cons, 4, 4, 24)
+			counts := make([]int64, 3)
+			for i, d := range []*SphereDecoder{geo, zig, eth} {
+				d.ResetStats()
+				if err := d.Prepare(h); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := d.Detect(nil, y); err != nil {
+					t.Fatal(err)
+				}
+				counts[i] = d.Stats().VisitedNodes
+			}
+			if counts[0] != counts[1] || counts[0] != counts[2] {
+				t.Fatalf("%s trial %d: visited nodes differ: geo=%d zigzag=%d eth=%d",
+					cons, trial, counts[0], counts[1], counts[2])
+			}
+		}
+	}
+}
+
+// TestGeospherePEDNeverExceedsZigzagOnly: pruning can only remove
+// exact PED computations, never add them.
+func TestGeospherePEDNeverExceedsZigzagOnly(t *testing.T) {
+	src := rng.New(8)
+	for _, cons := range []*constellation.Constellation{constellation.QAM16, constellation.QAM64, constellation.QAM256} {
+		geo := NewGeosphere(cons)
+		zig := NewGeosphereZigzagOnly(cons)
+		for trial := 0; trial < 25; trial++ {
+			h, _, y := randomScenario(src, cons, 4, 4, 30)
+			geo.ResetStats()
+			zig.ResetStats()
+			for _, d := range []*SphereDecoder{geo, zig} {
+				if err := d.Prepare(h); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := d.Detect(nil, y); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if geo.Stats().PEDCalcs > zig.Stats().PEDCalcs {
+				t.Fatalf("%s trial %d: pruning increased PEDs: %d > %d",
+					cons, trial, geo.Stats().PEDCalcs, zig.Stats().PEDCalcs)
+			}
+		}
+	}
+}
+
+// TestZigzagEnumerationComplete exercises the 2-D zigzag enumerator
+// directly: with an infinite radius it must emit every constellation
+// point exactly once, in non-decreasing distance from the received
+// symbol.
+func TestZigzagEnumerationComplete(t *testing.T) {
+	src := rng.New(9)
+	for _, cons := range []*constellation.Constellation{constellation.QPSK, constellation.QAM16, constellation.QAM64, constellation.QAM256} {
+		var st Stats
+		for _, prune := range []bool{false, true} {
+			e := newGeoEnumerator(cons, &st, prune)
+			for trial := 0; trial < 60; trial++ {
+				// Received points both inside and well outside the
+				// constellation boundary.
+				y := complex(3*(src.Float64()-0.5), 3*(src.Float64()-0.5))
+				e.init(y, 0, 1)
+				seen := make(map[int]bool)
+				prev := math.Inf(-1)
+				for {
+					idx, ped, ok := e.next(math.Inf(1))
+					if !ok {
+						break
+					}
+					if seen[idx] {
+						t.Fatalf("%s prune=%v: point %d emitted twice", cons, prune, idx)
+					}
+					seen[idx] = true
+					if ped < prev-1e-12 {
+						t.Fatalf("%s prune=%v: order not monotone: %g after %g", cons, prune, ped, prev)
+					}
+					prev = ped
+					// Cross-check the reported distance.
+					p := cons.PointIndex(idx)
+					want := real(y-p)*real(y-p) + imag(y-p)*imag(y-p)
+					if math.Abs(ped-want) > 1e-12 {
+						t.Fatalf("%s prune=%v: ped %g want %g", cons, prune, ped, want)
+					}
+				}
+				if len(seen) != cons.Size() {
+					t.Fatalf("%s prune=%v: enumerated %d of %d points", cons, prune, len(seen), cons.Size())
+				}
+			}
+		}
+	}
+}
+
+// TestEthEnumerationComplete does the same for the ETH/Hess enumerator.
+func TestEthEnumerationComplete(t *testing.T) {
+	src := rng.New(10)
+	for _, cons := range []*constellation.Constellation{constellation.QPSK, constellation.QAM16, constellation.QAM64} {
+		var st Stats
+		e := newEthEnumerator(cons, &st)
+		for trial := 0; trial < 60; trial++ {
+			y := complex(3*(src.Float64()-0.5), 3*(src.Float64()-0.5))
+			e.init(y, 0, 1)
+			seen := make(map[int]bool)
+			prev := math.Inf(-1)
+			for {
+				idx, ped, ok := e.next(math.Inf(1))
+				if !ok {
+					break
+				}
+				if seen[idx] {
+					t.Fatalf("%s: point %d emitted twice", cons, idx)
+				}
+				seen[idx] = true
+				if ped < prev-1e-12 {
+					t.Fatalf("%s: order not monotone: %g after %g", cons, ped, prev)
+				}
+				prev = ped
+			}
+			if len(seen) != cons.Size() {
+				t.Fatalf("%s: enumerated %d of %d points", cons, len(seen), cons.Size())
+			}
+		}
+	}
+}
+
+// TestGeometricBoundIsLowerBound property-checks Equation 9 (with the
+// d=0 clamp): the table bound never exceeds the exact branch cost.
+func TestGeometricBoundIsLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		cons := constellation.QAM64
+		var st Stats
+		e := newGeoEnumerator(cons, &st, true)
+		y := complex(2*(src.Float64()-0.5), 2*(src.Float64()-0.5))
+		base := src.Float64()
+		rll2 := 0.1 + src.Float64()
+		e.init(y, base, rll2)
+		for col := 0; col < cons.Side(); col++ {
+			for row := 0; row < cons.Side(); row++ {
+				lb := e.lowerBound(col, row)
+				exact := e.pedOf(col, row)
+				if lb > exact+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestETHUpfrontCost checks the defining cost structure: expanding a
+// node costs ETH-SD √|O| PEDs before its first child, while Geosphere
+// pays only one (the sliced point).
+func TestETHUpfrontCost(t *testing.T) {
+	for _, cons := range []*constellation.Constellation{constellation.QAM16, constellation.QAM64, constellation.QAM256} {
+		var stEth, stGeo Stats
+		eth := newEthEnumerator(cons, &stEth)
+		geo := newGeoEnumerator(cons, &stGeo, false)
+		y := complex(0.1, -0.2)
+		eth.init(y, 0, 1)
+		geo.init(y, 0, 1)
+		if _, _, ok := eth.next(math.Inf(1)); !ok {
+			t.Fatal("eth produced no child")
+		}
+		if _, _, ok := geo.next(math.Inf(1)); !ok {
+			t.Fatal("geo produced no child")
+		}
+		// ETH: side candidates up front + 1 replacement after the pop.
+		if want := int64(cons.Side() + 1); stEth.PEDCalcs != want {
+			t.Fatalf("%s: ETH first-child PEDs = %d, want %d", cons, stEth.PEDCalcs, want)
+		}
+		// Geosphere: only the sliced point — its zigzag successors are
+		// deferred until the search returns to this node, by which
+		// time the sphere radius usually retires them by table lookup.
+		if stGeo.PEDCalcs != 1 {
+			t.Fatalf("%s: Geosphere first-child PEDs = %d, want 1", cons, stGeo.PEDCalcs)
+		}
+	}
+}
+
+// TestPaperThirdChildCost reproduces the worked comparison from §6.1:
+// identifying the child with the third-smallest distance needs four
+// partial distance calculations with Geosphere's enumeration.
+func TestPaperThirdChildCost(t *testing.T) {
+	cons := constellation.QAM16
+	var st Stats
+	e := newGeoEnumerator(cons, &st, false)
+	// A received point strictly inside a cell whose second-nearest
+	// point is the vertical neighbour, matching the geometry of the
+	// Figure 6 walk-through (a, then b above it, then c beside it).
+	col0, row0 := 1, 1
+	y := cons.Point(col0, row0) + complex(0.15, 0.45)*complex(cons.Scale(), 0)
+	e.init(y, 0, 1)
+	for i := 0; i < 3; i++ { // children 1, 2 and 3
+		if _, _, ok := e.next(math.Inf(1)); !ok {
+			t.Fatal("enumeration ended early")
+		}
+	}
+	if st.PEDCalcs != 4 {
+		t.Fatalf("PEDs spent identifying the third child = %d, want 4 (paper §6.1: Shabany's scheme needs five)", st.PEDCalcs)
+	}
+}
+
+func TestDetectorErrors(t *testing.T) {
+	cons := constellation.QAM16
+	d := NewGeosphere(cons)
+	if _, err := d.Detect(nil, []complex128{1, 2}); err == nil {
+		t.Fatal("Detect before Prepare should fail")
+	}
+	src := rng.New(3)
+	h := channel.Rayleigh(src, 4, 2)
+	if err := d.Prepare(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Detect(nil, []complex128{1, 2}); err == nil {
+		t.Fatal("Detect with wrong-length y should fail")
+	}
+	if _, err := d.Detect(make([]int, 5), make([]complex128, 4)); err == nil {
+		t.Fatal("Detect with wrong-length dst should fail")
+	}
+	wide := channel.Rayleigh(src, 2, 4)
+	if err := d.Prepare(wide); err == nil {
+		t.Fatal("Prepare with na < nc should fail")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	cons := constellation.QAM16
+	d := NewGeosphere(cons)
+	src := rng.New(11)
+	h, _, y := randomScenario(src, cons, 4, 4, 20)
+	if err := d.Prepare(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Detect(nil, y); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Detections != 1 || st.PEDCalcs == 0 || st.VisitedNodes == 0 || st.Leaves == 0 {
+		t.Fatalf("implausible stats after one detection: %+v", st)
+	}
+	if st.PEDPerDetection() != float64(st.PEDCalcs) {
+		t.Fatalf("PEDPerDetection mismatch")
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not clear")
+	}
+	var acc Stats
+	acc.Add(st)
+	acc.Add(st)
+	if acc.PEDCalcs != 2*st.PEDCalcs || acc.Detections != 2 {
+		t.Fatalf("Add accumulated wrongly: %+v", acc)
+	}
+}
+
+// TestPaperTreeSizeArithmetic checks the paper's §2 footnote: a 4×4
+// MIMO 16-QAM sphere-decoding tree has ≈6.6×10⁴ nodes and the 256-QAM
+// tree ≈4.3×10⁹ — the scale gap that motivates Geosphere.
+func TestPaperTreeSizeArithmetic(t *testing.T) {
+	treeNodes := func(order int, levels int) float64 {
+		total := 0.0
+		pow := 1.0
+		for l := 0; l < levels; l++ {
+			pow *= float64(order)
+			total += pow
+		}
+		return total
+	}
+	n16 := treeNodes(16, 4)
+	n256 := treeNodes(256, 4)
+	if n16 < 6.5e4 || n16 > 7.0e4 {
+		t.Fatalf("16-QAM tree has %g nodes, paper says ≈6.6×10⁴", n16)
+	}
+	if n256 < 4.2e9 || n256 > 4.4e9 {
+		t.Fatalf("256-QAM tree has %g nodes, paper says ≈4.3×10⁹", n256)
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"repro/internal/constellation"
+)
+
+// NewStatisticalPruning returns a Geosphere-enumerated sphere decoder
+// with the probabilistic tree pruning of the Shim & Kang / Cui et al.
+// family (§6.1): in addition to the sphere constraint, a node at tree
+// level l is pruned when its accumulated distance exceeds the radius
+// minus the noise the remaining levels are *expected* to contribute,
+//
+//	d(s^(l)) ≥ r² − α·l·σ²,
+//
+// where α tunes aggressiveness (α = 0 recovers the exact decoder).
+// Pruning on expected noise discards paths the exact search would keep,
+// so maximum likelihood is no longer guaranteed — the performance loss
+// the paper cites when arguing such schemes are "unsuitable for
+// practical use". The statistical-pruning ablation bench measures both
+// sides of the trade.
+func NewStatisticalPruning(cons *constellation.Constellation, noiseVar, alpha float64) *SphereDecoder {
+	d := newSphereDecoder("Statistical-pruning", cons, func(c *constellation.Constellation, st *Stats) enumerator {
+		return newGeoEnumerator(c, st, true)
+	})
+	d.statNoise = noiseVar
+	d.statAlpha = alpha
+	return d
+}

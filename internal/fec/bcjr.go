@@ -1,0 +1,173 @@
+package fec
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxLogBCJR runs the max-log BCJR (soft-input, soft-output) algorithm
+// over the terminated rate-1/2 mother code. Input: one log-likelihood
+// ratio per coded bit (positive = 1 more likely; 0 = erasure). Output:
+// a-posteriori LLRs for every trellis-step information bit (including
+// the K−1 tail steps, which callers usually slice off) and *extrinsic*
+// LLRs for every coded bit — the a-posteriori minus the channel input,
+// the quantity an iterative receiver feeds back to the detector.
+//
+// This is the decoder side of the §7 future-work receiver: iterative
+// detection and decoding needs soft information flowing both ways, and
+// the Viterbi algorithm only produces hard decisions.
+func MaxLogBCJR(codedLLRs []float64) (infoLLRs, codedExt []float64, err error) {
+	if len(codedLLRs)%2 != 0 {
+		return nil, nil, fmt.Errorf("fec: LLR length %d is odd", len(codedLLRs))
+	}
+	steps := len(codedLLRs) / 2
+	if steps < ConstraintLength-1 {
+		return nil, nil, fmt.Errorf("fec: codeword of %d steps shorter than the tail", steps)
+	}
+	const negInf = -math.MaxFloat64
+
+	// Branch metric of a transition emitting bits (o1, o0) at step t:
+	// +l/2 per matching 1, −l/2 per matching 0 (correlation form).
+	gamma := func(t int, out byte) float64 {
+		g := 0.0
+		if out>>1 == 1 {
+			g += codedLLRs[2*t] / 2
+		} else {
+			g -= codedLLRs[2*t] / 2
+		}
+		if out&1 == 1 {
+			g += codedLLRs[2*t+1] / 2
+		} else {
+			g -= codedLLRs[2*t+1] / 2
+		}
+		return g
+	}
+
+	// Forward recursion.
+	alpha := make([][]float64, steps+1)
+	for t := range alpha {
+		alpha[t] = make([]float64, numStates)
+		for s := range alpha[t] {
+			alpha[t][s] = negInf
+		}
+	}
+	alpha[0][0] = 0
+	for t := 0; t < steps; t++ {
+		for s := 0; s < numStates; s++ {
+			a := alpha[t][s]
+			if a == negInf {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				ns := s>>1 | b<<(ConstraintLength-2)
+				m := a + gamma(t, outputs[s][b])
+				if m > alpha[t+1][ns] {
+					alpha[t+1][ns] = m
+				}
+			}
+		}
+	}
+	// Backward recursion from the zero (terminated) state.
+	beta := make([][]float64, steps+1)
+	for t := range beta {
+		beta[t] = make([]float64, numStates)
+		for s := range beta[t] {
+			beta[t][s] = negInf
+		}
+	}
+	beta[steps][0] = 0
+	for t := steps - 1; t >= 0; t-- {
+		for s := 0; s < numStates; s++ {
+			best := negInf
+			for b := 0; b < 2; b++ {
+				ns := s>>1 | b<<(ConstraintLength-2)
+				if beta[t+1][ns] == negInf {
+					continue
+				}
+				if m := gamma(t, outputs[s][b]) + beta[t+1][ns]; m > best {
+					best = m
+				}
+			}
+			beta[t][s] = best
+		}
+	}
+	if alpha[steps][0] == negInf || beta[0][0] == negInf {
+		return nil, nil, fmt.Errorf("fec: trellis does not terminate")
+	}
+
+	infoLLRs = make([]float64, steps)
+	codedExt = make([]float64, 2*steps)
+	const clamp = 1e6
+	for t := 0; t < steps; t++ {
+		// Per-transition metrics, split by the hypotheses we need.
+		info1, info0 := negInf, negInf
+		c0is1, c0is0 := negInf, negInf // first coded bit of the step
+		c1is1, c1is0 := negInf, negInf // second coded bit
+		for s := 0; s < numStates; s++ {
+			a := alpha[t][s]
+			if a == negInf {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				ns := s>>1 | b<<(ConstraintLength-2)
+				bb := beta[t+1][ns]
+				if bb == negInf {
+					continue
+				}
+				out := outputs[s][b]
+				m := a + gamma(t, out) + bb
+				if b == 1 {
+					if m > info1 {
+						info1 = m
+					}
+				} else if m > info0 {
+					info0 = m
+				}
+				if out>>1 == 1 {
+					if m > c0is1 {
+						c0is1 = m
+					}
+				} else if m > c0is0 {
+					c0is0 = m
+				}
+				if out&1 == 1 {
+					if m > c1is1 {
+						c1is1 = m
+					}
+				} else if m > c1is0 {
+					c1is0 = m
+				}
+			}
+		}
+		infoLLRs[t] = clampVal(diffOrInf(info1, info0), clamp)
+		// Extrinsic: a-posteriori minus the channel contribution.
+		codedExt[2*t] = clampVal(diffOrInf(c0is1, c0is0)-codedLLRs[2*t], clamp)
+		codedExt[2*t+1] = clampVal(diffOrInf(c1is1, c1is0)-codedLLRs[2*t+1], clamp)
+	}
+	return infoLLRs, codedExt, nil
+}
+
+// diffOrInf returns m1−m0 with saturation when a hypothesis is
+// unreachable (no surviving transition).
+func diffOrInf(m1, m0 float64) float64 {
+	const negInf = -math.MaxFloat64
+	switch {
+	case m1 == negInf && m0 == negInf:
+		return 0
+	case m1 == negInf:
+		return negInf
+	case m0 == negInf:
+		return math.MaxFloat64
+	}
+	return m1 - m0
+}
+
+func clampVal(x, c float64) float64 {
+	if x > c {
+		return c
+	}
+	if x < -c {
+		return -c
+	}
+	return x
+}

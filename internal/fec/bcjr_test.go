@@ -1,0 +1,156 @@
+package fec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func toLLRs(coded []byte, mag float64) []float64 {
+	l := make([]float64, len(coded))
+	for i, b := range coded {
+		if b == 1 {
+			l[i] = mag
+		} else {
+			l[i] = -mag
+		}
+	}
+	return l
+}
+
+func TestBCJRMatchesViterbiClean(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		bits := randBits(r, 120)
+		coded := ConvEncode(bits)
+		info, _, err := MaxLogBCJR(toLLRs(coded, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range bits {
+			got := byte(0)
+			if info[i] > 0 {
+				got = 1
+			}
+			if got != b {
+				t.Fatalf("trial %d: info bit %d wrong (LLR %g)", trial, i, info[i])
+			}
+		}
+		// Tail bits decode to zero.
+		for i := len(bits); i < len(info); i++ {
+			if info[i] > 0 {
+				t.Fatalf("tail bit %d decoded as 1", i)
+			}
+		}
+	}
+}
+
+func TestBCJRCorrectsNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	bits := randBits(r, 200)
+	coded := ConvEncode(bits)
+	llrs := toLLRs(coded, 2)
+	// Add noise and flip a few signs.
+	for i := range llrs {
+		llrs[i] += r.NormFloat64()
+	}
+	info, _, err := MaxLogBCJR(llrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i, b := range bits {
+		got := byte(0)
+		if info[i] > 0 {
+			got = 1
+		}
+		if got != b {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Fatalf("%d info bit errors after decoding", errs)
+	}
+}
+
+// TestBCJRExtrinsicsImproveErasures: extrinsic LLRs must carry real
+// information about erased coded bits — the property iterative
+// receivers rely on.
+func TestBCJRExtrinsicsImproveErasures(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	bits := randBits(r, 150)
+	coded := ConvEncode(bits)
+	llrs := toLLRs(coded, 2)
+	erased := map[int]bool{}
+	for i := 0; i < len(llrs); i += 7 {
+		llrs[i] = 0
+		erased[i] = true
+	}
+	_, ext, err := MaxLogBCJR(llrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correctSign, total := 0, 0
+	for i := range coded {
+		if !erased[i] {
+			continue
+		}
+		total++
+		if (coded[i] == 1 && ext[i] > 0) || (coded[i] == 0 && ext[i] < 0) {
+			correctSign++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no erasures tested")
+	}
+	frac := float64(correctSign) / float64(total)
+	t.Logf("extrinsic sign correct on %.0f%% of %d erased coded bits", 100*frac, total)
+	if frac < 0.95 {
+		t.Fatalf("extrinsics recovered only %.0f%% of erased bits", 100*frac)
+	}
+}
+
+func TestBCJRValidation(t *testing.T) {
+	if _, _, err := MaxLogBCJR(make([]float64, 5)); err == nil {
+		t.Fatal("odd length accepted")
+	}
+	if _, _, err := MaxLogBCJR(make([]float64, 4)); err == nil {
+		t.Fatal("too-short codeword accepted")
+	}
+}
+
+// TestBCJRAgreesWithViterbiUnderNoise: both are ML-sequence /
+// max-log-MAP decoders; on moderately noisy inputs their hard
+// decisions should almost always coincide.
+func TestBCJRAgreesWithViterbiUnderNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	disagree := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		bits := randBits(r, 100)
+		coded := ConvEncode(bits)
+		llrs := toLLRs(coded, 1.5)
+		for i := range llrs {
+			llrs[i] += r.NormFloat64()
+		}
+		vit, err := ViterbiDecodeSoft(llrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, _, err := MaxLogBCJR(llrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vit {
+			got := byte(0)
+			if info[i] > 0 {
+				got = 1
+			}
+			if got != vit[i] {
+				disagree++
+			}
+		}
+	}
+	if disagree > trials { // allow ~1 bit per frame of BCJR/ML divergence
+		t.Fatalf("BCJR and Viterbi disagreed on %d bits", disagree)
+	}
+}

@@ -1,0 +1,276 @@
+// Package fec implements the channel-coding chain the implementation
+// section (§4) uses: the industry-standard rate-1/2, constraint-length
+// 7 convolutional code (generators 133/171 octal, as in 802.11),
+// hard- and soft-decision Viterbi decoding, puncturing to rates 2/3
+// and 3/4, the 802.11-style block interleaver, the frame scrambler,
+// and a CRC-32 frame check sequence.
+package fec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Convolutional code parameters: K=7, generators 0o133 and 0o171.
+const (
+	// ConstraintLength is the code's constraint length K.
+	ConstraintLength = 7
+	numStates        = 1 << (ConstraintLength - 1)
+	g0               = 0o133
+	g1               = 0o171
+)
+
+// parity returns the parity of x.
+func parity(x int) byte {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// outputs[state][input] packs the two coded bits (g0 in bit 1, g1 in
+// bit 0) produced when `input` enters the shift register at `state`.
+var outputs [numStates][2]byte
+
+func init() {
+	for s := 0; s < numStates; s++ {
+		for b := 0; b < 2; b++ {
+			reg := b<<(ConstraintLength-1) | s
+			outputs[s][b] = parity(reg&g0)<<1 | parity(reg&g1)
+		}
+	}
+}
+
+// ConvEncode encodes data bits (one bit per byte) with the rate-1/2
+// code, appending K−1 zero tail bits to terminate the trellis. The
+// output has 2·(len(bits)+6) coded bits.
+func ConvEncode(bits []byte) []byte {
+	out := make([]byte, 0, 2*(len(bits)+ConstraintLength-1))
+	state := 0
+	encode := func(b byte) {
+		o := outputs[state][b&1]
+		out = append(out, o>>1, o&1)
+		state = state>>1 | int(b&1)<<(ConstraintLength-2)
+	}
+	for _, b := range bits {
+		encode(b)
+	}
+	for i := 0; i < ConstraintLength-1; i++ {
+		encode(0)
+	}
+	return out
+}
+
+// ViterbiDecode performs hard-decision maximum-likelihood decoding of
+// a terminated rate-1/2 codeword, returning the information bits. The
+// input length must be even and cover at least the tail.
+func ViterbiDecode(coded []byte) ([]byte, error) {
+	if len(coded)%2 != 0 {
+		return nil, fmt.Errorf("fec: coded length %d is odd", len(coded))
+	}
+	steps := len(coded) / 2
+	if steps < ConstraintLength-1 {
+		return nil, fmt.Errorf("fec: codeword of %d steps shorter than the tail", steps)
+	}
+	metrics := make([]float64, numStates)
+	soft := make([]float64, len(coded))
+	for i, b := range coded {
+		// Map hard bits to ±1 log-likelihoods.
+		if b&1 == 1 {
+			soft[i] = 1
+		} else {
+			soft[i] = -1
+		}
+	}
+	bits, err := viterbi(soft, metrics)
+	if err != nil {
+		return nil, err
+	}
+	return bits[:steps-(ConstraintLength-1)], nil
+}
+
+// ViterbiDecodeSoft decodes from per-bit log-likelihood ratios
+// (positive = bit 1 more likely). Length rules match ViterbiDecode.
+func ViterbiDecodeSoft(llrs []float64) ([]byte, error) {
+	if len(llrs)%2 != 0 {
+		return nil, fmt.Errorf("fec: LLR length %d is odd", len(llrs))
+	}
+	steps := len(llrs) / 2
+	if steps < ConstraintLength-1 {
+		return nil, fmt.Errorf("fec: codeword of %d steps shorter than the tail", steps)
+	}
+	metrics := make([]float64, numStates)
+	bits, err := viterbi(llrs, metrics)
+	if err != nil {
+		return nil, err
+	}
+	return bits[:steps-(ConstraintLength-1)], nil
+}
+
+// viterbi runs the add-compare-select recursion over soft inputs
+// (2 per trellis step; a value of 0 marks a punctured/erased bit) and
+// traces back from the zero state.
+func viterbi(soft []float64, metrics []float64) ([]byte, error) {
+	steps := len(soft) / 2
+	const negInf = math.MaxFloat64
+	for s := range metrics {
+		metrics[s] = -negInf
+	}
+	metrics[0] = 0
+	next := make([]float64, numStates)
+	// survivors[t][s] is the predecessor-state/input packed decision.
+	survivors := make([][]int16, steps)
+	for t := 0; t < steps; t++ {
+		survivors[t] = make([]int16, numStates)
+		for s := range next {
+			next[s] = -negInf
+		}
+		l0, l1 := soft[2*t], soft[2*t+1]
+		for s := 0; s < numStates; s++ {
+			m := metrics[s]
+			if m == -negInf {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				o := outputs[s][b]
+				// Branch metric: correlate expected bits with LLRs.
+				bm := m
+				if o>>1 == 1 {
+					bm += l0
+				} else {
+					bm -= l0
+				}
+				if o&1 == 1 {
+					bm += l1
+				} else {
+					bm -= l1
+				}
+				ns := s>>1 | b<<(ConstraintLength-2)
+				if bm > next[ns] {
+					next[ns] = bm
+					survivors[t][ns] = int16(s<<1 | b)
+				}
+			}
+		}
+		copy(metrics, next)
+	}
+	// Terminated trellis: trace back from state 0.
+	bits := make([]byte, steps)
+	state := 0
+	if metrics[0] == -negInf {
+		return nil, fmt.Errorf("fec: trellis did not terminate in the zero state")
+	}
+	for t := steps - 1; t >= 0; t-- {
+		dec := survivors[t][state]
+		bits[t] = byte(dec & 1)
+		state = int(dec >> 1)
+	}
+	return bits, nil
+}
+
+// Rate identifies a puncturing pattern applied to the rate-1/2 mother
+// code.
+type Rate int
+
+// Supported code rates.
+const (
+	Rate12 Rate = iota // 1/2: no puncturing
+	Rate23             // 2/3: 802.11 puncturing pattern
+	Rate34             // 3/4: 802.11 puncturing pattern
+)
+
+// String implements fmt.Stringer.
+func (r Rate) String() string {
+	switch r {
+	case Rate12:
+		return "1/2"
+	case Rate23:
+		return "2/3"
+	case Rate34:
+		return "3/4"
+	}
+	return fmt.Sprintf("Rate(%d)", int(r))
+}
+
+// Fraction returns the code rate as a float (information/coded bits).
+func (r Rate) Fraction() float64 {
+	switch r {
+	case Rate23:
+		return 2.0 / 3.0
+	case Rate34:
+		return 3.0 / 4.0
+	default:
+		return 0.5
+	}
+}
+
+// puncturePattern returns the 802.11 keep-mask over mother-code bits,
+// or nil for rate 1/2.
+func (r Rate) puncturePattern() []bool {
+	switch r {
+	case Rate23:
+		// Keep A1 B1 A2, drop B2 (period 4 mother bits → 3 kept).
+		return []bool{true, true, true, false}
+	case Rate34:
+		// Keep A1 B1 A2, drop B2, drop A3, keep B3.
+		return []bool{true, true, true, false, false, true}
+	default:
+		return nil
+	}
+}
+
+// Puncture removes coded bits per the rate's pattern.
+func Puncture(coded []byte, r Rate) []byte {
+	pat := r.puncturePattern()
+	if pat == nil {
+		return coded
+	}
+	out := make([]byte, 0, len(coded))
+	for i, b := range coded {
+		if pat[i%len(pat)] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Depuncture re-inserts erasures (LLR 0) at punctured positions so the
+// soft Viterbi decoder can run over the mother code. motherLen is the
+// unpunctured codeword length.
+func Depuncture(llrs []float64, r Rate, motherLen int) []float64 {
+	pat := r.puncturePattern()
+	if pat == nil {
+		out := make([]float64, len(llrs))
+		copy(out, llrs)
+		return out
+	}
+	out := make([]float64, motherLen)
+	j := 0
+	for i := 0; i < motherLen && j < len(llrs); i++ {
+		if pat[i%len(pat)] {
+			out[i] = llrs[j]
+			j++
+		}
+	}
+	return out
+}
+
+// PunctureSoft removes soft values at the rate's punctured positions,
+// the float counterpart of Puncture used on extrinsic feedback.
+func PunctureSoft(vals []float64, r Rate) []float64 {
+	pat := r.puncturePattern()
+	if pat == nil {
+		out := make([]float64, len(vals))
+		copy(out, vals)
+		return out
+	}
+	out := make([]float64, 0, len(vals))
+	for i, v := range vals {
+		if pat[i%len(pat)] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

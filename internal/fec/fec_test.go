@@ -1,0 +1,363 @@
+package fec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBits(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(2))
+	}
+	return b
+}
+
+func TestConvEncodeLength(t *testing.T) {
+	bits := make([]byte, 100)
+	coded := ConvEncode(bits)
+	if len(coded) != 2*(100+ConstraintLength-1) {
+		t.Fatalf("coded length %d", len(coded))
+	}
+}
+
+func TestConvEncodeAllZero(t *testing.T) {
+	coded := ConvEncode(make([]byte, 20))
+	for i, b := range coded {
+		if b != 0 {
+			t.Fatalf("all-zero input produced 1 at %d", i)
+		}
+	}
+}
+
+func TestViterbiRoundTripClean(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300)
+		bits := randBits(r, n)
+		dec, err := ViterbiDecode(ConvEncode(bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != n {
+			t.Fatalf("decoded %d bits, want %d", len(dec), n)
+		}
+		for i := range bits {
+			if dec[i] != bits[i] {
+				t.Fatalf("trial %d: bit %d wrong", trial, i)
+			}
+		}
+	}
+}
+
+// TestViterbiCorrectsErrors verifies the code's error-correcting power:
+// a K=7 rate-1/2 code has free distance 10, so isolated flips of up to
+// 4 coded bits (spread apart) must be corrected.
+func TestViterbiCorrectsErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		bits := randBits(r, 200)
+		coded := ConvEncode(bits)
+		// Flip 4 well-separated bits.
+		for k := 0; k < 4; k++ {
+			pos := k*90 + r.Intn(30)
+			coded[pos] ^= 1
+		}
+		dec, err := ViterbiDecode(coded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range bits {
+			if dec[i] != bits[i] {
+				t.Fatalf("trial %d: bit %d not corrected", trial, i)
+			}
+		}
+	}
+}
+
+func TestViterbiSoftBeatsErasures(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	bits := randBits(r, 120)
+	coded := ConvEncode(bits)
+	llrs := make([]float64, len(coded))
+	for i, b := range coded {
+		if b == 1 {
+			llrs[i] = 1
+		} else {
+			llrs[i] = -1
+		}
+	}
+	// Erase 20% of the coded bits; soft decoding must still recover.
+	for i := 0; i < len(llrs); i += 5 {
+		llrs[i] = 0
+	}
+	dec, err := ViterbiDecodeSoft(llrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if dec[i] != bits[i] {
+			t.Fatalf("bit %d not recovered from erasures", i)
+		}
+	}
+}
+
+func TestViterbiInputValidation(t *testing.T) {
+	if _, err := ViterbiDecode(make([]byte, 3)); err == nil {
+		t.Fatal("odd length accepted")
+	}
+	if _, err := ViterbiDecode(make([]byte, 4)); err == nil {
+		t.Fatal("too-short codeword accepted")
+	}
+	if _, err := ViterbiDecodeSoft(make([]float64, 5)); err == nil {
+		t.Fatal("odd soft length accepted")
+	}
+}
+
+func TestPuncturedRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, rate := range []Rate{Rate12, Rate23, Rate34} {
+		for trial := 0; trial < 20; trial++ {
+			bits := randBits(r, 240)
+			mother := ConvEncode(bits)
+			punct := Puncture(mother, rate)
+			llrs := make([]float64, len(punct))
+			for i, b := range punct {
+				if b == 1 {
+					llrs[i] = 1
+				} else {
+					llrs[i] = -1
+				}
+			}
+			dep := Depuncture(llrs, rate, len(mother))
+			if len(dep) != len(mother) {
+				t.Fatalf("rate %s: depunctured to %d, want %d", rate, len(dep), len(mother))
+			}
+			dec, err := ViterbiDecodeSoft(dep)
+			if err != nil {
+				t.Fatalf("rate %s: %v", rate, err)
+			}
+			for i := range bits {
+				if dec[i] != bits[i] {
+					t.Fatalf("rate %s trial %d: bit %d wrong", rate, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRateFractions(t *testing.T) {
+	// The puncturing pattern must keep exactly 1/Fraction()·(1/2)⁻¹...
+	// i.e. kept/total mother bits = (1/2)/fraction.
+	for _, rate := range []Rate{Rate23, Rate34} {
+		pat := rate.puncturePattern()
+		kept := 0
+		for _, k := range pat {
+			if k {
+				kept++
+			}
+		}
+		got := float64(kept) / float64(len(pat))
+		want := 0.5 / rate.Fraction()
+		if got != want {
+			t.Fatalf("rate %s: pattern keeps %g of bits, want %g", rate, got, want)
+		}
+	}
+	if Rate12.String() != "1/2" || Rate23.String() != "2/3" || Rate34.String() != "3/4" {
+		t.Fatal("rate names wrong")
+	}
+}
+
+func TestInterleaverRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, geom := range []struct{ ncbps, nbpsc int }{
+		{96, 2}, {192, 4}, {288, 6}, {384, 8},
+	} {
+		it, err := NewInterleaver(geom.ncbps, geom.nbpsc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := randBits(r, geom.ncbps)
+		inter, err := it.Interleave(nil, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := it.Deinterleave(nil, inter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range src {
+			if back[i] != src[i] {
+				t.Fatalf("ncbps=%d: bit %d wrong after round trip", geom.ncbps, i)
+			}
+		}
+		// The permutation must be a bijection that moves adjacent bits
+		// apart (the whole point of interleaving).
+		if it.perm[0] == it.perm[1] {
+			t.Fatal("permutation not injective")
+		}
+	}
+}
+
+func TestInterleaverSoftMatchesHard(t *testing.T) {
+	it, err := NewInterleaver(192, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(6))
+	src := randBits(r, 192)
+	inter, _ := it.Interleave(nil, src)
+	soft := make([]float64, len(inter))
+	for i, b := range inter {
+		soft[i] = float64(b)
+	}
+	backHard, _ := it.Deinterleave(nil, inter)
+	backSoft, err := it.DeinterleaveSoft(nil, soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range backHard {
+		if float64(backHard[i]) != backSoft[i] {
+			t.Fatalf("soft and hard deinterleave disagree at %d", i)
+		}
+	}
+}
+
+func TestInterleaverRejectsBadGeometry(t *testing.T) {
+	if _, err := NewInterleaver(100, 3); err == nil {
+		t.Fatal("accepted ncbps not multiple of 16")
+	}
+	if _, err := NewInterleaver(0, 2); err == nil {
+		t.Fatal("accepted zero size")
+	}
+	it, _ := NewInterleaver(96, 2)
+	if _, err := it.Interleave(nil, make([]byte, 95)); err == nil {
+		t.Fatal("accepted short block")
+	}
+	if _, err := it.Deinterleave(nil, make([]byte, 97)); err == nil {
+		t.Fatal("accepted long block")
+	}
+}
+
+func TestScrambleInvolution(t *testing.T) {
+	f := func(seed byte, n uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed)*251 + int64(n)))
+		bits := randBits(r, int(n)+1)
+		orig := make([]byte, len(bits))
+		copy(orig, bits)
+		Scramble(bits, seed)
+		Scramble(bits, seed)
+		for i := range bits {
+			if bits[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrambleWhitens(t *testing.T) {
+	// An all-zero payload must come out roughly balanced.
+	bits := make([]byte, 1000)
+	Scramble(bits, 0x5d)
+	ones := 0
+	for _, b := range bits {
+		ones += int(b)
+	}
+	if ones < 400 || ones > 600 {
+		t.Fatalf("scrambler output poorly balanced: %d ones in 1000", ones)
+	}
+}
+
+func TestCRCRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		bits := randBits(r, 1+r.Intn(500))
+		framed := AppendCRC(bits)
+		payload, ok := CheckCRC(framed)
+		if !ok {
+			t.Fatalf("trial %d: clean CRC failed", trial)
+		}
+		if len(payload) != len(bits) {
+			t.Fatalf("trial %d: payload length changed", trial)
+		}
+		// Any single bit flip must be detected.
+		pos := r.Intn(len(framed))
+		framed[pos] ^= 1
+		if _, ok := CheckCRC(framed); ok {
+			t.Fatalf("trial %d: flipped bit %d not detected", trial, pos)
+		}
+	}
+}
+
+func TestCheckCRCShort(t *testing.T) {
+	if _, ok := CheckCRC(make([]byte, 10)); ok {
+		t.Fatal("short frame passed CRC")
+	}
+}
+
+func TestPunctureSoftMatchesPuncture(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	bits := randBits(r, 120)
+	mother := ConvEncode(bits)
+	vals := make([]float64, len(mother))
+	for i, b := range mother {
+		vals[i] = float64(b)*2 - 1
+	}
+	for _, rate := range []Rate{Rate12, Rate23, Rate34} {
+		hard := Puncture(mother, rate)
+		soft := PunctureSoft(vals, rate)
+		if len(hard) != len(soft) {
+			t.Fatalf("rate %s: lengths differ: %d vs %d", rate, len(hard), len(soft))
+		}
+		for i := range hard {
+			want := float64(hard[i])*2 - 1
+			if soft[i] != want {
+				t.Fatalf("rate %s: position %d: %g vs %g", rate, i, soft[i], want)
+			}
+		}
+	}
+}
+
+func TestInterleaveSoftInvertsDeinterleaveSoft(t *testing.T) {
+	it, err := NewInterleaver(192, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]float64, 192)
+	for i := range src {
+		src[i] = float64(i) * 0.5
+	}
+	inter, err := it.InterleaveSoft(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := it.DeinterleaveSoft(nil, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if back[i] != src[i] {
+			t.Fatalf("value %d changed", i)
+		}
+	}
+	if _, err := it.InterleaveSoft(nil, make([]float64, 3)); err == nil {
+		t.Fatal("short soft block accepted")
+	}
+	if it.BlockSize() != 192 {
+		t.Fatalf("block size %d", it.BlockSize())
+	}
+}
+
+func TestRateStringUnknown(t *testing.T) {
+	if s := Rate(9).String(); s != "Rate(9)" {
+		t.Fatalf("unknown rate string %q", s)
+	}
+	if f := Rate12.Fraction(); f != 0.5 {
+		t.Fatalf("rate 1/2 fraction %g", f)
+	}
+}

@@ -1,0 +1,259 @@
+// Package kbest implements the breadth-first baselines surveyed in
+// §6.1: the K-best sphere decoder and the fixed-complexity sphere
+// decoder (FCSD). Both trade the exact maximum-likelihood guarantee of
+// depth-first search for a fixed, parallelizable amount of work; the
+// paper's related-work discussion (and our ablation benches) show why
+// that trade is a poor fit for dense constellations.
+package kbest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/core"
+)
+
+// KBest is a breadth-first decoder that retains the K lowest-distance
+// partial paths at every tree level. K must grow with constellation
+// density to stay near maximum likelihood, which is exactly the
+// scaling problem §6.1 describes.
+type KBest struct {
+	cons *constellation.Constellation
+	k    int
+
+	h     *cmplxmat.Matrix
+	qr    *cmplxmat.QR
+	nc    int
+	stats core.Stats
+
+	yhat []complex128
+}
+
+type kpath struct {
+	ped float64
+	idx []int // chosen point per level, level nc-1 first... stored by level index
+}
+
+var _ core.Detector = (*KBest)(nil)
+var _ core.Counter = (*KBest)(nil)
+
+// NewKBest returns a K-best decoder keeping k survivors per level.
+func NewKBest(cons *constellation.Constellation, k int) (*KBest, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("kbest: K must be positive, got %d", k)
+	}
+	return &KBest{cons: cons, k: k}, nil
+}
+
+// Name implements core.Detector.
+func (d *KBest) Name() string { return fmt.Sprintf("K-best(K=%d)", d.k) }
+
+// Constellation implements core.Detector.
+func (d *KBest) Constellation() *constellation.Constellation { return d.cons }
+
+// Stats implements core.Counter.
+func (d *KBest) Stats() core.Stats { return d.stats }
+
+// ResetStats implements core.Counter.
+func (d *KBest) ResetStats() { d.stats = core.Stats{} }
+
+// Prepare implements core.Detector.
+func (d *KBest) Prepare(h *cmplxmat.Matrix) error {
+	if h == nil {
+		return core.ErrNotPrepared
+	}
+	if h.Rows < h.Cols {
+		return fmt.Errorf("kbest: need na ≥ nc, got %d×%d channel", h.Rows, h.Cols)
+	}
+	d.h = h
+	d.qr = cmplxmat.QRDecompose(h)
+	d.nc = h.Cols
+	d.yhat = make([]complex128, d.nc)
+	return nil
+}
+
+// Detect implements core.Detector.
+func (d *KBest) Detect(dst []int, y []complex128) ([]int, error) {
+	if d.h == nil {
+		return nil, core.ErrNotPrepared
+	}
+	if len(y) != d.h.Rows {
+		return nil, fmt.Errorf("kbest: received vector has %d entries, channel has %d rows", len(y), d.h.Rows)
+	}
+	if dst == nil {
+		dst = make([]int, d.nc)
+	} else if len(dst) != d.nc {
+		return nil, fmt.Errorf("kbest: dst has %d entries, want %d", len(dst), d.nc)
+	}
+	d.qr.ApplyQConjT(d.yhat, y)
+	size := d.cons.Size()
+	cur := []kpath{{ped: 0, idx: nil}}
+	for l := d.nc - 1; l >= 0; l-- {
+		next := make([]kpath, 0, len(cur)*size)
+		rll := d.qr.R.At(l, l)
+		row := d.qr.R.Row(l)
+		for _, p := range cur {
+			// Interference-reduced target for this level.
+			s := d.yhat[l]
+			for j := l + 1; j < d.nc; j++ {
+				s -= row[j] * d.cons.PointIndex(p.idx[d.nc-1-j])
+			}
+			for pt := 0; pt < size; pt++ {
+				d.stats.PEDCalcs++
+				diff := s - rll*d.cons.PointIndex(pt)
+				ped := p.ped + real(diff)*real(diff) + imag(diff)*imag(diff)
+				idx := make([]int, len(p.idx)+1)
+				copy(idx, p.idx)
+				idx[len(p.idx)] = pt
+				next = append(next, kpath{ped: ped, idx: idx})
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].ped < next[j].ped })
+		if len(next) > d.k {
+			next = next[:d.k]
+		}
+		d.stats.VisitedNodes += int64(len(next))
+		cur = next
+	}
+	d.stats.Detections++
+	d.stats.Leaves += int64(len(cur))
+	best := cur[0]
+	// idx is stored top-of-tree first (level nc−1 at position 0).
+	for pos, pt := range best.idx {
+		dst[d.nc-1-pos] = pt
+	}
+	return dst, nil
+}
+
+// FCSD is the fixed-complexity sphere decoder of Barbero & Thompson:
+// the top fullLevels tree levels are expanded exhaustively and every
+// partial path is then completed by single-branch (slicing) descent.
+// Its complexity is constant — |O|^fullLevels leaf evaluations — but
+// it only approaches maximum likelihood asymptotically in SNR.
+type FCSD struct {
+	cons       *constellation.Constellation
+	fullLevels int
+
+	h     *cmplxmat.Matrix
+	qr    *cmplxmat.QR
+	nc    int
+	stats core.Stats
+
+	yhat []complex128
+	path []int
+}
+
+var _ core.Detector = (*FCSD)(nil)
+var _ core.Counter = (*FCSD)(nil)
+
+// NewFCSD returns a fixed-complexity sphere decoder that fully expands
+// the top fullLevels levels (commonly 1).
+func NewFCSD(cons *constellation.Constellation, fullLevels int) (*FCSD, error) {
+	if fullLevels < 0 {
+		return nil, fmt.Errorf("kbest: fullLevels must be ≥ 0, got %d", fullLevels)
+	}
+	return &FCSD{cons: cons, fullLevels: fullLevels}, nil
+}
+
+// Name implements core.Detector.
+func (d *FCSD) Name() string { return fmt.Sprintf("FCSD(p=%d)", d.fullLevels) }
+
+// Constellation implements core.Detector.
+func (d *FCSD) Constellation() *constellation.Constellation { return d.cons }
+
+// Stats implements core.Counter.
+func (d *FCSD) Stats() core.Stats { return d.stats }
+
+// ResetStats implements core.Counter.
+func (d *FCSD) ResetStats() { d.stats = core.Stats{} }
+
+// Prepare implements core.Detector.
+func (d *FCSD) Prepare(h *cmplxmat.Matrix) error {
+	if h == nil {
+		return core.ErrNotPrepared
+	}
+	if h.Rows < h.Cols {
+		return fmt.Errorf("kbest: need na ≥ nc, got %d×%d channel", h.Rows, h.Cols)
+	}
+	if d.fullLevels > h.Cols {
+		return fmt.Errorf("kbest: fullLevels %d exceeds %d streams", d.fullLevels, h.Cols)
+	}
+	d.h = h
+	d.qr = cmplxmat.QRDecompose(h)
+	d.nc = h.Cols
+	d.yhat = make([]complex128, d.nc)
+	d.path = make([]int, d.nc)
+	return nil
+}
+
+// Detect implements core.Detector.
+func (d *FCSD) Detect(dst []int, y []complex128) ([]int, error) {
+	if d.h == nil {
+		return nil, core.ErrNotPrepared
+	}
+	if len(y) != d.h.Rows {
+		return nil, fmt.Errorf("kbest: received vector has %d entries, channel has %d rows", len(y), d.h.Rows)
+	}
+	if dst == nil {
+		dst = make([]int, d.nc)
+	} else if len(dst) != d.nc {
+		return nil, fmt.Errorf("kbest: dst has %d entries, want %d", len(dst), d.nc)
+	}
+	d.qr.ApplyQConjT(d.yhat, y)
+	bestPED := math.Inf(1)
+	d.enumerateFull(d.nc-1, 0, &bestPED, dst)
+	d.stats.Detections++
+	if math.IsInf(bestPED, 1) {
+		return nil, fmt.Errorf("kbest: FCSD found no candidate")
+	}
+	return dst, nil
+}
+
+// enumerateFull expands level l exhaustively while l is within the
+// full-expansion region, otherwise plunges by slicing.
+func (d *FCSD) enumerateFull(l int, ped float64, bestPED *float64, dst []int) {
+	if d.nc-1-l >= d.fullLevels {
+		// Single-branch descent: slice every remaining level.
+		p := ped
+		for ll := l; ll >= 0; ll-- {
+			ytilde := d.reduced(ll)
+			col, row := d.cons.Slice(ytilde)
+			d.path[ll] = d.cons.Index(col, row)
+			diff := ytilde - d.cons.Point(col, row)
+			rll := real(d.qr.R.At(ll, ll))
+			d.stats.PEDCalcs++
+			p += rll * rll * (real(diff)*real(diff) + imag(diff)*imag(diff))
+		}
+		d.stats.Leaves++
+		if p < *bestPED {
+			*bestPED = p
+			copy(dst, d.path)
+		}
+		return
+	}
+	size := d.cons.Size()
+	for pt := 0; pt < size; pt++ {
+		d.path[l] = pt
+		ytilde := d.reduced(l)
+		diff := ytilde - d.cons.PointIndex(pt)
+		rll := real(d.qr.R.At(l, l))
+		d.stats.PEDCalcs++
+		child := ped + rll*rll*(real(diff)*real(diff)+imag(diff)*imag(diff))
+		d.stats.VisitedNodes++
+		d.enumerateFull(l-1, child, bestPED, dst)
+	}
+}
+
+// reduced returns the interference-reduced, normalized target ỹ_l for
+// the current partial path above level l.
+func (d *FCSD) reduced(l int) complex128 {
+	s := d.yhat[l]
+	row := d.qr.R.Row(l)
+	for j := l + 1; j < d.nc; j++ {
+		s -= row[j] * d.cons.PointIndex(d.path[j])
+	}
+	return s / d.qr.R.At(l, l)
+}

@@ -1,0 +1,226 @@
+package kbest
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func scenario(src *rng.Source, cons *constellation.Constellation, na, nc int, snrdB float64) (*cmplxmat.Matrix, []int, []complex128) {
+	h := channel.Rayleigh(src, na, nc)
+	xi := make([]int, nc)
+	xs := make([]complex128, nc)
+	for i := range xs {
+		xi[i] = src.Intn(cons.Size())
+		xs[i] = cons.PointIndex(xi[i])
+	}
+	y := channel.Transmit(nil, src, h, xs, channel.NoiseVarForSNRdB(snrdB))
+	return h, xi, y
+}
+
+func vectorDistance(h *cmplxmat.Matrix, y []complex128, cons *constellation.Constellation, idx []int) float64 {
+	var dist float64
+	for r := 0; r < h.Rows; r++ {
+		row := h.Row(r)
+		acc := y[r]
+		for c, ix := range idx {
+			acc -= row[c] * cons.PointIndex(ix)
+		}
+		dist += real(acc)*real(acc) + imag(acc)*imag(acc)
+	}
+	return dist
+}
+
+// TestKBestFullWidthIsML: with K = |O|^nc the K-best decoder keeps
+// everything and must equal the ML solution.
+func TestKBestFullWidthIsML(t *testing.T) {
+	cons := constellation.QPSK
+	src := rng.New(1)
+	d, err := NewKBest(cons, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := core.NewML(cons)
+	for trial := 0; trial < 30; trial++ {
+		h, _, y := scenario(src, cons, 2, 2, 8)
+		if err := d.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := ml.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ml.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gd := vectorDistance(h, y, cons, got)
+		wd := vectorDistance(h, y, cons, want)
+		if gd > wd*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: K-best distance %g worse than ML %g", trial, gd, wd)
+		}
+	}
+}
+
+// TestKBestNarrowIsSuboptimal: with K=1 the decoder degenerates to
+// decision feedback and must lose to ML on noisy channels — the §6.1
+// argument that K must grow with the constellation.
+func TestKBestNarrowIsSuboptimal(t *testing.T) {
+	cons := constellation.QAM16
+	src := rng.New(2)
+	d, err := NewKBest(cons, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := core.NewML(cons)
+	worse := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		h, _, y := scenario(src, cons, 2, 2, 10)
+		if err := d.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := ml.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := d.Detect(nil, y)
+		want, _ := ml.Detect(nil, y)
+		if vectorDistance(h, y, cons, got) > vectorDistance(h, y, cons, want)*(1+1e-9) {
+			worse++
+		}
+	}
+	if worse == 0 {
+		t.Fatal("K=1 never lost to ML over 200 noisy trials; decoder suspiciously optimal")
+	}
+}
+
+func TestKBestComplexityFixed(t *testing.T) {
+	cons := constellation.QAM16
+	src := rng.New(3)
+	d, err := NewKBest(cons, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peds []int64
+	for trial := 0; trial < 5; trial++ {
+		h, _, y := scenario(src, cons, 4, 4, 20)
+		d.ResetStats()
+		if err := d.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Detect(nil, y); err != nil {
+			t.Fatal(err)
+		}
+		peds = append(peds, d.Stats().PEDCalcs)
+	}
+	for _, p := range peds[1:] {
+		if p != peds[0] {
+			t.Fatalf("K-best complexity varied across channels: %v", peds)
+		}
+	}
+}
+
+func TestFCSDZeroLevelsIsDecisionFeedback(t *testing.T) {
+	cons := constellation.QAM16
+	src := rng.New(4)
+	d, err := NewFCSD(cons, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		h, sent, y := scenario(src, cons, 4, 2, 200)
+		if err := d.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Detect(nil, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sent {
+			if got[i] != sent[i] {
+				t.Fatalf("noiseless decision feedback failed at stream %d", i)
+			}
+		}
+	}
+}
+
+// TestFCSDApproachesML: with one fully expanded level the FCSD result
+// is usually the ML answer at high SNR, and its complexity is exactly
+// |O| leaf completions per detection.
+func TestFCSDApproachesML(t *testing.T) {
+	cons := constellation.QAM16
+	src := rng.New(5)
+	d, err := NewFCSD(cons, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := core.NewML(cons)
+	match := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		h, _, y := scenario(src, cons, 4, 2, 25)
+		if err := d.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := ml.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := d.Detect(nil, y)
+		want, _ := ml.Detect(nil, y)
+		if got[0] == want[0] && got[1] == want[1] {
+			match++
+		}
+	}
+	if match < 90 {
+		t.Fatalf("FCSD matched ML only %d/%d times at 25 dB", match, trials)
+	}
+	if leaves := d.Stats().Leaves; leaves != int64(trials*cons.Size()) {
+		t.Fatalf("FCSD leaves %d, want fixed %d", leaves, trials*cons.Size())
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewKBest(constellation.QPSK, 0); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := NewFCSD(constellation.QPSK, -1); err == nil {
+		t.Fatal("negative levels accepted")
+	}
+	d, _ := NewFCSD(constellation.QPSK, 5)
+	src := rng.New(6)
+	if err := d.Prepare(channel.Rayleigh(src, 4, 2)); err == nil {
+		t.Fatal("fullLevels > streams accepted")
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	src := rng.New(7)
+	cons := constellation.QPSK
+	kb, _ := NewKBest(cons, 2)
+	fc, _ := NewFCSD(cons, 1)
+	for _, d := range []core.Detector{kb, fc} {
+		if _, err := d.Detect(nil, []complex128{1}); err == nil {
+			t.Fatalf("%s: Detect before Prepare accepted", d.Name())
+		}
+		h := channel.Rayleigh(src, 4, 2)
+		if err := d.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Detect(nil, make([]complex128, 3)); err == nil {
+			t.Fatalf("%s: wrong-length y accepted", d.Name())
+		}
+		if _, err := d.Detect(make([]int, 1), make([]complex128, 4)); err == nil {
+			t.Fatalf("%s: wrong-length dst accepted", d.Name())
+		}
+		if err := d.Prepare(channel.Rayleigh(src, 2, 4)); err == nil {
+			t.Fatalf("%s: wide channel accepted", d.Name())
+		}
+	}
+}

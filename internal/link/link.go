@@ -1,0 +1,298 @@
+// Package link implements the link-layer machinery of §5.2: uplink
+// multi-user frame scheduling, net-throughput accounting over 20 MHz,
+// ideal bit-rate adaptation (the best constellation per configuration,
+// as the paper's methodology prescribes in lieu of a specific rate
+// adaptation algorithm), and the channel sources — recorded testbed
+// traces and per-frame Rayleigh draws — that feed the experiments.
+package link
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/ofdm"
+	"repro/internal/phy"
+	"repro/internal/rng"
+	"repro/internal/testbed"
+)
+
+// ChannelSource yields one frame's worth of per-subcarrier channel
+// matrices per call. Implementations cycle recorded traces or draw
+// synthetic fading.
+type ChannelSource interface {
+	// Next returns ofdm.NumData matrices of identical shape.
+	Next() ([]*cmplxmat.Matrix, error)
+	// Shape reports the (na, nc) the source produces.
+	Shape() (na, nc int)
+}
+
+// TraceSource replays a recorded testbed trace, cycling through its
+// links and realizations.
+type TraceSource struct {
+	trace *testbed.Trace
+	li    int
+	ri    int
+}
+
+// NewTraceSource wraps a recorded testbed trace into a ChannelSource.
+// All links must share one na×nc shape.
+func NewTraceSource(t *testbed.Trace) (*TraceSource, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if len(t.Links) == 0 {
+		return nil, fmt.Errorf("link: trace has no links")
+	}
+	if t.Subcarriers != ofdm.NumData {
+		return nil, fmt.Errorf("link: trace has %d subcarriers, want %d", t.Subcarriers, ofdm.NumData)
+	}
+	na, nc := t.Links[0].NA, t.Links[0].NC
+	for i := range t.Links {
+		l := &t.Links[i]
+		if l.NA != na || l.NC != nc {
+			return nil, fmt.Errorf("link: link %d shape %d×%d differs from %d×%d", i, l.NA, l.NC, na, nc)
+		}
+		if len(l.H) == 0 {
+			return nil, fmt.Errorf("link: link %d has no realizations", i)
+		}
+	}
+	return &TraceSource{trace: t}, nil
+}
+
+// Shape implements ChannelSource.
+func (s *TraceSource) Shape() (int, int) {
+	return s.trace.Links[0].NA, s.trace.Links[0].NC
+}
+
+// Next implements ChannelSource, cycling realizations then links.
+func (s *TraceSource) Next() ([]*cmplxmat.Matrix, error) {
+	l := &s.trace.Links[s.li]
+	hs := make([]*cmplxmat.Matrix, s.trace.Subcarriers)
+	for sc := range hs {
+		m, err := l.Matrix(s.ri, sc)
+		if err != nil {
+			return nil, err
+		}
+		hs[sc] = m
+	}
+	s.ri++
+	if s.ri >= len(l.H) {
+		s.ri = 0
+		s.li = (s.li + 1) % len(s.trace.Links)
+	}
+	return hs, nil
+}
+
+// RayleighSource draws one i.i.d. Rayleigh matrix per frame, constant
+// across subcarriers (the per-frame narrowband model of §5.3.2's
+// simulation methodology).
+type RayleighSource struct {
+	src    *rng.Source
+	na, nc int
+}
+
+// NewRayleighSource returns a per-frame i.i.d. Rayleigh channel source.
+func NewRayleighSource(src *rng.Source, na, nc int) (*RayleighSource, error) {
+	if na < nc || nc <= 0 {
+		return nil, fmt.Errorf("link: invalid Rayleigh shape %d×%d", na, nc)
+	}
+	return &RayleighSource{src: src, na: na, nc: nc}, nil
+}
+
+// Shape implements ChannelSource.
+func (s *RayleighSource) Shape() (int, int) { return s.na, s.nc }
+
+// Next implements ChannelSource.
+func (s *RayleighSource) Next() ([]*cmplxmat.Matrix, error) {
+	h := channel.Rayleigh(s.src, s.na, s.nc)
+	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
+	for i := range hs {
+		hs[i] = h
+	}
+	return hs, nil
+}
+
+// DetectorFactory builds a fresh detector for a constellation; the
+// noise variance is supplied for detectors (MMSE, MMSE-SIC) that need
+// it.
+type DetectorFactory func(cons *constellation.Constellation, noiseVar float64) core.Detector
+
+// Measurement is the outcome of running frames through one
+// detector/constellation configuration.
+type Measurement struct {
+	Detector      string
+	Constellation string
+	Frames        int
+	FrameErrors   int
+	StreamErrors  int
+	Streams       int
+	NetMbps       float64 // successful payload bits / air time
+	PerStreamFER  float64
+	// Complexity totals when the detector implements core.Counter.
+	Stats core.Stats
+}
+
+// FER returns the frame error rate (a frame fails when any stream's
+// CRC fails, the conservative multi-user accounting).
+func (m Measurement) FER() float64 {
+	if m.Frames == 0 {
+		return 0
+	}
+	return float64(m.FrameErrors) / float64(m.Frames)
+}
+
+// RunConfig controls one measurement.
+type RunConfig struct {
+	Cons       *constellation.Constellation
+	Rate       fec.Rate
+	NumSymbols int
+	Frames     int
+	SNRdB      float64
+	Seed       int64
+	// SoftDecoding routes detector LLRs into the Viterbi decoder;
+	// the factory must then build a core.SoftDetector.
+	SoftDecoding bool
+	// SNRJitterDB spreads per-client transmit power uniformly over
+	// ±SNRJitterDB around SNRdB, re-drawn per frame — the §5.2 user
+	// selection methodology ("selecting users in a small SNR range
+	// around a specific value"). Zero keeps all clients exactly at
+	// SNRdB.
+	SNRJitterDB float64
+	// EstimatedCSI makes the receiver estimate every subcarrier's
+	// channel from noisy preambles (phy.EstimateChannels) instead of
+	// using genie knowledge; the preamble's air time is charged
+	// against throughput. TrainingReps repeats the preamble (0 means
+	// one repetition).
+	EstimatedCSI bool
+	TrainingReps int
+}
+
+// Run measures one detector over frames from source.
+func Run(cfg RunConfig, source ChannelSource, factory DetectorFactory) (Measurement, error) {
+	pcfg := phy.Config{Cons: cfg.Cons, Rate: cfg.Rate, NumSymbols: cfg.NumSymbols, SoftDecoding: cfg.SoftDecoding}
+	l, err := phy.NewLink(pcfg)
+	if err != nil {
+		return Measurement{}, err
+	}
+	noiseVar := channel.NoiseVarForSNRdB(cfg.SNRdB)
+	det := factory(cfg.Cons, noiseVar)
+	src := rng.New(cfg.Seed)
+	_, nc := source.Shape()
+	var m Measurement
+	m.Detector = det.Name()
+	m.Constellation = cfg.Cons.Name()
+	var payloadBitsOK float64
+	for fi := 0; fi < cfg.Frames; fi++ {
+		hs, err := source.Next()
+		if err != nil {
+			return m, err
+		}
+		if cfg.SNRJitterDB > 0 {
+			hs = jitterClients(src, hs, cfg.SNRJitterDB)
+		}
+		f, err := l.Encode(src, nc)
+		if err != nil {
+			return m, err
+		}
+		hsDet := hs
+		if cfg.EstimatedCSI {
+			reps := cfg.TrainingReps
+			if reps <= 0 {
+				reps = 1
+			}
+			hsDet, err = phy.EstimateChannels(src, hs, noiseVar, reps)
+			if err != nil {
+				return m, err
+			}
+		}
+		res, err := l.TransmitReceiveCSI(src, f, hs, hsDet, det, noiseVar)
+		if err != nil {
+			return m, err
+		}
+		m.Frames++
+		if !res.FrameOK() {
+			m.FrameErrors++
+		}
+		for _, ok := range res.StreamOK {
+			m.Streams++
+			if ok {
+				payloadBitsOK += float64(pcfg.PayloadBits())
+			} else {
+				m.StreamErrors++
+			}
+		}
+	}
+	symbolsPerFrame := cfg.NumSymbols
+	if cfg.EstimatedCSI {
+		reps := cfg.TrainingReps
+		if reps <= 0 {
+			reps = 1
+		}
+		symbolsPerFrame += phy.TrainingSymbols(nc, reps)
+	}
+	airTime := float64(cfg.Frames) * float64(symbolsPerFrame) * ofdm.SymbolDuration
+	if airTime > 0 {
+		m.NetMbps = payloadBitsOK / airTime / 1e6
+	}
+	if m.Streams > 0 {
+		m.PerStreamFER = float64(m.StreamErrors) / float64(m.Streams)
+	}
+	if c, ok := det.(core.Counter); ok {
+		m.Stats = c.Stats()
+	}
+	return m, nil
+}
+
+// jitterClients scales each client's channel column by a per-frame
+// uniform gain in ±jitterDB, modelling users whose SNRs fall in a
+// band rather than on a point. The matrices are copied, leaving the
+// source's data untouched for the next consumer.
+func jitterClients(src *rng.Source, hs []*cmplxmat.Matrix, jitterDB float64) []*cmplxmat.Matrix {
+	nc := hs[0].Cols
+	gains := make([]complex128, nc)
+	for c := range gains {
+		db := (2*src.Float64() - 1) * jitterDB
+		gains[c] = complex(math.Pow(10, db/20), 0)
+	}
+	out := make([]*cmplxmat.Matrix, len(hs))
+	for i, h := range hs {
+		m := h.Clone()
+		for c := 0; c < nc; c++ {
+			for r := 0; r < m.Rows; r++ {
+				m.Set(r, c, m.At(r, c)*gains[c])
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// RateAdapt runs every constellation in cands through Run and returns
+// the measurement with the highest net throughput — the paper's ideal
+// bit-rate adaptation (§5.2 methodology: "we show throughput results
+// for the constellation that achieves the best average throughput").
+func RateAdapt(cfg RunConfig, cands []*constellation.Constellation, newSource func() ChannelSource, factory DetectorFactory) (Measurement, error) {
+	if len(cands) == 0 {
+		return Measurement{}, fmt.Errorf("link: no candidate constellations")
+	}
+	var best Measurement
+	found := false
+	for _, cons := range cands {
+		c := cfg
+		c.Cons = cons
+		meas, err := Run(c, newSource(), factory)
+		if err != nil {
+			return Measurement{}, err
+		}
+		if !found || meas.NetMbps > best.NetMbps {
+			best = meas
+			found = true
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,227 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/rng"
+	"repro/internal/testbed"
+)
+
+// GeoFactoryForTest builds the Geosphere detector for link tests.
+var GeoFactoryForTest DetectorFactory = func(cons *constellation.Constellation, _ float64) core.Detector {
+	return core.NewGeosphere(cons)
+}
+
+func testTrace(t *testing.T, nc, na int) *testbed.Trace {
+	t.Helper()
+	tr, err := testbed.Generate(testbed.OfficePlan(), testbed.GenerateConfig{
+		Seed: 3, NumClients: nc, NumAntennas: na, LinksPerAP: 1, Realizations: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTraceSourceCycles(t *testing.T) {
+	tr := testTrace(t, 2, 4)
+	src, err := NewTraceSource(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, nc := src.Shape()
+	if na != 4 || nc != 2 {
+		t.Fatalf("shape %d×%d", na, nc)
+	}
+	total := 0
+	for i := range tr.Links {
+		total += tr.Links[i].Realizations()
+	}
+	// Drawing more frames than realizations must wrap around cleanly.
+	first, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < total; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0].At(0, 0) != again[0].At(0, 0) {
+		t.Fatal("trace source did not wrap deterministically")
+	}
+}
+
+func TestTraceSourceValidation(t *testing.T) {
+	if _, err := NewTraceSource(&testbed.Trace{Subcarriers: 48}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	bad := &testbed.Trace{Subcarriers: 10, Links: []testbed.LinkTrace{{NA: 2, NC: 2, H: [][][]complex128{}}}}
+	if _, err := NewTraceSource(bad); err == nil {
+		t.Fatal("wrong subcarrier count accepted")
+	}
+}
+
+func TestRayleighSource(t *testing.T) {
+	src, err := NewRayleighSource(rng.New(1), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat across subcarriers, fresh across frames.
+	if a[0].At(0, 0) != a[47].At(0, 0) {
+		t.Fatal("channel should be flat within a frame")
+	}
+	if a[0].At(0, 0) == b[0].At(0, 0) {
+		t.Fatal("channel should change across frames")
+	}
+	if _, err := NewRayleighSource(rng.New(1), 2, 4); err == nil {
+		t.Fatal("wide shape accepted")
+	}
+}
+
+func TestRunHighSNR(t *testing.T) {
+	tr := testTrace(t, 2, 4)
+	src, err := NewTraceSource(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{
+		Cons: constellation.QAM16, Rate: fec.Rate12,
+		NumSymbols: 4, Frames: 5, SNRdB: 35, Seed: 7,
+	}
+	m, err := Run(cfg, src, GeoFactoryForTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Frames != 5 || m.Streams != 10 {
+		t.Fatalf("accounting wrong: %+v", m)
+	}
+	if m.FrameErrors != 0 {
+		t.Fatalf("frame errors at 35 dB: %+v", m)
+	}
+	// 16-QAM rate-1/2: 24 Mbps per stream, 2 streams, minus CRC/tail
+	// overhead ⇒ slightly under 48.
+	if m.NetMbps < 40 || m.NetMbps > 48 {
+		t.Fatalf("net throughput %g Mbps implausible", m.NetMbps)
+	}
+	if m.FER() != 0 || m.PerStreamFER != 0 {
+		t.Fatalf("error rates nonzero: %+v", m)
+	}
+	if m.Stats.Detections == 0 {
+		t.Fatal("sphere decoder stats missing")
+	}
+}
+
+func TestRunLowSNRFails(t *testing.T) {
+	src, err := NewRayleighSource(rng.New(2), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{
+		Cons: constellation.QAM64, Rate: fec.Rate12,
+		NumSymbols: 4, Frames: 4, SNRdB: -5, Seed: 8,
+	}
+	m, err := Run(cfg, src, GeoFactoryForTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FER() != 1 {
+		t.Fatalf("64-QAM at -5 dB should always fail, FER=%g", m.FER())
+	}
+	if m.NetMbps != 0 {
+		t.Fatalf("throughput %g at FER 1", m.NetMbps)
+	}
+}
+
+func TestRateAdaptPicksDenserAtHighSNR(t *testing.T) {
+	newSource := func() ChannelSource {
+		s, err := NewRayleighSource(rng.New(3), 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cands := []*constellation.Constellation{constellation.QPSK, constellation.QAM16, constellation.QAM64}
+	cfg := RunConfig{Rate: fec.Rate12, NumSymbols: 4, Frames: 6, Seed: 9}
+
+	cfg.SNRdB = 38
+	high, err := RateAdapt(cfg, cands, newSource, GeoFactoryForTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Constellation != "64-QAM" {
+		t.Fatalf("at 38 dB rate adaptation picked %s", high.Constellation)
+	}
+	cfg.SNRdB = 4
+	low, err := RateAdapt(cfg, cands, newSource, GeoFactoryForTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Constellation == "64-QAM" {
+		t.Fatalf("at 4 dB rate adaptation picked %s", low.Constellation)
+	}
+	if _, err := RateAdapt(cfg, nil, newSource, GeoFactoryForTest); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+}
+
+func TestMeasurementFEREmpty(t *testing.T) {
+	var m Measurement
+	if m.FER() != 0 {
+		t.Fatal("empty measurement FER should be 0")
+	}
+}
+
+func TestSNRJitter(t *testing.T) {
+	src, err := NewRayleighSource(rng.New(4), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := jitterClients(rng.New(5), hs, 5)
+	if j[0] == hs[0] {
+		t.Fatal("jitter did not copy the matrices")
+	}
+	// Per-client scaling: the ratio of entries within one column is
+	// preserved, across columns it may differ.
+	r00 := j[0].At(0, 0) / hs[0].At(0, 0)
+	r10 := j[0].At(1, 0) / hs[0].At(1, 0)
+	if real(r00-r10) > 1e-12 || imag(r00-r10) > 1e-12 {
+		t.Fatal("jitter not a per-column scalar")
+	}
+	// The gain must stay within ±5 dB.
+	g := real(r00)*real(r00) + imag(r00)*imag(r00)
+	if g < 0.31 || g > 3.17 {
+		t.Fatalf("jitter gain %g outside ±5 dB", g)
+	}
+	// End to end: a jittered run still decodes at high SNR.
+	cfg := RunConfig{
+		Cons: constellation.QAM16, Rate: fec.Rate12,
+		NumSymbols: 4, Frames: 3, SNRdB: 35, Seed: 6, SNRJitterDB: 5,
+	}
+	m, err := Run(cfg, src, GeoFactoryForTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FER() != 0 {
+		t.Fatalf("jittered 35 dB frames failed: %+v", m)
+	}
+}

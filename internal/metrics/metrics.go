@@ -1,0 +1,169 @@
+// Package metrics implements the channel-characterization quantities
+// of §5.1: the squared condition number κ²(H) that upper-bounds
+// zero-forcing noise amplification, the per-stream SNR degradation
+// λ_k, the worst-stream figure of merit Λ = max_k λ_k, and the
+// empirical CDFs over links and subcarriers shown in Figures 9 and 10.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cmplxmat"
+)
+
+// DB converts a linear power ratio to decibels.
+func DB(x float64) float64 { return 10 * math.Log10(x) }
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// Kappa2dB returns κ²(H) in decibels, the paper's Figure 9 metric.
+// Higher values indicate worse channel conditioning.
+func Kappa2dB(h *cmplxmat.Matrix) float64 {
+	k := h.Cond2()
+	if math.IsInf(k, 1) {
+		return math.Inf(1)
+	}
+	return DB(k * k)
+}
+
+// StreamDegradations returns λ_k = [H*H]_{k,k} · [(H*H)⁻¹]_{k,k} for
+// every stream k: the ratio of stream k's SNR before and after
+// zero-forcing (§5.1). λ_k ≥ 1 always; large values mean zero-forcing
+// amplifies the noise seen by stream k.
+func StreamDegradations(h *cmplxmat.Matrix) ([]float64, error) {
+	gram := cmplxmat.Mul(h.ConjT(), h)
+	gi, err := gram.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: channel Gram matrix singular: %w", err)
+	}
+	out := make([]float64, h.Cols)
+	for k := range out {
+		out[k] = real(gram.At(k, k)) * real(gi.At(k, k))
+	}
+	return out, nil
+}
+
+// LambdaDB returns the worst-stream SNR degradation Λ in decibels,
+// the Figure 10 figure of merit. Singular channels yield +Inf.
+func LambdaDB(h *cmplxmat.Matrix) float64 {
+	lams, err := StreamDegradations(h)
+	if err != nil {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for _, l := range lams {
+		if l > worst {
+			worst = l
+		}
+	}
+	return DB(worst)
+}
+
+// CDF is an empirical cumulative distribution built from samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF; the input slice is not modified.
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile for q in [0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(q * float64(len(c.sorted)))
+	if i >= len(c.sorted) {
+		i = len(c.sorted) - 1
+	}
+	return c.sorted[i]
+}
+
+// FractionAbove returns P(X > x), the form quoted throughout §5.1
+// ("60% of links experience condition numbers larger than 10 dB").
+func (c *CDF) FractionAbove(x float64) float64 { return 1 - c.At(x) }
+
+// Series samples the CDF at n evenly spaced points spanning the data
+// range, for plotting or printing a figure's curve.
+func (c *CDF) Series(n int) (xs, ps []float64) {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil, nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	xs = make([]float64, n)
+	ps = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo
+		if n > 1 {
+			x = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		xs[i] = x
+		ps[i] = c.At(x)
+	}
+	return xs, ps
+}
+
+// Summary holds basic sample statistics.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes summary statistics of samples.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	var s Summary
+	s.N = len(samples)
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, v := range samples {
+		s.Mean += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean /= float64(s.N)
+	for _, v := range samples {
+		d := v - s.Mean
+		s.Std += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(s.Std / float64(s.N-1))
+	} else {
+		s.Std = 0
+	}
+	s.Median = NewCDF(samples).Quantile(0.5)
+	return s
+}

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/rng"
+)
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, x := range []float64{0.01, 1, 10, 123.4} {
+		if got := FromDB(DB(x)); math.Abs(got-x) > 1e-12*x {
+			t.Fatalf("%g round-tripped to %g", x, got)
+		}
+	}
+	if DB(10) != 10 || DB(1) != 0 {
+		t.Fatal("dB scale wrong")
+	}
+}
+
+func TestKappa2dBOrthogonal(t *testing.T) {
+	// Unitary-column matrices have κ=1 ⇒ κ² = 0 dB.
+	h := cmplxmat.Identity(3)
+	if got := Kappa2dB(h); math.Abs(got) > 1e-9 {
+		t.Fatalf("identity κ² = %g dB", got)
+	}
+	// Diagonal [10, 1]: κ = 10 ⇒ κ² = 20 dB.
+	d := cmplxmat.New(2, 2)
+	d.Set(0, 0, 10)
+	d.Set(1, 1, 1)
+	if got := Kappa2dB(d); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("diag κ² = %g dB, want 20", got)
+	}
+}
+
+func TestKappa2dBSingular(t *testing.T) {
+	h := cmplxmat.New(2, 2)
+	h.Set(0, 0, 1)
+	h.Set(1, 0, 1)
+	if !math.IsInf(Kappa2dB(h), 1) {
+		t.Fatal("singular channel should give +Inf")
+	}
+}
+
+func TestStreamDegradationsOrthogonal(t *testing.T) {
+	// For orthogonal columns, zero-forcing costs nothing: λ_k = 1.
+	h := cmplxmat.New(2, 2)
+	h.Set(0, 0, 2)
+	h.Set(1, 1, 3)
+	lams, err := StreamDegradations(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, l := range lams {
+		if math.Abs(l-1) > 1e-9 {
+			t.Fatalf("stream %d: λ = %g, want 1", k, l)
+		}
+	}
+	if got := LambdaDB(h); math.Abs(got) > 1e-9 {
+		t.Fatalf("Λ = %g dB, want 0", got)
+	}
+}
+
+// TestLambdaAtLeastOne: zero-forcing can never improve a stream's SNR,
+// so λ_k ≥ 1 (0 dB) for every stream of every full-rank channel.
+func TestLambdaAtLeastOne(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		h := channel.Rayleigh(src, 2+src.Intn(3), 2)
+		lams, err := StreamDegradations(h)
+		if err != nil {
+			return true // singular draw: vacuous
+		}
+		for _, l := range lams {
+			if l < 1-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLambdaBoundedByKappa2: the worst-stream degradation cannot
+// exceed the κ² upper bound (§5.1: κ² "is a good upper-bound on the
+// actual noise amplification").
+func TestLambdaBoundedByKappa2(t *testing.T) {
+	src := rng.New(11)
+	for trial := 0; trial < 200; trial++ {
+		h := channel.Rayleigh(src, 2, 2)
+		lam := LambdaDB(h)
+		k2 := Kappa2dB(h)
+		if lam > k2+1e-6 {
+			t.Fatalf("trial %d: Λ=%.2f dB exceeds κ²=%.2f dB", trial, lam, k2)
+		}
+	}
+}
+
+func TestLambdaSingularIsInf(t *testing.T) {
+	h := cmplxmat.New(2, 2)
+	h.Set(0, 0, 1)
+	h.Set(1, 0, 1)
+	if !math.IsInf(LambdaDB(h), 1) {
+		t.Fatal("singular channel should give Λ=+Inf")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.Len() != 4 {
+		t.Fatalf("len %d", c.Len())
+	}
+	if c.At(0) != 0 || c.At(2) != 0.5 || c.At(4) != 1 || c.At(10) != 1 {
+		t.Fatalf("CDF values wrong: %g %g %g", c.At(0), c.At(2), c.At(4))
+	}
+	if c.FractionAbove(2) != 0.5 {
+		t.Fatalf("FractionAbove(2) = %g", c.FractionAbove(2))
+	}
+	if c.Quantile(0) != 1 || c.Quantile(1) != 4 || c.Quantile(0.5) != 3 {
+		t.Fatalf("quantiles wrong: %g %g %g", c.Quantile(0), c.Quantile(1), c.Quantile(0.5))
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 {
+		t.Fatal("empty CDF At should be 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Fatal("empty CDF quantile should be NaN")
+	}
+	xs, ps := c.Series(5)
+	if xs != nil || ps != nil {
+		t.Fatal("empty CDF series should be nil")
+	}
+}
+
+func TestCDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewCDF(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("NewCDF sorted the caller's slice")
+	}
+}
+
+func TestCDFSeriesMonotone(t *testing.T) {
+	c := NewCDF([]float64{5, 1, 9, 3, 7, 7, 2})
+	xs, ps := c.Series(20)
+	if len(xs) != 20 || len(ps) != 20 {
+		t.Fatalf("series sizes %d %d", len(xs), len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] < ps[i-1] || xs[i] < xs[i-1] {
+			t.Fatal("series not monotone")
+		}
+	}
+	if ps[len(ps)-1] != 1 {
+		t.Fatalf("last point %g, want 1", ps[len(ps)-1])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-2.138) > 0.01 {
+		t.Fatalf("std %g", s.Std)
+	}
+	if s.Median != 5 {
+		t.Fatalf("median %g", s.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	one := Summarize([]float64{3})
+	if one.Std != 0 || one.Mean != 3 {
+		t.Fatalf("single-sample summary %+v", one)
+	}
+}

@@ -1,0 +1,66 @@
+// Package ofdm implements the 20 MHz 802.11-style OFDM layer of the
+// implementation section (§4): a radix-2 FFT, 64-subcarrier symbol
+// assembly with 48 data and 4 pilot subcarriers, cyclic prefix
+// handling, and least-squares channel estimation from a known
+// preamble. MIMO detection operates per data subcarrier on the
+// frequency-domain symbols this package produces.
+package ofdm
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x,
+// whose length must be a power of two.
+func FFT(x []complex128) error {
+	return fft(x, false)
+}
+
+// IFFT computes the in-place inverse FFT (with 1/N scaling).
+func IFFT(x []complex128) error {
+	return fft(x, true)
+}
+
+func fft(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("ofdm: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wstep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return nil
+}

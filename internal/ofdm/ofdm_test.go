@@ -1,0 +1,252 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(r *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return v
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of an impulse is flat.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = %v", i, v)
+		}
+	}
+	// FFT of a constant is an impulse of height N.
+	y := []complex128{1, 1, 1, 1}
+	if err := FFT(y); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(y[0]-4) > 1e-12 || cmplx.Abs(y[1]) > 1e-12 {
+		t.Fatalf("constant FFT = %v", y)
+	}
+	// Single complex tone lands in one bin.
+	n := 16
+	tone := make([]complex128, n)
+	for i := range tone {
+		th := 2 * math.Pi * 3 * float64(i) / float64(n)
+		tone[i] = cmplx.Exp(complex(0, th))
+	}
+	if err := FFT(tone); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range tone {
+		want := 0.0
+		if i == 3 {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Fatalf("tone bin %d magnitude %g, want %g", i, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + r.Intn(9)) // 2..1024
+		x := randVec(r, n)
+		orig := make([]complex128, n)
+		copy(orig, x)
+		if err := FFT(x); err != nil {
+			return false
+		}
+		if err := IFFT(x); err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := randVec(r, 64)
+	var te float64
+	for _, v := range x {
+		te += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var fe float64
+	for _, v := range x {
+		fe += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(fe/64-te) > 1e-9*te {
+		t.Fatalf("Parseval violated: time %g vs freq/N %g", te, fe/64)
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 48)); err == nil {
+		t.Fatal("length 48 accepted")
+	}
+	if err := IFFT(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCarrierMaps(t *testing.T) {
+	if len(DataCarriers) != NumData {
+		t.Fatalf("%d data carriers", len(DataCarriers))
+	}
+	seen := map[int]bool{0: true} // DC must stay empty
+	for _, b := range DataCarriers {
+		if seen[b] {
+			t.Fatalf("bin %d reused", b)
+		}
+		seen[b] = true
+	}
+	for _, b := range PilotCarriers {
+		if seen[b] {
+			t.Fatalf("pilot bin %d collides", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestModulateDemodulateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	data := randVec(r, NumData)
+	sym, err := Modulate(nil, data, StandardPilots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sym) != SymbolLen {
+		t.Fatalf("symbol length %d", len(sym))
+	}
+	// Cyclic prefix property: first CPLen samples repeat the tail.
+	for i := 0; i < CPLen; i++ {
+		if cmplx.Abs(sym[i]-sym[NFFT+i]) > 1e-12 {
+			t.Fatalf("CP sample %d mismatched", i)
+		}
+	}
+	got := make([]complex128, NumData)
+	pilots := make([]complex128, NumPilots)
+	if err := Demodulate(got, pilots, sym); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if cmplx.Abs(got[i]-data[i]) > 1e-9 {
+			t.Fatalf("data %d: got %v want %v", i, got[i], data[i])
+		}
+	}
+	for i := range pilots {
+		if cmplx.Abs(pilots[i]-StandardPilots[i]) > 1e-9 {
+			t.Fatalf("pilot %d: got %v", i, pilots[i])
+		}
+	}
+}
+
+func TestModulateValidation(t *testing.T) {
+	if _, err := Modulate(nil, make([]complex128, 47), StandardPilots); err == nil {
+		t.Fatal("short data accepted")
+	}
+	if _, err := Modulate(make([]complex128, 79), make([]complex128, NumData), StandardPilots); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	if err := Demodulate(make([]complex128, NumData), nil, make([]complex128, 10)); err == nil {
+		t.Fatal("short symbol accepted")
+	}
+	if err := Demodulate(make([]complex128, 3), nil, make([]complex128, SymbolLen)); err == nil {
+		t.Fatal("short data buffer accepted")
+	}
+}
+
+func TestEstimateChannelLS(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	ref := PreambleSymbol()
+	// Apply a random per-subcarrier channel and verify recovery.
+	ch := randVec(r, NumData)
+	rx := make([]complex128, NumData)
+	for i := range rx {
+		rx[i] = ch[i] * ref[i]
+	}
+	est := make([]complex128, NumData)
+	if err := EstimateChannelLS(est, rx, ref); err != nil {
+		t.Fatal(err)
+	}
+	for i := range est {
+		if cmplx.Abs(est[i]-ch[i]) > 1e-12 {
+			t.Fatalf("subcarrier %d: est %v want %v", i, est[i], ch[i])
+		}
+	}
+	bad := make([]complex128, NumData)
+	if err := EstimateChannelLS(est, rx, bad); err == nil {
+		t.Fatal("zero reference accepted")
+	}
+}
+
+func TestPreambleSymbolIsUnitMagnitude(t *testing.T) {
+	for i, v := range PreambleSymbol() {
+		if cmplx.Abs(v) != 1 {
+			t.Fatalf("preamble bin %d magnitude %g", i, cmplx.Abs(v))
+		}
+	}
+}
+
+// TestOFDMOverMultipathChannel is the integration property that makes
+// OFDM worth using: a time-domain multipath convolution (shorter than
+// the CP) becomes a per-subcarrier complex scalar in frequency.
+func TestOFDMOverMultipathChannel(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	data := randVec(r, NumData)
+	sym, err := Modulate(nil, data, StandardPilots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3-tap channel within the CP.
+	taps := []complex128{complex(0.8, 0.1), complex(0.3, -0.2), complex(0.1, 0.05)}
+	rx := make([]complex128, SymbolLen)
+	// Circular behaviour is guaranteed by the CP for delays < CPLen:
+	// convolve and keep the SymbolLen window (previous symbol assumed
+	// silent, which only perturbs the CP we discard).
+	for n := 0; n < SymbolLen; n++ {
+		var s complex128
+		for d, tap := range taps {
+			if n-d >= 0 {
+				s += tap * sym[n-d]
+			}
+		}
+		rx[n] = s
+	}
+	got := make([]complex128, NumData)
+	if err := Demodulate(got, nil, rx); err != nil {
+		t.Fatal(err)
+	}
+	// Expected per-subcarrier gain: tap DFT at that bin.
+	for i, b := range DataCarriers {
+		var gain complex128
+		for d, tap := range taps {
+			th := -2 * math.Pi * float64(b*d) / float64(NFFT)
+			gain += tap * cmplx.Exp(complex(0, th))
+		}
+		if cmplx.Abs(got[i]-gain*data[i]) > 1e-9 {
+			t.Fatalf("subcarrier %d (bin %d): got %v want %v", i, b, got[i], gain*data[i])
+		}
+	}
+}

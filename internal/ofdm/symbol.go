@@ -1,0 +1,145 @@
+package ofdm
+
+import (
+	"fmt"
+)
+
+// 20 MHz 802.11-style OFDM numerology (§4).
+const (
+	// NFFT is the FFT size.
+	NFFT = 64
+	// CPLen is the cyclic-prefix length in samples.
+	CPLen = 16
+	// SymbolLen is the total time-domain symbol length.
+	SymbolLen = NFFT + CPLen
+	// NumData is the number of data subcarriers per symbol.
+	NumData = 48
+	// NumPilots is the number of pilot subcarriers per symbol.
+	NumPilots = 4
+	// SymbolDuration is the 20 MHz OFDM symbol duration in seconds
+	// (3.2 µs useful + 0.8 µs cyclic prefix).
+	SymbolDuration = 4e-6
+)
+
+// DataCarriers lists the FFT bin of each of the 48 data subcarriers in
+// logical order; PilotCarriers the 4 pilot bins (±7, ±21).
+var (
+	DataCarriers  []int
+	PilotCarriers = []int{bin(-21), bin(-7), bin(7), bin(21)}
+)
+
+// bin maps a signed subcarrier index to its FFT bin.
+func bin(k int) int {
+	if k < 0 {
+		return NFFT + k
+	}
+	return k
+}
+
+func init() {
+	for k := -26; k <= 26; k++ {
+		switch k {
+		case 0, -7, 7, -21, 21:
+			continue
+		}
+		DataCarriers = append(DataCarriers, bin(k))
+	}
+	if len(DataCarriers) != NumData {
+		panic("ofdm: data carrier map inconsistent")
+	}
+}
+
+// StandardPilots is the fixed pilot polarity used by the transmitter.
+var StandardPilots = [NumPilots]complex128{1, 1, 1, -1}
+
+// Modulate assembles one time-domain OFDM symbol (with cyclic prefix)
+// from 48 frequency-domain data symbols and the pilot values. dst must
+// be nil or have SymbolLen capacity; the returned slice has SymbolLen
+// samples.
+func Modulate(dst []complex128, data []complex128, pilots [NumPilots]complex128) ([]complex128, error) {
+	if len(data) != NumData {
+		return nil, fmt.Errorf("ofdm: %d data symbols, want %d", len(data), NumData)
+	}
+	if dst == nil {
+		dst = make([]complex128, SymbolLen)
+	} else if len(dst) != SymbolLen {
+		return nil, fmt.Errorf("ofdm: dst has %d samples, want %d", len(dst), SymbolLen)
+	}
+	freq := dst[CPLen:] // build the spectrum in place, then IFFT
+	for i := range freq {
+		freq[i] = 0
+	}
+	for i, b := range DataCarriers {
+		freq[b] = data[i]
+	}
+	for i, b := range PilotCarriers {
+		freq[b] = pilots[i]
+	}
+	if err := IFFT(freq); err != nil {
+		return nil, err
+	}
+	copy(dst[:CPLen], freq[NFFT-CPLen:])
+	return dst, nil
+}
+
+// Demodulate strips the cyclic prefix, FFTs, and extracts the data and
+// pilot bins from one received OFDM symbol of SymbolLen samples.
+// pilots may be nil if the caller does not need them.
+func Demodulate(data []complex128, pilots []complex128, samples []complex128) error {
+	if len(samples) != SymbolLen {
+		return fmt.Errorf("ofdm: symbol has %d samples, want %d", len(samples), SymbolLen)
+	}
+	if len(data) != NumData {
+		return fmt.Errorf("ofdm: data buffer has %d entries, want %d", len(data), NumData)
+	}
+	if pilots != nil && len(pilots) != NumPilots {
+		return fmt.Errorf("ofdm: pilot buffer has %d entries, want %d", len(pilots), NumPilots)
+	}
+	var freq [NFFT]complex128
+	copy(freq[:], samples[CPLen:])
+	if err := FFT(freq[:]); err != nil {
+		return err
+	}
+	for i, b := range DataCarriers {
+		data[i] = freq[b]
+	}
+	if pilots != nil {
+		for i, b := range PilotCarriers {
+			pilots[i] = freq[b]
+		}
+	}
+	return nil
+}
+
+// PreambleSymbol returns the known full-band training symbol used for
+// least-squares channel estimation: unit-magnitude BPSK-like values
+// with deterministic sign pattern on every data and pilot bin.
+func PreambleSymbol() []complex128 {
+	data := make([]complex128, NumData)
+	for i := range data {
+		// Alternating-sign pattern with period 3 avoids a large
+		// time-domain peak while staying deterministic.
+		if (i*2+i/3)%2 == 0 {
+			data[i] = 1
+		} else {
+			data[i] = -1
+		}
+	}
+	return data
+}
+
+// EstimateChannelLS least-squares-estimates per-subcarrier scalar
+// channels from one received preamble: est[i] = rx[i]/ref[i] over the
+// 48 data bins.
+func EstimateChannelLS(est, rx, ref []complex128) error {
+	if len(est) != NumData || len(rx) != NumData || len(ref) != NumData {
+		return fmt.Errorf("ofdm: channel estimate buffers must have %d entries", NumData)
+	}
+	for i := range est {
+		if ref[i] == 0 {
+			return fmt.Errorf("ofdm: preamble reference is zero at data bin %d", i)
+		}
+		est[i] = rx[i] / ref[i]
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package phy
+
+import (
+	"fmt"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/rng"
+)
+
+// EstimateChannels simulates preamble-based MIMO channel estimation:
+// each of the nc streams sends `reps` time-orthogonal unit-power
+// training symbols per subcarrier (the 802.11n HT-LTF idea in its
+// simplest identity-mapped form), and the receiver least-squares
+// estimates every column of every subcarrier's channel matrix from
+// what it hears. With zero noise the estimates are exact; otherwise
+// each entry carries CN(0, noiseVar/reps) estimation error — the
+// receiver impairment the paper's testbed lives with and the
+// estimated-csi experiment quantifies.
+func EstimateChannels(src *rng.Source, hs []*cmplxmat.Matrix, noiseVar float64, reps int) ([]*cmplxmat.Matrix, error) {
+	if len(hs) == 0 {
+		return nil, fmt.Errorf("phy: no channels to estimate")
+	}
+	if reps <= 0 {
+		return nil, fmt.Errorf("phy: training repetitions must be positive, got %d", reps)
+	}
+	na, nc := hs[0].Rows, hs[0].Cols
+	out := make([]*cmplxmat.Matrix, len(hs))
+	for s, h := range hs {
+		if h.Rows != na || h.Cols != nc {
+			return nil, fmt.Errorf("phy: subcarrier %d has shape %d×%d, want %d×%d", s, h.Rows, h.Cols, na, nc)
+		}
+		est := cmplxmat.New(na, nc)
+		for c := 0; c < nc; c++ {
+			// Stream c alone transmits 1; the receiver hears column c
+			// plus noise, averaged over the repetitions.
+			for a := 0; a < na; a++ {
+				var acc complex128
+				for rep := 0; rep < reps; rep++ {
+					acc += h.At(a, c) + src.CN(noiseVar)
+				}
+				est.Set(a, c, acc/complex(float64(reps), 0))
+			}
+		}
+		out[s] = est
+	}
+	return out, nil
+}
+
+// TrainingSymbols returns the preamble length in OFDM symbols that the
+// estimation scheme costs: one symbol per stream per repetition. The
+// link layer charges it against air time.
+func TrainingSymbols(nc, reps int) int { return nc * reps }

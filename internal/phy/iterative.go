@@ -1,0 +1,329 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/ofdm"
+	"repro/internal/rng"
+)
+
+// IterativeResult extends Result with per-iteration convergence
+// information.
+type IterativeResult struct {
+	Result
+	// Iterations actually run (early exit when every CRC passes).
+	Iterations int
+	// FrameOKAt[i] records whether the frame was clean after
+	// iteration i+1, so experiments can attribute gains.
+	FrameOKAt []bool
+}
+
+// TransmitReceiveIterative implements the §7 future-work receiver:
+// iterative soft detection and decoding. Iteration 1 detects with the
+// soft-output Geosphere list sphere decoder; each later iteration
+// feeds the max-log BCJR decoder's extrinsic information back as
+// symbol priors for soft parallel interference cancellation with
+// per-stream MMSE filtering, then decodes again. The loop exits early
+// once every stream's CRC verifies.
+func (l *Link) TransmitReceiveIterative(src *rng.Source, f *Frame, hs []*cmplxmat.Matrix, noiseVar float64, iterations int) (*IterativeResult, error) {
+	cfg := l.cfg
+	if iterations <= 0 {
+		return nil, fmt.Errorf("phy: iterations must be positive, got %d", iterations)
+	}
+	if noiseVar <= 0 {
+		return nil, fmt.Errorf("phy: iterative reception needs a positive noise variance")
+	}
+	if len(hs) != ofdm.NumData {
+		return nil, fmt.Errorf("phy: %d subcarrier channels, want %d", len(hs), ofdm.NumData)
+	}
+	nc := len(f.Payloads)
+	if hs[0].Cols != nc {
+		return nil, fmt.Errorf("phy: channel has %d streams, frame has %d", hs[0].Cols, nc)
+	}
+	q := cfg.Cons.Bits()
+
+	// 1. Transmit once; keep every received vector for re-detection.
+	y := make([][][]complex128, cfg.NumSymbols)
+	for t := range y {
+		y[t] = make([][]complex128, ofdm.NumData)
+		for s := range y[t] {
+			y[t][s] = channel.Transmit(nil, src, hs[s], f.X[t][s], noiseVar)
+		}
+	}
+
+	// llr[t][s] holds nc·q detector LLRs for the current iteration.
+	llr := make([][][]float64, cfg.NumSymbols)
+	for t := range llr {
+		llr[t] = make([][]float64, ofdm.NumData)
+		for s := range llr[t] {
+			llr[t][s] = make([]float64, nc*q)
+		}
+	}
+	res := &IterativeResult{Result: Result{StreamOK: make([]bool, nc)}}
+
+	// Iteration 1: soft list sphere detection.
+	soft := core.NewListSphereDecoder(cfg.Cons)
+	hard := make([]int, nc)
+	for s := 0; s < ofdm.NumData; s++ {
+		if err := soft.Prepare(hs[s]); err != nil {
+			return nil, fmt.Errorf("phy: prepare subcarrier %d: %w", s, err)
+		}
+		for t := 0; t < cfg.NumSymbols; t++ {
+			if _, err := soft.DetectSoft(llr[t][s], y[t][s], noiseVar); err != nil {
+				return nil, err
+			}
+			if _, err := soft.Detect(hard, y[t][s]); err != nil {
+				return nil, err
+			}
+			for k := 0; k < nc; k++ {
+				res.Symbols++
+				if cfg.Cons.PointIndex(hard[k]) != f.X[t][s][k] {
+					res.SymbolErrors++
+				}
+			}
+		}
+	}
+
+	// priors[t][s] accumulates the decoder feedback between iterations.
+	motherLen := 2 * (cfg.InfoBits() + fec.ConstraintLength - 1)
+	for iter := 0; iter < iterations; iter++ {
+		res.Iterations = iter + 1
+		allOK := true
+		ext := make([][][]float64, nc) // [stream][symbol t][bit in symbol block]
+		for k := 0; k < nc; k++ {
+			ok, codedExt, err := l.decodeStreamBCJR(f, llr, k, byte(0x5d+k), motherLen)
+			if err != nil {
+				return nil, err
+			}
+			res.StreamOK[k] = ok
+			if !ok {
+				allOK = false
+			}
+			ext[k] = codedExt
+		}
+		res.FrameOKAt = append(res.FrameOKAt, allOK)
+		if allOK || iter == iterations-1 {
+			break
+		}
+		// Feedback: priors → soft symbols → MMSE-PIC re-detection.
+		if err := l.picRedetect(hs, y, llr, ext, noiseVar); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// decodeStreamBCJR deinterleaves and depunctures stream k's detector
+// LLRs, runs max-log BCJR, checks the CRC against the transmitted
+// payload, and returns the per-OFDM-symbol interleaved extrinsic LLRs
+// for the feedback path.
+func (l *Link) decodeStreamBCJR(f *Frame, llr [][][]float64, k int, scramblerSeed byte, motherLen int) (bool, [][]float64, error) {
+	cfg := l.cfg
+	q := cfg.Cons.Bits()
+	coded := make([]float64, 0, cfg.CodedBits())
+	block := make([]float64, cfg.BitsPerSymbol())
+	for t := 0; t < cfg.NumSymbols; t++ {
+		for s := 0; s < ofdm.NumData; s++ {
+			copy(block[s*q:(s+1)*q], llr[t][s][k*q:(k+1)*q])
+		}
+		deint, err := l.il.DeinterleaveSoft(nil, block)
+		if err != nil {
+			return false, nil, err
+		}
+		coded = append(coded, deint...)
+	}
+	mother := fec.Depuncture(coded, cfg.Rate, motherLen)
+	info, motherExt, err := fec.MaxLogBCJR(mother)
+	if err != nil {
+		return false, nil, err
+	}
+	// Hard decision, descramble, CRC.
+	bits := make([]byte, cfg.InfoBits())
+	for i := range bits {
+		if info[i] > 0 {
+			bits[i] = 1
+		}
+	}
+	fec.Scramble(bits, scramblerSeed)
+	payload, ok := fec.CheckCRC(bits)
+	if ok {
+		want := f.Payloads[k]
+		if len(payload) != len(want) {
+			ok = false
+		} else {
+			for i := range want {
+				if payload[i] != want[i] {
+					ok = false
+					break
+				}
+			}
+		}
+	}
+	// Re-puncture the extrinsics and re-interleave per OFDM symbol so
+	// they line up with the transmitted bit positions.
+	kept := fec.PunctureSoft(motherExt, cfg.Rate)
+	if len(kept) != cfg.CodedBits() {
+		return false, nil, fmt.Errorf("phy: extrinsic length %d, want %d", len(kept), cfg.CodedBits())
+	}
+	perSym := make([][]float64, cfg.NumSymbols)
+	for t := 0; t < cfg.NumSymbols; t++ {
+		seg := kept[t*cfg.BitsPerSymbol() : (t+1)*cfg.BitsPerSymbol()]
+		inter, err := l.il.InterleaveSoft(nil, seg)
+		if err != nil {
+			return false, nil, err
+		}
+		perSym[t] = inter
+	}
+	return ok, perSym, nil
+}
+
+// picRedetect performs one round of soft parallel interference
+// cancellation with per-stream MMSE filtering, writing fresh per-bit
+// LLRs into llr. ext[k][t] holds stream k's interleaved extrinsic
+// LLRs for OFDM symbol t.
+func (l *Link) picRedetect(hs []*cmplxmat.Matrix, y [][][]complex128, llr [][][]float64, ext [][][]float64, noiseVar float64) error {
+	cfg := l.cfg
+	cons := cfg.Cons
+	q := cons.Bits()
+	nc := len(ext)
+	na := hs[0].Rows
+	size := cons.Size()
+
+	// Per-point bit table for soft-symbol statistics and demapping.
+	pointBits := make([][]byte, size)
+	for i := 0; i < size; i++ {
+		col, row := cons.Coords(i)
+		b := make([]byte, q)
+		cons.SymbolBits(b, col, row)
+		pointBits[i] = b
+	}
+
+	mean := make([]complex128, nc)
+	vari := make([]float64, nc)
+	resid := make([]complex128, na)
+	for t := 0; t < cfg.NumSymbols; t++ {
+		for s := 0; s < ofdm.NumData; s++ {
+			h := hs[s]
+			// Soft symbol statistics per stream from the extrinsics.
+			for k := 0; k < nc; k++ {
+				ls := ext[k][t][s*q : (s+1)*q]
+				var m complex128
+				var e2, wsum float64
+				for p := 0; p < size; p++ {
+					w := 1.0
+					for b := 0; b < q; b++ {
+						pb := 1 / (1 + math.Exp(-ls[b]))
+						if pointBits[p][b] == 1 {
+							w *= pb
+						} else {
+							w *= 1 - pb
+						}
+					}
+					pt := cons.PointIndex(p)
+					m += complex(w, 0) * pt
+					e2 += w * (real(pt)*real(pt) + imag(pt)*imag(pt))
+					wsum += w
+				}
+				if wsum > 0 {
+					m /= complex(wsum, 0)
+					e2 /= wsum
+				}
+				mean[k] = m
+				v := e2 - (real(m)*real(m) + imag(m)*imag(m))
+				if v < 1e-9 {
+					v = 1e-9
+				}
+				vari[k] = v
+			}
+			// Per-stream MMSE-PIC.
+			for k := 0; k < nc; k++ {
+				// A = σ²I + Σ_j c_j h_j h_j*, c_k = 1 (no self prior).
+				a := cmplxmat.New(na, na)
+				for i := 0; i < na; i++ {
+					a.Set(i, i, complex(noiseVar, 0))
+				}
+				for j := 0; j < nc; j++ {
+					c := vari[j]
+					if j == k {
+						c = 1
+					}
+					for r1 := 0; r1 < na; r1++ {
+						hj1 := h.At(r1, j)
+						for r2 := 0; r2 < na; r2++ {
+							a.Set(r1, r2, a.At(r1, r2)+complex(c, 0)*hj1*conj(h.At(r2, j)))
+						}
+					}
+				}
+				hk := make([]complex128, na)
+				for r := 0; r < na; r++ {
+					hk[r] = h.At(r, k)
+				}
+				w, err := cmplxmat.Solve(a, hk)
+				if err != nil {
+					return fmt.Errorf("phy: PIC filter singular at (%d,%d): %w", t, s, err)
+				}
+				// Residual after cancelling the other streams' means.
+				for r := 0; r < na; r++ {
+					resid[r] = y[t][s][r]
+					for j := 0; j < nc; j++ {
+						if j != k {
+							resid[r] -= h.At(r, j) * mean[j]
+						}
+					}
+				}
+				var z complex128
+				var mu complex128
+				for r := 0; r < na; r++ {
+					z += conj(w[r]) * resid[r]
+					mu += conj(w[r]) * hk[r]
+				}
+				muR := real(mu)
+				if muR < 1e-9 {
+					muR = 1e-9
+				}
+				nu2 := muR * (1 - muR)
+				if nu2 < 1e-9 {
+					nu2 = 1e-9
+				}
+				// Exact max-log per-bit LLRs over the constellation.
+				dst := llr[t][s][k*q : (k+1)*q]
+				var min0, min1 [8]float64
+				for b := 0; b < q; b++ {
+					min0[b] = math.Inf(1)
+					min1[b] = math.Inf(1)
+				}
+				for p := 0; p < size; p++ {
+					d := z - complex(muR, 0)*cons.PointIndex(p)
+					dist := real(d)*real(d) + imag(d)*imag(d)
+					for b := 0; b < q; b++ {
+						if pointBits[p][b] == 1 {
+							if dist < min1[b] {
+								min1[b] = dist
+							}
+						} else if dist < min0[b] {
+							min0[b] = dist
+						}
+					}
+				}
+				for b := 0; b < q; b++ {
+					v := (min0[b] - min1[b]) / nu2
+					if v > 50 {
+						v = 50
+					} else if v < -50 {
+						v = -50
+					}
+					dst[b] = v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// conj avoids importing math/cmplx for one operation in a hot loop.
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }

@@ -1,0 +1,107 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/rng"
+)
+
+func TestSoftFrameRoundTrip(t *testing.T) {
+	cfg := Config{Cons: constellation.QAM16, Rate: fec.Rate12, NumSymbols: 4, SoftDecoding: true}
+	link, err := NewLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(31)
+	f, err := link.Encode(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := perSCChannels(src, 4, 2)
+	det := core.NewListSphereDecoder(cfg.Cons)
+	noise := channel.NoiseVarForSNRdB(25)
+	res, err := link.TransmitReceive(src, f, hs, det, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FrameOK() {
+		t.Fatalf("soft frame at 25 dB failed: %+v", res)
+	}
+}
+
+func TestSoftRequiresSoftDetector(t *testing.T) {
+	cfg := Config{Cons: constellation.QAM16, Rate: fec.Rate12, NumSymbols: 4, SoftDecoding: true}
+	link, err := NewLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(32)
+	f, err := link.Encode(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := perSCChannels(src, 4, 2)
+	// A hard-only detector must be rejected.
+	if _, err := link.TransmitReceive(src, f, hs, core.NewGeosphere(cfg.Cons), 0.01); err == nil {
+		t.Fatal("hard detector accepted for soft decoding")
+	}
+	// Zero noise variance is meaningless for LLR scaling.
+	soft := core.NewListSphereDecoder(cfg.Cons)
+	if _, err := link.TransmitReceive(src, f, hs, soft, 0); err == nil {
+		t.Fatal("zero noise variance accepted for soft decoding")
+	}
+}
+
+// TestSoftDecodesWhereHardFails fixes an operating point where hard
+// decisions lose frames and verifies the soft receiver recovers them —
+// the coding-gain property the §7 extension exists for.
+func TestSoftDecodesWhereHardFails(t *testing.T) {
+	hardCfg := Config{Cons: constellation.QAM16, Rate: fec.Rate12, NumSymbols: 4}
+	softCfg := hardCfg
+	softCfg.SoftDecoding = true
+	hardLink, err := NewLink(hardCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	softLink, err := NewLink(softCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := channel.NoiseVarForSNRdB(12)
+	hardOK, softOK := 0, 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(500 + trial)
+		chSrc := rng.New(seed)
+		hs := flatChannels(chSrc, 4, 4)
+		f, err := hardLink.Encode(rng.New(seed+1), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rh, err := hardLink.TransmitReceive(rng.New(seed+2), f, hs, core.NewGeosphere(hardCfg.Cons), noise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := softLink.TransmitReceive(rng.New(seed+2), f, hs, core.NewListSphereDecoder(softCfg.Cons), noise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rh.FrameOK() {
+			hardOK++
+		}
+		if rs.FrameOK() {
+			softOK++
+		}
+	}
+	t.Logf("frames decoded at 12 dB over %d trials: hard=%d soft=%d", trials, hardOK, softOK)
+	if softOK < hardOK {
+		t.Fatalf("soft decoding (%d) should not lose to hard (%d)", softOK, hardOK)
+	}
+	if hardOK == trials {
+		t.Fatalf("operating point too easy to discriminate (hard decoded all %d)", trials)
+	}
+}

@@ -1,0 +1,117 @@
+package phy
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/ofdm"
+	"repro/internal/rng"
+)
+
+// TestTimeDomainMIMOOFDMEquivalence is the end-to-end fidelity check
+// for the whole simulation methodology: it builds a tap-domain MIMO
+// multipath channel, runs real time-domain OFDM modulation on every
+// transmit stream, convolves per antenna pair, demodulates at every
+// receive antenna, and verifies that per-subcarrier sphere detection
+// with the channel's DFT recovers exactly the transmitted points —
+// i.e. the frequency-domain shortcut used by the throughput harness
+// models the physical link faithfully.
+func TestTimeDomainMIMOOFDMEquivalence(t *testing.T) {
+	const (
+		na   = 4
+		nc   = 2
+		taps = 3
+	)
+	cons := constellation.QAM16
+	src := rng.New(41)
+
+	// Tap-domain channel: taps[d] is an na×nc matrix, delays < CP.
+	tapMat := make([]*cmplxmat.Matrix, taps)
+	for d := range tapMat {
+		m := cmplxmat.New(na, nc)
+		scale := math.Pow(0.5, float64(d)) // decaying power profile
+		for i := range m.Data {
+			m.Data[i] = src.CN(scale)
+		}
+		tapMat[d] = m
+	}
+
+	// Transmit: one OFDM symbol per stream.
+	sent := make([][]int, nc)
+	tx := make([][]complex128, nc)
+	for k := 0; k < nc; k++ {
+		data := make([]complex128, ofdm.NumData)
+		sent[k] = make([]int, ofdm.NumData)
+		for s := range data {
+			sent[k][s] = src.Intn(cons.Size())
+			data[s] = cons.PointIndex(sent[k][s])
+		}
+		sym, err := ofdm.Modulate(nil, data, ofdm.StandardPilots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx[k] = sym
+	}
+
+	// Channel: per receive antenna, sum over streams of tap
+	// convolutions (noiseless; exactness is the point here).
+	rx := make([][]complex128, na)
+	for a := 0; a < na; a++ {
+		rx[a] = make([]complex128, ofdm.SymbolLen)
+		for n := 0; n < ofdm.SymbolLen; n++ {
+			var s complex128
+			for d := 0; d < taps; d++ {
+				if n-d < 0 {
+					continue
+				}
+				for k := 0; k < nc; k++ {
+					s += tapMat[d].At(a, k) * tx[k][n-d]
+				}
+			}
+			rx[a][n] = s
+		}
+	}
+
+	// Receive: demodulate every antenna, then per-subcarrier MIMO
+	// detection against the tap DFT.
+	bins := make([][]complex128, na)
+	for a := 0; a < na; a++ {
+		bins[a] = make([]complex128, ofdm.NumData)
+		if err := ofdm.Demodulate(bins[a], nil, rx[a]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	det := core.NewGeosphere(cons)
+	y := make([]complex128, na)
+	for si, b := range ofdm.DataCarriers {
+		// H(f) = Σ_d tap_d · e^{−j2πbd/N}.
+		h := cmplxmat.New(na, nc)
+		for d := 0; d < taps; d++ {
+			ph := cmplx.Exp(complex(0, -2*math.Pi*float64(b*d)/ofdm.NFFT))
+			for a := 0; a < na; a++ {
+				for k := 0; k < nc; k++ {
+					h.Set(a, k, h.At(a, k)+tapMat[d].At(a, k)*ph)
+				}
+			}
+		}
+		if err := det.Prepare(h); err != nil {
+			t.Fatalf("subcarrier %d: %v", si, err)
+		}
+		for a := 0; a < na; a++ {
+			y[a] = bins[a][si]
+		}
+		got, err := det.Detect(nil, y)
+		if err != nil {
+			t.Fatalf("subcarrier %d: %v", si, err)
+		}
+		for k := 0; k < nc; k++ {
+			if got[k] != sent[k][si] {
+				t.Fatalf("subcarrier %d stream %d: got %d want %d", si, k, got[k], sent[k][si])
+			}
+		}
+	}
+}

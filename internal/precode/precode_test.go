@@ -1,0 +1,233 @@
+package precode
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/rng"
+)
+
+func downlink(src *rng.Source, k, nt int) *cmplxmat.Matrix {
+	return channel.Rayleigh(src, k, nt)
+}
+
+func randSymbols(src *rng.Source, cons *constellation.Constellation, k int) ([]int, []complex128) {
+	idx := make([]int, k)
+	s := make([]complex128, k)
+	for i := range s {
+		idx[i] = src.Intn(cons.Size())
+		s[i] = cons.PointIndex(idx[i])
+	}
+	return idx, s
+}
+
+// receive simulates the downlink: client k hears row k of H applied to
+// the transmitted vector plus noise.
+func receive(src *rng.Source, h *cmplxmat.Matrix, x []complex128, noiseVar float64) []complex128 {
+	y := h.MulVec(nil, x)
+	for i := range y {
+		y[i] += src.CN(noiseVar)
+	}
+	return y
+}
+
+func TestZFPrecodingNoiseless(t *testing.T) {
+	src := rng.New(1)
+	cons := constellation.QAM16
+	p := NewZF(cons)
+	for trial := 0; trial < 40; trial++ {
+		h := downlink(src, 2, 4)
+		if err := p.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		idx, s := randSymbols(src, cons, 2)
+		x, gamma, err := p.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Unit transmit power after normalization.
+		var pw float64
+		for _, v := range x {
+			pw += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if math.Abs(pw-1) > 1e-9 {
+			t.Fatalf("trial %d: transmit power %g", trial, pw)
+		}
+		y := receive(src, h, x, 0)
+		for k := range idx {
+			if got := p.Decode(y[k], gamma); got != idx[k] {
+				t.Fatalf("trial %d client %d: got %d want %d", trial, k, got, idx[k])
+			}
+		}
+	}
+}
+
+func TestVPPrecodingNoiseless(t *testing.T) {
+	src := rng.New(2)
+	cons := constellation.QAM16
+	p := NewVP(cons)
+	for trial := 0; trial < 40; trial++ {
+		h := downlink(src, 3, 4)
+		if err := p.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		idx, s := randSymbols(src, cons, 3)
+		x, gamma, err := p.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := receive(src, h, x, 0)
+		for k := range idx {
+			if got := p.Decode(y[k], gamma); got != idx[k] {
+				t.Fatalf("trial %d client %d: got %d want %d", trial, k, got, idx[k])
+			}
+		}
+		_ = x
+	}
+	if p.Stats().Calls != 40 || p.Stats().Nodes == 0 {
+		t.Fatalf("search stats implausible: %+v", p.Stats())
+	}
+}
+
+// TestVPReducesPower is the point of vector perturbation: on square
+// (poorly-conditioned) channels the perturbed vector needs much less
+// power than plain channel inversion, so after normalization each
+// client sees a higher effective SNR.
+func TestVPReducesPower(t *testing.T) {
+	src := rng.New(3)
+	cons := constellation.QAM16
+	zf := NewZF(cons)
+	vp := NewVP(cons)
+	var zfSum, vpSum float64
+	const trials = 150
+	for trial := 0; trial < trials; trial++ {
+		h := downlink(src, 4, 4) // square: conditioning bites
+		if err := zf.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := vp.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		_, s := randSymbols(src, cons, 4)
+		_, gz, err := zf.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gv, err := vp.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gv > gz+1e-12 {
+			t.Fatalf("trial %d: perturbation increased power: %g > %g", trial, gv, gz)
+		}
+		zfSum += gz
+		vpSum += gv
+	}
+	ratio := zfSum / vpSum
+	t.Logf("average power ratio ZF/VP over %d square channels: %.2f× (%.1f dB)",
+		trials, ratio, 10*math.Log10(ratio))
+	if ratio < 2 {
+		t.Fatalf("vector perturbation saved only %.2f× power; expected ≥2× on 4×4", ratio)
+	}
+}
+
+// TestVPBeatsZFUnderNoise: the power saving turns into symbol-error
+// advantage at fixed transmit power.
+func TestVPBeatsZFUnderNoise(t *testing.T) {
+	src := rng.New(4)
+	cons := constellation.QAM16
+	zf := NewZF(cons)
+	vp := NewVP(cons)
+	noiseVar := channel.NoiseVarForSNRdB(22)
+	zfErrs, vpErrs := 0, 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		h := downlink(src, 3, 3)
+		if err := zf.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := vp.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		idx, s := randSymbols(src, cons, 3)
+		xz, gz, err := zf.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xv, gv, err := vp.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := src.Int63()
+		yz := receive(rng.New(seed), h, xz, noiseVar)
+		yv := receive(rng.New(seed), h, xv, noiseVar)
+		for k := range idx {
+			if zf.Decode(yz[k], gz) != idx[k] {
+				zfErrs++
+			}
+			if vp.Decode(yv[k], gv) != idx[k] {
+				vpErrs++
+			}
+		}
+	}
+	t.Logf("downlink symbol errors over %d 3×3 vectors at 22 dB: ZF=%d VP=%d", trials, zfErrs, vpErrs)
+	if vpErrs >= zfErrs {
+		t.Fatalf("vector perturbation (%d) should beat channel inversion (%d)", vpErrs, zfErrs)
+	}
+}
+
+func TestPrecodeValidation(t *testing.T) {
+	cons := constellation.QPSK
+	zf := NewZF(cons)
+	if err := zf.Prepare(nil); err == nil {
+		t.Fatal("nil channel accepted")
+	}
+	src := rng.New(5)
+	wide := downlink(src, 4, 2) // more clients than antennas
+	if err := zf.Prepare(wide); err == nil {
+		t.Fatal("overloaded downlink accepted")
+	}
+	if _, _, err := zf.Encode([]complex128{1}); err == nil {
+		t.Fatal("Encode before Prepare accepted")
+	}
+	ok := downlink(src, 2, 4)
+	if err := zf.Prepare(ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := zf.Encode([]complex128{1, 2, 3}); err == nil {
+		t.Fatal("wrong symbol count accepted")
+	}
+	vp := NewVP(cons)
+	if _, _, err := vp.Encode([]complex128{1, 2}); err == nil {
+		t.Fatal("VP Encode before Prepare accepted")
+	}
+}
+
+func TestModTau(t *testing.T) {
+	cases := []struct{ x, tau, want float64 }{
+		{0, 4, 0},
+		{1.9, 4, 1.9},
+		{2.1, 4, -1.9},
+		{-2.1, 4, 1.9},
+		{6, 4, 2 - 4}, // 6 mod 4 folded → -2
+		{4, 4, 0},
+	}
+	for _, c := range cases {
+		if got := modTau(c.x, c.tau); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("modTau(%g, %g) = %g, want %g", c.x, c.tau, got, c.want)
+		}
+	}
+	// The fold must be idempotent and stay in [−τ/2, τ/2).
+	for x := -10.0; x < 10; x += 0.37 {
+		f := modTau(x, 3)
+		if f < -1.5 || f >= 1.5 {
+			t.Fatalf("modTau(%g, 3) = %g out of range", x, f)
+		}
+		if math.Abs(modTau(f, 3)-f) > 1e-12 {
+			t.Fatalf("modTau not idempotent at %g", x)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package rng provides deterministic random number generation for
+// reproducible Monte-Carlo simulation.
+//
+// All experiments in this repository are driven by explicitly seeded
+// sources so that every table and figure can be regenerated bit-for-bit.
+// The package wraps math/rand with the distributions the simulator
+// needs: circularly-symmetric complex Gaussians (Rayleigh fading and
+// AWGN), uniform bits, and uniform constellation indices. Sources are
+// splittable so that parallel workers draw from independent streams
+// without locking.
+package rng
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic stream of random values. It is not safe
+// for concurrent use; use Split to derive independent streams for
+// parallel workers.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a Source seeded with seed. Two Sources constructed with
+// the same seed produce identical streams.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child stream. The child's sequence is a
+// deterministic function of the parent's state at the time of the
+// call, so splitting k children in order is reproducible.
+func (s *Source) Split() *Source {
+	// Mix two draws so children of successive Splits differ even if
+	// the underlying generator returns small values.
+	seed := s.r.Int63() ^ (s.r.Int63() << 1)
+	return New(seed)
+}
+
+// SplitN derives n independent child streams in one call.
+func (s *Source) SplitN(n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = s.Split()
+	}
+	return out
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform value in [0, n).
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63 returns a uniform non-negative 63-bit integer.
+func (s *Source) Int63() int64 { return s.r.Int63() }
+
+// Norm returns a standard (zero-mean, unit-variance) real Gaussian.
+func (s *Source) Norm() float64 { return s.r.NormFloat64() }
+
+// CN returns a circularly-symmetric complex Gaussian with total
+// variance sigma2: each of the real and imaginary parts has variance
+// sigma2/2. This is the standard CN(0, sigma2) used for both Rayleigh
+// channel taps and complex AWGN.
+func (s *Source) CN(sigma2 float64) complex128 {
+	sd := math.Sqrt(sigma2 / 2)
+	return complex(sd*s.r.NormFloat64(), sd*s.r.NormFloat64())
+}
+
+// CNVector fills dst with independent CN(0, sigma2) samples.
+func (s *Source) CNVector(dst []complex128, sigma2 float64) {
+	for i := range dst {
+		dst[i] = s.CN(sigma2)
+	}
+}
+
+// Bits fills dst with independent uniform bits (0 or 1).
+func (s *Source) Bits(dst []byte) {
+	var buf int64
+	var have int
+	for i := range dst {
+		if have == 0 {
+			buf = s.r.Int63()
+			have = 63
+		}
+		dst[i] = byte(buf & 1)
+		buf >>= 1
+		have--
+	}
+}
+
+// Phase returns a uniform phase in [0, 2π).
+func (s *Source) Phase() float64 { return 2 * math.Pi * s.r.Float64() }
+
+// UnitPhasor returns e^{jθ} with θ uniform in [0, 2π).
+func (s *Source) UnitPhasor() complex128 {
+	th := s.Phase()
+	return complex(math.Cos(th), math.Sin(th))
+}

@@ -1,0 +1,128 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(1)
+	c1 := a.Split()
+	c2 := a.Split()
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("split children correlated: %d/50 equal draws", same)
+	}
+}
+
+func TestSplitNCount(t *testing.T) {
+	children := New(2).SplitN(5)
+	if len(children) != 5 {
+		t.Fatalf("%d children", len(children))
+	}
+	for i, c := range children {
+		if c == nil {
+			t.Fatalf("child %d nil", i)
+		}
+	}
+}
+
+func TestCNStatistics(t *testing.T) {
+	src := New(3)
+	const n = 200000
+	var mean complex128
+	var power float64
+	for i := 0; i < n; i++ {
+		v := src.CN(2.0)
+		mean += v / n
+		power += (real(v)*real(v) + imag(v)*imag(v)) / n
+	}
+	if math.Hypot(real(mean), imag(mean)) > 0.02 {
+		t.Fatalf("CN mean %v not ≈0", mean)
+	}
+	if math.Abs(power-2.0) > 0.05 {
+		t.Fatalf("CN power %g, want 2.0", power)
+	}
+}
+
+func TestCNVector(t *testing.T) {
+	src := New(4)
+	v := make([]complex128, 64)
+	src.CNVector(v, 1)
+	zero := 0
+	for _, x := range v {
+		if x == 0 {
+			zero++
+		}
+	}
+	if zero > 0 {
+		t.Fatalf("%d zero draws", zero)
+	}
+}
+
+func TestBitsBalanced(t *testing.T) {
+	src := New(5)
+	bits := make([]byte, 10000)
+	src.Bits(bits)
+	ones := 0
+	for _, b := range bits {
+		if b > 1 {
+			t.Fatalf("bit value %d", b)
+		}
+		ones += int(b)
+	}
+	if ones < 4700 || ones > 5300 {
+		t.Fatalf("bits unbalanced: %d ones", ones)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	src := New(6)
+	seen := make([]bool, 16)
+	for i := 0; i < 1000; i++ {
+		v := src.Intn(16)
+		if v < 0 || v >= 16 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d never drawn", v)
+		}
+	}
+}
+
+func TestUnitPhasor(t *testing.T) {
+	src := New(7)
+	for i := 0; i < 100; i++ {
+		z := src.UnitPhasor()
+		if math.Abs(math.Hypot(real(z), imag(z))-1) > 1e-12 {
+			t.Fatalf("phasor magnitude %g", math.Hypot(real(z), imag(z)))
+		}
+	}
+}
+
+func TestPhaseRange(t *testing.T) {
+	src := New(8)
+	for i := 0; i < 1000; i++ {
+		p := src.Phase()
+		if p < 0 || p >= 2*math.Pi {
+			t.Fatalf("phase %g out of range", p)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/constellation"
+	"repro/internal/precode"
+	"repro/internal/rng"
+)
+
+// DownlinkPrecoding reproduces the §6.3 extension: downlink symbol
+// error rates and transmit-power penalties of zero-forcing (channel
+// inversion) precoding versus the vector-perturbation sphere encoder,
+// on square downlink channels where inversion pays the same
+// conditioning penalty as uplink ZF.
+func DownlinkPrecoding(opts Options) (*Table, error) {
+	t := &Table{
+		Title:   "Downlink precoding (§6.3): channel inversion vs vector-perturbation sphere encoding (K×K, 16-QAM)",
+		Columns: []string{"clients", "SNR(dB)", "ZF SER", "VP SER", "power saved (dB)"},
+	}
+	type point struct {
+		k   int
+		snr float64
+	}
+	var points []point
+	for _, k := range []int{2, 4} {
+		for _, snr := range []float64{15, 20, 25} {
+			points = append(points, point{k, snr})
+		}
+	}
+	vectors := 80 * opts.Frames // symbol vectors per point
+	rows := make([][]string, len(points))
+	if err := parallelFor(len(points), func(i int) error {
+		p := points[i]
+		src := rng.New(seedFor(opts, fmt.Sprintf("downlink/%d/%g", p.k, p.snr)))
+		cons := constellation.QAM16
+		zf := precode.NewZF(cons)
+		vp := precode.NewVP(cons)
+		noiseVar := channel.NoiseVarForSNRdB(p.snr)
+		var zfErrs, vpErrs, total int
+		var zfPow, vpPow float64
+		for v := 0; v < vectors; v++ {
+			h := channel.Rayleigh(src, p.k, p.k)
+			if err := zf.Prepare(h); err != nil {
+				continue // singular draw: skip, both precoders equally
+			}
+			if err := vp.Prepare(h); err != nil {
+				continue
+			}
+			idx := make([]int, p.k)
+			s := make([]complex128, p.k)
+			for j := range s {
+				idx[j] = src.Intn(cons.Size())
+				s[j] = cons.PointIndex(idx[j])
+			}
+			xz, gz, err := zf.Encode(s)
+			if err != nil {
+				return err
+			}
+			xv, gv, err := vp.Encode(s)
+			if err != nil {
+				return err
+			}
+			zfPow += gz
+			vpPow += gv
+			seed := src.Int63()
+			yz := h.MulVec(nil, xz)
+			yv := h.MulVec(nil, xv)
+			nz := rng.New(seed)
+			nv := rng.New(seed)
+			for j := range yz {
+				yz[j] += nz.CN(noiseVar)
+				yv[j] += nv.CN(noiseVar)
+			}
+			for j := range idx {
+				total++
+				if zf.Decode(yz[j], gz) != idx[j] {
+					zfErrs++
+				}
+				if vp.Decode(yv[j], gv) != idx[j] {
+					vpErrs++
+				}
+			}
+		}
+		saved := "-"
+		if vpPow > 0 {
+			saved = fmt.Sprintf("%.1f", 10*math.Log10(zfPow/vpPow))
+		}
+		rows[i] = []string{
+			fmt.Sprintf("%d", p.k), fmt.Sprintf("%g", p.snr),
+			fmt.Sprintf("%.4f", float64(zfErrs)/float64(total)),
+			fmt.Sprintf("%.4f", float64(vpErrs)/float64(total)),
+			saved,
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	t.Notes = append(t.Notes,
+		"§6.3: sphere-encoder precoding is complementary to Geosphere's receiver techniques; the two attack the same conditioning penalty from opposite ends of the link")
+	return t, nil
+}

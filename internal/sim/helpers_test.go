@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/link"
+	"repro/internal/rng"
+	"repro/internal/testbed"
+)
+
+func TestConditioningCDFs(t *testing.T) {
+	tr, err := testbed.Generate(testbed.OfficePlan(), testbed.GenerateConfig{
+		Seed: 12, NumClients: 2, NumAntennas: 2, LinksPerAP: 1, Realizations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, lam, err := conditioningCDFs(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSamples := 3 * 48 // 3 APs × 1 link × 1 realization × 48 subcarriers
+	if k2.Len() != wantSamples || lam.Len() != wantSamples {
+		t.Fatalf("CDF sizes %d/%d, want %d", k2.Len(), lam.Len(), wantSamples)
+	}
+	// Λ can never exceed κ² in distribution at the top quantile.
+	if lam.Quantile(0.99) > k2.Quantile(0.99)+1e-6 {
+		t.Fatalf("Λ q99 (%g) exceeds κ² q99 (%g)", lam.Quantile(0.99), k2.Quantile(0.99))
+	}
+}
+
+func TestFindSNRForFERReturnsViablePoint(t *testing.T) {
+	opts := QuickOptions()
+	newSource := func() link.ChannelSource {
+		s, err := link.NewRayleighSource(rng.New(1), 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	snr, err := findSNRForFER(opts, constellation.QAM16, 0.5, newSource, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr < 12 || snr > 48 {
+		t.Fatalf("SNR* = %g outside the sweep range", snr)
+	}
+	// A loose target must never need more SNR than a tight one.
+	tight, err := findSNRForFER(opts, constellation.QAM16, 0.05, newSource, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr > tight {
+		t.Fatalf("FER 0.5 needed %g dB but FER 0.05 only %g", snr, tight)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	s := shape{nc: 3, na: 4}
+	if got := s.String(); !strings.Contains(got, "3") || !strings.Contains(got, "4") {
+		t.Fatalf("shape string %q", got)
+	}
+}
+
+func TestDefaultAndQuickOptionsDiffer(t *testing.T) {
+	d, q := DefaultOptions(), QuickOptions()
+	if q.Frames >= d.Frames || q.LinksPerAP >= d.LinksPerAP {
+		t.Fatal("quick options are not smaller than defaults")
+	}
+	if d.Seed != q.Seed {
+		t.Fatal("seeds should match so quick runs preview default runs")
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/ofdm"
+	"repro/internal/phy"
+	"repro/internal/rng"
+)
+
+// IterativeReceiver reproduces the §7 future-work receiver end to end:
+// frame error rates of (a) hard-decision Geosphere + Viterbi, (b) the
+// soft list sphere decoder + soft Viterbi, and (c) the full iterative
+// MMSE-PIC/BCJR turbo loop, over flat 4×4 Rayleigh frames near the
+// waterfall region.
+func IterativeReceiver(opts Options) (*Table, error) {
+	t := &Table{
+		Title:   "Iterative detection-decoding (§7): hard vs soft vs turbo (4×4, 16-QAM, flat Rayleigh)",
+		Columns: []string{"SNR(dB)", "hard FER", "soft FER", "turbo FER", "avg turbo iters"},
+	}
+	cfg := phy.Config{Cons: constellation.QAM16, Rate: fec.Rate12, NumSymbols: opts.NumSymbols}
+	hardLink, err := phy.NewLink(cfg)
+	if err != nil {
+		return nil, err
+	}
+	softCfg := cfg
+	softCfg.SoftDecoding = true
+	softLink, err := phy.NewLink(softCfg)
+	if err != nil {
+		return nil, err
+	}
+	snrs := []float64{10, 11, 12, 13, 14}
+	// The turbo loop re-detects whole frames, so cap the per-point
+	// frame count to keep the experiment's runtime proportionate.
+	frames := 4 * opts.Frames
+	if frames > 100 {
+		frames = 100
+	}
+	rows := make([][]string, len(snrs))
+	if err := parallelFor(len(snrs), func(i int) error {
+		snr := snrs[i]
+		noise := channel.NoiseVarForSNRdB(snr)
+		base := seedFor(opts, fmt.Sprintf("iterative/%g", snr))
+		var hardErr, softErr, turboErr int
+		var iters int
+		for fi := 0; fi < frames; fi++ {
+			seed := base + int64(31*fi)
+			chSrc := rng.New(seed)
+			h := channel.Rayleigh(chSrc, 4, 4)
+			flat := make([]*cmplxmat.Matrix, ofdm.NumData)
+			for sc := range flat {
+				flat[sc] = h
+			}
+			f, err := hardLink.Encode(rng.New(seed+1), 4)
+			if err != nil {
+				return err
+			}
+			rh, err := hardLink.TransmitReceive(rng.New(seed+2), f, flat, core.NewGeosphere(cfg.Cons), noise)
+			if err != nil {
+				return err
+			}
+			rs, err := softLink.TransmitReceive(rng.New(seed+2), f, flat, core.NewListSphereDecoder(cfg.Cons), noise)
+			if err != nil {
+				return err
+			}
+			rt, err := hardLink.TransmitReceiveIterative(rng.New(seed+2), f, flat, noise, 4)
+			if err != nil {
+				return err
+			}
+			if !rh.FrameOK() {
+				hardErr++
+			}
+			if !rs.FrameOK() {
+				softErr++
+			}
+			if !rt.FrameOK() {
+				turboErr++
+			}
+			iters += rt.Iterations
+		}
+		rows[i] = []string{
+			fmt.Sprintf("%g", snr),
+			fmt.Sprintf("%.3f", float64(hardErr)/float64(frames)),
+			fmt.Sprintf("%.3f", float64(softErr)/float64(frames)),
+			fmt.Sprintf("%.3f", float64(turboErr)/float64(frames)),
+			fmt.Sprintf("%.2f", float64(iters)/float64(frames)),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	t.Notes = append(t.Notes,
+		"§7: iterative soft processing is required to reach MIMO capacity; the turbo loop pushes the FER waterfall 1-2 dB left of hard-decision Geosphere")
+	return t, nil
+}

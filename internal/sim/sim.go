@@ -1,0 +1,227 @@
+// Package sim is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§5). Each experiment function
+// returns a printable Table whose rows mirror the series the paper
+// plots; cmd/geosim prints them and the repository's benchmarks run
+// reduced-size versions of the same code paths.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/kbest"
+	"repro/internal/linear"
+	"repro/internal/testbed"
+)
+
+// Options sizes an experiment run. The zero value is invalid; use
+// DefaultOptions (paper-scale shapes at laptop-scale runtimes) or
+// QuickOptions (for benchmarks and smoke tests).
+type Options struct {
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// Frames per measurement point for throughput experiments.
+	Frames int
+	// NumSymbols is the OFDM symbols per frame.
+	NumSymbols int
+	// LinksPerAP and Realizations size generated testbed traces.
+	LinksPerAP   int
+	Realizations int
+	// SearchFrames is the frames per SNR probe when searching for a
+	// target frame error rate (Figure 15 methodology).
+	SearchFrames int
+}
+
+// DefaultOptions returns the sizes used for the recorded results in
+// EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{
+		Seed:         2014, // SIGCOMM year, for luck
+		Frames:       60,
+		NumSymbols:   8,
+		LinksPerAP:   8,
+		Realizations: 3,
+		SearchFrames: 40,
+	}
+}
+
+// QuickOptions returns reduced sizes for benchmarks and CI.
+func QuickOptions() Options {
+	return Options{
+		Seed:         2014,
+		Frames:       6,
+		NumSymbols:   4,
+		LinksPerAP:   2,
+		Realizations: 1,
+		SearchFrames: 6,
+	}
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Detector factories shared across experiments.
+
+// GeosphereFactory builds the full Geosphere detector.
+func GeosphereFactory(cons *constellation.Constellation, _ float64) core.Detector {
+	return core.NewGeosphere(cons)
+}
+
+// ZigzagOnlyFactory builds the 2D-zigzag-only Geosphere variant.
+func ZigzagOnlyFactory(cons *constellation.Constellation, _ float64) core.Detector {
+	return core.NewGeosphereZigzagOnly(cons)
+}
+
+// ETHSDFactory builds the ETH-SD comparison decoder.
+func ETHSDFactory(cons *constellation.Constellation, _ float64) core.Detector {
+	return core.NewETHSD(cons)
+}
+
+// ZFFactory builds a zero-forcing detector.
+func ZFFactory(cons *constellation.Constellation, _ float64) core.Detector {
+	return linear.NewZF(cons)
+}
+
+// MMSEFactory builds an MMSE detector for the run's noise variance.
+func MMSEFactory(cons *constellation.Constellation, noiseVar float64) core.Detector {
+	return linear.NewMMSE(cons, noiseVar)
+}
+
+// MMSESICFactory builds an MMSE-SIC detector.
+func MMSESICFactory(cons *constellation.Constellation, noiseVar float64) core.Detector {
+	return linear.NewMMSESIC(cons, noiseVar)
+}
+
+// KBestFactory builds a K-best decoder sized √|O| (a common choice).
+func KBestFactory(cons *constellation.Constellation, _ float64) core.Detector {
+	d, err := kbest.NewKBest(cons, cons.Side())
+	if err != nil {
+		panic(err) // side ≥ 2 always
+	}
+	return d
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS workers
+// and returns the first error.
+func parallelFor(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// generateTrace builds a campaign trace for the given shape, caching
+// nothing: experiments remain independent and deterministic.
+func generateTrace(opts Options, nc, na int) (*testbed.Trace, error) {
+	return testbed.Generate(testbed.OfficePlan(), testbed.GenerateConfig{
+		Seed:         opts.Seed + int64(1000*nc+na),
+		NumClients:   nc,
+		NumAntennas:  na,
+		LinksPerAP:   opts.LinksPerAP,
+		Realizations: opts.Realizations,
+	})
+}
+
+// seedFor derives a per-point seed from a label, keeping points
+// decoupled when they run in parallel.
+func seedFor(opts Options, label string) int64 {
+	var h int64 = 1469598103934665603
+	for _, r := range label {
+		h ^= int64(r)
+		h *= 1099511628211
+	}
+	return opts.Seed ^ h
+}

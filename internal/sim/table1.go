@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table1 reproduces the paper's Table 1: the one-line conclusions of
+// the three experiment groups, computed from the same machinery the
+// individual figures use (at reduced sweep size).
+func Table1(opts Options) (*Table, error) {
+	t := &Table{
+		Title:   "Table 1: summary of major experimental results",
+		Columns: []string{"experiment", "conclusion (this reproduction)"},
+	}
+
+	// Channel characterization (§5.1).
+	tr22, err := generateTrace(opts, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	tr44, err := generateTrace(opts, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	k22, _, err := conditioningCDFs(tr22)
+	if err != nil {
+		return nil, err
+	}
+	k44, _, err := conditioningCDFs(tr44)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("Channel characterization (§5.1)",
+		fmt.Sprintf("2×2 channels poorly conditioned %.0f%% of the time; 4×4 %.0f%% (paper: 60%% / almost always)",
+			100*k22.FractionAbove(10), 100*k44.FractionAbove(10)))
+
+	// Throughput comparison (§5.2) at the middle SNR point.
+	gain := func(nc, na int) (float64, error) {
+		trg, err := generateTrace(opts, nc, na)
+		if err != nil {
+			return 0, err
+		}
+		label := fmt.Sprintf("table1/%dx%d", nc, na)
+		zf, err := measurePoint(opts, trg, 20, ZFFactory, label+"/zf")
+		if err != nil {
+			return 0, err
+		}
+		geo, err := measurePoint(opts, trg, 20, GeosphereFactory, label+"/geo")
+		if err != nil {
+			return 0, err
+		}
+		if zf.NetMbps == 0 {
+			return -1, nil
+		}
+		return geo.NetMbps / zf.NetMbps, nil
+	}
+	g44, err := gain(4, 4)
+	if err != nil {
+		return nil, err
+	}
+	g22, err := gain(2, 2)
+	if err != nil {
+		return nil, err
+	}
+	fmtGain := func(g float64) string {
+		if g < 0 {
+			return "∞ (ZF decoded nothing)"
+		}
+		return fmt.Sprintf("%.2f×", g)
+	}
+	t.AddRow("Throughput comparison (§5.2)",
+		fmt.Sprintf("Geosphere over MU-MIMO ZF at 20 dB: %s for 4×4, %s for 2×2 (paper: 2× / +47%%)",
+			fmtGain(g44), fmtGain(g22)))
+
+	// Computational complexity (§5.3): 256-QAM 4×4 Rayleigh at 10% FER.
+	fifteenB, err := fig15(opts, 4, 0.10, "internal")
+	if err != nil {
+		return nil, err
+	}
+	var reduction string
+	for _, row := range fifteenB.Rows {
+		if row[0] == "rayleigh" && strings.HasPrefix(row[1], "256") {
+			reduction = row[6]
+		}
+	}
+	t.AddRow("Computational complexity (§5.3)",
+		fmt.Sprintf("Geosphere needs %s the PED computations of ETH-SD for 256-QAM 4×4 (paper: ~an order of magnitude less)", reduction))
+	return t, nil
+}
+
+// Experiments maps experiment identifiers to their functions, the
+// registry cmd/geosim dispatches on.
+var Experiments = map[string]func(Options) (*Table, error){
+	"table1":             Table1,
+	"fig9":               Fig9,
+	"fig10":              Fig10,
+	"fig11":              Fig11,
+	"fig12":              Fig12,
+	"fig13":              Fig13,
+	"fig14":              Fig14,
+	"fig15a":             Fig15a,
+	"fig15b":             Fig15b,
+	"pruning-ablation":   PruningAblation,
+	"soft-vs-hard":       SoftVsHard,
+	"hybrid-ablation":    HybridAblation,
+	"ordering-ablation":  OrderingAblation,
+	"downlink-precoding": DownlinkPrecoding,
+	"estimated-csi":      EstimatedCSI,
+	"channel-hardening":  ChannelHardening,
+	"iterative-receiver": IterativeReceiver,
+	"fer-waterfall":      FERWaterfall,
+	"rvd-ablation":       RVDAblation,
+	"statprune-ablation": StatisticalPruningAblation,
+}
+
+// ExperimentNames returns the registry's keys in a stable order.
+func ExperimentNames() []string {
+	names := make([]string, 0, len(Experiments))
+	for n := range Experiments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

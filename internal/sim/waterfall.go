@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/constellation"
+	"repro/internal/fec"
+	"repro/internal/link"
+	"repro/internal/rng"
+)
+
+// FERWaterfall sweeps SNR and prints the coded frame error rate of
+// every detector family on 4×4 16-QAM Rayleigh frames — the waterfall
+// curves that underlie all of the paper's throughput numbers. The
+// maximum-likelihood decoders (Geosphere, ETH-SD) share one curve by
+// construction; the gap to the linear detectors is the capacity the
+// paper converts into throughput.
+func FERWaterfall(opts Options) (*Table, error) {
+	t := &Table{
+		Title:   "FER waterfall: coded frame error rate vs SNR (4×4, 16-QAM, Rayleigh)",
+		Columns: []string{"SNR(dB)", "ZF", "MMSE", "MMSE-SIC", "K-best", "Geosphere"},
+	}
+	snrs := []float64{10, 13, 16, 19, 22, 25, 28}
+	dets := []struct {
+		name    string
+		factory link.DetectorFactory
+	}{
+		{"zf", ZFFactory},
+		{"mmse", MMSEFactory},
+		{"sic", MMSESICFactory},
+		{"kbest", KBestFactory},
+		{"geo", GeosphereFactory},
+	}
+	rows := make([][]string, len(snrs))
+	if err := parallelFor(len(snrs), func(i int) error {
+		snr := snrs[i]
+		row := []string{fmt.Sprintf("%g", snr)}
+		for _, d := range dets {
+			label := fmt.Sprintf("waterfall/%g", snr) // shared: same channels/noise per detector
+			cfg := link.RunConfig{
+				Cons: constellation.QAM16, Rate: fec.Rate12,
+				NumSymbols: opts.NumSymbols, Frames: 2 * opts.Frames,
+				SNRdB: snr, Seed: seedFor(opts, label),
+			}
+			src, err := link.NewRayleighSource(rng.New(seedFor(opts, label)), 4, 4)
+			if err != nil {
+				return err
+			}
+			m, err := link.Run(cfg, src, d.factory)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.3f", m.FER()))
+		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	t.Notes = append(t.Notes,
+		"the ML curve (Geosphere) falls several dB left of the linear detectors; K-best at K=√|O| tracks it closely until the waterfall")
+	return t, nil
+}

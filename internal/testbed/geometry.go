@@ -1,0 +1,182 @@
+// Package testbed substitutes the paper's WARP v3 indoor testbed
+// (Figure 8) with a synthetic geometric channel model and a
+// trace-record/replay layer, so every experiment in §5 runs
+// trace-driven exactly as in the paper.
+//
+// The model is ray-based: each client→AP link is a LoS ray plus one
+// ray per nearby reflector (furniture, walls), with exact per-antenna
+// propagation delays — spherical wavefronts, not plane-wave steering
+// approximations — wall-crossing attenuation, and per-realization
+// random path phases standing in for people moving through the space.
+// What matters for the paper's conclusions is that the resulting
+// ensemble reproduces the conditioning statistics of Figures 9 and 10:
+// when reflectors cluster near one endpoint the angular separation at
+// the other end collapses (Figure 2) and the channel matrix becomes
+// poorly conditioned.
+package testbed
+
+import (
+	"math"
+)
+
+// Physical constants of the deployment (§5: 20 MHz channel in the
+// 5 GHz ISM band, AP antennas 3.2λ apart).
+const (
+	// CarrierHz is the carrier frequency.
+	CarrierHz = 5.25e9
+	// SpeedOfLight in m/s.
+	SpeedOfLight = 2.99792458e8
+	// Wavelength at the carrier.
+	Wavelength = SpeedOfLight / CarrierHz
+	// AntennaSpacing between consecutive AP antennas (≈3.2λ ≈ 18 cm,
+	// the paper quotes "about 20 cm").
+	AntennaSpacing = 3.2 * Wavelength
+	// SubcarrierSpacingHz of the 20 MHz OFDM channel.
+	SubcarrierSpacingHz = 312.5e3
+)
+
+// Point is a 2-D position in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Wall is a line segment that attenuates rays crossing it.
+type Wall struct {
+	A, B   Point
+	LossDB float64
+}
+
+// Reflector is a point scatterer (furniture edge, metal cabinet, wall
+// corner) that contributes one reflected ray per link passing nearby.
+type Reflector struct {
+	Pos    Point
+	LossDB float64 // reflection loss relative to free space
+}
+
+// AP is a multi-antenna access point with a uniform linear array.
+type AP struct {
+	Name     string
+	Pos      Point
+	Antennas int
+	// OrientRad is the array axis angle; antenna i sits at
+	// Pos + i·AntennaSpacing·(cos, sin)(OrientRad).
+	OrientRad float64
+}
+
+// AntennaPos returns the position of antenna i.
+func (a AP) AntennaPos(i int) Point {
+	return Point{
+		X: a.Pos.X + float64(i)*AntennaSpacing*math.Cos(a.OrientRad),
+		Y: a.Pos.Y + float64(i)*AntennaSpacing*math.Sin(a.OrientRad),
+	}
+}
+
+// ClientPos is a named single-antenna client position.
+type ClientPos struct {
+	Name string
+	Pos  Point
+}
+
+// Plan is a floor plan: geometry plus AP and client placements.
+type Plan struct {
+	Width, Height float64
+	Walls         []Wall
+	Reflectors    []Reflector
+	APs           []AP
+	Clients       []ClientPos
+}
+
+// segmentsIntersect reports whether segments p1p2 and p3p4 properly
+// intersect (shared endpoints count as crossing, which is conservative
+// for wall attenuation).
+func segmentsIntersect(p1, p2, p3, p4 Point) bool {
+	d := func(a, b, c Point) float64 {
+		return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+	}
+	d1 := d(p3, p4, p1)
+	d2 := d(p3, p4, p2)
+	d3 := d(p1, p2, p3)
+	d4 := d(p1, p2, p4)
+	return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
+}
+
+// WallLossDB sums the attenuation of all walls crossed by the straight
+// ray from a to b.
+func (p *Plan) WallLossDB(a, b Point) float64 {
+	var loss float64
+	for _, w := range p.Walls {
+		if segmentsIntersect(a, b, w.A, w.B) {
+			loss += w.LossDB
+		}
+	}
+	return loss
+}
+
+// OfficePlan builds the default floor plan used throughout the
+// evaluation: a 30 m × 16 m office floor in the spirit of Figure 8,
+// with a central corridor, six rooms, three APs, and twelve client
+// positions. Reflectors cluster inside the rooms (desks, cabinets,
+// wall corners), so clients deep inside a room see rich local
+// scattering while the AP sees it through a narrow angular window —
+// the poorly-conditioned geometry of Figure 2(b).
+func OfficePlan() *Plan {
+	p := &Plan{Width: 30, Height: 16}
+	wall := func(x1, y1, x2, y2 float64) {
+		p.Walls = append(p.Walls, Wall{A: Point{x1, y1}, B: Point{x2, y2}, LossDB: 5})
+	}
+	// Corridor between y=7 and y=9; rooms above and below, 10 m wide.
+	wall(0, 7, 12, 7) // corridor south wall, door gap 12..14
+	wall(14, 7, 30, 7)
+	wall(0, 9, 6, 9) // corridor north wall, door gaps
+	wall(8, 9, 20, 9)
+	wall(22, 9, 30, 9)
+	wall(10, 0, 10, 7) // south room dividers
+	wall(20, 0, 20, 7)
+	wall(10, 9, 10, 16) // north room dividers
+	wall(20, 9, 20, 16)
+
+	refl := func(x, y, loss float64) {
+		p.Reflectors = append(p.Reflectors, Reflector{Pos: Point{x, y}, LossDB: loss})
+	}
+	// Room-local scatterers: desks, cabinets, window frames. Each room
+	// gets a handful clustered near its interior walls.
+	roomAnchors := []Point{
+		{5, 3.5}, {15, 3.5}, {25, 3.5}, // south rooms
+		{5, 12.5}, {15, 12.5}, {25, 12.5}, // north rooms
+	}
+	offsets := []Point{{-3.2, -2.1}, {3.1, -1.7}, {-2.7, 2.3}, {2.9, 2.0}, {0.4, -3.0}, {-1.1, 2.8}}
+	for ri, anchor := range roomAnchors {
+		for oi, off := range offsets {
+			refl(anchor.X+off.X*0.9, anchor.Y+off.Y*0.9, 6+float64((ri+oi)%3)*2)
+		}
+	}
+	// Corridor scatterers: metal door frames and pillars.
+	refl(7, 8, 5)
+	refl(13, 8.2, 6)
+	refl(19, 7.8, 5)
+	refl(26, 8.1, 7)
+
+	// APs: one in the corridor, two in rooms (squares in Figure 8).
+	p.APs = []AP{
+		{Name: "AP-corridor", Pos: Point{14.0, 8.0}, Antennas: 4, OrientRad: 0},
+		{Name: "AP-north", Pos: Point{6.0, 13.0}, Antennas: 4, OrientRad: math.Pi / 3},
+		{Name: "AP-south", Pos: Point{24.0, 3.0}, Antennas: 4, OrientRad: -math.Pi / 4},
+	}
+	// Client positions spread over the rooms and corridor (circles and
+	// triangles in Figure 8).
+	p.Clients = []ClientPos{
+		{"C1", Point{3.0, 2.5}}, {"C2", Point{7.5, 4.8}},
+		{"C3", Point{13.0, 2.0}}, {"C4", Point{17.0, 5.5}},
+		{"C5", Point{23.0, 2.0}}, {"C6", Point{28.0, 5.0}},
+		{"C7", Point{3.5, 14.0}}, {"C8", Point{8.0, 11.0}},
+		{"C9", Point{13.5, 13.5}}, {"C10", Point{18.0, 10.5}},
+		{"C11", Point{24.5, 14.5}}, {"C12", Point{28.5, 11.0}},
+	}
+	return p
+}

@@ -1,0 +1,168 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/rng"
+)
+
+// ray is one propagation path from a client to the AP: either LoS or a
+// single-bounce reflection. The receiving antenna's exact position
+// enters later, so a ray stores the last hop's origin.
+type ray struct {
+	origin   Point   // last point before the AP (client or reflector)
+	preDist  float64 // distance already travelled before origin
+	ampDB    float64 // total loss in dB excluding free-space spreading
+	phaseOff float64 // per-realization random phase (people moving)
+}
+
+// Model synthesizes per-subcarrier MIMO channel matrices for client
+// sets against an AP on a Plan.
+type Model struct {
+	Plan *Plan
+	// MaxReflectorDist bounds which reflectors contribute to a link:
+	// a reflector participates if it is within this distance of the
+	// client (local scattering dominates indoors).
+	MaxReflectorDist float64
+	// LoSLossDB de-emphasizes or emphasizes the direct path; 0 keeps
+	// pure free-space LoS.
+	LoSLossDB float64
+	// Subcarriers is the number of data subcarriers (48 for 20 MHz).
+	Subcarriers int
+}
+
+// NewModel returns a Model with the calibrated defaults used by the
+// evaluation.
+func NewModel(plan *Plan) *Model {
+	return &Model{
+		Plan:             plan,
+		MaxReflectorDist: 8.0,
+		LoSLossDB:        -10,
+		Subcarriers:      48,
+	}
+}
+
+// subcarrierFreq returns the baseband frequency offset of data
+// subcarrier index i (0..Subcarriers−1) using the 802.11 layout
+// (signed indices −26..26 without DC and pilots).
+func subcarrierFreq(i, n int) float64 {
+	// Spread the n data subcarriers over ±26 spacing slots like the
+	// ofdm package does; the exact pilot gaps are immaterial to the
+	// channel statistics, so use an even spread.
+	k := float64(i) - float64(n-1)/2
+	return k * SubcarrierSpacingHz * 52.0 / float64(n)
+}
+
+// clientRays builds the ray set for one client towards one AP. Phases
+// are drawn from src per realization.
+func (m *Model) clientRays(src *rng.Source, ap AP, cl Point) []ray {
+	var rays []ray
+	// Line-of-sight ray.
+	losLoss := m.Plan.WallLossDB(cl, ap.Pos) + m.LoSLossDB
+	rays = append(rays, ray{
+		origin:   cl,
+		preDist:  0,
+		ampDB:    -losLoss,
+		phaseOff: src.Phase(),
+	})
+	// One single-bounce ray per reflector near the client.
+	for _, rf := range m.Plan.Reflectors {
+		d1 := cl.Dist(rf.Pos)
+		if d1 > m.MaxReflectorDist || d1 < 0.3 {
+			continue
+		}
+		loss := rf.LossDB +
+			m.Plan.WallLossDB(cl, rf.Pos) +
+			m.Plan.WallLossDB(rf.Pos, ap.Pos)
+		rays = append(rays, ray{
+			origin:   rf.Pos,
+			preDist:  d1,
+			ampDB:    -loss,
+			phaseOff: src.Phase(),
+		})
+	}
+	return rays
+}
+
+// Realize draws one channel realization for the given AP and client
+// positions: a slice of Subcarriers matrices, each na×nc, normalized
+// so that the average entry power over antennas and subcarriers is one
+// per client (transmit power control, matching the package channel's
+// SNR convention while preserving conditioning structure).
+func (m *Model) Realize(src *rng.Source, ap AP, clients []Point) ([]*cmplxmat.Matrix, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("testbed: no clients given")
+	}
+	if ap.Antennas <= 0 {
+		return nil, fmt.Errorf("testbed: AP %q has no antennas", ap.Name)
+	}
+	na, nc, nsc := ap.Antennas, len(clients), m.Subcarriers
+	hs := make([]*cmplxmat.Matrix, nsc)
+	for s := range hs {
+		hs[s] = cmplxmat.New(na, nc)
+	}
+	for c, cl := range clients {
+		rays := m.clientRays(src, ap, cl)
+		var power float64
+		col := make([][]complex128, nsc) // [subcarrier][antenna]
+		for s := range col {
+			col[s] = make([]complex128, na)
+		}
+		for _, r := range rays {
+			amp := math.Pow(10, r.ampDB/20)
+			for a := 0; a < na; a++ {
+				dist := r.preDist + r.origin.Dist(ap.AntennaPos(a))
+				// Free-space spreading over the full path length,
+				// referenced to 1 m.
+				g := amp / math.Max(dist, 1)
+				tau := dist / SpeedOfLight
+				carrier := -2*math.Pi*CarrierHz*tau + r.phaseOff
+				for s := 0; s < nsc; s++ {
+					f := subcarrierFreq(s, nsc)
+					ph := carrier - 2*math.Pi*f*tau
+					col[s][a] += complex(g*math.Cos(ph), g*math.Sin(ph))
+				}
+			}
+		}
+		for s := range col {
+			for a := range col[s] {
+				v := col[s][a]
+				power += real(v)*real(v) + imag(v)*imag(v)
+			}
+		}
+		if power == 0 {
+			return nil, fmt.Errorf("testbed: client %d has a null channel (fully blocked)", c)
+		}
+		// Per-client power control to unit average entry power.
+		scale := complex(math.Sqrt(float64(na*nsc)/power), 0)
+		for s := range col {
+			for a := range col[s] {
+				hs[s].Set(a, c, col[s][a]*scale)
+			}
+		}
+	}
+	return hs, nil
+}
+
+// ReducedAntennaView returns the view of per-subcarrier channels using
+// only the first na rows (e.g. a 2-antenna AP mode on 4-antenna
+// hardware, used for the 2×2 experiments). The matrices are copies.
+func ReducedAntennaView(hs []*cmplxmat.Matrix, na int) ([]*cmplxmat.Matrix, error) {
+	if len(hs) == 0 {
+		return nil, fmt.Errorf("testbed: empty channel list")
+	}
+	if na <= 0 || na > hs[0].Rows {
+		return nil, fmt.Errorf("testbed: cannot reduce %d antennas to %d", hs[0].Rows, na)
+	}
+	out := make([]*cmplxmat.Matrix, len(hs))
+	for i, h := range hs {
+		r := cmplxmat.New(na, h.Cols)
+		for a := 0; a < na; a++ {
+			copy(r.Row(a), h.Row(a))
+		}
+		out[i] = r
+	}
+	return out, nil
+}

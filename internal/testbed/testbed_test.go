@@ -1,0 +1,310 @@
+package testbed
+
+import (
+	"compress/gzip"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+func TestWallCrossing(t *testing.T) {
+	p := &Plan{Walls: []Wall{{A: Point{0, 5}, B: Point{10, 5}, LossDB: 5}}}
+	if got := p.WallLossDB(Point{2, 0}, Point{2, 10}); got != 5 {
+		t.Fatalf("crossing loss %g, want 5", got)
+	}
+	if got := p.WallLossDB(Point{2, 0}, Point{8, 4}); got != 0 {
+		t.Fatalf("non-crossing loss %g, want 0", got)
+	}
+	// Parallel to the wall: no crossing.
+	if got := p.WallLossDB(Point{0, 6}, Point{10, 6}); got != 0 {
+		t.Fatalf("parallel loss %g, want 0", got)
+	}
+}
+
+func TestAntennaPositions(t *testing.T) {
+	ap := AP{Pos: Point{1, 2}, Antennas: 4, OrientRad: 0}
+	p0 := ap.AntennaPos(0)
+	p3 := ap.AntennaPos(3)
+	if p0 != ap.Pos {
+		t.Fatalf("antenna 0 not at AP position")
+	}
+	want := 3 * AntennaSpacing
+	if d := p0.Dist(p3); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("array length %g, want %g", d, want)
+	}
+}
+
+func TestOfficePlanSane(t *testing.T) {
+	p := OfficePlan()
+	if len(p.APs) < 2 || len(p.Clients) < 10 || len(p.Reflectors) < 20 {
+		t.Fatalf("plan too sparse: %d APs, %d clients, %d reflectors", len(p.APs), len(p.Clients), len(p.Reflectors))
+	}
+	for _, c := range p.Clients {
+		if c.Pos.X < 0 || c.Pos.X > p.Width || c.Pos.Y < 0 || c.Pos.Y > p.Height {
+			t.Fatalf("client %s outside plan", c.Name)
+		}
+	}
+}
+
+func TestRealizeShapesAndNormalization(t *testing.T) {
+	plan := OfficePlan()
+	m := NewModel(plan)
+	src := rng.New(1)
+	clients := []Point{plan.Clients[0].Pos, plan.Clients[3].Pos}
+	hs, err := m.Realize(src, plan.APs[0], clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != m.Subcarriers {
+		t.Fatalf("%d subcarrier matrices", len(hs))
+	}
+	for c := 0; c < 2; c++ {
+		var power float64
+		for _, h := range hs {
+			for a := 0; a < h.Rows; a++ {
+				v := h.At(a, c)
+				power += real(v)*real(v) + imag(v)*imag(v)
+			}
+		}
+		mean := power / float64(len(hs)*hs[0].Rows)
+		if math.Abs(mean-1) > 1e-9 {
+			t.Fatalf("client %d mean entry power %g, want 1", c, mean)
+		}
+	}
+}
+
+func TestRealizeErrors(t *testing.T) {
+	plan := OfficePlan()
+	m := NewModel(plan)
+	src := rng.New(1)
+	if _, err := m.Realize(src, plan.APs[0], nil); err == nil {
+		t.Fatal("empty client list accepted")
+	}
+	bad := plan.APs[0]
+	bad.Antennas = 0
+	if _, err := m.Realize(src, bad, []Point{{1, 1}}); err == nil {
+		t.Fatal("zero-antenna AP accepted")
+	}
+}
+
+// TestConditioningStatistics is the calibration acceptance test for
+// the §5.1 reproduction: the synthetic testbed must reproduce the
+// shape of Figures 9 and 10 — 2×2 channels poorly conditioned
+// (κ² > 10 dB) roughly 60% of the time, 4×4 nearly always, and 2×4
+// well conditioned.
+func TestConditioningStatistics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration statistics need many realizations")
+	}
+	plan := OfficePlan()
+	frac := func(nc, na int) (above10 float64, lambdaAbove5 float64) {
+		tr, err := Generate(plan, GenerateConfig{
+			Seed: 99, NumClients: nc, NumAntennas: na, LinksPerAP: 6, Realizations: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var k2s, lams []float64
+		if err := tr.Matrices(func(_ *LinkTrace, _, _ int, h *cmplxmat.Matrix) bool {
+			k2s = append(k2s, metrics.Kappa2dB(h))
+			lams = append(lams, metrics.LambdaDB(h))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return metrics.NewCDF(k2s).FractionAbove(10), metrics.NewCDF(lams).FractionAbove(5)
+	}
+	k22, l22 := frac(2, 2)
+	k44, l44 := frac(4, 4)
+	k24, l24 := frac(2, 4)
+	t.Logf("κ²>10dB: 2×2=%.2f 4×4=%.2f 2×4=%.2f", k22, k44, k24)
+	t.Logf("Λ>5dB:   2×2=%.2f 4×4=%.2f 2×4=%.2f", l22, l44, l24)
+	if k22 < 0.35 || k22 > 0.85 {
+		t.Errorf("2×2 poorly-conditioned fraction %.2f outside [0.35, 0.85] (paper ≈0.60)", k22)
+	}
+	if k44 < 0.80 {
+		t.Errorf("4×4 poorly-conditioned fraction %.2f < 0.80 (paper: nearly all)", k44)
+	}
+	if k24 >= k22 {
+		t.Errorf("2×4 should be better conditioned than 2×2: %.2f ≥ %.2f", k24, k22)
+	}
+	if l44 < l22 {
+		t.Errorf("Λ degradation should worsen with more streams: 4×4 %.2f < 2×2 %.2f", l44, l22)
+	}
+	if l24 > 0.4 {
+		t.Errorf("2×4 Λ>5dB fraction %.2f too high (paper: <3 dB for 90%% of channels)", l24)
+	}
+}
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	plan := OfficePlan()
+	tr, err := Generate(plan, GenerateConfig{Seed: 5, NumClients: 2, NumAntennas: 4, LinksPerAP: 1, Realizations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.gob.gz")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Subcarriers != tr.Subcarriers || len(got.Links) != len(tr.Links) {
+		t.Fatalf("trace shape changed on round trip")
+	}
+	h0, err := tr.Links[0].Matrix(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := got.Links[0].Matrix(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h0.Data {
+		if h0.Data[i] != h1.Data[i] {
+			t.Fatalf("trace data changed at %d", i)
+		}
+	}
+}
+
+func TestLoadTraceErrors(t *testing.T) {
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	bad := &Trace{Subcarriers: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero subcarriers accepted")
+	}
+	bad = &Trace{Subcarriers: 2, Links: []LinkTrace{{NA: 1, NC: 2}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("na < nc accepted")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	plan := OfficePlan()
+	if _, err := Generate(plan, GenerateConfig{NumClients: 4, NumAntennas: 2, LinksPerAP: 1, Realizations: 1}); err == nil {
+		t.Fatal("nc > na accepted")
+	}
+	if _, err := Generate(plan, GenerateConfig{NumClients: 2, NumAntennas: 2}); err == nil {
+		t.Fatal("zero links accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	plan := OfficePlan()
+	cfg := GenerateConfig{Seed: 11, NumClients: 2, NumAntennas: 2, LinksPerAP: 1, Realizations: 1}
+	a, err := Generate(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Links[0].H[0][0][0] != b.Links[0].H[0][0][0] {
+		t.Fatal("same seed produced different traces")
+	}
+}
+
+func TestReducedAntennaView(t *testing.T) {
+	plan := OfficePlan()
+	m := NewModel(plan)
+	src := rng.New(2)
+	hs, err := m.Realize(src, plan.APs[0], []Point{plan.Clients[0].Pos, plan.Clients[1].Pos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := ReducedAntennaView(hs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red[0].Rows != 2 || red[0].Cols != 2 {
+		t.Fatalf("reduced shape %d×%d", red[0].Rows, red[0].Cols)
+	}
+	if red[0].At(1, 1) != hs[0].At(1, 1) {
+		t.Fatal("reduced view changed entries")
+	}
+	if _, err := ReducedAntennaView(hs, 9); err == nil {
+		t.Fatal("oversize reduction accepted")
+	}
+	if _, err := ReducedAntennaView(nil, 1); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}
+
+func TestLoadTraceCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	// Not gzip at all.
+	plain := filepath.Join(dir, "plain")
+	if err := os.WriteFile(plain, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(plain); err == nil {
+		t.Fatal("non-gzip file accepted")
+	}
+	// Valid gzip, garbage gob.
+	garbled := filepath.Join(dir, "garbled.gz")
+	f, err := os.Create(garbled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write([]byte("gzip wrapped garbage, not gob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(garbled); err == nil {
+		t.Fatal("garbage gob accepted")
+	}
+	// Truncated valid trace.
+	plan := OfficePlan()
+	tr, err := Generate(plan, GenerateConfig{Seed: 8, NumClients: 2, NumAntennas: 2, LinksPerAP: 1, Realizations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "good.gz")
+	if err := tr.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.gz")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(trunc); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestLinkTraceMatrixBounds(t *testing.T) {
+	plan := OfficePlan()
+	tr, err := Generate(plan, GenerateConfig{Seed: 9, NumClients: 2, NumAntennas: 2, LinksPerAP: 1, Realizations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &tr.Links[0]
+	if _, err := l.Matrix(-1, 0); err == nil {
+		t.Fatal("negative realization accepted")
+	}
+	if _, err := l.Matrix(0, 99999); err == nil {
+		t.Fatal("out-of-range subcarrier accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package testbed
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/rng"
+)
+
+// LinkTrace is one recorded link: a client set against an AP, with one
+// na×nc channel matrix per data subcarrier per realization.
+type LinkTrace struct {
+	AP      string
+	Clients []string
+	NA, NC  int
+	// H[r][s] is the flattened row-major na×nc matrix of realization
+	// r at subcarrier s.
+	H [][][]complex128
+}
+
+// Realizations returns the number of recorded realizations.
+func (l *LinkTrace) Realizations() int { return len(l.H) }
+
+// Matrix reconstructs the channel matrix of realization r, subcarrier s.
+func (l *LinkTrace) Matrix(r, s int) (*cmplxmat.Matrix, error) {
+	if r < 0 || r >= len(l.H) {
+		return nil, fmt.Errorf("testbed: realization %d of %d", r, len(l.H))
+	}
+	if s < 0 || s >= len(l.H[r]) {
+		return nil, fmt.Errorf("testbed: subcarrier %d of %d", s, len(l.H[r]))
+	}
+	data := l.H[r][s]
+	if len(data) != l.NA*l.NC {
+		return nil, fmt.Errorf("testbed: corrupt trace: %d entries for %d×%d", len(data), l.NA, l.NC)
+	}
+	m := cmplxmat.New(l.NA, l.NC)
+	copy(m.Data, data)
+	return m, nil
+}
+
+// Trace is a recorded channel-measurement campaign, the unit all
+// trace-driven experiments consume.
+type Trace struct {
+	Description string
+	Seed        int64
+	Subcarriers int
+	Links       []LinkTrace
+}
+
+// Save writes the trace gob-encoded and gzip-compressed.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("testbed: save trace: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(t); err != nil {
+		return fmt.Errorf("testbed: encode trace: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("testbed: flush trace: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a trace written by Save.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: load trace: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: trace %s is not gzip: %w", path, err)
+	}
+	defer zr.Close()
+	var t Trace
+	if err := gob.NewDecoder(zr).Decode(&t); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("testbed: decode trace %s: %w", path, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Validate checks internal consistency of a loaded trace.
+func (t *Trace) Validate() error {
+	if t.Subcarriers <= 0 {
+		return fmt.Errorf("testbed: trace has %d subcarriers", t.Subcarriers)
+	}
+	for i := range t.Links {
+		l := &t.Links[i]
+		if l.NA <= 0 || l.NC <= 0 || l.NA < l.NC {
+			return fmt.Errorf("testbed: link %d has invalid shape %d×%d", i, l.NA, l.NC)
+		}
+		for r := range l.H {
+			if len(l.H[r]) != t.Subcarriers {
+				return fmt.Errorf("testbed: link %d realization %d has %d subcarriers, want %d", i, r, len(l.H[r]), t.Subcarriers)
+			}
+			for s := range l.H[r] {
+				if len(l.H[r][s]) != l.NA*l.NC {
+					return fmt.Errorf("testbed: link %d realization %d subcarrier %d has %d entries", i, r, s, len(l.H[r][s]))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GenerateConfig controls trace generation.
+type GenerateConfig struct {
+	Seed         int64
+	NumClients   int // clients per link (nc)
+	NumAntennas  int // AP antennas used (na ≤ 4)
+	LinksPerAP   int // distinct client subsets per AP
+	Realizations int // channel draws per subset
+}
+
+// Generate records a measurement campaign over the plan: for each AP,
+// LinksPerAP random distinct client subsets, each with Realizations
+// independent channel draws across all data subcarriers.
+func Generate(plan *Plan, cfg GenerateConfig) (*Trace, error) {
+	if cfg.NumClients <= 0 || cfg.NumAntennas < cfg.NumClients {
+		return nil, fmt.Errorf("testbed: invalid configuration %d clients × %d antennas", cfg.NumClients, cfg.NumAntennas)
+	}
+	if cfg.LinksPerAP <= 0 || cfg.Realizations <= 0 {
+		return nil, fmt.Errorf("testbed: need positive links and realizations")
+	}
+	model := NewModel(plan)
+	src := rng.New(cfg.Seed)
+	tr := &Trace{
+		Description: fmt.Sprintf("%d clients × %d AP antennas over office plan", cfg.NumClients, cfg.NumAntennas),
+		Seed:        cfg.Seed,
+		Subcarriers: model.Subcarriers,
+	}
+	for _, ap := range plan.APs {
+		apUse := ap
+		apUse.Antennas = cfg.NumAntennas
+		for li := 0; li < cfg.LinksPerAP; li++ {
+			subset := pickSubset(src, len(plan.Clients), cfg.NumClients)
+			link := LinkTrace{
+				AP: ap.Name,
+				NA: cfg.NumAntennas,
+				NC: cfg.NumClients,
+			}
+			pos := make([]Point, cfg.NumClients)
+			for i, ci := range subset {
+				link.Clients = append(link.Clients, plan.Clients[ci].Name)
+				pos[i] = plan.Clients[ci].Pos
+			}
+			for r := 0; r < cfg.Realizations; r++ {
+				hs, err := model.Realize(src, apUse, pos)
+				if err != nil {
+					return nil, err
+				}
+				flat := make([][]complex128, len(hs))
+				for s, h := range hs {
+					flat[s] = append([]complex128(nil), h.Data...)
+				}
+				link.H = append(link.H, flat)
+			}
+			tr.Links = append(tr.Links, link)
+		}
+	}
+	return tr, nil
+}
+
+// pickSubset draws k distinct indices from [0, n) without replacement.
+func pickSubset(src *rng.Source, n, k int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + src.Intn(n-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:k]
+}
+
+// Matrices iterates every (realization, subcarrier) channel matrix of
+// every link in the trace, invoking fn until it returns false or an
+// error occurs.
+func (t *Trace) Matrices(fn func(link *LinkTrace, realization, subcarrier int, h *cmplxmat.Matrix) bool) error {
+	for i := range t.Links {
+		l := &t.Links[i]
+		for r := range l.H {
+			for s := range l.H[r] {
+				h, err := l.Matrix(r, s)
+				if err != nil {
+					return err
+				}
+				if !fn(l, r, s, h) {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package geosphere
+
+import (
+	"repro/internal/ofdm"
+)
+
+// OFDM numerology of the 20 MHz 802.11-style PHY (§4).
+const (
+	// OFDMDataCarriers is the number of data subcarriers per symbol.
+	OFDMDataCarriers = ofdm.NumData
+	// OFDMSymbolLen is the time-domain OFDM symbol length in samples
+	// (64-point FFT plus 16-sample cyclic prefix).
+	OFDMSymbolLen = ofdm.SymbolLen
+	// OFDMSymbolDuration is the symbol duration in seconds.
+	OFDMSymbolDuration = ofdm.SymbolDuration
+)
+
+// OFDMModulate assembles one time-domain OFDM symbol (with cyclic
+// prefix) from 48 frequency-domain data symbols, using the standard
+// pilot polarity.
+func OFDMModulate(dst, data []complex128) ([]complex128, error) {
+	return ofdm.Modulate(dst, data, ofdm.StandardPilots)
+}
+
+// OFDMDemodulate strips the cyclic prefix, FFTs, and extracts the 48
+// data subcarriers from one received OFDM symbol.
+func OFDMDemodulate(data, samples []complex128) error {
+	return ofdm.Demodulate(data, nil, samples)
+}
+
+// OFDMPreamble returns the known full-band training symbol used for
+// least-squares channel estimation.
+func OFDMPreamble() []complex128 { return ofdm.PreambleSymbol() }
+
+// OFDMEstimateChannel least-squares-estimates per-subcarrier scalar
+// channels from one received preamble.
+func OFDMEstimateChannel(est, rx, ref []complex128) error {
+	return ofdm.EstimateChannelLS(est, rx, ref)
+}
+
+// FFT computes the in-place radix-2 FFT of x (power-of-two length).
+func FFT(x []complex128) error { return ofdm.FFT(x) }
+
+// IFFT computes the in-place inverse FFT of x.
+func IFFT(x []complex128) error { return ofdm.IFFT(x) }

@@ -1,0 +1,35 @@
+package geosphere
+
+import (
+	"repro/internal/cmplxmat"
+	"repro/internal/precode"
+)
+
+// Precoder is a downlink multi-user precoder (§6.3): Prepare fixes the
+// K×nt downlink channel (one row per client), Encode maps per-client
+// symbols to a unit-power transmit vector plus the power factor γ the
+// clients rescale by, and Decode recovers one client's symbol from its
+// received scalar.
+type Precoder interface {
+	Name() string
+	Prepare(h *cmplxmat.Matrix) error
+	Encode(s []complex128) (x []complex128, gamma float64, err error)
+	Decode(yk complex128, gamma float64) int
+}
+
+var (
+	_ Precoder = (*precode.ZFPrecoder)(nil)
+	_ Precoder = (*precode.VPPrecoder)(nil)
+)
+
+// NewZFPrecoder returns plain channel-inversion (zero-forcing)
+// precoding — the downlink twin of the uplink ZF receiver, with the
+// same conditioning-driven power penalty.
+func NewZFPrecoder(cons *Constellation) Precoder { return precode.NewZF(cons) }
+
+// NewVPPrecoder returns the vector-perturbation sphere encoder
+// (Hochwald, Peel & Swindlehurst), which the paper's §6.3 identifies
+// as complementary to Geosphere's receiver-side techniques: a sphere
+// search over a complex-integer lattice picks the perturbation that
+// minimizes transmit power.
+func NewVPPrecoder(cons *Constellation) Precoder { return precode.NewVP(cons) }

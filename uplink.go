@@ -1,0 +1,117 @@
+package geosphere
+
+import (
+	"fmt"
+
+	"repro/internal/constellation"
+	"repro/internal/fec"
+	"repro/internal/link"
+	"repro/internal/rng"
+	"repro/internal/testbed"
+)
+
+// UplinkResult summarizes a coded multi-user uplink measurement: frame
+// and stream error counts, net throughput in Mbit/s, and (for sphere
+// decoders) the complexity statistics accumulated during detection.
+type UplinkResult = link.Measurement
+
+// DetectorFactory builds a detector for a constellation; noiseVar is
+// supplied for detectors (MMSE, MMSE-SIC) that need it.
+type DetectorFactory = link.DetectorFactory
+
+// UplinkOptions configures a coded multi-user uplink measurement over
+// the full PHY pipeline (§4): scrambling, CRC, rate-1/2 K=7
+// convolutional coding, interleaving, QAM over 48 data subcarriers,
+// per-subcarrier MIMO detection, and soft Viterbi decoding.
+type UplinkOptions struct {
+	// Cons is the transmit constellation.
+	Cons *Constellation
+	// NumSymbols is the OFDM symbols per frame (4 µs each).
+	NumSymbols int
+	// Frames is the number of frames to measure.
+	Frames int
+	// SNRdB is the average per-stream SNR.
+	SNRdB float64
+	// Seed makes the measurement deterministic.
+	Seed int64
+	// NA and NC are the AP antenna and client counts.
+	NA, NC int
+	// Detector builds the receiver; defaults to NewGeosphere.
+	Detector DetectorFactory
+	// SNRJitterDB spreads per-client power over ±dB around SNRdB per
+	// frame (the §5.2 "SNR range" user-selection methodology).
+	SNRJitterDB float64
+	// EstimatedCSI switches the receiver to noisy preamble-based
+	// channel estimates, charging the preamble's air time.
+	EstimatedCSI bool
+}
+
+func (o UplinkOptions) factory() DetectorFactory {
+	if o.Detector != nil {
+		return o.Detector
+	}
+	return func(cons *constellation.Constellation, _ float64) Detector {
+		return NewGeosphere(cons)
+	}
+}
+
+func (o UplinkOptions) runConfig() link.RunConfig {
+	return link.RunConfig{
+		Cons:         o.Cons,
+		Rate:         fec.Rate12,
+		NumSymbols:   o.NumSymbols,
+		Frames:       o.Frames,
+		SNRdB:        o.SNRdB,
+		Seed:         o.Seed,
+		SNRJitterDB:  o.SNRJitterDB,
+		EstimatedCSI: o.EstimatedCSI,
+	}
+}
+
+// MeasureUplinkRayleigh measures coded uplink throughput over i.i.d.
+// per-frame Rayleigh fading.
+func MeasureUplinkRayleigh(o UplinkOptions) (UplinkResult, error) {
+	src, err := link.NewRayleighSource(rng.New(o.Seed+1), o.NA, o.NC)
+	if err != nil {
+		return UplinkResult{}, err
+	}
+	return link.Run(o.runConfig(), src, o.factory())
+}
+
+// MeasureUplinkTestbed measures coded uplink throughput over a
+// synthetic indoor-testbed trace generated on the fly for the given
+// shape (see cmd/tracegen to record reusable traces).
+func MeasureUplinkTestbed(o UplinkOptions) (UplinkResult, error) {
+	tr, err := testbed.Generate(testbed.OfficePlan(), testbed.GenerateConfig{
+		Seed:         o.Seed,
+		NumClients:   o.NC,
+		NumAntennas:  o.NA,
+		LinksPerAP:   4,
+		Realizations: 2,
+	})
+	if err != nil {
+		return UplinkResult{}, err
+	}
+	src, err := link.NewTraceSource(tr)
+	if err != nil {
+		return UplinkResult{}, err
+	}
+	return link.Run(o.runConfig(), src, o.factory())
+}
+
+// MeasureUplinkTrace measures coded uplink throughput over a recorded
+// trace file written by cmd/tracegen.
+func MeasureUplinkTrace(o UplinkOptions, tracePath string) (UplinkResult, error) {
+	tr, err := testbed.LoadTrace(tracePath)
+	if err != nil {
+		return UplinkResult{}, err
+	}
+	src, err := link.NewTraceSource(tr)
+	if err != nil {
+		return UplinkResult{}, err
+	}
+	if na, nc := src.Shape(); na != o.NA || nc != o.NC {
+		return UplinkResult{}, fmt.Errorf("geosphere: trace is %d×%d but options ask for %d×%d", na, nc, o.NA, o.NC)
+	}
+	return link.Run(o.runConfig(), src, o.factory())
+}
