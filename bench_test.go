@@ -2,6 +2,7 @@ package geosphere
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/constellation"
@@ -78,6 +79,36 @@ func BenchmarkHybridAblation(b *testing.B) { benchExperiment(b, sim.HybridAblati
 // BenchmarkOrderingAblation regenerates the §6.1 sorted-QR ordering
 // ablation.
 func BenchmarkOrderingAblation(b *testing.B) { benchExperiment(b, sim.OrderingAblation) }
+
+// BenchmarkRunWorkers measures the deterministic parallel frame
+// pipeline on the paper's hardest throughput configuration — a 4×4
+// 64-QAM Geosphere uplink over Rayleigh fading — across worker counts.
+// Every sub-benchmark computes the byte-identical Measurement; only
+// the wall clock changes. Compare ns/op of workers=1 against
+// workers=4+ for the pipeline's speedup on a multi-core host.
+func BenchmarkRunWorkers(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := MeasureUplinkRayleigh(UplinkOptions{
+					Cons: QAM64, NumSymbols: 8, Frames: 24,
+					SNRdB: 27, Seed: 2014, NA: 4, NC: 4,
+					Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Frames != 24 {
+					b.Fatalf("ran %d frames", m.Frames)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkDetectSoft measures the soft-output list sphere decoder at
 // the paper's densest practical configuration for soft receivers.

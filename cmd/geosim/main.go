@@ -27,6 +27,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "use reduced sizes (fast smoke run)")
 		seed       = flag.Int64("seed", 0, "override the experiment seed (0 keeps the default)")
 		frames     = flag.Int("frames", 0, "override frames per measurement point (0 keeps the default)")
+		workers    = flag.Int("workers", 0, "total worker goroutine budget shared across points and frames (0 = GOMAXPROCS); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -49,6 +50,13 @@ func main() {
 	}
 	if *frames > 0 {
 		opts.Frames = *frames
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "geosim: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *workers > 0 {
+		opts.Workers = *workers
 	}
 
 	names := []string{*experiment}

@@ -1,0 +1,189 @@
+package link
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/kbest"
+	"repro/internal/linear"
+	"repro/internal/rng"
+)
+
+// conformanceFactories are every detector family the paper evaluates.
+// All of them must produce byte-identical Measurements under the
+// parallel frame pipeline.
+var conformanceFactories = []struct {
+	name    string
+	factory DetectorFactory
+	soft    bool // factory builds a core.SoftDetector
+}{
+	{"geosphere", func(c *constellation.Constellation, _ float64) core.Detector {
+		return core.NewGeosphere(c)
+	}, false},
+	{"ethsd", func(c *constellation.Constellation, _ float64) core.Detector {
+		return core.NewETHSD(c)
+	}, false},
+	{"zf", func(c *constellation.Constellation, _ float64) core.Detector {
+		return linear.NewZF(c)
+	}, false},
+	{"mmse-sic", func(c *constellation.Constellation, nv float64) core.Detector {
+		return linear.NewMMSESIC(c, nv)
+	}, false},
+	{"kbest", func(c *constellation.Constellation, _ float64) core.Detector {
+		d, err := kbest.NewKBest(c, c.Side())
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}, false},
+	{"list-sd", func(c *constellation.Constellation, _ float64) core.Detector {
+		return core.NewListSphereDecoder(c)
+	}, true},
+}
+
+// conformanceModes cross SNR jitter and estimated CSI, the two
+// RunConfig features that draw extra per-frame randomness and would be
+// the first to break under a racy or misordered RNG scheme.
+var conformanceModes = []struct {
+	name   string
+	jitter float64
+	estCSI bool
+}{
+	{"plain", 0, false},
+	{"jitter", 4, false},
+	{"estcsi", 0, true},
+	{"jitter+estcsi", 4, true},
+}
+
+// runConformance measures one configuration at a given worker count,
+// rebuilding the channel source from scratch so every call sees the
+// identical frame sequence.
+func runConformance(t *testing.T, cfg RunConfig, factory DetectorFactory, sourceSeed int64, workers int) Measurement {
+	t.Helper()
+	src, err := NewRayleighSource(rng.New(sourceSeed), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = workers
+	m, err := Run(cfg, src, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRunParallelEqualsSequential is the conformance suite for the
+// parallel frame pipeline: for every detector family × constellation ×
+// decoding mode × channel-knowledge mode, the Measurement (including
+// complexity Stats) must be byte-identical for workers ∈
+// {1, 2, GOMAXPROCS}. Measurement contains no pointers or slices, so
+// struct equality is byte equality.
+func TestRunParallelEqualsSequential(t *testing.T) {
+	maxWorkers := runtime.GOMAXPROCS(0)
+	workerCounts := []int{1, 2, maxWorkers}
+	conss := []*constellation.Constellation{
+		constellation.QPSK, constellation.QAM16, constellation.QAM64,
+	}
+	for _, d := range conformanceFactories {
+		for _, cons := range conss {
+			for _, mode := range conformanceModes {
+				name := fmt.Sprintf("%s/%s/%s", d.name, cons.Name(), mode.name)
+				t.Run(name, func(t *testing.T) {
+					cfg := RunConfig{
+						Cons: cons, Rate: fec.Rate12,
+						NumSymbols: 2, Frames: 4,
+						SNRdB:        22,
+						Seed:         int64(len(name)) * 131,
+						SoftDecoding: d.soft,
+						SNRJitterDB:  mode.jitter,
+						EstimatedCSI: mode.estCSI,
+					}
+					sourceSeed := int64(len(name))
+					ref := runConformance(t, cfg, d.factory, sourceSeed, 1)
+					if ref.Frames != cfg.Frames {
+						t.Fatalf("reference ran %d frames, want %d", ref.Frames, cfg.Frames)
+					}
+					for _, w := range workerCounts[1:] {
+						got := runConformance(t, cfg, d.factory, sourceSeed, w)
+						if got != ref {
+							t.Fatalf("workers=%d diverged from sequential:\n  seq: %+v\n  par: %+v", w, ref, got)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRunRepeatable pins the weaker but foundational property: the
+// same configuration measured twice yields the same bytes, even at
+// full parallelism.
+func TestRunRepeatable(t *testing.T) {
+	cfg := RunConfig{
+		Cons: constellation.QAM16, Rate: fec.Rate12,
+		NumSymbols: 2, Frames: 6, SNRdB: 18, Seed: 99,
+	}
+	w := runtime.GOMAXPROCS(0)
+	a := runConformance(t, cfg, GeoFactoryForTest, 5, w)
+	b := runConformance(t, cfg, GeoFactoryForTest, 5, w)
+	if a != b {
+		t.Fatalf("repeat run diverged:\n  a: %+v\n  b: %+v", a, b)
+	}
+}
+
+// TestRateAdaptParallelEqualsSequential extends the conformance
+// guarantee to the candidate loop: ideal rate adaptation must select
+// the same constellation and report the same Measurement regardless of
+// how its worker budget is split.
+func TestRateAdaptParallelEqualsSequential(t *testing.T) {
+	cands := []*constellation.Constellation{
+		constellation.QPSK, constellation.QAM16, constellation.QAM64,
+	}
+	cfg := RunConfig{
+		Rate: fec.Rate12, NumSymbols: 2, Frames: 4, SNRdB: 24, Seed: 77,
+	}
+	newSource := func() ChannelSource {
+		s, err := NewRayleighSource(rng.New(11), 4, 2)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	cfg.Workers = 1
+	ref, err := RateAdapt(cfg, cands, newSource, GeoFactoryForTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, runtime.GOMAXPROCS(0), 2 * runtime.GOMAXPROCS(0)} {
+		cfg.Workers = w
+		got, err := RateAdapt(cfg, cands, newSource, GeoFactoryForTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("workers=%d diverged:\n  seq: %+v\n  par: %+v", w, ref, got)
+		}
+	}
+}
+
+// TestRunWorkerCountInsensitiveToFrameImbalance runs more frames than
+// workers so the pool actually reuses workers across frames, catching
+// any state leakage between frames handled by the same worker.
+func TestRunWorkerCountInsensitiveToFrameImbalance(t *testing.T) {
+	cfg := RunConfig{
+		Cons: constellation.QAM16, Rate: fec.Rate12,
+		NumSymbols: 2, Frames: 13, // prime: uneven split across any pool
+		SNRdB: 14, Seed: 41, // low SNR: frames fail, error paths merge too
+	}
+	ref := runConformance(t, cfg, GeoFactoryForTest, 23, 1)
+	for _, w := range []int{2, 3, 5, 13, 64} {
+		got := runConformance(t, cfg, GeoFactoryForTest, 23, w)
+		if got != ref {
+			t.Fatalf("workers=%d diverged:\n  seq: %+v\n  par: %+v", w, ref, got)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package link
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/channel"
 	"repro/internal/cmplxmat"
@@ -170,55 +171,177 @@ type RunConfig struct {
 	// one repetition).
 	EstimatedCSI bool
 	TrainingReps int
+	// Workers bounds the goroutines detecting frames concurrently.
+	// Frames are independent — each one draws from its own
+	// deterministic RNG substream (rng.Substream(Seed, frame)) and is
+	// detected by its own detector instance — so the Measurement is
+	// byte-identical for every worker count. 0 and 1 both run on the
+	// calling goroutine.
+	Workers int
+}
+
+// Validate rejects configurations that would silently measure nothing
+// or crash deep inside the pipeline.
+func (cfg RunConfig) Validate() error {
+	if cfg.Cons == nil {
+		return fmt.Errorf("link: RunConfig needs a constellation")
+	}
+	if cfg.Frames <= 0 {
+		return fmt.Errorf("link: Frames must be positive, got %d", cfg.Frames)
+	}
+	if cfg.NumSymbols <= 0 {
+		return fmt.Errorf("link: NumSymbols must be positive, got %d", cfg.NumSymbols)
+	}
+	if cfg.SNRJitterDB < 0 {
+		return fmt.Errorf("link: SNRJitterDB must be non-negative, got %g", cfg.SNRJitterDB)
+	}
+	if cfg.TrainingReps < 0 {
+		return fmt.Errorf("link: TrainingReps must be non-negative, got %d", cfg.TrainingReps)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("link: Workers must be non-negative, got %d", cfg.Workers)
+	}
+	return nil
+}
+
+// trainingReps returns the effective preamble repetition count.
+func (cfg RunConfig) trainingReps() int {
+	if cfg.TrainingReps <= 0 {
+		return 1
+	}
+	return cfg.TrainingReps
+}
+
+// frameOutcome is one frame's contribution to a Measurement, produced
+// by any worker and merged in frame order.
+type frameOutcome struct {
+	res   *phy.Result
+	stats core.Stats
+	err   error
+}
+
+// runFrame pushes one frame through jitter → encode → (estimate) →
+// transmit/detect/decode. All randomness comes from the frame's own
+// substream and the detector is freshly built, so the outcome depends
+// only on (cfg, fi, hs) — never on which worker ran it or when.
+func runFrame(cfg RunConfig, l *phy.Link, factory DetectorFactory, noiseVar float64, nc, fi int, hs []*cmplxmat.Matrix) frameOutcome {
+	fsrc := rng.Substream(cfg.Seed, int64(fi))
+	det := factory(cfg.Cons, noiseVar)
+	if cfg.SNRJitterDB > 0 {
+		hs = jitterClients(fsrc, hs, cfg.SNRJitterDB)
+	}
+	f, err := l.Encode(fsrc, nc)
+	if err != nil {
+		return frameOutcome{err: err}
+	}
+	hsDet := hs
+	if cfg.EstimatedCSI {
+		hsDet, err = phy.EstimateChannels(fsrc, hs, noiseVar, cfg.trainingReps())
+		if err != nil {
+			return frameOutcome{err: err}
+		}
+	}
+	res, err := l.TransmitReceiveCSI(fsrc, f, hs, hsDet, det, noiseVar)
+	if err != nil {
+		return frameOutcome{err: err}
+	}
+	out := frameOutcome{res: res}
+	if c, ok := det.(core.Counter); ok {
+		out.stats = c.Stats()
+	}
+	return out
 }
 
 // Run measures one detector over frames from source.
+//
+// Frames are detected by a bounded pool of cfg.Workers goroutines.
+// Determinism is preserved by construction: the stateful ChannelSource
+// is drained sequentially up front (frame i always sees the i-th draw),
+// every frame's randomness comes from the state-independent substream
+// rng.Substream(cfg.Seed, i), each frame gets its own detector from the
+// factory and each worker its own phy.Link, and per-frame outcomes are
+// merged in frame order. The resulting Measurement — error counts,
+// throughput and complexity Stats — is byte-identical for every worker
+// count, including the sequential workers ≤ 1 path.
 func Run(cfg RunConfig, source ChannelSource, factory DetectorFactory) (Measurement, error) {
+	if err := cfg.Validate(); err != nil {
+		return Measurement{}, err
+	}
 	pcfg := phy.Config{Cons: cfg.Cons, Rate: cfg.Rate, NumSymbols: cfg.NumSymbols, SoftDecoding: cfg.SoftDecoding}
-	l, err := phy.NewLink(pcfg)
-	if err != nil {
+	if _, err := phy.NewLink(pcfg); err != nil {
 		return Measurement{}, err
 	}
 	noiseVar := channel.NoiseVarForSNRdB(cfg.SNRdB)
-	det := factory(cfg.Cons, noiseVar)
-	src := rng.New(cfg.Seed)
 	_, nc := source.Shape()
-	var m Measurement
-	m.Detector = det.Name()
-	m.Constellation = cfg.Cons.Name()
-	var payloadBitsOK float64
-	for fi := 0; fi < cfg.Frames; fi++ {
+
+	// Pre-draw every frame's channel on this goroutine: TraceSource's
+	// cursor and RayleighSource's RNG stay single-threaded, and the
+	// frame→channel mapping cannot depend on worker scheduling.
+	channels := make([][]*cmplxmat.Matrix, cfg.Frames)
+	for fi := range channels {
 		hs, err := source.Next()
 		if err != nil {
-			return m, err
+			return Measurement{}, err
 		}
-		if cfg.SNRJitterDB > 0 {
-			hs = jitterClients(src, hs, cfg.SNRJitterDB)
-		}
-		f, err := l.Encode(src, nc)
+		channels[fi] = hs
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > cfg.Frames {
+		workers = cfg.Frames
+	}
+	outcomes := make([]frameOutcome, cfg.Frames)
+	if workers == 1 {
+		l, err := phy.NewLink(pcfg)
 		if err != nil {
-			return m, err
+			return Measurement{}, err
 		}
-		hsDet := hs
-		if cfg.EstimatedCSI {
-			reps := cfg.TrainingReps
-			if reps <= 0 {
-				reps = 1
-			}
-			hsDet, err = phy.EstimateChannels(src, hs, noiseVar, reps)
-			if err != nil {
-				return m, err
-			}
+		for fi := range channels {
+			outcomes[fi] = runFrame(cfg, l, factory, noiseVar, nc, fi, channels[fi])
 		}
-		res, err := l.TransmitReceiveCSI(src, f, hs, hsDet, det, noiseVar)
-		if err != nil {
-			return m, err
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				l, err := phy.NewLink(pcfg)
+				for fi := range idx {
+					if err != nil {
+						outcomes[fi] = frameOutcome{err: err}
+						continue
+					}
+					outcomes[fi] = runFrame(cfg, l, factory, noiseVar, nc, fi, channels[fi])
+				}
+			}()
+		}
+		for fi := 0; fi < cfg.Frames; fi++ {
+			idx <- fi
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Ordered merge: accumulate in frame order so the Measurement is
+	// independent of which worker finished first.
+	var m Measurement
+	m.Detector = factory(cfg.Cons, noiseVar).Name()
+	m.Constellation = cfg.Cons.Name()
+	var payloadBitsOK float64
+	for fi := range outcomes {
+		o := outcomes[fi]
+		if o.err != nil {
+			return Measurement{}, fmt.Errorf("link: frame %d: %w", fi, o.err)
 		}
 		m.Frames++
-		if !res.FrameOK() {
+		if !o.res.FrameOK() {
 			m.FrameErrors++
 		}
-		for _, ok := range res.StreamOK {
+		for _, ok := range o.res.StreamOK {
 			m.Streams++
 			if ok {
 				payloadBitsOK += float64(pcfg.PayloadBits())
@@ -226,14 +349,11 @@ func Run(cfg RunConfig, source ChannelSource, factory DetectorFactory) (Measurem
 				m.StreamErrors++
 			}
 		}
+		m.Stats.Add(o.stats)
 	}
 	symbolsPerFrame := cfg.NumSymbols
 	if cfg.EstimatedCSI {
-		reps := cfg.TrainingReps
-		if reps <= 0 {
-			reps = 1
-		}
-		symbolsPerFrame += phy.TrainingSymbols(nc, reps)
+		symbolsPerFrame += phy.TrainingSymbols(nc, cfg.trainingReps())
 	}
 	airTime := float64(cfg.Frames) * float64(symbolsPerFrame) * ofdm.SymbolDuration
 	if airTime > 0 {
@@ -241,9 +361,6 @@ func Run(cfg RunConfig, source ChannelSource, factory DetectorFactory) (Measurem
 	}
 	if m.Streams > 0 {
 		m.PerStreamFER = float64(m.StreamErrors) / float64(m.Streams)
-	}
-	if c, ok := det.(core.Counter); ok {
-		m.Stats = c.Stats()
 	}
 	return m, nil
 }
@@ -276,21 +393,69 @@ func jitterClients(src *rng.Source, hs []*cmplxmat.Matrix, jitterDB float64) []*
 // the measurement with the highest net throughput — the paper's ideal
 // bit-rate adaptation (§5.2 methodology: "we show throughput results
 // for the constellation that achieves the best average throughput").
+//
+// Candidates are measured concurrently, dividing cfg.Workers between
+// the candidate loop and each candidate's frame pipeline so the total
+// goroutine count stays within the budget. Each candidate uses its own
+// ChannelSource from newSource and its own seeded substreams, and the
+// winner is selected by ascending candidate index with a
+// strictly-greater comparison, so the result matches the sequential
+// loop exactly. newSource must be safe to call from multiple
+// goroutines when cfg.Workers > 1.
 func RateAdapt(cfg RunConfig, cands []*constellation.Constellation, newSource func() ChannelSource, factory DetectorFactory) (Measurement, error) {
 	if len(cands) == 0 {
 		return Measurement{}, fmt.Errorf("link: no candidate constellations")
 	}
+	budget := cfg.Workers
+	if budget < 1 {
+		budget = 1
+	}
+	outer := budget
+	if outer > len(cands) {
+		outer = len(cands)
+	}
+	inner := budget / outer
+	if inner < 1 {
+		inner = 1
+	}
+	meas := make([]Measurement, len(cands))
+	errs := make([]error, len(cands))
+	runCand := func(i int) {
+		c := cfg
+		c.Cons = cands[i]
+		c.Workers = inner
+		meas[i], errs[i] = Run(c, newSource(), factory)
+	}
+	if outer <= 1 {
+		for i := range cands {
+			runCand(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < outer; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runCand(i)
+				}
+			}()
+		}
+		for i := range cands {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
 	var best Measurement
 	found := false
-	for _, cons := range cands {
-		c := cfg
-		c.Cons = cons
-		meas, err := Run(c, newSource(), factory)
-		if err != nil {
-			return Measurement{}, err
+	for i := range cands {
+		if errs[i] != nil {
+			return Measurement{}, errs[i]
 		}
-		if !found || meas.NetMbps > best.NetMbps {
-			best = meas
+		if !found || meas[i].NetMbps > best.NetMbps {
+			best = meas[i]
 			found = true
 		}
 	}

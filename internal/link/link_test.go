@@ -1,6 +1,7 @@
 package link
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/constellation"
@@ -223,5 +224,49 @@ func TestSNRJitter(t *testing.T) {
 	}
 	if m.FER() != 0 {
 		t.Fatalf("jittered 35 dB frames failed: %+v", m)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	valid := RunConfig{
+		Cons: constellation.QAM16, Rate: fec.Rate12,
+		NumSymbols: 4, Frames: 2, SNRdB: 30, Seed: 1,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*RunConfig)
+		want   string
+	}{
+		{"nil constellation", func(c *RunConfig) { c.Cons = nil }, "constellation"},
+		{"zero frames", func(c *RunConfig) { c.Frames = 0 }, "Frames"},
+		{"negative frames", func(c *RunConfig) { c.Frames = -3 }, "Frames"},
+		{"zero symbols", func(c *RunConfig) { c.NumSymbols = 0 }, "NumSymbols"},
+		{"negative jitter", func(c *RunConfig) { c.SNRJitterDB = -1 }, "SNRJitterDB"},
+		{"negative training reps", func(c *RunConfig) { c.TrainingReps = -1 }, "TrainingReps"},
+		{"negative workers", func(c *RunConfig) { c.Workers = -2 }, "Workers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the bad field %q", err, tc.want)
+			}
+			// Run must reject it too, before touching the source.
+			src, serr := NewRayleighSource(rng.New(1), 4, 2)
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			if _, rerr := Run(cfg, src, GeoFactoryForTest); rerr == nil {
+				t.Fatal("Run accepted an invalid config")
+			}
+		})
 	}
 }

@@ -28,6 +28,37 @@ func New(seed int64) *Source {
 	return &Source{r: rand.New(rand.NewSource(seed))}
 }
 
+// SubSeed derives the seed of substream index from a root seed by
+// SplitMix64-style bit mixing. Unlike Split, the derivation is a pure
+// function of (seed, index) — it consumes no generator state — so any
+// number of workers can construct the same substream for the same
+// index without coordinating, and substream i is identical whether it
+// is drawn first, last, or concurrently with the others. This is the
+// keystone of the deterministic parallel frame pipeline in
+// internal/link: frame i always sees Substream(seed, i) regardless of
+// worker count or scheduling order.
+func SubSeed(seed, index int64) int64 {
+	x := uint64(seed)
+	x += 0x9e3779b97f4a7c15 // golden-ratio increment decorrelates seed 0
+	x ^= uint64(index) * 0xbf58476d1ce4e5b9
+	// SplitMix64 finalizer: full-avalanche mixing so adjacent
+	// (seed, index) pairs land on statistically unrelated streams.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// Substream returns the deterministic substream of seed at index:
+// New(SubSeed(seed, index)). Substreams with distinct indices are
+// statistically independent; the same (seed, index) pair always yields
+// the same stream.
+func Substream(seed, index int64) *Source {
+	return New(SubSeed(seed, index))
+}
+
 // Split derives an independent child stream. The child's sequence is a
 // deterministic function of the parent's state at the time of the
 // call, so splitting k children in order is reproducible.

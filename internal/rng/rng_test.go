@@ -126,3 +126,51 @@ func TestPhaseRange(t *testing.T) {
 		}
 	}
 }
+
+func TestSubstreamPureFunction(t *testing.T) {
+	// The same (seed, index) pair yields the same stream no matter how
+	// many other substreams were derived before it — the property the
+	// parallel frame pipeline relies on.
+	a := Substream(7, 3)
+	for i := int64(0); i < 100; i++ {
+		Substream(7, i) // interleave unrelated derivations
+	}
+	b := Substream(7, 3)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("Substream is not a pure function of (seed, index)")
+		}
+	}
+}
+
+func TestSubstreamDistinctIndices(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		s := SubSeed(2014, i)
+		if seen[s] {
+			t.Fatalf("SubSeed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	// Adjacent indices must produce decorrelated streams.
+	c1, c2 := Substream(2014, 0), Substream(2014, 1)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("adjacent substreams correlated: %d/50 equal draws", same)
+	}
+}
+
+func TestSubstreamDistinctSeeds(t *testing.T) {
+	if SubSeed(1, 0) == SubSeed(2, 0) {
+		t.Fatal("different seeds collided at index 0")
+	}
+	// Seed 0 must not degenerate (the golden-ratio increment guards it).
+	if SubSeed(0, 0) == 0 && SubSeed(0, 1) == 0 {
+		t.Fatal("seed 0 degenerate")
+	}
+}

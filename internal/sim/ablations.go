@@ -28,13 +28,15 @@ func SoftVsHard(opts Options) (*Table, error) {
 	}
 	snrs := []float64{14, 16, 18, 20, 24}
 	rows := make([][]string, len(snrs))
-	if err := parallelFor(len(snrs), func(i int) error {
+	outer, inner := opts.splitWorkers(len(snrs))
+	if err := parallelFor(outer, len(snrs), func(i int) error {
 		snr := snrs[i]
 		label := fmt.Sprintf("softvshard/%g", snr)
 		base := link.RunConfig{
 			Cons: constellation.QAM16, Rate: fec.Rate12,
 			NumSymbols: opts.NumSymbols, Frames: opts.Frames,
 			SNRdB: snr, Seed: seedFor(opts, label),
+			Workers: inner,
 		}
 		newSource := func() link.ChannelSource {
 			s, err := link.NewRayleighSource(rng.New(seedFor(opts, label)), 4, 4)
@@ -91,13 +93,15 @@ func HybridAblation(opts Options) (*Table, error) {
 	snrs := []float64{15, 20, 25}
 	type row struct{ cells [][]string }
 	rows := make([]row, len(snrs))
-	if err := parallelFor(len(snrs), func(i int) error {
+	outer, inner := opts.splitWorkers(len(snrs))
+	if err := parallelFor(outer, len(snrs), func(i int) error {
 		snr := snrs[i]
 		label := fmt.Sprintf("hybrid/%g", snr)
 		cfg := link.RunConfig{
 			Cons: constellation.QAM16, Rate: fec.Rate12,
 			NumSymbols: opts.NumSymbols, Frames: opts.Frames,
 			SNRdB: snr, Seed: seedFor(opts, label),
+			Workers: inner,
 		}
 		for _, d := range []struct {
 			name    string
@@ -151,13 +155,15 @@ func OrderingAblation(opts Options) (*Table, error) {
 	}
 	snrs := []float64{8, 12, 16, 20, 25, 30}
 	rows := make([][]string, len(snrs))
-	if err := parallelFor(len(snrs), func(i int) error {
+	outer, inner := opts.splitWorkers(len(snrs))
+	if err := parallelFor(outer, len(snrs), func(i int) error {
 		snr := snrs[i]
 		label := fmt.Sprintf("ordering/%g", snr)
 		cfg := link.RunConfig{
 			Cons: constellation.QAM16, Rate: fec.Rate12,
 			NumSymbols: opts.NumSymbols, Frames: opts.Frames,
 			SNRdB: snr, Seed: seedFor(opts, label),
+			Workers: inner,
 		}
 		newSource := func() link.ChannelSource {
 			s, err := link.NewRayleighSource(rng.New(seedFor(opts, label)), 4, 4)
@@ -213,13 +219,15 @@ func RVDAblation(opts Options) (*Table, error) {
 	}
 	snrs := []float64{10, 15, 20, 25}
 	rows := make([][]string, len(snrs))
-	if err := parallelFor(len(snrs), func(i int) error {
+	outer, inner := opts.splitWorkers(len(snrs))
+	if err := parallelFor(outer, len(snrs), func(i int) error {
 		snr := snrs[i]
 		label := fmt.Sprintf("rvd/%g", snr)
 		cfg := link.RunConfig{
 			Cons: constellation.QAM16, Rate: fec.Rate12,
 			NumSymbols: opts.NumSymbols, Frames: opts.Frames,
 			SNRdB: snr, Seed: seedFor(opts, label),
+			Workers: inner,
 		}
 		newSource := func() link.ChannelSource {
 			s, err := link.NewRayleighSource(rng.New(seedFor(opts, label)), 4, 4)
@@ -271,13 +279,15 @@ func StatisticalPruningAblation(opts Options) (*Table, error) {
 	}
 	alphas := []float64{0, 1, 2, 4, 8}
 	rows := make([][]string, len(alphas))
-	if err := parallelFor(len(alphas), func(i int) error {
+	outer, inner := opts.splitWorkers(len(alphas))
+	if err := parallelFor(outer, len(alphas), func(i int) error {
 		alpha := alphas[i]
 		label := fmt.Sprintf("statprune/%g", alpha)
 		cfg := link.RunConfig{
 			Cons: constellation.QAM16, Rate: fec.Rate12,
 			NumSymbols: opts.NumSymbols, Frames: 2 * opts.Frames,
 			SNRdB: 13, Seed: seedFor(opts, label),
+			Workers: inner,
 		}
 		factory := func(cons *constellation.Constellation, noiseVar float64) core.Detector {
 			if alpha == 0 {

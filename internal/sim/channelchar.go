@@ -56,7 +56,8 @@ func channelCharTable(opts Options, title string, lambda bool) (*Table, error) {
 	t.Columns = append(t.Columns, "frac>10dB")
 
 	rows := make([][]string, len(charShapes))
-	if err := parallelFor(len(charShapes), func(i int) error {
+	outer, _ := opts.splitWorkers(len(charShapes))
+	if err := parallelFor(outer, len(charShapes), func(i int) error {
 		sh := charShapes[i]
 		tr, err := generateTrace(opts, sh.nc, sh.na)
 		if err != nil {

@@ -10,9 +10,10 @@ import (
 	"repro/internal/testbed"
 )
 
-// runOn measures one detector/constellation at one SNR over a source.
+// runOn measures one detector/constellation at one SNR over a source
+// with workers goroutines in the frame pipeline.
 func runOn(opts Options, cons *constellation.Constellation, snr float64, frames int,
-	newSource func() link.ChannelSource, factory link.DetectorFactory, label string) (link.Measurement, error) {
+	newSource func() link.ChannelSource, factory link.DetectorFactory, label string, workers int) (link.Measurement, error) {
 	cfg := link.RunConfig{
 		Cons:       cons,
 		Rate:       fec.Rate12,
@@ -20,6 +21,7 @@ func runOn(opts Options, cons *constellation.Constellation, snr float64, frames 
 		Frames:     frames,
 		SNRdB:      snr,
 		Seed:       seedFor(opts, label),
+		Workers:    workers,
 	}
 	return link.Run(cfg, newSource(), factory)
 }
@@ -54,7 +56,8 @@ func Fig14(opts Options) (*Table, error) {
 		traces[sh] = tr
 	}
 	rows := make([][]string, len(points))
-	if err := parallelFor(len(points), func(i int) error {
+	outer, inner := opts.splitWorkers(len(points))
+	if err := parallelFor(outer, len(points), func(i int) error {
 		p := points[i]
 		label := fmt.Sprintf("fig14/%s/%g", p.sh, p.snr)
 		newSource := func() link.ChannelSource {
@@ -69,7 +72,7 @@ func Fig14(opts Options) (*Table, error) {
 		var best link.Measurement
 		var bestCons *constellation.Constellation
 		for _, cons := range testbedConstellations {
-			m, err := runOn(opts, cons, p.snr, opts.Frames, newSource, GeosphereFactory, label+"/geo/"+cons.Name())
+			m, err := runOn(opts, cons, p.snr, opts.Frames, newSource, GeosphereFactory, label+"/geo/"+cons.Name(), inner)
 			if err != nil {
 				return err
 			}
@@ -80,7 +83,7 @@ func Fig14(opts Options) (*Table, error) {
 		// Same label as the winning Geosphere run so both decoders see
 		// identical payloads and noise (they then visit identical tree
 		// nodes and differ only in PED bookkeeping).
-		eth, err := runOn(opts, bestCons, p.snr, opts.Frames, newSource, ETHSDFactory, label+"/geo/"+bestCons.Name())
+		eth, err := runOn(opts, bestCons, p.snr, opts.Frames, newSource, ETHSDFactory, label+"/geo/"+bestCons.Name(), inner)
 		if err != nil {
 			return err
 		}
@@ -115,10 +118,10 @@ var fig15Constellations = []*constellation.Constellation{
 // such that each constellation reaches a frame error rate of
 // approximately 10%"). It returns the first probe at or below target.
 func findSNRForFER(opts Options, cons *constellation.Constellation, target float64,
-	newSource func() link.ChannelSource, label string) (float64, error) {
+	newSource func() link.ChannelSource, label string, workers int) (float64, error) {
 	for snr := 12.0; snr <= 48; snr += 3 {
 		m, err := runOn(opts, cons, snr, opts.SearchFrames, newSource, GeosphereFactory,
-			fmt.Sprintf("%s/search/%g", label, snr))
+			fmt.Sprintf("%s/search/%g", label, snr), workers)
 		if err != nil {
 			return 0, err
 		}
@@ -132,8 +135,8 @@ func findSNRForFER(opts Options, cons *constellation.Constellation, target float
 // fig15Point measures the three decoders at the FER-target SNR over
 // one channel kind and constellation.
 func fig15Point(opts Options, cons *constellation.Constellation, target float64,
-	newSource func() link.ChannelSource, label string) (snr float64, eth, zig, geo float64, err error) {
-	snr, err = findSNRForFER(opts, cons, target, newSource, label)
+	newSource func() link.ChannelSource, label string, workers int) (snr float64, eth, zig, geo float64, err error) {
+	snr, err = findSNRForFER(opts, cons, target, newSource, label, workers)
 	if err != nil {
 		return
 	}
@@ -147,7 +150,7 @@ func fig15Point(opts Options, cons *constellation.Constellation, target float64,
 		{GeosphereFactory, &geo},
 	} {
 		var m link.Measurement
-		m, err = runOn(opts, cons, snr, opts.Frames, newSource, r.factory, label+"/measure")
+		m, err = runOn(opts, cons, snr, opts.Frames, newSource, r.factory, label+"/measure", workers)
 		if err != nil {
 			return
 		}
@@ -180,7 +183,8 @@ func fig15(opts Options, nc int, target float64, title string) (*Table, error) {
 		}
 	}
 	rows := make([][]string, len(points))
-	if err := parallelFor(len(points), func(i int) error {
+	outer, inner := opts.splitWorkers(len(points))
+	if err := parallelFor(outer, len(points), func(i int) error {
 		p := points[i]
 		label := fmt.Sprintf("%s/%d/%s/%s", title, nc, p.kind, p.cons.Name())
 		newSource := func() link.ChannelSource {
@@ -197,7 +201,7 @@ func fig15(opts Options, nc int, target float64, title string) (*Table, error) {
 			}
 			return s
 		}
-		snr, eth, zig, geo, err := fig15Point(opts, p.cons, target, newSource, label)
+		snr, eth, zig, geo, err := fig15Point(opts, p.cons, target, newSource, label, inner)
 		if err != nil {
 			return err
 		}
@@ -253,7 +257,8 @@ func PruningAblation(opts Options) (*Table, error) {
 		Columns: []string{"mod", "SNR*(dB)", "2D-zigzag PED", "Geo full PED", "pruning gain"},
 	}
 	rows := make([][]string, len(fig15Constellations))
-	if err := parallelFor(len(fig15Constellations), func(i int) error {
+	outer, inner := opts.splitWorkers(len(fig15Constellations))
+	if err := parallelFor(outer, len(fig15Constellations), func(i int) error {
 		cons := fig15Constellations[i]
 		label := "ablation/" + cons.Name()
 		newSource := func() link.ChannelSource {
@@ -263,7 +268,7 @@ func PruningAblation(opts Options) (*Table, error) {
 			}
 			return s
 		}
-		snr, _, zig, geo, err := fig15Point(opts, cons, 0.01, newSource, label)
+		snr, _, zig, geo, err := fig15Point(opts, cons, 0.01, newSource, label, inner)
 		if err != nil {
 			return err
 		}

@@ -32,7 +32,8 @@ func DownlinkPrecoding(opts Options) (*Table, error) {
 	}
 	vectors := 80 * opts.Frames // symbol vectors per point
 	rows := make([][]string, len(points))
-	if err := parallelFor(len(points), func(i int) error {
+	outer, _ := opts.splitWorkers(len(points))
+	if err := parallelFor(outer, len(points), func(i int) error {
 		p := points[i]
 		src := rng.New(seedFor(opts, fmt.Sprintf("downlink/%d/%g", p.k, p.snr)))
 		cons := constellation.QAM16

@@ -28,7 +28,8 @@ func EstimatedCSI(opts Options) (*Table, error) {
 	snrs := []float64{15, 20, 25}
 	type cells = [][]string
 	rows := make([]cells, len(snrs))
-	if err := parallelFor(len(snrs), func(i int) error {
+	outer, inner := opts.splitWorkers(len(snrs))
+	if err := parallelFor(outer, len(snrs), func(i int) error {
 		snr := snrs[i]
 		for _, d := range []struct {
 			name    string
@@ -42,6 +43,7 @@ func EstimatedCSI(opts Options) (*Table, error) {
 				Cons: constellation.QAM16, Rate: fec.Rate12,
 				NumSymbols: opts.NumSymbols, Frames: opts.Frames,
 				SNRdB: snr, Seed: seedFor(opts, label),
+				Workers: inner,
 			}
 			newSource := func() link.ChannelSource {
 				s, err := link.NewTraceSource(tr)
@@ -102,13 +104,15 @@ func ChannelHardening(opts Options) (*Table, error) {
 		{ZFFactory, "Zero-forcing", 12},
 	}
 	rows := make([][]string, len(points))
-	if err := parallelFor(len(points), func(i int) error {
+	outer, inner := opts.splitWorkers(len(points))
+	if err := parallelFor(outer, len(points), func(i int) error {
 		p := points[i]
 		label := fmt.Sprintf("hardening/%s/%d", p.name, p.na)
 		cfg := link.RunConfig{
 			Cons: constellation.QAM16, Rate: fec.Rate12,
 			NumSymbols: opts.NumSymbols, Frames: opts.Frames,
 			SNRdB: 20, Seed: seedFor(opts, label),
+			Workers: inner,
 		}
 		src, err := link.NewRayleighSource(rng.New(seedFor(opts, label)), p.na, 4)
 		if err != nil {

@@ -40,7 +40,7 @@ func TestFindSNRForFERReturnsViablePoint(t *testing.T) {
 		}
 		return s
 	}
-	snr, err := findSNRForFER(opts, constellation.QAM16, 0.5, newSource, "test")
+	snr, err := findSNRForFER(opts, constellation.QAM16, 0.5, newSource, "test", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestFindSNRForFERReturnsViablePoint(t *testing.T) {
 		t.Fatalf("SNR* = %g outside the sweep range", snr)
 	}
 	// A loose target must never need more SNR than a tight one.
-	tight, err := findSNRForFER(opts, constellation.QAM16, 0.05, newSource, "test")
+	tight, err := findSNRForFER(opts, constellation.QAM16, 0.05, newSource, "test", 2)
 	if err != nil {
 		t.Fatal(err)
 	}

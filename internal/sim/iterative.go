@@ -42,7 +42,8 @@ func IterativeReceiver(opts Options) (*Table, error) {
 		frames = 100
 	}
 	rows := make([][]string, len(snrs))
-	if err := parallelFor(len(snrs), func(i int) error {
+	outer, _ := opts.splitWorkers(len(snrs))
+	if err := parallelFor(outer, len(snrs), func(i int) error {
 		snr := snrs[i]
 		noise := channel.NoiseVarForSNRdB(snr)
 		base := seedFor(opts, fmt.Sprintf("iterative/%g", snr))

@@ -35,6 +35,42 @@ type Options struct {
 	// SearchFrames is the frames per SNR probe when searching for a
 	// target frame error rate (Figure 15 methodology).
 	SearchFrames int
+	// Workers caps the total goroutine budget an experiment spends,
+	// shared between its parallel measurement points and the frame
+	// pipeline inside each point (link.RunConfig.Workers), so nested
+	// parallelism never oversubscribes the host. 0 means GOMAXPROCS.
+	// Results are identical for every value.
+	Workers int
+}
+
+// workerBudget resolves the Workers option to a concrete budget.
+func (o Options) workerBudget() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// splitWorkers divides the budget between n outer measurement points
+// and the frame pipeline inside each: outer points run concurrently,
+// each with an inner per-point share for link.RunConfig.Workers.
+func (o Options) splitWorkers(n int) (outer, inner int) {
+	w := o.workerBudget()
+	outer = w
+	if n < 1 {
+		n = 1
+	}
+	if outer > n {
+		outer = n
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner = w / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
 }
 
 // DefaultOptions returns the sizes used for the recorded results in
@@ -163,10 +199,11 @@ func KBestFactory(cons *constellation.Constellation, _ float64) core.Detector {
 	return d
 }
 
-// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS workers
-// and returns the first error.
-func parallelFor(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
+// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines
+// and returns the first error (by index, for determinism). Pass the
+// outer share of Options.splitWorkers so point-level and frame-level
+// parallelism draw from one budget.
+func parallelFor(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}

@@ -28,7 +28,7 @@ func TestTableFormatting(t *testing.T) {
 
 func TestParallelForRunsAll(t *testing.T) {
 	var count int64
-	if err := parallelFor(100, func(i int) error {
+	if err := parallelFor(8, 100, func(i int) error {
 		atomic.AddInt64(&count, 1)
 		return nil
 	}); err != nil {
@@ -41,7 +41,7 @@ func TestParallelForRunsAll(t *testing.T) {
 
 func TestParallelForPropagatesError(t *testing.T) {
 	sentinel := errors.New("boom")
-	err := parallelFor(10, func(i int) error {
+	err := parallelFor(4, 10, func(i int) error {
 		if i == 7 {
 			return sentinel
 		}
@@ -51,8 +51,37 @@ func TestParallelForPropagatesError(t *testing.T) {
 		t.Fatalf("got %v", err)
 	}
 	// Single-element path too.
-	if err := parallelFor(1, func(int) error { return sentinel }); !errors.Is(err, sentinel) {
+	if err := parallelFor(1, 1, func(int) error { return sentinel }); !errors.Is(err, sentinel) {
 		t.Fatal("serial path lost the error")
+	}
+}
+
+func TestSplitWorkersBudget(t *testing.T) {
+	opts := QuickOptions()
+	opts.Workers = 8
+	for _, tc := range []struct {
+		n, outer, inner int
+	}{
+		{1, 1, 8},
+		{2, 2, 4},
+		{3, 3, 2},
+		{8, 8, 1},
+		{100, 8, 1},
+		{0, 1, 8},
+	} {
+		outer, inner := opts.splitWorkers(tc.n)
+		if outer != tc.outer || inner != tc.inner {
+			t.Fatalf("splitWorkers(%d) = (%d, %d), want (%d, %d)", tc.n, outer, inner, tc.outer, tc.inner)
+		}
+		if outer*inner > 8 {
+			t.Fatalf("splitWorkers(%d) oversubscribes: %d×%d > 8", tc.n, outer, inner)
+		}
+	}
+	// Unset budget falls back to GOMAXPROCS and never returns zeros.
+	opts.Workers = 0
+	outer, inner := opts.splitWorkers(4)
+	if outer < 1 || inner < 1 {
+		t.Fatalf("default budget degenerate: (%d, %d)", outer, inner)
 	}
 }
 

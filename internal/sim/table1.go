@@ -43,11 +43,12 @@ func Table1(opts Options) (*Table, error) {
 			return 0, err
 		}
 		label := fmt.Sprintf("table1/%dx%d", nc, na)
-		zf, err := measurePoint(opts, trg, 20, ZFFactory, label+"/zf")
+		// Points run sequentially here, so each gets the full budget.
+		zf, err := measurePoint(opts, trg, 20, ZFFactory, label+"/zf", opts.workerBudget())
 		if err != nil {
 			return 0, err
 		}
-		geo, err := measurePoint(opts, trg, 20, GeosphereFactory, label+"/geo")
+		geo, err := measurePoint(opts, trg, 20, GeosphereFactory, label+"/geo", opts.workerBudget())
 		if err != nil {
 			return 0, err
 		}

@@ -21,14 +21,16 @@ var testbedConstellations = []*constellation.Constellation{
 var fig11SNRs = []float64{15, 20, 25}
 
 // measurePoint runs rate-adapted throughput for one detector at one
-// configuration and SNR over a testbed trace.
-func measurePoint(opts Options, tr *testbed.Trace, snr float64, factory link.DetectorFactory, label string) (link.Measurement, error) {
+// configuration and SNR over a testbed trace, spending at most workers
+// goroutines inside RateAdapt's candidate and frame loops.
+func measurePoint(opts Options, tr *testbed.Trace, snr float64, factory link.DetectorFactory, label string, workers int) (link.Measurement, error) {
 	cfg := link.RunConfig{
 		Rate:       fec.Rate12,
 		NumSymbols: opts.NumSymbols,
 		Frames:     opts.Frames,
 		SNRdB:      snr,
 		Seed:       seedFor(opts, label),
+		Workers:    workers,
 	}
 	newSource := func() link.ChannelSource {
 		s, err := link.NewTraceSource(tr)
@@ -68,14 +70,15 @@ func Fig11(opts Options) (*Table, error) {
 		}
 		traces[sh] = tr
 	}
-	if err := parallelFor(len(points), func(i int) error {
+	outer, inner := opts.splitWorkers(len(points))
+	if err := parallelFor(outer, len(points), func(i int) error {
 		p := points[i]
 		label := fmt.Sprintf("fig11/%s/%g", p.sh, p.snr)
-		zf, err := measurePoint(opts, traces[p.sh], p.snr, ZFFactory, label+"/zf")
+		zf, err := measurePoint(opts, traces[p.sh], p.snr, ZFFactory, label+"/zf", inner)
 		if err != nil {
 			return err
 		}
-		geo, err := measurePoint(opts, traces[p.sh], p.snr, GeosphereFactory, label+"/geo")
+		geo, err := measurePoint(opts, traces[p.sh], p.snr, GeosphereFactory, label+"/geo", inner)
 		if err != nil {
 			return err
 		}
@@ -109,18 +112,19 @@ func Fig12(opts Options) (*Table, error) {
 	}
 	clientCounts := []int{1, 2, 3, 4}
 	rows := make([][]string, len(clientCounts))
-	if err := parallelFor(len(clientCounts), func(i int) error {
+	outer, inner := opts.splitWorkers(len(clientCounts))
+	if err := parallelFor(outer, len(clientCounts), func(i int) error {
 		nc := clientCounts[i]
 		tr, err := generateTrace(opts, nc, 4)
 		if err != nil {
 			return err
 		}
 		label := fmt.Sprintf("fig12/%d", nc)
-		zf, err := measurePoint(opts, tr, 20, ZFFactory, label+"/zf")
+		zf, err := measurePoint(opts, tr, 20, ZFFactory, label+"/zf", inner)
 		if err != nil {
 			return err
 		}
-		geo, err := measurePoint(opts, tr, 20, GeosphereFactory, label+"/geo")
+		geo, err := measurePoint(opts, tr, 20, GeosphereFactory, label+"/geo", inner)
 		if err != nil {
 			return err
 		}
@@ -170,7 +174,8 @@ func Fig13(opts Options) (*Table, error) {
 	if frames > 30 {
 		frames = 30 // 5 client counts × 3 detectors × 3 constellations
 	}
-	if err := parallelFor(len(clientCounts), func(i int) error {
+	outer, inner := opts.splitWorkers(len(clientCounts))
+	if err := parallelFor(outer, len(clientCounts), func(i int) error {
 		nc := clientCounts[i]
 		label := fmt.Sprintf("fig13/%d", nc)
 		cfg := link.RunConfig{
@@ -179,6 +184,7 @@ func Fig13(opts Options) (*Table, error) {
 			Frames:     frames,
 			SNRdB:      20,
 			Seed:       seedFor(opts, label),
+			Workers:    inner,
 		}
 		var r res
 		for _, run := range []struct {

@@ -32,7 +32,8 @@ func FERWaterfall(opts Options) (*Table, error) {
 		{"geo", GeosphereFactory},
 	}
 	rows := make([][]string, len(snrs))
-	if err := parallelFor(len(snrs), func(i int) error {
+	outer, inner := opts.splitWorkers(len(snrs))
+	if err := parallelFor(outer, len(snrs), func(i int) error {
 		snr := snrs[i]
 		row := []string{fmt.Sprintf("%g", snr)}
 		for _, d := range dets {
@@ -41,6 +42,7 @@ func FERWaterfall(opts Options) (*Table, error) {
 				Cons: constellation.QAM16, Rate: fec.Rate12,
 				NumSymbols: opts.NumSymbols, Frames: 2 * opts.Frames,
 				SNRdB: snr, Seed: seedFor(opts, label),
+				Workers: inner,
 			}
 			src, err := link.NewRayleighSource(rng.New(seedFor(opts, label)), 4, 4)
 			if err != nil {

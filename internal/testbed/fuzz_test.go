@@ -1,0 +1,98 @@
+package testbed
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// traceBytes serializes a small valid trace through Save and returns
+// the on-disk bytes, the honest seed for mutation-based fuzzing.
+func traceBytes(tb testing.TB) []byte {
+	tb.Helper()
+	tr, err := Generate(OfficePlan(), GenerateConfig{
+		Seed: 11, NumClients: 2, NumAntennas: 2, LinksPerAP: 1, Realizations: 1,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	path := filepath.Join(tb.TempDir(), "seed.trace.gz")
+	if err := tr.Save(path); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzTraceRoundTrip feeds arbitrary bytes through LoadTrace: the
+// decoder must reject garbage with an error — never panic or return a
+// trace that fails Validate — and any trace it does accept must
+// survive a Save→Load round trip unchanged. Gob decoding of hostile
+// input exercises every length and shape check in Trace.Validate.
+func FuzzTraceRoundTrip(f *testing.F) {
+	seed := traceBytes(f)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("not a gzip stream"))
+	f.Add([]byte{0x1f, 0x8b}) // bare gzip magic, truncated header
+	// A gzip stream wrapping non-gob bytes.
+	var junk bytes.Buffer
+	zw := gzip.NewWriter(&junk)
+	zw.Write([]byte{0xff, 0x00, 0xfe, 0x01})
+	zw.Close()
+	f.Add(junk.Bytes())
+	// Truncations and single-byte corruptions of the valid trace.
+	f.Add(seed[:len(seed)/2])
+	corrupted := append([]byte(nil), seed...)
+	corrupted[len(corrupted)/3] ^= 0x41
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.trace.gz")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := LoadTrace(path) // must not panic, whatever the bytes
+		if err != nil {
+			return
+		}
+		// Accepted traces must be Validate-clean (LoadTrace promises it)
+		// and must round-trip through Save→Load byte-identically.
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("LoadTrace accepted a trace failing Validate: %v", verr)
+		}
+		resaved := filepath.Join(dir, "resave.trace.gz")
+		if err := tr.Save(resaved); err != nil {
+			t.Fatalf("accepted trace failed to save: %v", err)
+		}
+		back, err := LoadTrace(resaved)
+		if err != nil {
+			t.Fatalf("saved trace failed to load: %v", err)
+		}
+		if back.Description != tr.Description || back.Seed != tr.Seed ||
+			back.Subcarriers != tr.Subcarriers || len(back.Links) != len(tr.Links) {
+			t.Fatalf("round trip changed trace header: %+v vs %+v", back, tr)
+		}
+		for i := range tr.Links {
+			a, b := &tr.Links[i], &back.Links[i]
+			if a.NA != b.NA || a.NC != b.NC || len(a.H) != len(b.H) {
+				t.Fatalf("round trip changed link %d shape", i)
+			}
+			for r := range a.H {
+				for s := range a.H[r] {
+					for k := range a.H[r][s] {
+						if a.H[r][s][k] != b.H[r][s][k] {
+							t.Fatalf("round trip changed link %d realization %d", i, r)
+						}
+					}
+				}
+			}
+		}
+	})
+}

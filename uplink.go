@@ -44,6 +44,9 @@ type UplinkOptions struct {
 	// EstimatedCSI switches the receiver to noisy preamble-based
 	// channel estimates, charging the preamble's air time.
 	EstimatedCSI bool
+	// Workers bounds the goroutines detecting frames concurrently.
+	// Results are byte-identical for every value; 0 runs sequentially.
+	Workers int
 }
 
 func (o UplinkOptions) factory() DetectorFactory {
@@ -65,6 +68,7 @@ func (o UplinkOptions) runConfig() link.RunConfig {
 		Seed:         o.Seed,
 		SNRJitterDB:  o.SNRJitterDB,
 		EstimatedCSI: o.EstimatedCSI,
+		Workers:      o.Workers,
 	}
 }
 
