@@ -172,10 +172,32 @@ func benchDetector(b *testing.B, det Detector, cons *constellation.Constellation
 		}
 	}
 	b.StopTimer()
-	if c, ok := det.(Counter); ok {
-		st := c.Stats()
+	if st, ok := StatsOf(det); ok {
 		b.ReportMetric(st.PEDPerDetection(), "PED/op")
 		b.ReportMetric(st.NodesPerDetection(), "nodes/op")
+	}
+}
+
+// BenchmarkDetectRecorder quantifies the observability overhead on the
+// hot path: the same 4×4 64-QAM Geosphere detection with no recorder,
+// the no-op recorder (the documented <2% budget), and the full
+// StatsRecorder. All three must report 0 allocs/op.
+func BenchmarkDetectRecorder(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		rec  Observer
+	}{
+		{"baseline", nil},
+		{"nop", NopObserver},
+		{"stats", NewStatsObserver()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			det := core.NewGeosphere(QAM64)
+			if tc.rec != nil {
+				det.SetRecorder(tc.rec)
+			}
+			benchDetector(b, det, QAM64, 4, 4, 25)
+		})
 	}
 }
 

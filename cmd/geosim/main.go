@@ -8,38 +8,68 @@
 //	geosim -experiment fig15a -quick    # reduced-size smoke run
 //	geosim -list                        # show experiment ids
 //
-// Every run is deterministic for a given -seed.
+// Observability flags:
+//
+//	-stats text    # dump aggregated decoder/link statistics at exit
+//	-stats json    # same, as one JSON object (schema pinned by tests)
+//	-progress      # periodic progress lines on stderr
+//	-pprof ADDR    # serve net/http/pprof on ADDR (e.g. localhost:6060)
+//
+// Every run is deterministic for a given -seed; the observability
+// flags never change the experiment results.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected so tests can drive the
+// command end to end. It returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("geosim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experiment = flag.String("experiment", "", "experiment id (see -list), or 'all'")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		quick      = flag.Bool("quick", false, "use reduced sizes (fast smoke run)")
-		seed       = flag.Int64("seed", 0, "override the experiment seed (0 keeps the default)")
-		frames     = flag.Int("frames", 0, "override frames per measurement point (0 keeps the default)")
-		workers    = flag.Int("workers", 0, "total worker goroutine budget shared across points and frames (0 = GOMAXPROCS); results are identical for every value")
+		experiment = fs.String("experiment", "", "experiment id (see -list), or 'all'")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		quick      = fs.Bool("quick", false, "use reduced sizes (fast smoke run)")
+		seed       = fs.Int64("seed", 0, "override the experiment seed (0 keeps the default)")
+		frames     = fs.Int("frames", 0, "override frames per measurement point (0 keeps the default)")
+		workers    = fs.Int("workers", 0, "total worker goroutine budget shared across points and frames (0 = GOMAXPROCS); results are identical for every value")
+		stats      = fs.String("stats", "", "dump run statistics at exit: 'text' or 'json'")
+		progress   = fs.Bool("progress", false, "print periodic progress lines on stderr")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, n := range sim.ExperimentNames() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return 0
 	}
 	if *experiment == "" {
-		fmt.Fprintln(os.Stderr, "geosim: -experiment is required (try -list)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "geosim: -experiment is required (try -list)")
+		return 2
+	}
+	if *stats != "" && *stats != "text" && *stats != "json" {
+		fmt.Fprintf(stderr, "geosim: -stats must be 'text' or 'json', got %q\n", *stats)
+		return 2
 	}
 	opts := sim.DefaultOptions()
 	if *quick {
@@ -52,11 +82,40 @@ func main() {
 		opts.Frames = *frames
 	}
 	if *workers < 0 {
-		fmt.Fprintf(os.Stderr, "geosim: -workers must be >= 0, got %d\n", *workers)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "geosim: -workers must be >= 0, got %d\n", *workers)
+		return 2
 	}
 	if *workers > 0 {
 		opts.Workers = *workers
+	}
+
+	// Observability is side-channel only: any combination of these
+	// recorders leaves the printed tables byte-identical.
+	var recorders obs.Multi
+	var statsRec *obs.StatsRecorder
+	if *stats != "" {
+		statsRec = obs.NewStatsRecorder()
+		recorders = append(recorders, statsRec)
+	}
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.NewProgress(stderr, 2*time.Second)
+		recorders = append(recorders, prog)
+	}
+	switch len(recorders) {
+	case 0:
+	case 1:
+		opts.Recorder = recorders[0]
+	default:
+		opts.Recorder = recorders
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(stderr, "geosim: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stderr, "geosim: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	names := []string{*experiment}
@@ -66,16 +125,39 @@ func main() {
 	for _, name := range names {
 		fn, ok := sim.Experiments[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "geosim: unknown experiment %q (try -list)\n", name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "geosim: unknown experiment %q (try -list)\n", name)
+			return 2
 		}
 		start := time.Now()
 		table, err := fn(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "geosim: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "geosim: %s: %v\n", name, err)
+			return 1
 		}
-		table.Fprint(os.Stdout)
-		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		table.Fprint(stdout)
+		fmt.Fprintf(stdout, "  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	if prog != nil {
+		prog.Stop()
+	}
+	if statsRec != nil {
+		if err := dumpStats(stdout, statsRec.Snapshot(), *stats); err != nil {
+			fmt.Fprintf(stderr, "geosim: -stats: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// dumpStats writes the final snapshot in the requested format. The
+// JSON field set is part of the command's interface and pinned by
+// TestStatsJSONSchema.
+func dumpStats(w io.Writer, snap obs.Snapshot, format string) error {
+	if format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	snap.WriteText(w)
+	return nil
 }

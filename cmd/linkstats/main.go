@@ -5,20 +5,24 @@
 // Usage:
 //
 //	linkstats -trace traces/4x4.trace.gz
+//	linkstats -trace traces/4x4.trace.gz -progress   # heartbeat on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/testbed"
 )
 
 func main() {
 	var (
-		path = flag.String("trace", "", "trace file written by tracegen")
+		path     = flag.String("trace", "", "trace file written by tracegen")
+		progress = flag.Bool("progress", false, "print periodic progress lines on stderr while scanning links")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -29,6 +33,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "linkstats: %v\n", err)
 		os.Exit(1)
+	}
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.NewProgress(os.Stderr, time.Second)
 	}
 	fmt.Printf("trace: %s (%d links, %d subcarriers)\n\n", tr.Description, len(tr.Links), tr.Subcarriers)
 	fmt.Printf("%-14s %-22s %10s %10s %10s %10s\n", "AP", "clients", "κ² p50", "κ² p90", "Λ p50", "Λ p90")
@@ -54,6 +62,14 @@ func main() {
 		lam := metrics.NewCDF(lams)
 		fmt.Printf("%-14s %-22s %9.1fdB %9.1fdB %9.1fdB %9.1fdB\n",
 			l.AP, fmt.Sprint(l.Clients), k2.Quantile(0.5), k2.Quantile(0.9), lam.Quantile(0.5), lam.Quantile(0.9))
+		if prog != nil {
+			// One "point" per scanned link keeps the heartbeat honest
+			// without touching the report itself.
+			prog.RecordPoint(obs.PointSample{Label: l.AP})
+		}
+	}
+	if prog != nil {
+		prog.Stop()
 	}
 	k2 := metrics.NewCDF(allK2)
 	lam := metrics.NewCDF(allLam)

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/testbed"
 )
@@ -28,6 +29,7 @@ func main() {
 	)
 	flag.Parse()
 
+	start := time.Now()
 	plan := testbed.OfficePlan()
 	tr, err := testbed.Generate(plan, testbed.GenerateConfig{
 		Seed:         *seed,
@@ -48,6 +50,7 @@ func main() {
 	for i := range tr.Links {
 		total += tr.Links[i].Realizations()
 	}
-	fmt.Printf("wrote %s: %d links × %d subcarriers, %d total realizations (%s)\n",
-		*out, len(tr.Links), tr.Subcarriers, total, tr.Description)
+	fmt.Printf("wrote %s: %d links × %d subcarriers, %d total realizations (%s) in %v\n",
+		*out, len(tr.Links), tr.Subcarriers, total, tr.Description,
+		time.Since(start).Round(time.Millisecond))
 }

@@ -70,8 +70,8 @@ func ExampleNewETHSD() {
 			return
 		}
 	}
-	gs := geo.(geosphere.Counter).Stats()
-	es := eth.(geosphere.Counter).Stats()
+	gs, _ := geosphere.StatsOf(geo)
+	es, _ := geosphere.StatsOf(eth)
 	fmt.Printf("same nodes: %v; Geosphere needs fewer distance computations: %v\n",
 		gs.VisitedNodes == es.VisitedNodes, gs.PEDCalcs < es.PEDCalcs)
 	// Output: same nodes: true; Geosphere needs fewer distance computations: true

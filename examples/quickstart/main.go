@@ -52,8 +52,7 @@ func main() {
 		}
 		fmt.Printf("%-14s detected %v (sent %v) — %d symbol errors\n",
 			det.Name(), got, sent, errors)
-		if c, ok := det.(geosphere.Counter); ok {
-			st := c.Stats()
+		if st, ok := geosphere.StatsOf(det); ok {
 			fmt.Printf("               %d partial-distance calculations, %d tree nodes visited\n",
 				st.PEDCalcs, st.VisitedNodes)
 		}

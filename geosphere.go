@@ -48,7 +48,18 @@ type Detector = core.Detector
 
 // Counter is implemented by detectors that track complexity
 // statistics (sphere decoders, K-best, FCSD).
+//
+// Deprecated: asserting det.(Counter) couples callers to which
+// concrete detectors count work. Use StatsOf, which performs the
+// assertion and reports whether statistics are available.
 type Counter = core.Counter
+
+// StatsOf returns the complexity statistics a detector has accumulated
+// since construction (or its last ResetStats), and whether the
+// detector counts work at all. Linear detectors (ZF, MMSE, MMSE-SIC)
+// return false; every tree-search detector in this package returns
+// true. This replaces ad-hoc det.(Counter) type assertions.
+func StatsOf(det Detector) (Stats, bool) { return core.StatsOf(det) }
 
 // Stats counts detector work: exact partial-Euclidean-distance
 // computations (the paper's §5.3 complexity metric), visited tree

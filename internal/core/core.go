@@ -31,11 +31,14 @@ var ErrNotPrepared = errors.New("core: detector not prepared with a channel")
 // geometric lower-bound table lookups (these are deliberately *not*
 // PEDs; they cost one multiply). VisitedNodes counts tree nodes
 // expanded, which the paper reports for completeness and which must be
-// identical across all exact Schnorr-Euchner decoders.
+// identical across all exact Schnorr-Euchner decoders. Prunes counts
+// backtrack events: a level's sibling enumeration ended because every
+// remaining child was outside the sphere (or the level was exhausted).
 type Stats struct {
 	PEDCalcs     int64
 	VisitedNodes int64
 	BoundChecks  int64
+	Prunes       int64
 	Leaves       int64
 	Detections   int64
 }
@@ -45,6 +48,7 @@ func (s *Stats) Add(other Stats) {
 	s.PEDCalcs += other.PEDCalcs
 	s.VisitedNodes += other.VisitedNodes
 	s.BoundChecks += other.BoundChecks
+	s.Prunes += other.Prunes
 	s.Leaves += other.Leaves
 	s.Detections += other.Detections
 }
@@ -91,6 +95,18 @@ type Detector interface {
 type Counter interface {
 	Stats() Stats
 	ResetStats()
+}
+
+// StatsOf returns det's complexity statistics and whether det tracks
+// any. It is the supported way to read Stats from a Detector-typed
+// value — linear detectors report (zero, false), every tree-search
+// detector reports its counters — replacing ad-hoc type assertions on
+// Counter at call sites.
+func StatsOf(det Detector) (Stats, bool) {
+	if c, ok := det.(Counter); ok {
+		return c.Stats(), true
+	}
+	return Stats{}, false
 }
 
 // checkDims validates a received vector against a prepared channel.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cmplxmat"
 	"repro/internal/constellation"
+	"repro/internal/obs"
 )
 
 // HybridDetector implements the condition-number-threshold scheme of
@@ -68,6 +69,11 @@ func (d *HybridDetector) ResetStats() {
 	d.SphereSelections = 0
 	d.Preparations = 0
 }
+
+// SetRecorder implements obs.Target by forwarding to the sphere
+// branch; the linear branch performs no tree search and records
+// nothing.
+func (d *HybridDetector) SetRecorder(r obs.Recorder) { d.sphere.SetRecorder(r) }
 
 // Prepare implements Detector: it computes κ(H) and selects a branch.
 func (d *HybridDetector) Prepare(h *cmplxmat.Matrix) error {

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// captureRecorder keeps deep copies of the samples it receives (the
+// Levels slice is only valid during the call).
+type captureRecorder struct {
+	detects []obs.DetectSample
+}
+
+func (c *captureRecorder) RecordDetect(s obs.DetectSample) {
+	cp := s
+	cp.Levels = append([]obs.LevelSample(nil), s.Levels...)
+	c.detects = append(c.detects, cp)
+}
+func (c *captureRecorder) RecordDecode(obs.DecodeSample) {}
+func (c *captureRecorder) RecordFrame(obs.FrameSample)   {}
+func (c *captureRecorder) RecordPoint(obs.PointSample)   {}
+
+// TestLevelStatsSumToTotals pins the per-level refactor's invariant:
+// the per-level breakdown partitions the aggregate counters exactly.
+func TestLevelStatsSumToTotals(t *testing.T) {
+	src := rng.New(11)
+	for _, cons := range []*constellation.Constellation{constellation.QPSK, constellation.QAM16, constellation.QAM64} {
+		d := NewGeosphere(cons)
+		for trial := 0; trial < 20; trial++ {
+			h, _, y := randomScenario(src, cons, 4, 4, 5+src.Float64()*20)
+			if err := d.Prepare(h); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Detect(nil, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total := d.Stats()
+		var sum Stats
+		for _, l := range d.LevelStats() {
+			sum.Add(l)
+		}
+		if sum.VisitedNodes != total.VisitedNodes ||
+			sum.PEDCalcs != total.PEDCalcs ||
+			sum.BoundChecks != total.BoundChecks ||
+			sum.Prunes != total.Prunes ||
+			sum.Leaves != total.Leaves {
+			t.Errorf("%s: level sums %+v != totals %+v", cons, sum, total)
+		}
+		if total.Detections != 20 {
+			t.Errorf("%s: Detections = %d, want 20", cons, total.Detections)
+		}
+	}
+}
+
+// TestLevelStatsSurviveReshape verifies totals are preserved when
+// Prepare changes the tree depth (stats fold into the running total).
+func TestLevelStatsSurviveReshape(t *testing.T) {
+	src := rng.New(13)
+	cons := constellation.QAM16
+	d := NewGeosphere(cons)
+	var want Stats
+	for _, nc := range []int{4, 2, 3, 4} {
+		h, _, y := randomScenario(src, cons, 4, nc, 15)
+		if err := d.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		before := d.Stats()
+		if _, err := d.Detect(nil, y); err != nil {
+			t.Fatal(err)
+		}
+		after := d.Stats()
+		if after.Detections != before.Detections+1 {
+			t.Fatalf("nc=%d: Detections %d -> %d", nc, before.Detections, after.Detections)
+		}
+		want = after
+	}
+	if got := d.Stats(); got != want {
+		t.Errorf("Stats drifted after reshape: %+v != %+v", got, want)
+	}
+	d.ResetStats()
+	if got := d.Stats(); got != (Stats{}) {
+		t.Errorf("ResetStats left %+v", got)
+	}
+}
+
+// TestRecorderDeltasMatchStats verifies the emitted per-detection
+// samples are exact deltas: summed over a run they reproduce the
+// decoder's own counters.
+func TestRecorderDeltasMatchStats(t *testing.T) {
+	src := rng.New(17)
+	cons := constellation.QAM16
+	d := NewGeosphere(cons)
+	rec := &captureRecorder{}
+	d.SetRecorder(rec)
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		h, _, y := randomScenario(src, cons, 4, 4, 5+src.Float64()*20)
+		if err := d.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Detect(nil, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rec.detects) != trials {
+		t.Fatalf("recorded %d samples, want %d", len(rec.detects), trials)
+	}
+	var sum Stats
+	for _, s := range rec.detects {
+		if s.Detector != d.Name() {
+			t.Errorf("sample detector %q, want %q", s.Detector, d.Name())
+		}
+		for _, l := range s.Levels {
+			sum.VisitedNodes += l.Nodes
+			sum.PEDCalcs += l.PEDCalcs
+			sum.BoundChecks += l.BoundChecks
+			sum.Prunes += l.Prunes
+		}
+	}
+	total := d.Stats()
+	if sum.VisitedNodes != total.VisitedNodes || sum.PEDCalcs != total.PEDCalcs ||
+		sum.BoundChecks != total.BoundChecks || sum.Prunes != total.Prunes {
+		t.Errorf("sample deltas %+v != decoder totals %+v", sum, total)
+	}
+}
+
+// TestDetectZeroAllocs proves the instrumented hot path stays
+// allocation-free, with and without a recorder attached — the
+// tentpole's overhead contract.
+func TestDetectZeroAllocs(t *testing.T) {
+	src := rng.New(19)
+	cons := constellation.QAM64
+	h, _, y := randomScenario(src, cons, 4, 4, 25)
+	dst := make([]int, 4)
+	for _, tc := range []struct {
+		name string
+		rec  obs.Recorder
+	}{
+		{"no recorder", nil},
+		{"nop recorder", obs.Nop{}},
+		{"stats recorder", obs.NewStatsRecorder()},
+	} {
+		d := NewGeosphere(cons)
+		if tc.rec != nil {
+			d.SetRecorder(tc.rec)
+		}
+		if err := d.Prepare(h); err != nil {
+			t.Fatal(err)
+		}
+		// Warm up once so lazy growth is done before measuring.
+		if _, err := d.Detect(dst, y); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := d.Detect(dst, y); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %g allocs/op on Detect, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestStatsOf covers the assertion helper over counting and
+// non-counting detectors.
+func TestStatsOf(t *testing.T) {
+	cons := constellation.QAM16
+	d := NewGeosphere(cons)
+	src := rng.New(23)
+	h, _, y := randomScenario(src, cons, 2, 2, 20)
+	if err := d.Prepare(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Detect(nil, y); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := StatsOf(d)
+	if !ok || st.Detections != 1 {
+		t.Errorf("StatsOf(Geosphere) = %+v, %v; want counting detector with 1 detection", st, ok)
+	}
+	if _, ok := StatsOf(nil); ok {
+		t.Error("StatsOf(nil) reported a counter")
+	}
+}
+
+// TestHybridForwardsRecorder verifies the hybrid's sphere branch
+// reports through a recorder set on the hybrid.
+func TestHybridForwardsRecorder(t *testing.T) {
+	cons := constellation.QPSK
+	hy, err := NewHybrid(cons, NewML(cons), 1) // κ ≥ 1 always → sphere branch
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &captureRecorder{}
+	hy.SetRecorder(rec)
+	src := rng.New(29)
+	h, _, y := randomScenario(src, cons, 2, 2, 20)
+	if err := hy.Prepare(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hy.Detect(nil, y); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.detects) != 1 {
+		t.Errorf("hybrid recorded %d detect samples, want 1", len(rec.detects))
+	}
+}

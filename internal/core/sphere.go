@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cmplxmat"
 	"repro/internal/constellation"
+	"repro/internal/obs"
 )
 
 // enumerator produces the children of one sphere-decoder tree node in
@@ -37,7 +38,20 @@ type SphereDecoder struct {
 	name    string
 	cons    *constellation.Constellation
 	factory enumeratorFactory
-	stats   Stats
+	// Complexity accounting is kept per tree level so the recorder can
+	// expose where the pruning wins happen; Stats() sums the levels.
+	// total carries the counters that have no level (Detections).
+	levelStats []Stats
+	total      Stats
+
+	// Observability: when rec is non-nil, Detect streams one
+	// DetectSample per call with per-level counter deltas. prev holds
+	// the levelStats values at the previous sample and sampleBuf is
+	// the borrowed slice handed to the recorder, so the hot path never
+	// allocates.
+	rec       obs.Recorder
+	prev      []Stats
+	sampleBuf []obs.LevelSample
 
 	// Channel state set by Prepare.
 	h            *cmplxmat.Matrix
@@ -75,11 +89,54 @@ func (d *SphereDecoder) Name() string { return d.name }
 // Constellation implements Detector.
 func (d *SphereDecoder) Constellation() *constellation.Constellation { return d.cons }
 
-// Stats implements Counter.
-func (d *SphereDecoder) Stats() Stats { return d.stats }
+// Stats implements Counter, summing the per-level counters.
+func (d *SphereDecoder) Stats() Stats {
+	s := d.total
+	for i := range d.levelStats {
+		s.Add(d.levelStats[i])
+	}
+	return s
+}
+
+// LevelStats returns a copy of the per-level counters accumulated
+// since the last reset. Index 0 is the bottom of the tree (the
+// last-detected stream); the length is the prepared channel's stream
+// count, nil before Prepare.
+func (d *SphereDecoder) LevelStats() []Stats {
+	if d.levelStats == nil {
+		return nil
+	}
+	out := make([]Stats, len(d.levelStats))
+	copy(out, d.levelStats)
+	return out
+}
 
 // ResetStats implements Counter.
-func (d *SphereDecoder) ResetStats() { d.stats = Stats{} }
+func (d *SphereDecoder) ResetStats() {
+	d.total = Stats{}
+	for i := range d.levelStats {
+		d.levelStats[i] = Stats{}
+	}
+	for i := range d.prev {
+		d.prev[i] = Stats{}
+	}
+}
+
+// SetRecorder streams one obs.DetectSample per Detect call to r, with
+// per-level node/PED/bound/prune counter deltas. A nil r (the
+// default) turns recording off entirely; the hot path then pays one
+// nil check per Detect. obs.Nop is recognized and treated as nil, so
+// the no-op recorder skips sample assembly too and costs nothing. The
+// sample's Levels slice aliases decoder scratch and is only valid
+// during the RecordDetect call.
+func (d *SphereDecoder) SetRecorder(r obs.Recorder) {
+	if _, nop := r.(obs.Nop); nop {
+		r = nil
+	}
+	d.rec = r
+}
+
+var _ obs.Target = (*SphereDecoder)(nil)
 
 // SetNodeBudget bounds the tree nodes visited per Detect call; when
 // the budget is exhausted the decoder returns the best candidate found
@@ -118,9 +175,20 @@ func (d *SphereDecoder) Prepare(h *cmplxmat.Matrix) error {
 	d.qr = qr
 	d.nc = nc
 	if cap(d.enums) < nc {
+		// Counters survive re-preparation (a detector is Prepared once
+		// per subcarrier and its Stats accumulate across the frame):
+		// fold the outgoing per-level counts into the level-less bucket
+		// before the arrays are replaced.
+		d.total = d.Stats()
+		// levelStats must be allocated before the enumerators: each
+		// level's enumerator captures a pointer into its backing array,
+		// which therefore stays stable until the enums are rebuilt.
+		d.levelStats = make([]Stats, nc)
+		d.prev = make([]Stats, nc)
+		d.sampleBuf = make([]obs.LevelSample, nc)
 		d.enums = make([]enumerator, nc)
 		for l := range d.enums {
-			d.enums[l] = d.factory(d.cons, &d.stats)
+			d.enums[l] = d.factory(d.cons, &d.levelStats[l])
 		}
 		d.yhat = make([]complex128, nc)
 		d.path = make([]int, nc)
@@ -129,7 +197,18 @@ func (d *SphereDecoder) Prepare(h *cmplxmat.Matrix) error {
 		d.rll2 = make([]float64, nc)
 		d.rinv = make([]complex128, nc)
 	} else {
+		// On shrink, fold the disappearing levels into the level-less
+		// bucket and zero them, so Stats() keeps every past count and
+		// nothing double-counts if the levels are re-extended later.
+		for l := nc; l < len(d.levelStats); l++ {
+			d.total.Add(d.levelStats[l])
+			d.levelStats[l] = Stats{}
+			d.prev[l] = Stats{}
+		}
 		d.enums = d.enums[:nc]
+		d.levelStats = d.levelStats[:nc]
+		d.prev = d.prev[:nc]
+		d.sampleBuf = d.sampleBuf[:nc]
 		d.yhat = d.yhat[:nc]
 		d.path = d.path[:nc]
 		d.pathSym = d.pathSym[:nc]
@@ -199,20 +278,21 @@ func (d *SphereDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 		if !ok || ped >= effRadius {
 			// Every remaining child of this node lies outside the
 			// sphere: backtrack (Schnorr-Euchner sibling pruning).
+			d.levelStats[level].Prunes++
 			level++
 			if level > top {
 				break
 			}
 			continue
 		}
-		d.stats.VisitedNodes++
+		d.levelStats[level].VisitedNodes++
 		visited++
 		d.path[level] = idx
 		d.pathSym[level] = d.cons.PointIndex(idx)
 		if level == 0 {
 			// Leaf: tighten the sphere radius and record the best
 			// candidate so far, then keep scanning siblings.
-			d.stats.Leaves++
+			d.levelStats[0].Leaves++
 			radius2 = ped
 			copy(dst, d.path)
 			found = true
@@ -223,7 +303,7 @@ func (d *SphereDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 		d.base[level] = ped
 		d.enums[level].init(d.ytildeAt(level), ped, d.rll2[level])
 	}
-	d.stats.Detections++
+	d.total.Detections++
 	if !found {
 		// Cannot happen with an infinite initial radius and a
 		// full-rank channel, but guard against enumerator bugs.
@@ -236,5 +316,26 @@ func (d *SphereDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 			dst[stream] = d.path[i]
 		}
 	}
+	if d.rec != nil {
+		d.emitDetect()
+	}
 	return dst, nil
+}
+
+// emitDetect streams this Detect call's per-level counter deltas to
+// the recorder. All state lives in preallocated decoder scratch, so
+// the instrumented hot path stays allocation-free.
+func (d *SphereDecoder) emitDetect() {
+	for l := 0; l < d.nc; l++ {
+		cur := d.levelStats[l]
+		prev := d.prev[l]
+		d.sampleBuf[l] = obs.LevelSample{
+			Nodes:       cur.VisitedNodes - prev.VisitedNodes,
+			PEDCalcs:    cur.PEDCalcs - prev.PEDCalcs,
+			BoundChecks: cur.BoundChecks - prev.BoundChecks,
+			Prunes:      cur.Prunes - prev.Prunes,
+		}
+		d.prev[l] = cur
+	}
+	d.rec.RecordDetect(obs.DetectSample{Detector: d.name, Levels: d.sampleBuf[:d.nc]})
 }

@@ -94,19 +94,31 @@ func ViterbiDecode(coded []byte) ([]byte, error) {
 // ViterbiDecodeSoft decodes from per-bit log-likelihood ratios
 // (positive = bit 1 more likely). Length rules match ViterbiDecode.
 func ViterbiDecodeSoft(llrs []float64) ([]byte, error) {
+	bits, _, err := ViterbiDecodeSoftMetric(llrs)
+	return bits, err
+}
+
+// ViterbiDecodeSoftMetric is ViterbiDecodeSoft with the winning path's
+// accumulated trellis metric alongside the decoded bits. The metric is
+// the correlation of the survivor path's expected code bits with the
+// input LLRs: larger means the received soft values agree more
+// strongly with a valid codeword, so it doubles as a per-stream
+// reception-quality observable (normalize by len(llrs) to compare
+// across frame sizes).
+func ViterbiDecodeSoftMetric(llrs []float64) ([]byte, float64, error) {
 	if len(llrs)%2 != 0 {
-		return nil, fmt.Errorf("fec: LLR length %d is odd", len(llrs))
+		return nil, 0, fmt.Errorf("fec: LLR length %d is odd", len(llrs))
 	}
 	steps := len(llrs) / 2
 	if steps < ConstraintLength-1 {
-		return nil, fmt.Errorf("fec: codeword of %d steps shorter than the tail", steps)
+		return nil, 0, fmt.Errorf("fec: codeword of %d steps shorter than the tail", steps)
 	}
 	metrics := make([]float64, numStates)
 	bits, err := viterbi(llrs, metrics)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return bits[:steps-(ConstraintLength-1)], nil
+	return bits[:steps-(ConstraintLength-1)], metrics[0], nil
 }
 
 // viterbi runs the add-compare-select recursion over soft inputs

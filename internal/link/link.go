@@ -7,19 +7,45 @@
 package link
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/cmplxmat"
 	"repro/internal/constellation"
 	"repro/internal/core"
 	"repro/internal/fec"
+	"repro/internal/obs"
 	"repro/internal/ofdm"
 	"repro/internal/phy"
 	"repro/internal/rng"
 	"repro/internal/testbed"
+)
+
+// Typed configuration errors. RunConfig.Validate and the channel
+// source constructors wrap these sentinels (with the offending values
+// attached), so every misconfiguration is matchable with errors.Is —
+// at this layer and through the geosphere facade, which re-exports
+// them.
+var (
+	// ErrNilConstellation reports a config without a constellation.
+	ErrNilConstellation = errors.New("link: config needs a constellation")
+	// ErrBadFrames reports a non-positive frame count.
+	ErrBadFrames = errors.New("link: Frames must be positive")
+	// ErrBadNumSymbols reports a non-positive OFDM symbol count.
+	ErrBadNumSymbols = errors.New("link: NumSymbols must be positive")
+	// ErrBadJitter reports a negative SNR jitter width.
+	ErrBadJitter = errors.New("link: SNRJitterDB must be non-negative")
+	// ErrBadTraining reports a negative preamble repetition count.
+	ErrBadTraining = errors.New("link: TrainingReps must be non-negative")
+	// ErrBadWorkers reports a negative worker count.
+	ErrBadWorkers = errors.New("link: Workers must be non-negative")
+	// ErrBadShape reports an antenna/client geometry no receiver can
+	// serve (nc < 1 or fewer antennas than clients).
+	ErrBadShape = errors.New("link: invalid antenna/client shape")
 )
 
 // ChannelSource yields one frame's worth of per-subcarrier channel
@@ -100,7 +126,7 @@ type RayleighSource struct {
 // NewRayleighSource returns a per-frame i.i.d. Rayleigh channel source.
 func NewRayleighSource(src *rng.Source, na, nc int) (*RayleighSource, error) {
 	if na < nc || nc <= 0 {
-		return nil, fmt.Errorf("link: invalid Rayleigh shape %d×%d", na, nc)
+		return nil, fmt.Errorf("%w: Rayleigh %d×%d", ErrBadShape, na, nc)
 	}
 	return &RayleighSource{src: src, na: na, nc: nc}, nil
 }
@@ -178,28 +204,37 @@ type RunConfig struct {
 	// byte-identical for every worker count. 0 and 1 both run on the
 	// calling goroutine.
 	Workers int
+	// Recorder, when non-nil, receives the run's observability stream:
+	// one obs.DetectSample per subcarrier detection (from recording-
+	// capable detectors), one obs.DecodeSample per stream decode, and
+	// one obs.FrameSample per completed frame with the worker id and
+	// wall-clock timing. It must be safe for concurrent use when
+	// Workers > 1. Recording never changes the Measurement.
+	Recorder obs.Recorder
 }
 
 // Validate rejects configurations that would silently measure nothing
-// or crash deep inside the pipeline.
+// or crash deep inside the pipeline. Every failure wraps one of the
+// typed sentinels (ErrNilConstellation, ErrBadFrames, ...) so callers
+// can match with errors.Is.
 func (cfg RunConfig) Validate() error {
 	if cfg.Cons == nil {
-		return fmt.Errorf("link: RunConfig needs a constellation")
+		return ErrNilConstellation
 	}
 	if cfg.Frames <= 0 {
-		return fmt.Errorf("link: Frames must be positive, got %d", cfg.Frames)
+		return fmt.Errorf("%w, got %d", ErrBadFrames, cfg.Frames)
 	}
 	if cfg.NumSymbols <= 0 {
-		return fmt.Errorf("link: NumSymbols must be positive, got %d", cfg.NumSymbols)
+		return fmt.Errorf("%w, got %d", ErrBadNumSymbols, cfg.NumSymbols)
 	}
 	if cfg.SNRJitterDB < 0 {
-		return fmt.Errorf("link: SNRJitterDB must be non-negative, got %g", cfg.SNRJitterDB)
+		return fmt.Errorf("%w, got %g", ErrBadJitter, cfg.SNRJitterDB)
 	}
 	if cfg.TrainingReps < 0 {
-		return fmt.Errorf("link: TrainingReps must be non-negative, got %d", cfg.TrainingReps)
+		return fmt.Errorf("%w, got %d", ErrBadTraining, cfg.TrainingReps)
 	}
 	if cfg.Workers < 0 {
-		return fmt.Errorf("link: Workers must be non-negative, got %d", cfg.Workers)
+		return fmt.Errorf("%w, got %d", ErrBadWorkers, cfg.Workers)
 	}
 	return nil
 }
@@ -223,10 +258,17 @@ type frameOutcome struct {
 // runFrame pushes one frame through jitter → encode → (estimate) →
 // transmit/detect/decode. All randomness comes from the frame's own
 // substream and the detector is freshly built, so the outcome depends
-// only on (cfg, fi, hs) — never on which worker ran it or when.
-func runFrame(cfg RunConfig, l *phy.Link, factory DetectorFactory, noiseVar float64, nc, fi int, hs []*cmplxmat.Matrix) frameOutcome {
+// only on (cfg, fi, hs) — never on which worker ran it or when. The
+// worker id only labels the frame's observability sample.
+func runFrame(cfg RunConfig, l *phy.Link, factory DetectorFactory, noiseVar float64, nc, fi, worker int, hs []*cmplxmat.Matrix) frameOutcome {
+	start := time.Now()
 	fsrc := rng.Substream(cfg.Seed, int64(fi))
 	det := factory(cfg.Cons, noiseVar)
+	if cfg.Recorder != nil {
+		if t, ok := det.(obs.Target); ok {
+			t.SetRecorder(cfg.Recorder)
+		}
+	}
 	if cfg.SNRJitterDB > 0 {
 		hs = jitterClients(fsrc, hs, cfg.SNRJitterDB)
 	}
@@ -246,8 +288,22 @@ func runFrame(cfg RunConfig, l *phy.Link, factory DetectorFactory, noiseVar floa
 		return frameOutcome{err: err}
 	}
 	out := frameOutcome{res: res}
-	if c, ok := det.(core.Counter); ok {
-		out.stats = c.Stats()
+	out.stats, _ = core.StatsOf(det)
+	if cfg.Recorder != nil {
+		errs := 0
+		for _, ok := range res.StreamOK {
+			if !ok {
+				errs++
+			}
+		}
+		cfg.Recorder.RecordFrame(obs.FrameSample{
+			Frame:        fi,
+			Worker:       worker,
+			Duration:     time.Since(start),
+			OK:           res.FrameOK(),
+			Streams:      len(res.StreamOK),
+			StreamErrors: errs,
+		})
 	}
 	return out
 }
@@ -267,7 +323,7 @@ func Run(cfg RunConfig, source ChannelSource, factory DetectorFactory) (Measurem
 	if err := cfg.Validate(); err != nil {
 		return Measurement{}, err
 	}
-	pcfg := phy.Config{Cons: cfg.Cons, Rate: cfg.Rate, NumSymbols: cfg.NumSymbols, SoftDecoding: cfg.SoftDecoding}
+	pcfg := phy.Config{Cons: cfg.Cons, Rate: cfg.Rate, NumSymbols: cfg.NumSymbols, SoftDecoding: cfg.SoftDecoding, Recorder: cfg.Recorder}
 	if _, err := phy.NewLink(pcfg); err != nil {
 		return Measurement{}, err
 	}
@@ -300,14 +356,14 @@ func Run(cfg RunConfig, source ChannelSource, factory DetectorFactory) (Measurem
 			return Measurement{}, err
 		}
 		for fi := range channels {
-			outcomes[fi] = runFrame(cfg, l, factory, noiseVar, nc, fi, channels[fi])
+			outcomes[fi] = runFrame(cfg, l, factory, noiseVar, nc, fi, 0, channels[fi])
 		}
 	} else {
 		var wg sync.WaitGroup
 		idx := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
 				l, err := phy.NewLink(pcfg)
 				for fi := range idx {
@@ -315,9 +371,9 @@ func Run(cfg RunConfig, source ChannelSource, factory DetectorFactory) (Measurem
 						outcomes[fi] = frameOutcome{err: err}
 						continue
 					}
-					outcomes[fi] = runFrame(cfg, l, factory, noiseVar, nc, fi, channels[fi])
+					outcomes[fi] = runFrame(cfg, l, factory, noiseVar, nc, fi, worker, channels[fi])
 				}
-			}()
+			}(w)
 		}
 		for fi := 0; fi < cfg.Frames; fi++ {
 			idx <- fi

@@ -1,0 +1,97 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+func obsRunConfig(rec obs.Recorder, workers int) RunConfig {
+	return RunConfig{
+		Cons:       constellation.QAM16,
+		Rate:       fec.Rate12,
+		NumSymbols: 4,
+		Frames:     12,
+		SNRdB:      22,
+		Seed:       77,
+		Workers:    workers,
+		Recorder:   rec,
+	}
+}
+
+func obsGeoFactory(c *constellation.Constellation, _ float64) core.Detector {
+	return core.NewGeosphere(c)
+}
+
+// TestRunSharedRecorderParallel drives the worker pool with one shared
+// StatsRecorder (the -race configuration the tentpole requires) and
+// checks the sample counts line up with the measurement.
+func TestRunSharedRecorderParallel(t *testing.T) {
+	rec := obs.NewStatsRecorder()
+	src, err := NewRayleighSource(rng.New(5), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(obsRunConfig(rec, 4), src, obsGeoFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Snapshot()
+	if s.Frames.Frames != int64(m.Frames) {
+		t.Errorf("recorded %d frame samples, measurement ran %d frames", s.Frames.Frames, m.Frames)
+	}
+	if s.Frames.FrameErrors != int64(m.FrameErrors) {
+		t.Errorf("recorded %d frame errors, measurement has %d", s.Frames.FrameErrors, m.FrameErrors)
+	}
+	if s.Frames.Streams != int64(m.Streams) {
+		t.Errorf("recorded %d streams, measurement has %d", s.Frames.Streams, m.Streams)
+	}
+	// Every subcarrier detection of every OFDM symbol reports a sample;
+	// the recorder's PED aggregate must equal the measurement's Stats.
+	if s.Detect.PEDCalcs != m.Stats.PEDCalcs {
+		t.Errorf("recorded %d PED calcs, measurement counted %d", s.Detect.PEDCalcs, m.Stats.PEDCalcs)
+	}
+	if s.Detect.VisitedNodes != m.Stats.VisitedNodes {
+		t.Errorf("recorded %d nodes, measurement counted %d", s.Detect.VisitedNodes, m.Stats.VisitedNodes)
+	}
+	if s.Decode.Decodes == 0 {
+		t.Error("no decode samples recorded")
+	}
+	var workerFrames int64
+	for _, w := range s.Workers {
+		workerFrames += w.Frames
+	}
+	if workerFrames != int64(m.Frames) {
+		t.Errorf("per-worker frames sum to %d, want %d", workerFrames, m.Frames)
+	}
+}
+
+// TestRunRecorderDoesNotChangeMeasurement pins the observability
+// contract: attaching any recorder leaves the Measurement
+// byte-identical, sequential or parallel.
+func TestRunRecorderDoesNotChangeMeasurement(t *testing.T) {
+	measure := func(rec obs.Recorder, workers int) Measurement {
+		src, err := NewRayleighSource(rng.New(5), 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Run(obsRunConfig(rec, workers), src, obsGeoFactory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	want := measure(nil, 1)
+	for _, workers := range []int{1, 4} {
+		for _, rec := range []obs.Recorder{nil, obs.Nop{}, obs.NewStatsRecorder()} {
+			if got := measure(rec, workers); got != want {
+				t.Errorf("workers=%d rec=%T: measurement changed:\ngot  %+v\nwant %+v",
+					workers, rec, got, want)
+			}
+		}
+	}
+}

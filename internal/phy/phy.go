@@ -18,6 +18,7 @@ import (
 	"repro/internal/constellation"
 	"repro/internal/core"
 	"repro/internal/fec"
+	"repro/internal/obs"
 	"repro/internal/ofdm"
 	"repro/internal/rng"
 )
@@ -32,6 +33,10 @@ type Config struct {
 	// detector implementing core.SoftDetector (see
 	// core.NewListSphereDecoder), the §7 future-work receiver.
 	SoftDecoding bool
+	// Recorder, when non-nil, receives one obs.DecodeSample per stream
+	// decode (Viterbi path metric and CRC outcome). It must be safe
+	// for concurrent use when Links run on multiple workers.
+	Recorder obs.Recorder
 }
 
 // Validate checks the configuration and returns derived sizes.
@@ -287,23 +292,28 @@ func (l *Link) TransmitReceiveCSI(src *rng.Source, f *Frame, hsTrue, hsDet []*cm
 	// Per-stream decoding.
 	for k := 0; k < nc; k++ {
 		var ok bool
+		var metric float64
 		var err error
 		if soft != nil {
-			ok, err = l.decodeStreamSoft(f, detLLR, k, byte(0x5d+k))
+			ok, metric, err = l.decodeStreamSoft(f, detLLR, k, byte(0x5d+k))
 		} else {
-			ok, err = l.decodeStream(f, detIdx, k, byte(0x5d+k))
+			ok, metric, err = l.decodeStream(f, detIdx, k, byte(0x5d+k))
 		}
 		if err != nil {
 			return nil, err
 		}
 		res.StreamOK[k] = ok
+		if cfg.Recorder != nil {
+			cfg.Recorder.RecordDecode(obs.DecodeSample{Stream: k, PathMetric: metric, OK: ok})
+		}
 	}
 	return res, nil
 }
 
 // decodeStreamSoft is decodeStream over detector LLRs: deinterleave
-// the soft values, depuncture, Viterbi-decode, CRC-check.
-func (l *Link) decodeStreamSoft(f *Frame, detLLR [][][]float64, k int, scramblerSeed byte) (bool, error) {
+// the soft values, depuncture, Viterbi-decode, CRC-check. The second
+// return value is the winning Viterbi path metric per coded bit.
+func (l *Link) decodeStreamSoft(f *Frame, detLLR [][][]float64, k int, scramblerSeed byte) (bool, float64, error) {
 	cfg := l.cfg
 	q := cfg.Cons.Bits()
 	coded := make([]float64, 0, cfg.CodedBits())
@@ -314,32 +324,35 @@ func (l *Link) decodeStreamSoft(f *Frame, detLLR [][][]float64, k int, scrambler
 		}
 		deint, err := l.il.DeinterleaveSoft(nil, block)
 		if err != nil {
-			return false, err
+			return false, 0, err
 		}
 		coded = append(coded, deint...)
 	}
 	motherLen := 2 * (cfg.InfoBits() + fec.ConstraintLength - 1)
 	llrs := fec.Depuncture(coded, cfg.Rate, motherLen)
-	dec, err := fec.ViterbiDecodeSoft(llrs)
+	dec, metric, err := fec.ViterbiDecodeSoftMetric(llrs)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
+	metric /= float64(len(llrs))
 	fec.Scramble(dec, scramblerSeed)
 	payload, ok := fec.CheckCRC(dec)
 	if !ok || len(payload) != len(f.Payloads[k]) {
-		return false, nil
+		return false, metric, nil
 	}
 	for i, b := range f.Payloads[k] {
 		if payload[i] != b {
-			return false, nil
+			return false, metric, nil
 		}
 	}
-	return true, nil
+	return true, metric, nil
 }
 
 // decodeStream demaps, deinterleaves, depunctures, Viterbi-decodes and
-// CRC-checks stream k, comparing against the transmitted payload.
-func (l *Link) decodeStream(f *Frame, detIdx [][][]int, k int, scramblerSeed byte) (bool, error) {
+// CRC-checks stream k, comparing against the transmitted payload. The
+// second return value is the winning Viterbi path metric per coded
+// bit.
+func (l *Link) decodeStream(f *Frame, detIdx [][][]int, k int, scramblerSeed byte) (bool, float64, error) {
 	cfg := l.cfg
 	coded := make([]float64, 0, cfg.CodedBits())
 	bitbuf := make([]byte, l.nbps)
@@ -352,7 +365,7 @@ func (l *Link) decodeStream(f *Frame, detIdx [][][]int, k int, scramblerSeed byt
 		}
 		deint, err := l.il.Deinterleave(nil, block)
 		if err != nil {
-			return false, err
+			return false, 0, err
 		}
 		for _, b := range deint {
 			if b == 1 {
@@ -364,25 +377,26 @@ func (l *Link) decodeStream(f *Frame, detIdx [][][]int, k int, scramblerSeed byt
 	}
 	motherLen := 2 * (cfg.InfoBits() + fec.ConstraintLength - 1)
 	llrs := fec.Depuncture(coded, cfg.Rate, motherLen)
-	dec, err := fec.ViterbiDecodeSoft(llrs)
+	dec, metric, err := fec.ViterbiDecodeSoftMetric(llrs)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
+	metric /= float64(len(llrs))
 	fec.Scramble(dec, scramblerSeed)
 	payload, ok := fec.CheckCRC(dec)
 	if !ok {
-		return false, nil
+		return false, metric, nil
 	}
 	// A CRC pass with a wrong payload would be a miss; verify against
 	// the transmitted bits so the simulator never overcounts goodput.
 	want := f.Payloads[k]
 	if len(payload) != len(want) {
-		return false, nil
+		return false, metric, nil
 	}
 	for i := range want {
 		if payload[i] != want[i] {
-			return false, nil
+			return false, metric, nil
 		}
 	}
-	return true, nil
+	return true, metric, nil
 }

@@ -36,7 +36,7 @@ func SoftVsHard(opts Options) (*Table, error) {
 			Cons: constellation.QAM16, Rate: fec.Rate12,
 			NumSymbols: opts.NumSymbols, Frames: opts.Frames,
 			SNRdB: snr, Seed: seedFor(opts, label),
-			Workers: inner,
+			Workers: inner, Recorder: opts.Recorder,
 		}
 		newSource := func() link.ChannelSource {
 			s, err := link.NewRayleighSource(rng.New(seedFor(opts, label)), 4, 4)
@@ -101,7 +101,7 @@ func HybridAblation(opts Options) (*Table, error) {
 			Cons: constellation.QAM16, Rate: fec.Rate12,
 			NumSymbols: opts.NumSymbols, Frames: opts.Frames,
 			SNRdB: snr, Seed: seedFor(opts, label),
-			Workers: inner,
+			Workers: inner, Recorder: opts.Recorder,
 		}
 		for _, d := range []struct {
 			name    string
@@ -163,7 +163,7 @@ func OrderingAblation(opts Options) (*Table, error) {
 			Cons: constellation.QAM16, Rate: fec.Rate12,
 			NumSymbols: opts.NumSymbols, Frames: opts.Frames,
 			SNRdB: snr, Seed: seedFor(opts, label),
-			Workers: inner,
+			Workers: inner, Recorder: opts.Recorder,
 		}
 		newSource := func() link.ChannelSource {
 			s, err := link.NewRayleighSource(rng.New(seedFor(opts, label)), 4, 4)
@@ -227,7 +227,7 @@ func RVDAblation(opts Options) (*Table, error) {
 			Cons: constellation.QAM16, Rate: fec.Rate12,
 			NumSymbols: opts.NumSymbols, Frames: opts.Frames,
 			SNRdB: snr, Seed: seedFor(opts, label),
-			Workers: inner,
+			Workers: inner, Recorder: opts.Recorder,
 		}
 		newSource := func() link.ChannelSource {
 			s, err := link.NewRayleighSource(rng.New(seedFor(opts, label)), 4, 4)
@@ -287,7 +287,7 @@ func StatisticalPruningAblation(opts Options) (*Table, error) {
 			Cons: constellation.QAM16, Rate: fec.Rate12,
 			NumSymbols: opts.NumSymbols, Frames: 2 * opts.Frames,
 			SNRdB: 13, Seed: seedFor(opts, label),
-			Workers: inner,
+			Workers: inner, Recorder: opts.Recorder,
 		}
 		factory := func(cons *constellation.Constellation, noiseVar float64) core.Detector {
 			if alpha == 0 {

@@ -22,8 +22,13 @@ func runOn(opts Options, cons *constellation.Constellation, snr float64, frames 
 		SNRdB:      snr,
 		Seed:       seedFor(opts, label),
 		Workers:    workers,
+		Recorder:   opts.Recorder,
 	}
-	return link.Run(cfg, newSource(), factory)
+	m, err := link.Run(cfg, newSource(), factory)
+	if err == nil {
+		recordPoint(opts, label, snr, m)
+	}
+	return m, err
 }
 
 // Fig14 reproduces Figure 14: the average number of exact partial

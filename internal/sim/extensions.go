@@ -43,7 +43,7 @@ func EstimatedCSI(opts Options) (*Table, error) {
 				Cons: constellation.QAM16, Rate: fec.Rate12,
 				NumSymbols: opts.NumSymbols, Frames: opts.Frames,
 				SNRdB: snr, Seed: seedFor(opts, label),
-				Workers: inner,
+				Workers: inner, Recorder: opts.Recorder,
 			}
 			newSource := func() link.ChannelSource {
 				s, err := link.NewTraceSource(tr)
@@ -112,7 +112,7 @@ func ChannelHardening(opts Options) (*Table, error) {
 			Cons: constellation.QAM16, Rate: fec.Rate12,
 			NumSymbols: opts.NumSymbols, Frames: opts.Frames,
 			SNRdB: 20, Seed: seedFor(opts, label),
-			Workers: inner,
+			Workers: inner, Recorder: opts.Recorder,
 		}
 		src, err := link.NewRayleighSource(rng.New(seedFor(opts, label)), p.na, 4)
 		if err != nil {

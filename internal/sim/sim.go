@@ -16,6 +16,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/kbest"
 	"repro/internal/linear"
+	"repro/internal/link"
+	"repro/internal/obs"
 	"repro/internal/testbed"
 )
 
@@ -41,6 +43,12 @@ type Options struct {
 	// parallelism never oversubscribes the host. 0 means GOMAXPROCS.
 	// Results are identical for every value.
 	Workers int
+	// Recorder, when non-nil, observes the whole run: it is threaded
+	// into every link.RunConfig the experiment builds (per-detect,
+	// per-decode and per-frame samples) and additionally receives one
+	// obs.PointSample per completed measurement point. It must be safe
+	// for concurrent use; recording never changes any result.
+	Recorder obs.Recorder
 }
 
 // workerBudget resolves the Workers option to a concrete budget.
@@ -249,6 +257,26 @@ func generateTrace(opts Options, nc, na int) (*testbed.Trace, error) {
 		NumAntennas:  na,
 		LinksPerAP:   opts.LinksPerAP,
 		Realizations: opts.Realizations,
+	})
+}
+
+// recordPoint publishes one completed measurement point to the run's
+// recorder, so a sweep's progress and per-point complexity are
+// observable while it runs.
+func recordPoint(opts Options, label string, snr float64, m link.Measurement) {
+	if opts.Recorder == nil {
+		return
+	}
+	opts.Recorder.RecordPoint(obs.PointSample{
+		Label:         label,
+		Detector:      m.Detector,
+		Constellation: m.Constellation,
+		SNRdB:         snr,
+		Frames:        m.Frames,
+		FER:           m.FER(),
+		NetMbps:       m.NetMbps,
+		PEDCalcs:      m.Stats.PEDCalcs,
+		VisitedNodes:  m.Stats.VisitedNodes,
 	})
 }
 

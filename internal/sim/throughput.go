@@ -31,6 +31,7 @@ func measurePoint(opts Options, tr *testbed.Trace, snr float64, factory link.Det
 		SNRdB:      snr,
 		Seed:       seedFor(opts, label),
 		Workers:    workers,
+		Recorder:   opts.Recorder,
 	}
 	newSource := func() link.ChannelSource {
 		s, err := link.NewTraceSource(tr)
@@ -39,7 +40,11 @@ func measurePoint(opts Options, tr *testbed.Trace, snr float64, factory link.Det
 		}
 		return s
 	}
-	return link.RateAdapt(cfg, testbedConstellations, newSource, factory)
+	m, err := link.RateAdapt(cfg, testbedConstellations, newSource, factory)
+	if err == nil {
+		recordPoint(opts, label, snr, m)
+	}
+	return m, err
 }
 
 // Fig11 reproduces the testbed throughput comparison of Figure 11:
@@ -185,6 +190,7 @@ func Fig13(opts Options) (*Table, error) {
 			SNRdB:      20,
 			Seed:       seedFor(opts, label),
 			Workers:    inner,
+			Recorder:   opts.Recorder,
 		}
 		var r res
 		for _, run := range []struct {
@@ -207,6 +213,7 @@ func Fig13(opts Options) (*Table, error) {
 			if err != nil {
 				return err
 			}
+			recordPoint(opts, label+"/"+run.tag, 20, m)
 			*run.dst = m
 		}
 		ratio := "∞"

@@ -42,7 +42,7 @@ func FERWaterfall(opts Options) (*Table, error) {
 				Cons: constellation.QAM16, Rate: fec.Rate12,
 				NumSymbols: opts.NumSymbols, Frames: 2 * opts.Frames,
 				SNRdB: snr, Seed: seedFor(opts, label),
-				Workers: inner,
+				Workers: inner, Recorder: opts.Recorder,
 			}
 			src, err := link.NewRayleighSource(rng.New(seedFor(opts, label)), 4, 4)
 			if err != nil {

@@ -1,0 +1,60 @@
+package geosphere
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Observer receives measurement samples from the detection and link
+// pipelines as they run. Implementations must be safe for concurrent
+// use (frames are detected in parallel when UplinkOptions.Workers > 1)
+// and must not retain sample slices beyond the call — copy what you
+// keep. Observing never changes a measurement: results are
+// byte-identical with or without an Observer attached.
+type Observer = obs.Recorder
+
+// Sample types delivered to an Observer, re-exported so downstream
+// implementations never import internal packages.
+type (
+	// DetectSample describes one sphere-decoder detection; Levels is
+	// valid only during the RecordDetect call.
+	DetectSample = obs.DetectSample
+	// LevelSample is the per-tree-level work of one detection.
+	LevelSample = obs.LevelSample
+	// DecodeSample describes one per-stream Viterbi decode.
+	DecodeSample = obs.DecodeSample
+	// FrameSample describes one fully processed frame.
+	FrameSample = obs.FrameSample
+	// PointSample describes one completed measurement point.
+	PointSample = obs.PointSample
+)
+
+// StatsObserver is the standard Observer: lock-free counters and
+// fixed-bucket histograms aggregating everything recorded, snapshotted
+// on demand. Safe for concurrent use; the zero value is not ready —
+// use NewStatsObserver.
+type StatsObserver = obs.StatsRecorder
+
+// StatsSnapshot is a point-in-time aggregation of a StatsObserver,
+// JSON-serializable with the same schema as `geosim -stats json`.
+type StatsSnapshot = obs.Snapshot
+
+// NewStatsObserver returns an empty StatsObserver ready to attach to
+// UplinkOptions.Observer (or to sim Options via cmd/geosim -stats).
+func NewStatsObserver() *StatsObserver { return obs.NewStatsRecorder() }
+
+// NopObserver discards every sample; attaching it is equivalent to a
+// nil Observer but lets callers keep an always-non-nil field.
+var NopObserver Observer = obs.Nop{}
+
+// MultiObserver fans samples out to several observers in order.
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers) }
+
+// NewProgressObserver returns an Observer that prints a heartbeat line
+// to w every interval (and a final one on Stop): elapsed time, points,
+// frames, detects. Call Stop exactly once when the run ends.
+func NewProgressObserver(w io.Writer, interval time.Duration) *obs.Progress {
+	return obs.NewProgress(w, interval)
+}

@@ -1,0 +1,196 @@
+package geosphere
+
+import (
+	"errors"
+	"testing"
+)
+
+// validOptions is a minimal option set that passes Validate.
+func validOptions() UplinkOptions {
+	return UplinkOptions{
+		Cons: QAM16, NumSymbols: 4, Frames: 2, SNRdB: 30, Seed: 1, NA: 4, NC: 2,
+	}
+}
+
+// TestUplinkOptionsValidate pins the typed sentinel each bad option
+// maps to, matched with errors.Is as downstream callers would.
+func TestUplinkOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*UplinkOptions)
+		want   error
+	}{
+		{"valid", func(o *UplinkOptions) {}, nil},
+		{"nil constellation", func(o *UplinkOptions) { o.Cons = nil }, ErrNilConstellation},
+		{"zero frames", func(o *UplinkOptions) { o.Frames = 0 }, ErrBadFrames},
+		{"negative frames", func(o *UplinkOptions) { o.Frames = -3 }, ErrBadFrames},
+		{"zero symbols", func(o *UplinkOptions) { o.NumSymbols = 0 }, ErrBadNumSymbols},
+		{"negative jitter", func(o *UplinkOptions) { o.SNRJitterDB = -1 }, ErrBadJitter},
+		{"negative workers", func(o *UplinkOptions) { o.Workers = -2 }, ErrBadWorkers},
+		{"zero clients", func(o *UplinkOptions) { o.NC = 0 }, ErrBadShape},
+		{"more clients than antennas", func(o *UplinkOptions) { o.NA, o.NC = 2, 4 }, ErrBadShape},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := validOptions()
+			tc.mutate(&o)
+			err := o.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(..., %v)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestMeasureUplinkValidateFirst verifies all three entry points
+// reject invalid options up front with the matching sentinel.
+func TestMeasureUplinkValidateFirst(t *testing.T) {
+	bad := validOptions()
+	bad.Cons = nil
+	entries := []struct {
+		name string
+		run  func(UplinkOptions) (UplinkResult, error)
+	}{
+		{"rayleigh", MeasureUplinkRayleigh},
+		{"testbed", MeasureUplinkTestbed},
+		{"trace", func(o UplinkOptions) (UplinkResult, error) {
+			return MeasureUplinkTrace(o, "does-not-exist.trace.gz")
+		}},
+	}
+	for _, e := range entries {
+		t.Run(e.name, func(t *testing.T) {
+			if _, err := e.run(bad); !errors.Is(err, ErrNilConstellation) {
+				t.Fatalf("%s accepted nil constellation (err = %v)", e.name, err)
+			}
+		})
+	}
+	// Shape errors surface before any channel setup.
+	badShape := validOptions()
+	badShape.NA, badShape.NC = 1, 3
+	for _, e := range entries {
+		if _, err := e.run(badShape); !errors.Is(err, ErrBadShape) {
+			t.Fatalf("%s accepted 1×3 shape (err = %v)", e.name, err)
+		}
+	}
+}
+
+// TestMeasureUplinkTestbedShapeChecked verifies the generated-trace
+// path shape-checks its source like the recorded-trace path does.
+func TestMeasureUplinkTestbedShapeChecked(t *testing.T) {
+	o := validOptions()
+	res, err := MeasureUplinkTestbed(o)
+	if err != nil {
+		t.Fatalf("valid testbed options rejected: %v", err)
+	}
+	if res.Frames != o.Frames {
+		t.Fatalf("ran %d frames, want %d", res.Frames, o.Frames)
+	}
+}
+
+// TestStatsOfAcrossConstructors sweeps every facade constructor: the
+// tree-search detectors count work, the linear ones report false.
+func TestStatsOfAcrossConstructors(t *testing.T) {
+	nv := NoiseVarForSNRdB(20)
+	// κ threshold 1 routes every channel to the sphere branch, so the
+	// hybrid's (sphere-side) stats are guaranteed non-empty.
+	hybrid, err := NewHybrid(QAM16, NewZF(QAM16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := NewKBest(QAM16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewFCSD(QAM16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		det    Detector
+		counts bool
+	}{
+		{"Geosphere", NewGeosphere(QAM16), true},
+		{"GeosphereZigzagOnly", NewGeosphereZigzagOnly(QAM16), true},
+		{"ETHSD", NewETHSD(QAM16), true},
+		{"ML", NewML(QPSK), false},
+		{"ZF", NewZF(QAM16), false},
+		{"MMSE", NewMMSE(QAM16, nv), false},
+		{"MMSESIC", NewMMSESIC(QAM16, nv), false},
+		{"KBest", kb, true},
+		{"FCSD", fc, true},
+		{"ListSphereDecoder", NewListSphereDecoder(QAM16), true},
+		{"Hybrid", hybrid, true},
+		{"GeosphereReordered", NewGeosphereReordered(QAM16), true},
+		{"RVD", NewRVD(QAM16), true},
+	}
+	src := NewSource(31)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cons := tc.det.Constellation()
+			h := NewRayleighChannel(src, 4, 2)
+			if err := tc.det.Prepare(h); err != nil {
+				t.Fatal(err)
+			}
+			x := []complex128{cons.PointIndex(1), cons.PointIndex(2)}
+			y := Transmit(nil, src, h, x, nv)
+			if _, err := tc.det.Detect(nil, y); err != nil {
+				t.Fatal(err)
+			}
+			st, ok := StatsOf(tc.det)
+			if ok != tc.counts {
+				t.Fatalf("StatsOf reported ok=%v, want %v", ok, tc.counts)
+			}
+			if ok && st.Detections == 0 {
+				t.Errorf("counting detector reported zero detections: %+v", st)
+			}
+		})
+	}
+}
+
+// TestUplinkObserver attaches a StatsObserver through the public API
+// and checks it sees the run without changing the result.
+func TestUplinkObserver(t *testing.T) {
+	o := validOptions()
+	o.Frames = 4
+	o.Workers = 2
+	plain, err := MeasureUplinkRayleigh(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := NewStatsObserver()
+	o.Observer = obs
+	observed, err := MeasureUplinkRayleigh(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed != plain {
+		t.Errorf("observer changed the measurement:\nwith    %+v\nwithout %+v", observed, plain)
+	}
+	s := obs.Snapshot()
+	if s.Frames.Frames != int64(plain.Frames) {
+		t.Errorf("observer saw %d frames, run had %d", s.Frames.Frames, plain.Frames)
+	}
+	if s.Detect.PEDCalcs != plain.Stats.PEDCalcs {
+		t.Errorf("observer PED total %d != measurement %d", s.Detect.PEDCalcs, plain.Stats.PEDCalcs)
+	}
+}
+
+// TestMultiObserver checks the facade fan-out helper.
+func TestMultiObserver(t *testing.T) {
+	a, b := NewStatsObserver(), NewStatsObserver()
+	o := validOptions()
+	o.Observer = MultiObserver(a, b, NopObserver)
+	if _, err := MeasureUplinkRayleigh(o); err != nil {
+		t.Fatal(err)
+	}
+	if a.Snapshot().Frames.Frames == 0 || b.Snapshot().Frames.Frames == 0 {
+		t.Error("MultiObserver did not fan out to both observers")
+	}
+}

@@ -10,6 +10,26 @@ import (
 	"repro/internal/testbed"
 )
 
+// Typed sentinel errors returned (wrapped) by UplinkOptions.Validate
+// and the MeasureUplink* entry points. Match them with errors.Is; the
+// wrapping error carries the offending values.
+var (
+	// ErrNilConstellation reports options without a constellation.
+	ErrNilConstellation = link.ErrNilConstellation
+	// ErrBadFrames reports a non-positive Frames.
+	ErrBadFrames = link.ErrBadFrames
+	// ErrBadNumSymbols reports a non-positive NumSymbols.
+	ErrBadNumSymbols = link.ErrBadNumSymbols
+	// ErrBadJitter reports a negative SNRJitterDB.
+	ErrBadJitter = link.ErrBadJitter
+	// ErrBadWorkers reports a negative Workers.
+	ErrBadWorkers = link.ErrBadWorkers
+	// ErrBadShape reports an antenna/client geometry no receiver can
+	// serve (NC < 1 or NA < NC), or a trace whose shape disagrees with
+	// the options.
+	ErrBadShape = link.ErrBadShape
+)
+
 // UplinkResult summarizes a coded multi-user uplink measurement: frame
 // and stream error counts, net throughput in Mbit/s, and (for sphere
 // decoders) the complexity statistics accumulated during detection.
@@ -47,6 +67,27 @@ type UplinkOptions struct {
 	// Workers bounds the goroutines detecting frames concurrently.
 	// Results are byte-identical for every value; 0 runs sequentially.
 	Workers int
+	// Observer, when non-nil, receives per-detection, per-decode and
+	// per-frame samples as the measurement runs. It must be safe for
+	// concurrent use when Workers > 1; observing never changes the
+	// result.
+	Observer Observer
+}
+
+// Validate rejects option sets that would silently measure nothing or
+// fail deep inside the pipeline. Every failure wraps one of the typed
+// sentinels (ErrNilConstellation, ErrBadShape, ErrBadFrames, ...) so
+// callers can match with errors.Is. The MeasureUplink* entry points
+// call it first, so explicit calls are needed only to fail fast before
+// an expensive setup.
+func (o UplinkOptions) Validate() error {
+	if o.NC <= 0 || o.NA < o.NC {
+		return fmt.Errorf("%w: %d antennas × %d clients", ErrBadShape, o.NA, o.NC)
+	}
+	if err := o.runConfig().Validate(); err != nil {
+		return fmt.Errorf("geosphere: %w", err)
+	}
+	return nil
 }
 
 func (o UplinkOptions) factory() DetectorFactory {
@@ -69,12 +110,25 @@ func (o UplinkOptions) runConfig() link.RunConfig {
 		SNRJitterDB:  o.SNRJitterDB,
 		EstimatedCSI: o.EstimatedCSI,
 		Workers:      o.Workers,
+		Recorder:     o.Observer,
 	}
+}
+
+// checkShape verifies a source's geometry against the options.
+func (o UplinkOptions) checkShape(src link.ChannelSource) error {
+	if na, nc := src.Shape(); na != o.NA || nc != o.NC {
+		return fmt.Errorf("geosphere: %w: source is %d×%d but options ask for %d×%d",
+			ErrBadShape, na, nc, o.NA, o.NC)
+	}
+	return nil
 }
 
 // MeasureUplinkRayleigh measures coded uplink throughput over i.i.d.
 // per-frame Rayleigh fading.
 func MeasureUplinkRayleigh(o UplinkOptions) (UplinkResult, error) {
+	if err := o.Validate(); err != nil {
+		return UplinkResult{}, err
+	}
 	src, err := link.NewRayleighSource(rng.New(o.Seed+1), o.NA, o.NC)
 	if err != nil {
 		return UplinkResult{}, err
@@ -86,6 +140,9 @@ func MeasureUplinkRayleigh(o UplinkOptions) (UplinkResult, error) {
 // synthetic indoor-testbed trace generated on the fly for the given
 // shape (see cmd/tracegen to record reusable traces).
 func MeasureUplinkTestbed(o UplinkOptions) (UplinkResult, error) {
+	if err := o.Validate(); err != nil {
+		return UplinkResult{}, err
+	}
 	tr, err := testbed.Generate(testbed.OfficePlan(), testbed.GenerateConfig{
 		Seed:         o.Seed,
 		NumClients:   o.NC,
@@ -100,12 +157,18 @@ func MeasureUplinkTestbed(o UplinkOptions) (UplinkResult, error) {
 	if err != nil {
 		return UplinkResult{}, err
 	}
+	if err := o.checkShape(src); err != nil {
+		return UplinkResult{}, err
+	}
 	return link.Run(o.runConfig(), src, o.factory())
 }
 
 // MeasureUplinkTrace measures coded uplink throughput over a recorded
 // trace file written by cmd/tracegen.
 func MeasureUplinkTrace(o UplinkOptions, tracePath string) (UplinkResult, error) {
+	if err := o.Validate(); err != nil {
+		return UplinkResult{}, err
+	}
 	tr, err := testbed.LoadTrace(tracePath)
 	if err != nil {
 		return UplinkResult{}, err
@@ -114,8 +177,8 @@ func MeasureUplinkTrace(o UplinkOptions, tracePath string) (UplinkResult, error)
 	if err != nil {
 		return UplinkResult{}, err
 	}
-	if na, nc := src.Shape(); na != o.NA || nc != o.NC {
-		return UplinkResult{}, fmt.Errorf("geosphere: trace is %d×%d but options ask for %d×%d", na, nc, o.NA, o.NC)
+	if err := o.checkShape(src); err != nil {
+		return UplinkResult{}, err
 	}
 	return link.Run(o.runConfig(), src, o.factory())
 }
