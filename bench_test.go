@@ -161,9 +161,7 @@ func benchDetector(b *testing.B, det Detector, cons *constellation.Constellation
 		ys[i] = Transmit(nil, src, h, x, noiseVar)
 	}
 	dst := make([]int, nc)
-	if c, ok := det.(Counter); ok {
-		c.ResetStats()
-	}
+	ResetStatsOf(det)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

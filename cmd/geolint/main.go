@@ -1,0 +1,110 @@
+// Command geolint runs the repository's static-analysis suite
+// (internal/lint): determinism, noalloc, recorderhygiene and floatdet.
+//
+// Standalone usage, from anywhere inside the module:
+//
+//	go run ./cmd/geolint ./...
+//	go run ./cmd/geolint -list
+//	go run ./cmd/geolint ./internal/core ./internal/link
+//
+// Diagnostics print as file:line:col: [analyzer] message; the exit
+// code is 0 when clean, 1 when diagnostics were reported, 2 on
+// operational errors (unloadable packages, type errors).
+//
+// geolint also speaks the go vet -vettool unit-checker protocol, so
+// the standard driver can run it with full build caching:
+//
+//	go build -o /tmp/geolint ./cmd/geolint
+//	go vet -vettool=/tmp/geolint ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr *os.File) int {
+	// go vet probes its vettool before handing it packages; serve the
+	// unit-checker protocol when invoked that way.
+	if vetProtocol(args) {
+		return vetMain(args, stdout, stderr)
+	}
+
+	fs := flag.NewFlagSet("geolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: geolint [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "geolint:", err)
+		return 2
+	}
+	return run(cwd, fs.Args(), stdout, stderr)
+}
+
+// run loads the requested packages of the module containing dir and
+// applies the suite.
+func run(dir string, patterns []string, stdout, stderr *os.File) int {
+	modPath, modDir, err := load.ModuleInfo(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "geolint:", err)
+		return 2
+	}
+	l := load.NewLoader(modPath, modDir)
+	l.IncludeTests = true
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "geolint:", err)
+		return 2
+	}
+	broken := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "geolint: %s: %v\n", pkg.PkgPath, terr)
+			broken++
+		}
+	}
+	if broken > 0 {
+		return 2
+	}
+	diags := lint.Run(pkgs)
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, d.Analyzer.Name, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "geolint: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// withOutput runs f with stdout/stderr redirected to pipes and returns
+// what f wrote to each.
+func withOutput(t *testing.T, f func(stdout, stderr *os.File)) (string, string) {
+	t.Helper()
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errR, errW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f(outW, errW)
+	outW.Close()
+	errW.Close()
+	var out, errOut strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := outR.Read(buf)
+		out.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	for {
+		n, err := errR.Read(buf)
+		errOut.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return out.String(), errOut.String()
+}
+
+func TestListFlag(t *testing.T) {
+	out, _ := withOutput(t, func(stdout, stderr *os.File) {
+		if code := realMain([]string{"-list"}, stdout, stderr); code != 0 {
+			t.Errorf("geolint -list exited %d, want 0", code)
+		}
+	})
+	for _, name := range []string{"determinism", "noalloc", "recorderhygiene", "floatdet"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+// writeModule lays out a throwaway single-package module.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module throwaway\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, `//geolint:deterministic
+package a
+
+func Tolerant(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+`)
+	out, errOut := withOutput(t, func(stdout, stderr *os.File) {
+		if code := run(dir, []string{"./..."}, stdout, stderr); code != 0 {
+			t.Errorf("clean module exited %d, want 0", code)
+		}
+	})
+	if out != "" || errOut != "" {
+		t.Errorf("clean module produced output:\nstdout: %s\nstderr: %s", out, errOut)
+	}
+}
+
+func TestRunFlagsViolations(t *testing.T) {
+	dir := writeModule(t, `//geolint:deterministic
+package a
+
+func Exact(a, b float64) bool { return a == b }
+`)
+	out, _ := withOutput(t, func(stdout, stderr *os.File) {
+		if code := run(dir, []string{"./..."}, stdout, stderr); code != 1 {
+			t.Errorf("module with violations exited %d, want 1", code)
+		}
+	})
+	if !strings.Contains(out, "[floatdet]") || !strings.Contains(out, "a.go") {
+		t.Errorf("diagnostic output missing [floatdet] finding in a.go:\n%s", out)
+	}
+}
+
+func TestRunRejectsBrokenModule(t *testing.T) {
+	dir := writeModule(t, "package a\n\nfunc Broken() { undefined() }\n")
+	_, errOut := withOutput(t, func(stdout, stderr *os.File) {
+		if code := run(dir, []string{"./..."}, stdout, stderr); code != 2 {
+			t.Errorf("broken module exited %d, want 2", code)
+		}
+	})
+	if !strings.Contains(errOut, "undefined") {
+		t.Errorf("stderr does not mention the type error:\n%s", errOut)
+	}
+}
+
+func TestVetProtocolDetection(t *testing.T) {
+	cases := []struct {
+		args []string
+		want bool
+	}{
+		{[]string{"-V=full"}, true},
+		{[]string{"-flags"}, true},
+		{[]string{"/tmp/unit.cfg"}, true},
+		{[]string{"-list"}, false},
+		{[]string{"./..."}, false},
+		{nil, false},
+	}
+	for _, tc := range cases {
+		if got := vetProtocol(tc.args); got != tc.want {
+			t.Errorf("vetProtocol(%q) = %v, want %v", tc.args, got, tc.want)
+		}
+	}
+}
+
+func TestVersionLine(t *testing.T) {
+	out, _ := withOutput(t, func(stdout, stderr *os.File) {
+		if code := realMain([]string{"-V=full"}, stdout, stderr); code != 0 {
+			t.Errorf("-V=full exited %d, want 0", code)
+		}
+	})
+	// The vet driver parses "name version ... buildID=<hex>".
+	if !strings.Contains(out, " version ") || !strings.Contains(out, "buildID=") {
+		t.Errorf("version line not in vet format: %q", out)
+	}
+}

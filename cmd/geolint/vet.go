@@ -1,0 +1,226 @@
+// go vet -vettool unit-checker protocol.
+//
+// The vet driver probes its tool three ways before handing it work:
+//
+//	geolint -V=full        → one-line version + content hash (cache key)
+//	geolint -flags         → JSON description of supported flags
+//	geolint <unit>.cfg     → analyze one package unit
+//
+// The .cfg file is a JSON snapshot of one package's build: source
+// files, the import map, and the export-data file of every dependency
+// (already compiled by the driver). Type information therefore comes
+// from compiler export data — no source re-checking — which is what
+// makes the vettool path fast and incremental. This mirrors
+// golang.org/x/tools/go/analysis/unitchecker on the standard library
+// alone; geolint exchanges no facts, so the vetx output is a stub.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+// vetProtocol reports whether the argument list is a vet-driver
+// invocation rather than a standalone run.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// vetConfig is the driver's per-package unit description (the subset
+// of fields geolint consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func vetMain(args []string, stdout, stderr *os.File) int {
+	var cfgFile string
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "-V":
+			return printVersion(stdout, stderr)
+		case a == "-flags":
+			// geolint needs no tool-specific flags.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasSuffix(a, ".cfg"):
+			cfgFile = a
+		}
+	}
+	if cfgFile == "" {
+		fmt.Fprintln(stderr, "geolint: vet protocol invocation without a .cfg file")
+		return 2
+	}
+	return vetUnit(cfgFile, stderr)
+}
+
+// printVersion emits the "name version ... buildID=..." line the
+// driver hashes into its action cache key.
+func printVersion(stdout, stderr *os.File) int {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(stderr, "geolint:", err)
+		return 2
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(stderr, "geolint:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(exe), h.Sum(nil))
+	return 0
+}
+
+func vetUnit(cfgFile string, stderr *os.File) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "geolint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "geolint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg, stderr)
+			}
+			fmt.Fprintln(stderr, "geolint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies arrive as compiler export data: ImportMap resolves
+	// import paths to canonical package paths, PackageFile locates
+	// each package's export file.
+	compImp := importer.ForCompiler(fset, compilerOf(cfg), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("geolint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("geolint: could not resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compImp.Import(path)
+	})
+
+	tconf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(compilerOf(cfg), goarch()),
+	}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkgPath := strings.TrimSuffix(cfg.ImportPath, "_test")
+	tpkg, err := tconf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg, stderr)
+		}
+		fmt.Fprintln(stderr, "geolint:", err)
+		return 2
+	}
+
+	exit := writeVetx(cfg, stderr)
+	if exit != 0 || cfg.VetxOnly {
+		return exit
+	}
+	pkg := &load.Package{
+		PkgPath: tpkg.Path(), Dir: cfg.Dir, Fset: fset,
+		Files: files, Types: tpkg, TypesInfo: info,
+	}
+	diags := lint.Run([]*load.Package{pkg})
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeVetx writes the (empty) facts output the driver caches.
+func writeVetx(cfg vetConfig, stderr *os.File) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte("geolint-no-facts\n"), 0o666); err != nil {
+		fmt.Fprintln(stderr, "geolint:", err)
+		return 2
+	}
+	return 0
+}
+
+func compilerOf(cfg vetConfig) string {
+	if cfg.Compiler != "" {
+		return cfg.Compiler
+	}
+	return "gc"
+}
+
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -50,16 +50,22 @@ type Detector = core.Detector
 // statistics (sphere decoders, K-best, FCSD).
 //
 // Deprecated: asserting det.(Counter) couples callers to which
-// concrete detectors count work. Use StatsOf, which performs the
-// assertion and reports whether statistics are available.
+// concrete detectors count work. Use StatsOf to read statistics and
+// ResetStatsOf to zero them; both perform the assertion and report
+// whether statistics are available.
 type Counter = core.Counter
 
 // StatsOf returns the complexity statistics a detector has accumulated
-// since construction (or its last ResetStats), and whether the
-// detector counts work at all. Linear detectors (ZF, MMSE, MMSE-SIC)
-// return false; every tree-search detector in this package returns
-// true. This replaces ad-hoc det.(Counter) type assertions.
+// since construction (or its last reset), and whether the detector
+// counts work at all. Linear detectors (ZF, MMSE, MMSE-SIC) return
+// false; every tree-search detector in this package returns true. This
+// replaces ad-hoc det.(Counter) type assertions.
 func StatsOf(det Detector) (Stats, bool) { return core.StatsOf(det) }
+
+// ResetStatsOf zeroes a detector's complexity statistics, reporting
+// whether the detector tracks any. It is StatsOf's write-side
+// companion.
+func ResetStatsOf(det Detector) bool { return core.ResetStatsOf(det) }
 
 // Stats counts detector work: exact partial-Euclidean-distance
 // computations (the paper's §5.3 complexity metric), visited tree

@@ -15,7 +15,7 @@ func TestNoiseVarSNRRoundTrip(t *testing.T) {
 			t.Fatalf("SNR %g round-tripped to %g", snr, got)
 		}
 	}
-	if NoiseVarForSNRdB(0) != 1 {
+	if NoiseVarForSNRdB(0) != 1 { //geolint:float-ok test asserts exact bitwise reproducibility
 		t.Fatal("0 dB should mean unit noise variance")
 	}
 }
@@ -120,7 +120,7 @@ func TestTransmitNoiseless(t *testing.T) {
 	y := Transmit(nil, src, h, x, 0)
 	want := h.MulVec(nil, x)
 	for i := range y {
-		if y[i] != want[i] {
+		if y[i] != want[i] { //geolint:float-ok test asserts exact bitwise reproducibility
 			t.Fatalf("noiseless transmit differs at %d", i)
 		}
 	}

@@ -109,6 +109,17 @@ func StatsOf(det Detector) (Stats, bool) {
 	return Stats{}, false
 }
 
+// ResetStatsOf zeroes det's complexity statistics, reporting whether
+// det tracks any. It is StatsOf's companion for the write side, so
+// call sites never assert on Counter directly.
+func ResetStatsOf(det Detector) bool {
+	c, ok := det.(Counter)
+	if ok {
+		c.ResetStats()
+	}
+	return ok
+}
+
 // checkDims validates a received vector against a prepared channel.
 func checkDims(h *cmplxmat.Matrix, y []complex128) error {
 	if h == nil {

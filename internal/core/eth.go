@@ -59,6 +59,7 @@ func newEthEnumerator(cons *constellation.Constellation, st *Stats) *ethEnumerat
 	}
 }
 
+//geolint:noalloc
 func (e *ethEnumerator) pedOf(col, row int) float64 {
 	e.stats.PEDCalcs++
 	p := e.cons.Point(col, row)
@@ -67,6 +68,7 @@ func (e *ethEnumerator) pedOf(col, row int) float64 {
 	return e.base + e.rll2*(dr*dr+di*di)
 }
 
+//geolint:noalloc
 func (e *ethEnumerator) init(ytilde complex128, base, rll2 float64) {
 	e.ytilde = ytilde
 	e.yI = real(ytilde)
@@ -81,6 +83,8 @@ func (e *ethEnumerator) init(ytilde complex128, base, rll2 float64) {
 // partial distance per row, for the row's nearest point. It is
 // deferred to the first next() call, which in this framework
 // immediately follows init.
+//
+//geolint:noalloc
 func (e *ethEnumerator) start() {
 	for r := 0; r < e.side; r++ {
 		e.colLo[r] = e.col0
@@ -93,6 +97,8 @@ func (e *ethEnumerator) start() {
 
 // advance replaces row r's consumed candidate with the next column in
 // the row's zigzag, or marks the row exhausted.
+//
+//geolint:noalloc
 func (e *ethEnumerator) advance(r int) {
 	lo, hi := e.colLo[r], e.colHi[r]
 	loOK := lo-1 >= 0
@@ -124,6 +130,7 @@ func (e *ethEnumerator) advance(r int) {
 	e.ped[r] = e.pedOf(col, r)
 }
 
+//geolint:noalloc
 func (e *ethEnumerator) next(radius2 float64) (int, float64, bool) {
 	if !e.started {
 		e.start()

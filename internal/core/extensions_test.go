@@ -336,7 +336,7 @@ func TestColumnOrderSorted(t *testing.T) {
 	perm := permuteColumns(h, order)
 	for newCol, oldCol := range order {
 		for r := 0; r < h.Rows; r++ {
-			if perm.At(r, newCol) != h.At(r, oldCol) {
+			if perm.At(r, newCol) != h.At(r, oldCol) { //geolint:float-ok test asserts exact bitwise reproducibility
 				t.Fatal("permutation mangled entries")
 			}
 		}

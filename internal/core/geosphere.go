@@ -128,6 +128,8 @@ func newGeoEnumerator(cons *constellation.Constellation, st *Stats, prune bool) 
 
 // pedOf computes a candidate's exact cumulative distance. This is the
 // operation §5.3 counts.
+//
+//geolint:noalloc
 func (e *geoEnumerator) pedOf(col, row int) float64 {
 	e.stats.PEDCalcs++
 	p := e.cons.Point(col, row)
@@ -138,6 +140,8 @@ func (e *geoEnumerator) pedOf(col, row int) float64 {
 
 // lowerBound returns the geometric lower bound on the cumulative
 // distance of the point at (col, row), Equation 9.
+//
+//geolint:noalloc
 func (e *geoEnumerator) lowerBound(col, row int) float64 {
 	e.stats.BoundChecks++
 	dI := col - e.col0
@@ -151,6 +155,7 @@ func (e *geoEnumerator) lowerBound(col, row int) float64 {
 	return e.base + e.rll2*e.lbsq[dI][dQ]
 }
 
+//geolint:noalloc
 func (e *geoEnumerator) init(ytilde complex128, base, rll2 float64) {
 	e.ytilde = ytilde
 	e.yI = real(ytilde)
@@ -172,6 +177,8 @@ func (e *geoEnumerator) init(ytilde complex128, base, rll2 float64) {
 
 // activate gives column c its first candidate: the point in the column
 // closest to the received symbol (at the sliced row).
+//
+//geolint:noalloc
 func (e *geoEnumerator) activate(c int) {
 	e.colDead[c] = false
 	e.rowLo[c] = e.row0
@@ -182,6 +189,8 @@ func (e *geoEnumerator) activate(c int) {
 // push computes the exact distance of (col,row) and inserts it into
 // the queue, unless geometric pruning rejects it first. It reports
 // whether the candidate was within the current radius bound.
+//
+//geolint:noalloc
 func (e *geoEnumerator) push(col, row int) bool {
 	if e.prune && e.lowerBound(col, row) >= e.radius {
 		return false
@@ -197,6 +206,8 @@ func (e *geoEnumerator) push(col, row int) bool {
 
 // nextRowOf returns the next unenumerated row of column c by
 // one-dimensional zigzag around the received symbol's Q-coordinate.
+//
+//geolint:noalloc
 func (e *geoEnumerator) nextRowOf(c int) (int, bool) {
 	lo, hi := e.rowLo[c], e.rowHi[c]
 	loOK := lo-1 >= 0
@@ -217,6 +228,7 @@ func (e *geoEnumerator) nextRowOf(c int) (int, bool) {
 	return hi + 1, true
 }
 
+//geolint:noalloc
 func (e *geoEnumerator) next(radius2 float64) (int, float64, bool) {
 	e.radius = radius2
 	if e.hasPending {
@@ -252,6 +264,8 @@ func (e *geoEnumerator) next(radius2 float64) (int, float64, bool) {
 
 // materialize generates the zigzag successors of an explored point
 // (steps 3(a) and 3(b) of Figure 5) against the current radius.
+//
+//geolint:noalloc
 func (e *geoEnumerator) materialize(x geoCand) {
 	// Step 3(a): vertical zigzag within x's column.
 	if !e.colDead[x.col] {

@@ -81,7 +81,7 @@ func (d *RVDDecoder) Prepare(h *cmplxmat.Matrix) error {
 	qr := cmplxmat.QRDecompose(real2)
 	m := 2 * nc
 	for l := 0; l < m; l++ {
-		if real(qr.R.At(l, l)) == 0 {
+		if real(qr.R.At(l, l)) == 0 { //geolint:float-ok exact-zero test for rank deficiency, not a tolerance comparison
 			return fmt.Errorf("core: rank-deficient channel: %w", cmplxmat.ErrSingular)
 		}
 	}

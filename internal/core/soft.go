@@ -84,7 +84,7 @@ func (d *ListSphereDecoder) Prepare(h *cmplxmat.Matrix) error {
 	d.nc = h.Cols
 	for l := 0; l < d.nc; l++ {
 		rll := d.qr.R.At(l, l)
-		if rll == 0 {
+		if rll == 0 { //geolint:float-ok exact-zero test for rank deficiency, not a tolerance comparison
 			return fmt.Errorf("core: rank-deficient channel: %w", cmplxmat.ErrSingular)
 		}
 	}

@@ -125,15 +125,12 @@ func (d *SphereDecoder) ResetStats() {
 // SetRecorder streams one obs.DetectSample per Detect call to r, with
 // per-level node/PED/bound/prune counter deltas. A nil r (the
 // default) turns recording off entirely; the hot path then pays one
-// nil check per Detect. obs.Nop is recognized and treated as nil, so
-// the no-op recorder skips sample assembly too and costs nothing. The
-// sample's Levels slice aliases decoder scratch and is only valid
-// during the RecordDetect call.
+// nil check per Detect. The recorder is canonicalized through
+// obs.Fold, so obs.Nop (and an empty obs.Multi) collapse to nil and
+// skip sample assembly too. The sample's Levels slice aliases decoder
+// scratch and is only valid during the RecordDetect call.
 func (d *SphereDecoder) SetRecorder(r obs.Recorder) {
-	if _, nop := r.(obs.Nop); nop {
-		r = nil
-	}
-	d.rec = r
+	d.rec = obs.Fold(r)
 }
 
 var _ obs.Target = (*SphereDecoder)(nil)
@@ -219,7 +216,7 @@ func (d *SphereDecoder) Prepare(h *cmplxmat.Matrix) error {
 	for l := 0; l < nc; l++ {
 		rll := qr.R.At(l, l)
 		mag2 := real(rll)*real(rll) + imag(rll)*imag(rll)
-		if mag2 == 0 {
+		if mag2 == 0 { //geolint:float-ok exact-zero test for rank deficiency, not a tolerance comparison
 			return fmt.Errorf("core: rank-deficient channel (zero R[%d][%d]): %w", l, l, cmplxmat.ErrSingular)
 		}
 		d.rll2[l] = mag2
@@ -231,6 +228,8 @@ func (d *SphereDecoder) Prepare(h *cmplxmat.Matrix) error {
 // ytildeAt computes the interference-reduced, diagonally-normalized
 // received value for level l given the partial path above it
 // (Equation 8's ỹ_l). Level nc−1 is the top of the tree.
+//
+//geolint:noalloc
 func (d *SphereDecoder) ytildeAt(l int) complex128 {
 	s := d.yhat[l]
 	row := d.qr.R.Row(l)
@@ -243,13 +242,19 @@ func (d *SphereDecoder) ytildeAt(l int) complex128 {
 // Detect implements Detector: it returns the maximum-likelihood symbol
 // vector (Equation 1) by depth-first tree search with the configured
 // enumeration strategy and radius shrinking (§2.1).
+//
+// The steady-state path (non-nil dst, no errors) is allocation-free;
+// TestDetectZeroAllocs pins it and the noalloc analyzer guards it.
+//
+//geolint:noalloc
 func (d *SphereDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 	if err := checkDims(d.h, y); err != nil {
 		return nil, err
 	}
 	if dst == nil {
-		dst = make([]int, d.nc)
+		dst = make([]int, d.nc) //geolint:alloc-ok one-time convenience path; steady state passes dst
 	} else if len(dst) != d.nc {
+		//geolint:alloc-ok error path
 		return nil, fmt.Errorf("core: dst has %d entries, want %d", len(dst), d.nc)
 	}
 	d.qr.ApplyQConjT(d.yhat, y)
@@ -307,6 +312,7 @@ func (d *SphereDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 	if !found {
 		// Cannot happen with an infinite initial radius and a
 		// full-rank channel, but guard against enumerator bugs.
+		//geolint:alloc-ok error path
 		return nil, fmt.Errorf("core: %s found no candidate inside the sphere", d.name)
 	}
 	if d.perm != nil {
@@ -325,7 +331,12 @@ func (d *SphereDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 // emitDetect streams this Detect call's per-level counter deltas to
 // the recorder. All state lives in preallocated decoder scratch, so
 // the instrumented hot path stays allocation-free.
+//
+//geolint:noalloc
 func (d *SphereDecoder) emitDetect() {
+	if d.rec == nil {
+		return
+	}
 	for l := 0; l < d.nc; l++ {
 		cur := d.levelStats[l]
 		prev := d.prev[l]

@@ -340,7 +340,7 @@ func TestStatsAccounting(t *testing.T) {
 	if st.Detections != 1 || st.PEDCalcs == 0 || st.VisitedNodes == 0 || st.Leaves == 0 {
 		t.Fatalf("implausible stats after one detection: %+v", st)
 	}
-	if st.PEDPerDetection() != float64(st.PEDCalcs) {
+	if st.PEDPerDetection() != float64(st.PEDCalcs) { //geolint:float-ok exact ratio of integer counts
 		t.Fatalf("PEDPerDetection mismatch")
 	}
 	d.ResetStats()

@@ -67,10 +67,10 @@ func TestGoldenMeasurements(t *testing.T) {
 				t.Errorf("errors shifted: got %d frame / %d stream, want %d / %d",
 					m.FrameErrors, m.StreamErrors, g.frameErrors, g.streamErrors)
 			}
-			if m.FER() != g.fer {
+			if m.FER() != g.fer { //geolint:float-ok exact ratio of integer counts
 				t.Errorf("FER shifted: got %v, want %v", m.FER(), g.fer)
 			}
-			if m.NetMbps != g.netMbps {
+			if m.NetMbps != g.netMbps { //geolint:float-ok test asserts exact bitwise reproducibility
 				t.Errorf("NetMbps shifted: got %v, want %v", m.NetMbps, g.netMbps)
 			}
 			if m.Stats.PEDCalcs != g.pedCalcs {

@@ -160,7 +160,8 @@ type Measurement struct {
 	Streams       int
 	NetMbps       float64 // successful payload bits / air time
 	PerStreamFER  float64
-	// Complexity totals when the detector implements core.Counter.
+	// Complexity totals when the detector tracks statistics (see
+	// core.StatsOf).
 	Stats core.Stats
 }
 
@@ -261,7 +262,7 @@ type frameOutcome struct {
 // only on (cfg, fi, hs) — never on which worker ran it or when. The
 // worker id only labels the frame's observability sample.
 func runFrame(cfg RunConfig, l *phy.Link, factory DetectorFactory, noiseVar float64, nc, fi, worker int, hs []*cmplxmat.Matrix) frameOutcome {
-	start := time.Now()
+	start := time.Now() //geolint:nondeterminism-ok wall-clock duration only labels the observability sample
 	fsrc := rng.Substream(cfg.Seed, int64(fi))
 	det := factory(cfg.Cons, noiseVar)
 	if cfg.Recorder != nil {
@@ -297,8 +298,9 @@ func runFrame(cfg RunConfig, l *phy.Link, factory DetectorFactory, noiseVar floa
 			}
 		}
 		cfg.Recorder.RecordFrame(obs.FrameSample{
-			Frame:        fi,
-			Worker:       worker,
+			Frame:  fi,
+			Worker: worker,
+			//geolint:nondeterminism-ok wall-clock duration only labels the observability sample
 			Duration:     time.Since(start),
 			OK:           res.FrameOK(),
 			Streams:      len(res.StreamOK),

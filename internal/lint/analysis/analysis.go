@@ -1,0 +1,203 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects
+// one type-checked package through a Pass and reports Diagnostics.
+//
+// The build environment of this repository is hermetic (no module
+// proxy), so the real x/tools framework is unavailable; this package
+// keeps the same shape — Name/Doc/Run, Pass with Fset/Files/Pkg/
+// TypesInfo, Reportf — so the analyzers in internal/lint port directly
+// onto x/tools if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's command-line and diagnostic identifier.
+	Name string
+	// Doc is the analyzer's help text; the first line is its summary.
+	Doc string
+	// Run inspects one package and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Pass carries one type-checked package through one Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic as it is found.
+	Report func(Diagnostic)
+
+	// directives caches per-file //geolint: comment directives,
+	// built lazily by Directive.
+	directives map[*ast.File]map[int]directive
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer})
+}
+
+// directive is one parsed //geolint:<key> <argument> comment.
+type directive struct {
+	key string
+	arg string
+}
+
+// DirectivePrefix introduces every escape-hatch and annotation comment
+// the suite understands: //geolint:<key> <argument>.
+const DirectivePrefix = "//geolint:"
+
+// parseDirective splits a comment into a geolint directive, if it is
+// one.
+func parseDirective(text string) (directive, bool) {
+	if !strings.HasPrefix(text, DirectivePrefix) {
+		return directive{}, false
+	}
+	rest := strings.TrimPrefix(text, DirectivePrefix)
+	key, arg, _ := strings.Cut(rest, " ")
+	return directive{key: key, arg: strings.TrimSpace(arg)}, true
+}
+
+// buildDirectives indexes every geolint directive in f by the line of
+// the comment.
+func (p *Pass) buildDirectives(f *ast.File) map[int]directive {
+	m := map[int]directive{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			m[p.Fset.Position(c.Pos()).Line] = d
+		}
+	}
+	return m
+}
+
+// fileOf returns the *ast.File containing pos.
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Directive returns the //geolint:<key> directive attached to the
+// node at pos — on the same line, or on the line immediately above —
+// and whether one exists. The second return value is the directive's
+// argument (the human reason or annotation payload).
+func (p *Pass) Directive(pos token.Pos, key string) (string, bool) {
+	f := p.fileOf(pos)
+	if f == nil {
+		return "", false
+	}
+	if p.directives == nil {
+		p.directives = map[*ast.File]map[int]directive{}
+	}
+	m, ok := p.directives[f]
+	if !ok {
+		m = p.buildDirectives(f)
+		p.directives[f] = m
+	}
+	line := p.Fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		if d, ok := m[l]; ok && d.key == key {
+			return d.arg, true
+		}
+	}
+	return "", false
+}
+
+// Suppressed reports whether the finding at pos is silenced by a
+// //geolint:<key> escape-hatch directive. A directive with an empty
+// argument does not suppress: every escape hatch must state a reason,
+// and a bare one is itself reported.
+func (p *Pass) Suppressed(pos token.Pos, key string) bool {
+	arg, ok := p.Directive(pos, key)
+	if !ok {
+		return false
+	}
+	if arg == "" {
+		p.Reportf(pos, "%s%s must give a reason", DirectivePrefix, key)
+		// Report the missing reason once, but still treat the finding
+		// as suppressed so one mistake yields one diagnostic.
+		return true
+	}
+	return true
+}
+
+// HasFileDirective reports whether any file of the pass carries a
+// //geolint:<key> directive anywhere (used for package-level markers
+// such as //geolint:deterministic).
+func (p *Pass) HasFileDirective(key string) bool {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, ok := parseDirective(c.Text); ok && d.key == key {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// WithStack walks every file of the pass in source order, calling fn
+// with each node and the stack of its ancestors (outermost first, not
+// including the node itself). Returning false skips the node's
+// children. ast.Inspect's f(nil) close calls balance the stack: they
+// arrive exactly once per node whose children were visited.
+func (p *Pass) WithStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// SortDiagnostics orders diagnostics by position, then analyzer name.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer.Name < diags[j].Analyzer.Name
+	})
+}

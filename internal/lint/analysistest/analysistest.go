@@ -1,0 +1,143 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against // want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library only.
+//
+// Expectations are written on the line the diagnostic lands on:
+//
+//	x := rand.Int() // want `draws from the process-global source`
+//
+// The text between backquotes (or double quotes) is a regular
+// expression that must match one diagnostic reported on that line.
+// Several expectations on one line each consume one diagnostic in
+// order. Lines without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// wantRe matches one quoted expectation in a want comment.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture package below dir/src and applies the
+// analyzer, comparing diagnostics with the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgs {
+		runOne(t, dir, a, pkgPath)
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	l := load.NewLoader("", "")
+	l.ExtraRoot = filepath.Join(dir, "src")
+	l.IncludeTests = true
+	pkgDir := filepath.Join(l.ExtraRoot, filepath.FromSlash(pkgPath))
+	pkgs, err := l.LoadDir(pkgDir, pkgPath)
+	if err != nil {
+		t.Fatalf("%s: loading fixture: %v", pkgPath, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("%s: no Go files in fixture %s", pkgPath, pkgDir)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: fixture does not type-check: %v", pkgPath, terr)
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer error: %v", pkgPath, err)
+		}
+		analysis.SortDiagnostics(pkg.Fset, diags)
+		compare(t, pkg, diags)
+	}
+}
+
+// expectation is one want regexp at one file line.
+type expectation struct {
+	re  *regexp.Regexp
+	met bool
+}
+
+// wantsOf extracts want comments from every file of the package,
+// keyed by "file:line".
+func wantsOf(t *testing.T, pkg *load.Package) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantRe.FindAllString(text[idx+len("want "):], -1) {
+					var pat string
+					if strings.HasPrefix(q, "`") {
+						pat = strings.Trim(q, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want expectation %s: %v", key, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func compare(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := wantsOf(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, exp := range wants[key] {
+			if !exp.met && exp.re.MatchString(d.Message) {
+				exp.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.met {
+				t.Errorf("%s: no diagnostic matching %q", key, exp.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Determinism flags nondeterministic constructs in the deterministic
+// packages: wall-clock reads, draws from the global math/rand source,
+// rand.New seeded from anything but rng substreams, and range over
+// maps (whose iteration order is randomized per run).
+//
+// Suppress a finding with //geolint:nondeterminism-ok <reason> on the
+// flagged line or the line above.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flag clock reads, global math/rand use, unseeded rand.New and map " +
+		"iteration in packages whose results must be bit-for-bit reproducible",
+	Run: runDeterminism,
+}
+
+const nondetOK = "nondeterminism-ok"
+
+// randConstructors are math/rand names whose mere call does not draw
+// from the global source; rand.New is handled separately.
+var randConstructors = map[string]bool{
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runDeterminism(pass *analysis.Pass) error {
+	if !isDeterministicPkg(pass) {
+		return nil
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkDetCall(pass, n)
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				if !pass.Suppressed(n.Pos(), nondetOK) {
+					pass.Reportf(n.Pos(),
+						"range over map %s has randomized iteration order; sort the keys or annotate //geolint:%s <reason>",
+						types.ExprString(n.X), nondetOK)
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// pkgFuncOf resolves a call's callee to (package path, function name)
+// when the callee is a package-level function selected off an
+// imported package; ok is false otherwise.
+func pkgFuncOf(pass *analysis.Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	ident, okIdent := sel.X.(*ast.Ident)
+	if !okIdent {
+		return "", "", false
+	}
+	pn, okPkg := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !okPkg {
+		return "", "", false
+	}
+	if _, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFn {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+func checkDetCall(pass *analysis.Pass, call *ast.CallExpr) {
+	pkgPath, name, ok := pkgFuncOf(pass, call)
+	if !ok {
+		return
+	}
+	switch pkgPath {
+	case "time":
+		if name == "Now" || name == "Since" {
+			if !pass.Suppressed(call.Pos(), nondetOK) {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock in a deterministic package; results must not depend on time (//geolint:%s <reason> to allow)",
+					name, nondetOK)
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		switch {
+		case name == "New":
+			if seededFromRNG(pass, call) {
+				return
+			}
+			if !pass.Suppressed(call.Pos(), nondetOK) {
+				pass.Reportf(call.Pos(),
+					"rand.New seeded outside the rng substream discipline; derive seeds with rng.SubSeed/rng.Substream so parallel workers stay reproducible (//geolint:%s <reason> to allow)",
+					nondetOK)
+			}
+		case randConstructors[name]:
+			// Building a source is not a draw; rand.New decides.
+		default:
+			if !pass.Suppressed(call.Pos(), nondetOK) {
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the process-global source; use an explicit rng.Source substream (//geolint:%s <reason> to allow)",
+					name, nondetOK)
+			}
+		}
+	}
+}
+
+// seededFromRNG reports whether any part of the call's arguments
+// mentions the rng package (rng.SubSeed, rng.Substream, a Source
+// method, ...), the sanctioned way to derive seeds.
+func seededFromRNG(pass *analysis.Pass, call *ast.CallExpr) bool {
+	blessed := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[ident]
+			if obj == nil {
+				return true
+			}
+			if pn, ok := obj.(*types.PkgName); ok {
+				if pathBase(pn.Imported().Path()) == "rng" {
+					blessed = true
+				}
+				return true
+			}
+			if obj.Pkg() != nil && pathBase(obj.Pkg().Path()) == "rng" {
+				blessed = true
+			}
+			return true
+		})
+	}
+	return blessed
+}
+
+func pathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

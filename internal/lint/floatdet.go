@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// FloatDeterminism flags floating-point constructs that have bitten
+// PED accumulation code in sphere decoders, inside the deterministic
+// packages:
+//
+//   - == and != on float or complex operands: bit-exact equality is
+//     fragile under reassociation and fused multiply-add, and it is
+//     how conformance suites silently rot. Compare against a
+//     tolerance, or annotate intentional exact checks (sentinel
+//     values, exact-zero singularity tests).
+//   - math.Pow(x, 2): Pow goes through exp/log and is neither exact
+//     nor cheap; x*x is both.
+//
+// Suppress with //geolint:float-ok <reason>.
+var FloatDeterminism = &analysis.Analyzer{
+	Name: "floatdet",
+	Doc:  "flag ==/!= on float/complex values and math.Pow(x, 2) in deterministic packages",
+	Run:  runFloatDeterminism,
+}
+
+const floatOK = "float-ok"
+
+func runFloatDeterminism(pass *analysis.Pass) error {
+	if !isDeterministicPkg(pass) {
+		return nil
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if !isFloatish(pass.TypesInfo.TypeOf(n.X)) && !isFloatish(pass.TypesInfo.TypeOf(n.Y)) {
+				return true
+			}
+			// A comparison folded at compile time is deterministic.
+			if pass.TypesInfo.Types[n.X].Value != nil && pass.TypesInfo.Types[n.Y].Value != nil {
+				return true
+			}
+			if !pass.Suppressed(n.Pos(), floatOK) {
+				pass.Reportf(n.Pos(),
+					"%s on floating-point values is not reproducible across reassociation/FMA; compare with a tolerance or annotate //geolint:%s <reason>",
+					n.Op, floatOK)
+			}
+		case *ast.CallExpr:
+			pkgPath, name, ok := pkgFuncOf(pass, n)
+			if !ok || pkgPath != "math" || name != "Pow" || len(n.Args) != 2 {
+				return true
+			}
+			tv := pass.TypesInfo.Types[n.Args[1]]
+			if tv.Value == nil || tv.Value.Kind() == constant.Unknown {
+				return true
+			}
+			if v, exact := constant.Float64Val(tv.Value); !exact || v != 2 {
+				return true
+			}
+			if !pass.Suppressed(n.Pos(), floatOK) {
+				pass.Reportf(n.Pos(),
+					"math.Pow(x, 2) in a hot path; write x*x — exact, branch-free, and an order of magnitude cheaper (//geolint:%s <reason> to allow)",
+					floatOK)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isFloatish reports whether t is a float or complex basic type.
+func isFloatish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

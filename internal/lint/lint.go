@@ -1,0 +1,101 @@
+// Package lint is geolint: the repository's static-analysis suite.
+//
+// The parallel frame pipeline and the observability layer rest on
+// invariants that plain tests only spot-check:
+//
+//   - determinism — measurement results must be byte-identical at
+//     every worker count, so the deterministic packages must not read
+//     the clock, draw from global math/rand, or let map iteration
+//     order leak into computation (analyzer "determinism");
+//   - hot-path allocation freedom — functions annotated
+//     //geolint:noalloc (sphere-decoder detect paths, obs delta-sample
+//     emitters) must avoid alloc-prone constructs (analyzer "noalloc");
+//   - recorder hygiene — obs.Recorder values are nil-folded through
+//     obs.Fold and nil-guarded before use, so an absent recorder costs
+//     one branch (analyzer "recorderhygiene");
+//   - float determinism — no ==/!= on floating-point or complex
+//     values and no math.Pow(x, 2) in the deterministic packages,
+//     both of which have bitten PED accumulation code (analyzer
+//     "floatdet").
+//
+// Each analyzer has an escape hatch: a //geolint:<key> <reason>
+// comment on the flagged line (or the line above) suppresses the
+// diagnostic and documents why. A hatch without a reason is itself a
+// diagnostic.
+//
+// Run the suite with `go run ./cmd/geolint ./...`, or through the
+// standard vet driver with `go vet -vettool=$(which geolint) ./...`.
+package lint
+
+import (
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Analyzers returns the full geolint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Determinism,
+		NoAlloc,
+		RecorderHygiene,
+		FloatDeterminism,
+	}
+}
+
+// DeterministicPackages lists the import paths whose results must be
+// bit-for-bit reproducible: every package on the seeded
+// Monte-Carlo path from channel draw to measurement table. The
+// determinism and floatdet analyzers apply only to these (and to any
+// package carrying a //geolint:deterministic file marker, which is
+// how the analyzers' own test fixtures opt in).
+var DeterministicPackages = []string{
+	"repro/internal/channel",
+	"repro/internal/core",
+	"repro/internal/link",
+	"repro/internal/phy",
+	"repro/internal/rng",
+	"repro/internal/sim",
+}
+
+// isDeterministicPkg reports whether the pass's package is subject to
+// the determinism analyzers. External test packages inherit the
+// verdict of the package under test.
+func isDeterministicPkg(pass *analysis.Pass) bool {
+	path := strings.TrimSuffix(pass.Pkg.Path(), "_test")
+	for _, p := range DeterministicPackages {
+		if path == p {
+			return true
+		}
+	}
+	return pass.HasFileDirective("deterministic")
+}
+
+// Run applies every analyzer in the suite to every package and
+// returns the sorted diagnostics.
+func Run(pkgs []*load.Package) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				// Analyzer-internal failures surface as diagnostics at
+				// the package's first file, never as silent skips.
+				pos := pkg.Files[0].Package
+				diags = append(diags, analysis.Diagnostic{Pos: pos, Message: err.Error(), Analyzer: a})
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		analysis.SortDiagnostics(pkgs[0].Fset, diags)
+	}
+	return diags
+}

@@ -1,0 +1,41 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Determinism, "determinism/a", "determinism/free")
+}
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoAlloc, "noalloc/a")
+}
+
+func TestRecorderHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.RecorderHygiene, "recorderhygiene/a")
+}
+
+func TestFloatDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.FloatDeterminism, "floatdet/a", "determinism/free")
+}
+
+func TestSuiteRegistry(t *testing.T) {
+	as := lint.Analyzers()
+	if len(as) != 4 {
+		t.Fatalf("suite has %d analyzers, want 4", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,418 @@
+// Package load type-checks Go packages from source using only the
+// standard library, for consumption by the internal/lint analyzers.
+//
+// It resolves imports three ways, in order: paths inside the current
+// module map to module directories; paths under an extra source root
+// (the analysistest testdata/src convention) map there; everything
+// else — in practice the standard library — goes through the
+// compiler's source importer. No module proxy, export data, or
+// network access is required, which is what lets the suite run in the
+// hermetic build environment.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package, syntax included.
+type Package struct {
+	// PkgPath is the package's import path ("repro/internal/core",
+	// or "repro/internal/core_test" for an external test package).
+	PkgPath string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset positions every file of every package of one Loader.
+	Fset *token.FileSet
+	// Files is the parsed syntax, with comments.
+	Files []*ast.File
+	// Types and TypesInfo are the type-checker's output.
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors collects type-checking problems; analyses still run
+	// on partial information.
+	TypeErrors []error
+}
+
+// Loader loads and type-checks packages.
+type Loader struct {
+	// Fset receives all file positions.
+	Fset *token.FileSet
+	// ModulePath and ModuleDir describe the enclosing module:
+	// ModulePath-prefixed imports resolve under ModuleDir.
+	ModulePath string
+	ModuleDir  string
+	// ExtraRoot, when non-empty, is a directory from which any
+	// otherwise-unresolved import path is tried first (before the
+	// standard library), mirroring analysistest's testdata/src GOPATH.
+	ExtraRoot string
+	// IncludeTests merges _test.go files of the package itself into
+	// the loaded syntax and also yields external (package foo_test)
+	// test packages.
+	IncludeTests bool
+
+	std   types.Importer
+	cache map[string]*types.Package
+	// loading guards against import cycles.
+	loading map[string]bool
+}
+
+// NewLoader returns a Loader rooted at the module with the given path
+// and directory.
+func NewLoader(modulePath, moduleDir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modulePath,
+		ModuleDir:  moduleDir,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      map[string]*types.Package{},
+		loading:    map[string]bool{},
+	}
+}
+
+// ModuleInfo locates the enclosing go.mod starting at dir and returns
+// the module path and root directory.
+func ModuleInfo(dir string) (modPath, modDir string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(rest), d, nil
+				}
+			}
+			return "", "", fmt.Errorf("load: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("load: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// goFilesIn lists the buildable .go sources of dir, split into
+// package files, in-package test files, and external test files.
+func goFilesIn(dir string) (srcs, tests, xtests []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		if skipByBuildTag(path) {
+			continue
+		}
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			srcs = append(srcs, path)
+		case packageNameOf(path) != "" && strings.HasSuffix(packageNameOf(path), "_test"):
+			xtests = append(xtests, path)
+		default:
+			tests = append(tests, path)
+		}
+	}
+	sort.Strings(srcs)
+	sort.Strings(tests)
+	sort.Strings(xtests)
+	return srcs, tests, xtests, nil
+}
+
+// skipByBuildTag reports whether the file opts out of the default
+// build via a //go:build constraint. Constraint evaluation is
+// deliberately crude: any //go:build line other than unconditional
+// GOOS-independent truisms excludes the file. The repository's own
+// sources carry no build tags; this exists so stray ignore-tagged
+// files don't break loading.
+func skipByBuildTag(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return true
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "//go:build ") {
+			return true
+		}
+		if strings.HasPrefix(t, "package ") {
+			break
+		}
+	}
+	return false
+}
+
+// packageNameOf extracts the package clause identifier of a file.
+func packageNameOf(path string) string {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly)
+	if err != nil {
+		return ""
+	}
+	return f.Name.Name
+}
+
+func (l *Loader) parse(paths []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(paths))
+	for _, p := range paths {
+		f, err := parser.ParseFile(l.Fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// check type-checks files as package pkgPath. selfPkg, when non-nil,
+// pre-resolves an import of selfPath (the external-test case, where
+// "foo_test" imports "foo" and must see the test-augmented package).
+func (l *Loader) check(pkgPath string, files []*ast.File, selfPath string, selfPkg *types.Package) (*types.Package, *types.Info, []error) {
+	var terrs []error
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if selfPkg != nil && path == selfPath {
+			return selfPkg, nil
+		}
+		return l.Import(path)
+	})
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	info := newInfo()
+	pkg, _ := conf.Check(pkgPath, l.Fset, files, info)
+	return pkg, info, terrs
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// dirFor maps an import path to a source directory, or "" if the path
+// is not module-local (and not under ExtraRoot).
+func (l *Loader) dirFor(path string) string {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleDir
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleDir, filepath.FromSlash(rest))
+		}
+	}
+	if l.ExtraRoot != "" {
+		dir := filepath.Join(l.ExtraRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir
+		}
+	}
+	return ""
+}
+
+// Import resolves an import path to a type-checked package (without
+// retaining syntax), for use while checking a dependent package.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return l.std.Import(path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	srcs, _, _, err := goFilesIn(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %q: %w", path, err)
+	}
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("load: no Go files for %q in %s", path, dir)
+	}
+	files, err := l.parse(srcs)
+	if err != nil {
+		return nil, err
+	}
+	pkg, _, terrs := l.check(path, files, "", nil)
+	if len(terrs) > 0 {
+		return pkg, fmt.Errorf("load: type errors in %q: %v", path, terrs[0])
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir loads the package rooted at dir (which must resolve to
+// import path pkgPath). With IncludeTests, the returned slice holds
+// the test-augmented package first, then the external test package if
+// one exists.
+func (l *Loader) LoadDir(dir, pkgPath string) ([]*Package, error) {
+	srcs, tests, xtests, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	primary := srcs
+	if l.IncludeTests {
+		primary = append(append([]string{}, srcs...), tests...)
+	}
+	if len(primary) == 0 {
+		return nil, nil
+	}
+	files, err := l.parse(primary)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, terrs := l.check(pkgPath, files, "", nil)
+	out = append(out, &Package{
+		PkgPath: pkgPath, Dir: dir, Fset: l.Fset,
+		Files: files, Types: pkg, TypesInfo: info, TypeErrors: terrs,
+	})
+	if l.IncludeTests && len(xtests) > 0 {
+		xfiles, err := l.parse(xtests)
+		if err != nil {
+			return nil, err
+		}
+		// The external test package imports the test-augmented self
+		// package, matching the go test build graph.
+		xpkg, xinfo, xerrs := l.check(pkgPath+"_test", xfiles, pkgPath, pkg)
+		out = append(out, &Package{
+			PkgPath: pkgPath + "_test", Dir: dir, Fset: l.Fset,
+			Files: xfiles, Types: xpkg, TypesInfo: xinfo, TypeErrors: xerrs,
+		})
+	}
+	return out, nil
+}
+
+// Expand resolves command-line patterns ("./...", "./cmd/geolint",
+// "internal/lint") into package directories under the module root.
+// Directories named testdata, hidden directories, and directories
+// without Go files are skipped.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if seen[dir] {
+			return
+		}
+		srcs, tests, xtests, err := goFilesIn(dir)
+		if err != nil || len(srcs)+len(tests)+len(xtests) == 0 {
+			return
+		}
+		seen[dir] = true
+		dirs = append(dirs, dir)
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(l.ModuleDir, root)
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// PathFor maps a module-local directory back to its import path.
+func (l *Loader) PathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("load: %s is outside module %s", dir, l.ModuleDir)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Load expands patterns and loads every matched package.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkgPath, err := l.PathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs, err := l.LoadDir(dir, pkgPath)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %w", dir, err)
+		}
+		out = append(out, pkgs...)
+	}
+	return out, nil
+}

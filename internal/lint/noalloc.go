@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// NoAlloc checks functions annotated //geolint:noalloc (on the line
+// above the declaration, conventionally the last line of the doc
+// comment) for alloc-prone constructs: fmt calls, string
+// concatenation, closures, append to a slice the receiver does not
+// own, make/new, map and slice literals, address-of composite
+// literals, variadic calls, and implicit conversions of non-pointer
+// values to interfaces.
+//
+// The check is syntactic, not an escape analysis: it cannot prove a
+// function allocation-free (testing.AllocsPerRun guards do that), but
+// it rejects the constructs that historically regressed the detect
+// hot paths. Cold paths inside an annotated function (error returns,
+// lazy growth) are suppressed line-by-line with
+// //geolint:alloc-ok <reason>.
+var NoAlloc = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "reject alloc-prone constructs in functions annotated //geolint:noalloc",
+	Run:  runNoAlloc,
+}
+
+const (
+	noallocKey = "noalloc"
+	allocOK    = "alloc-ok"
+)
+
+func runNoAlloc(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, annotated := pass.Directive(fn.Pos(), noallocKey); !annotated {
+				continue
+			}
+			checkNoAlloc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkNoAlloc walks one annotated function body.
+func checkNoAlloc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	recv := receiverName(fn)
+	sig, _ := pass.TypesInfo.Defs[fn.Name].Type().(*types.Signature)
+	report := func(n ast.Node, format string, args ...any) bool {
+		if pass.Suppressed(n.Pos(), allocOK) {
+			return false
+		}
+		pass.Reportf(n.Pos(), "%s is annotated //geolint:%s: "+format,
+			append([]any{fn.Name.Name, noallocKey}, args...)...)
+		return true
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "closures capture variables and may allocate")
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypesInfo.TypeOf(n)) {
+				report(n, "string concatenation allocates")
+			}
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					return !report(n, "map literal allocates")
+				case *types.Slice:
+					return !report(n, "slice literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, lit := n.X.(*ast.CompositeLit); lit {
+					report(n, "address of composite literal allocates")
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			return !checkNoAllocCall(pass, n, recv, report)
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					checkIfaceConv(pass, n.Rhs[i], pass.TypesInfo.TypeOf(lhs), report)
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, res := range n.Results {
+					checkIfaceConv(pass, res, sig.Results().At(i).Type(), report)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkNoAllocCall handles one call inside an annotated function and
+// reports whether the node was flagged (its subtree is then skipped).
+func checkNoAllocCall(pass *analysis.Pass, call *ast.CallExpr, recv string, report func(ast.Node, string, ...any) bool) bool {
+	// Conversions: T(x). Flag only conversions into interface types.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return checkIfaceConv(pass, call.Args[0], tv.Type, report)
+		}
+		return false
+	}
+	// Builtins.
+	if ident := calleeIdent(call.Fun); ident != nil {
+		if _, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); isBuiltin {
+			switch ident.Name {
+			case "append":
+				if len(call.Args) > 0 && !ownedByReceiver(call.Args[0], recv) {
+					return report(call, "append to %s, which the receiver does not own, may allocate",
+						types.ExprString(call.Args[0]))
+				}
+			case "make", "new":
+				return report(call, "%s allocates", ident.Name)
+			}
+			return false
+		}
+	}
+	// fmt.* is the classic hot-path allocation.
+	if pkgPath, name, ok := pkgFuncOf(pass, call); ok && pkgPath == "fmt" {
+		return report(call, "fmt.%s allocates (formatting boxes its operands)", name)
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	// Variadic calls build their argument slice unless it is passed
+	// through with f(xs...).
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= sig.Params().Len() {
+		if report(call, "variadic call allocates its argument slice") {
+			return true
+		}
+	}
+	// Implicit interface conversions at the call boundary.
+	flagged := false
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if s, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok && call.Ellipsis == token.NoPos {
+				pt = s.Elem()
+			}
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		if checkIfaceConv(pass, arg, pt, report) {
+			flagged = true
+		}
+	}
+	return flagged
+}
+
+// checkIfaceConv reports when assigning expr to a target of interface
+// type boxes a non-pointer value (an allocation).
+func checkIfaceConv(pass *analysis.Pass, expr ast.Expr, target types.Type, report func(ast.Node, string, ...any) bool) bool {
+	if target == nil {
+		return false
+	}
+	if _, iface := target.Underlying().(*types.Interface); !iface {
+		return false
+	}
+	at := pass.TypesInfo.TypeOf(expr)
+	if at == nil {
+		return false
+	}
+	if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch at.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		// Already an interface, or pointer-shaped: conversion is free.
+		return false
+	}
+	return report(expr, "converting %s (type %s) to interface %s boxes the value and allocates",
+		types.ExprString(expr), at, target)
+}
+
+// receiverName returns the name of fn's receiver, or "".
+func receiverName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fn.Recv.List[0].Names[0].Name
+}
+
+// ownedByReceiver reports whether expr is a selector/index chain
+// rooted at the method receiver (e.g. e.queue, d.buf[i]) — the only
+// slices an annotated method may append to, because their capacity is
+// provisioned by Prepare-style setup.
+func ownedByReceiver(expr ast.Expr, recv string) bool {
+	if recv == "" {
+		return false
+	}
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name == recv
+		default:
+			return false
+		}
+	}
+}
+
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	if p, ok := fun.(*ast.ParenExpr); ok {
+		return calleeIdent(p.X)
+	}
+	ident, _ := fun.(*ast.Ident)
+	return ident
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

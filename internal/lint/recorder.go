@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// RecorderHygiene enforces the two rules that make an absent recorder
+// free:
+//
+//  1. Every SetRecorder(obs.Recorder) implementation must nil-fold its
+//     argument through obs.Fold (or delegate to another component's
+//     SetRecorder), so obs.Nop and empty Multis collapse to nil and
+//     the hot path pays one predictable branch instead of dynamic
+//     dispatch into a no-op.
+//  2. Every RecordDetect/RecordDecode/RecordFrame/RecordPoint call on
+//     an obs.Recorder-typed value must be dominated by a nil guard
+//     (`if r != nil { ... }` around the call, or an earlier
+//     `if r == nil { return }`).
+//
+// The obs package itself — where Recorder and its combinators are
+// defined — is exempt. Suppress individual findings with
+// //geolint:recorder-ok <reason>.
+var RecorderHygiene = &analysis.Analyzer{
+	Name: "recorderhygiene",
+	Doc:  "require obs.Fold nil-folding in SetRecorder and nil guards around Recorder calls",
+	Run:  runRecorderHygiene,
+}
+
+const recorderOK = "recorder-ok"
+
+// recordMethods are the Recorder interface's methods.
+var recordMethods = map[string]bool{
+	"RecordDetect": true,
+	"RecordDecode": true,
+	"RecordFrame":  true,
+	"RecordPoint":  true,
+}
+
+// isRecorderType reports whether t is the obs.Recorder interface (by
+// name: a Named interface called Recorder declared in a package whose
+// base name is obs — which matches both repro/internal/obs and the
+// analyzer's test fixtures).
+func isRecorderType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Recorder" || obj.Pkg() == nil {
+		return false
+	}
+	if pathBase(obj.Pkg().Path()) != "obs" {
+		return false
+	}
+	_, iface := named.Underlying().(*types.Interface)
+	return iface
+}
+
+func runRecorderHygiene(pass *analysis.Pass) error {
+	if pathBase(strings.TrimSuffix(pass.Pkg.Path(), "_test")) == "obs" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				checkSetRecorder(pass, fn)
+			}
+		}
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !recordMethods[sel.Sel.Name] {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(sel.X)
+		if t == nil || !isRecorderType(t) {
+			return true
+		}
+		if nilGuarded(pass, sel.X, call, stack) {
+			return true
+		}
+		if !pass.Suppressed(call.Pos(), recorderOK) {
+			pass.Reportf(call.Pos(),
+				"%s.%s on an obs.Recorder without a nil guard; wrap in `if %s != nil` so a disabled recorder costs one branch (//geolint:%s <reason> to allow)",
+				types.ExprString(sel.X), sel.Sel.Name, types.ExprString(sel.X), recorderOK)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkSetRecorder flags SetRecorder(obs.Recorder) implementations
+// that neither fold through obs.Fold nor delegate.
+func checkSetRecorder(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Name.Name != "SetRecorder" || fn.Body == nil || fn.Recv == nil {
+		return
+	}
+	params := fn.Type.Params
+	if params == nil || len(params.List) != 1 {
+		return
+	}
+	pt := pass.TypesInfo.TypeOf(params.List[0].Type)
+	if pt == nil || !isRecorderType(pt) {
+		return
+	}
+	folded := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, name, ok := pkgFuncOf(pass, call); ok && name == "Fold" && pathBase(pkgPath) == "obs" {
+			folded = true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "SetRecorder" {
+			folded = true // delegation: the callee folds
+		}
+		return true
+	})
+	if !folded && !pass.Suppressed(fn.Pos(), recorderOK) {
+		pass.Reportf(fn.Pos(),
+			"SetRecorder stores its Recorder without nil-folding; pass it through obs.Fold so Nop collapses to nil (//geolint:%s <reason> to allow)",
+			recorderOK)
+	}
+}
+
+// nilGuarded reports whether the Record* call on recv is dominated by
+// a nil check: an enclosing `if recv != nil` (possibly &&-conjoined),
+// or an `if recv == nil { return }` earlier in an enclosing block.
+func nilGuarded(pass *analysis.Pass, recv ast.Expr, call *ast.CallExpr, stack []ast.Node) bool {
+	want := types.ExprString(recv)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			// Only a guard if the call is inside the then-branch.
+			inBody := n.Body.Pos() <= call.Pos() && call.Pos() < n.Body.End()
+			if inBody && condChecksNonNil(n.Cond, want) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, stmt := range n.List {
+				if stmt.End() > call.Pos() {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if !ok || !condChecksNil(ifs.Cond, want) {
+					continue
+				}
+				if endsFlow(ifs.Body) {
+					return true
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			// Guards do not cross function boundaries.
+			return false
+		}
+	}
+	return false
+}
+
+// condChecksNonNil reports whether cond contains `want != nil` as a
+// conjunct.
+func condChecksNonNil(cond ast.Expr, want string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return condChecksNonNil(c.X, want)
+	case *ast.BinaryExpr:
+		if c.Op == token.LAND {
+			return condChecksNonNil(c.X, want) || condChecksNonNil(c.Y, want)
+		}
+		return c.Op == token.NEQ && binOperands(c, want)
+	}
+	return false
+}
+
+// condChecksNil reports whether cond is exactly `want == nil` (or
+// parenthesized).
+func condChecksNil(cond ast.Expr, want string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return condChecksNil(c.X, want)
+	case *ast.BinaryExpr:
+		return c.Op == token.EQL && binOperands(c, want)
+	}
+	return false
+}
+
+// binOperands reports whether one side of c renders as want and the
+// other is the nil identifier.
+func binOperands(c *ast.BinaryExpr, want string) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (types.ExprString(c.X) == want && isNil(c.Y)) ||
+		(types.ExprString(c.Y) == want && isNil(c.X))
+}
+
+// endsFlow reports whether a block unconditionally leaves the
+// function or loop (return, panic, continue, break, goto).
+func endsFlow(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+// TestRepositoryIsClean pins the repository against its own analyzer
+// suite: every package of the module must produce zero diagnostics.
+// This is the same check CI runs as `go run ./cmd/geolint ./...`; it
+// lives here too so a violation fails `go test ./...` locally before
+// a push.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath, modDir, err := load.ModuleInfo(wd)
+	if err != nil {
+		t.Fatalf("locating module: %v", err)
+	}
+	l := load.NewLoader(modPath, modDir)
+	l.IncludeTests = true
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: %v", pkg.PkgPath, terr)
+		}
+	}
+	diags := lint.Run(pkgs)
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		rel, relErr := filepath.Rel(modDir, pos.Filename)
+		if relErr != nil {
+			rel = pos.Filename
+		}
+		t.Errorf("%s:%d:%d: [%s] %s", rel, pos.Line, pos.Column, d.Analyzer.Name, d.Message)
+	}
+	if t.Failed() {
+		t.Log("fix the code or add a //geolint:<key> <reason> escape hatch (see internal/lint doc)")
+	}
+}

@@ -1,0 +1,76 @@
+// Package a exercises the determinism analyzer: clock reads, global
+// math/rand draws, unblessed rand.New seeding and map iteration are
+// flagged; rng-derived seeds and annotated escapes are not.
+//
+//geolint:deterministic
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"rng"
+)
+
+// Clock reads.
+func clock() (time.Time, time.Duration) {
+	start := time.Now()    // want `time.Now reads the wall clock`
+	d := time.Since(start) // want `time.Since reads the wall clock`
+	return start, d
+}
+
+// The frame loop may time itself for observability samples.
+func clockAllowed() time.Duration {
+	start := time.Now() //geolint:nondeterminism-ok duration only feeds the observability sample
+	//geolint:nondeterminism-ok duration only feeds the observability sample
+	return time.Since(start)
+}
+
+func clockNoReason() time.Time {
+	//geolint:nondeterminism-ok
+	return time.Now() // want `must give a reason`
+}
+
+// Global math/rand draws.
+func globalDraws() (int, float64) {
+	n := rand.Int()                    // want `rand.Int draws from the process-global source`
+	f := rand.Float64()                // want `rand.Float64 draws from the process-global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand.Shuffle draws from the process-global source`
+	return n, f
+}
+
+// Seeding discipline.
+func seeding(seed int64) (*rand.Rand, *rand.Rand, *rand.Rand) {
+	bad := rand.New(rand.NewSource(42)) // want `rand.New seeded outside the rng substream discipline`
+	good := rand.New(rand.NewSource(rng.SubSeed(seed, 7)))
+	eh := rand.New(rand.NewSource(seed)) //geolint:nondeterminism-ok seed flows in from the caller's substream
+	return bad, good, eh
+}
+
+// Map iteration order.
+func mapIter(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `range over map m has randomized iteration order`
+		sum += v
+	}
+	return sum
+}
+
+func mapIterSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //geolint:nondeterminism-ok keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Slices and channels range deterministically.
+func sliceIter(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

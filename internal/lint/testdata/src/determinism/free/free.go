@@ -1,0 +1,20 @@
+// Package free has no //geolint:deterministic marker: the determinism
+// and floatdet analyzers must ignore it entirely.
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+func anythingGoes(a, b float64) (time.Time, int, bool) {
+	return time.Now(), rand.Int(), a == b
+}
+
+func mapIter(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

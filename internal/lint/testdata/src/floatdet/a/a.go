@@ -1,0 +1,48 @@
+// Package a exercises the floatdet analyzer: float/complex equality
+// and math.Pow(x, 2) are flagged in deterministic packages; integer
+// comparisons, tolerance checks and annotated escapes are not.
+//
+//geolint:deterministic
+package a
+
+import "math"
+
+func cmp(a, b float64, c, d complex128) bool {
+	if a == b { // want `== on floating-point values is not reproducible`
+		return true
+	}
+	if c != d { // want `!= on floating-point values is not reproducible`
+		return true
+	}
+	if a != 0 { // want `!= on floating-point values is not reproducible`
+		return true
+	}
+	return math.Abs(a-b) < 1e-12
+}
+
+func cmpAllowed(mag2 float64) bool {
+	return mag2 == 0 //geolint:float-ok exact-zero test detects a rank-deficient channel
+}
+
+func cmpInts(a, b int64) bool {
+	return a == b
+}
+
+type stats struct{ n, m int64 }
+
+func cmpStructs(a, b stats) bool {
+	return a == b
+}
+
+func pow(x float64) (float64, float64, float64, float64) {
+	a := math.Pow(x, 2)   // want `math.Pow\(x, 2\) in a hot path`
+	b := math.Pow(x, 2.0) // want `math.Pow\(x, 2\) in a hot path`
+	c := math.Pow(x, 3)
+	d := math.Pow(x, 2) //geolint:float-ok table generation, not a hot path
+	return a, b, c, d
+}
+
+// Constant folding is deterministic.
+func constCmp() bool {
+	return 1.5 == 3.0/2.0
+}

@@ -1,0 +1,101 @@
+// Package a exercises the noalloc analyzer: annotated functions are
+// rejected for alloc-prone constructs, unannotated functions are
+// ignored, and //geolint:alloc-ok suppresses cold paths.
+package a
+
+import "fmt"
+
+type sink interface{ consume() }
+
+type box struct{ v int }
+
+func (b box) consume() {}
+
+type ring struct {
+	buf  []int
+	tags []string
+}
+
+// hot is the annotated function with one of everything.
+//
+//geolint:noalloc
+func (r *ring) hot(name string, xs []int, s sink) string {
+	fmt.Println(name)                     // want `fmt.Println allocates`
+	msg := name + "!"                     // want `string concatenation allocates`
+	f := func() int { return len(r.buf) } // want `closures capture variables`
+	_ = f
+	r.buf = append(r.buf, 1)
+	xs = append(xs, 2)          // want `append to xs, which the receiver does not own`
+	m := map[string]int{"a": 1} // want `map literal allocates`
+	_ = m
+	sl := []int{1, 2, 3} // want `slice literal allocates`
+	_ = sl
+	p := &box{v: 3} // want `address of composite literal allocates`
+	_ = p
+	q := make([]int, 4) // want `make allocates`
+	_ = q
+	s = box{v: 5} // want `converting box{…}.* boxes the value`
+	s.consume()
+	return msg
+}
+
+// hotOK is annotated and clean: receiver-owned appends, struct
+// literals, pointer-to-interface conversions and arithmetic are all
+// allowed.
+//
+//geolint:noalloc
+func (r *ring) hotOK(s sink, pb *box) int {
+	r.buf = append(r.buf, len(r.buf))
+	b := box{v: 1} // struct literal on the stack: fine
+	_ = b
+	s = pb // pointer into interface: no boxing
+	s.consume()
+	total := 0
+	for _, v := range r.buf {
+		total += v
+	}
+	return total
+}
+
+// hotColdPath is annotated; its lazy-growth and error paths are
+// suppressed line by line.
+//
+//geolint:noalloc
+func (r *ring) hotColdPath(dst []int) ([]int, error) {
+	if dst == nil {
+		dst = make([]int, len(r.buf)) //geolint:alloc-ok lazy growth on first use only
+	}
+	if len(dst) != len(r.buf) {
+		return nil, fmt.Errorf("bad dst length %d", len(dst)) //geolint:alloc-ok error path is cold
+	}
+	copy(dst, r.buf)
+	return dst, nil
+}
+
+// cold is unannotated: nothing is flagged.
+func cold() []int {
+	fmt.Println("cold")
+	return []int{1, 2, 3}
+}
+
+// sum is variadic: calling it from an annotated function allocates
+// the argument slice unless forwarded.
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+//geolint:noalloc
+func (r *ring) hotVariadic(xs []int) int {
+	a := sum(1, 2, 3) // want `variadic call allocates its argument slice`
+	b := sum(xs...)
+	return a + b
+}
+
+//geolint:noalloc
+func (r *ring) hotReturn() sink {
+	return box{v: 9} // want `boxes the value`
+}

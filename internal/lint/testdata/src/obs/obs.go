@@ -1,0 +1,37 @@
+// Package obs is a fixture stub of repro/internal/obs with the
+// surface the recorderhygiene analyzer keys on.
+package obs
+
+// Sample is a placeholder observation payload.
+type Sample struct{ N int64 }
+
+// Recorder mirrors the real four-method interface.
+type Recorder interface {
+	RecordDetect(Sample)
+	RecordDecode(Sample)
+	RecordFrame(Sample)
+	RecordPoint(Sample)
+}
+
+// Nop discards everything.
+type Nop struct{}
+
+// RecordDetect implements Recorder.
+func (Nop) RecordDetect(Sample) {}
+
+// RecordDecode implements Recorder.
+func (Nop) RecordDecode(Sample) {}
+
+// RecordFrame implements Recorder.
+func (Nop) RecordFrame(Sample) {}
+
+// RecordPoint implements Recorder.
+func (Nop) RecordPoint(Sample) {}
+
+// Fold nil-folds r: Nop collapses to nil.
+func Fold(r Recorder) Recorder {
+	if _, ok := r.(Nop); ok {
+		return nil
+	}
+	return r
+}

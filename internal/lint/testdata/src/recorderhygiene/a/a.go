@@ -1,0 +1,93 @@
+// Package a exercises the recorderhygiene analyzer: SetRecorder
+// implementations must nil-fold through obs.Fold (or delegate), and
+// Record* calls on obs.Recorder values need a dominating nil guard.
+package a
+
+import "obs"
+
+type detector struct {
+	rec obs.Recorder
+}
+
+// SetRecorder folds: accepted.
+func (d *detector) SetRecorder(r obs.Recorder) { d.rec = obs.Fold(r) }
+
+type rawDetector struct {
+	rec obs.Recorder
+}
+
+// SetRecorder stores the recorder raw: flagged.
+func (d *rawDetector) SetRecorder(r obs.Recorder) { // want `SetRecorder stores its Recorder without nil-folding`
+	d.rec = r
+}
+
+type wrapper struct {
+	inner *detector
+}
+
+// SetRecorder delegates: the callee folds.
+func (w *wrapper) SetRecorder(r obs.Recorder) { w.inner.SetRecorder(r) }
+
+type legacy struct {
+	rec obs.Recorder
+}
+
+// SetRecorder is grandfathered with a reason.
+//
+//geolint:recorder-ok callers hand in pre-folded recorders
+func (l *legacy) SetRecorder(r obs.Recorder) {
+	l.rec = r
+}
+
+func (d *detector) emitGuarded(s obs.Sample) {
+	if d.rec != nil {
+		d.rec.RecordDetect(s)
+	}
+}
+
+func (d *detector) emitEarlyReturn(s obs.Sample) {
+	if d.rec == nil {
+		return
+	}
+	d.rec.RecordDetect(s)
+	d.rec.RecordFrame(s)
+}
+
+func (d *detector) emitUnguarded(s obs.Sample) {
+	d.rec.RecordDetect(s) // want `RecordDetect on an obs.Recorder without a nil guard`
+}
+
+func (d *detector) emitConjoined(s obs.Sample, on bool) {
+	if on && d.rec != nil {
+		d.rec.RecordPoint(s)
+	}
+}
+
+func (d *detector) emitWrongGuard(s obs.Sample, other obs.Recorder) {
+	if other != nil {
+		d.rec.RecordDecode(s) // want `RecordDecode on an obs.Recorder without a nil guard`
+	}
+}
+
+func (d *detector) emitGuardDoesNotCrossFuncs(s obs.Sample) func() {
+	if d.rec == nil {
+		return nil
+	}
+	return func() {
+		d.rec.RecordFrame(s) // want `RecordFrame on an obs.Recorder without a nil guard`
+	}
+}
+
+func (d *detector) emitAnnotated(s obs.Sample) {
+	d.rec.RecordDetect(s) //geolint:recorder-ok caller guarantees a recorder is attached
+}
+
+// Concrete recorder types are out of scope: a *stats value is never a
+// folded-away interface.
+type stats struct{ n int64 }
+
+func (s *stats) RecordDetect(obs.Sample) { s.n++ }
+
+func useConcrete(s *stats, x obs.Sample) {
+	s.RecordDetect(x)
+}

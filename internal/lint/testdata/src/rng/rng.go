@@ -1,0 +1,6 @@
+// Package rng is a fixture stub of repro/internal/rng: the sanctioned
+// seed-derivation API the determinism analyzer recognizes.
+package rng
+
+// SubSeed derives a substream seed from (seed, index).
+func SubSeed(seed, index int64) int64 { return seed ^ index }

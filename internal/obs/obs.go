@@ -35,9 +35,13 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//geolint:noalloc
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+//geolint:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Load returns the current value.
@@ -50,6 +54,7 @@ type atomicFloat64 struct {
 	bits atomic.Uint64
 }
 
+//geolint:noalloc
 func (f *atomicFloat64) Add(v float64) {
 	for {
 		old := f.bits.Load()
@@ -82,9 +87,13 @@ func NewHistogram(bounds ...float64) *Histogram {
 }
 
 // Observe records one observation of v.
+//
+//geolint:noalloc
 func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
 
 // ObserveN records n observations of v. n ≤ 0 records nothing.
+//
+//geolint:noalloc
 func (h *Histogram) ObserveN(v float64, n int64) {
 	if n <= 0 {
 		return

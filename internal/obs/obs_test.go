@@ -195,6 +195,37 @@ func TestMultiFansOut(t *testing.T) {
 	}
 }
 
+func TestFold(t *testing.T) {
+	stats := NewStatsRecorder()
+	cases := []struct {
+		name string
+		in   Recorder
+		want Recorder
+	}{
+		{"nil", nil, nil},
+		{"nop", Nop{}, nil},
+		{"nop pointer", &Nop{}, nil},
+		{"real recorder", stats, stats},
+		{"empty multi", Multi{}, nil},
+		{"multi of nops", Multi{Nop{}, Nop{}}, nil},
+		{"multi folds to sole element", Multi{Nop{}, stats}, stats},
+		{"nested multi of nops", Multi{Multi{Nop{}}, Nop{}}, nil},
+	}
+	for _, tc := range cases {
+		if got := Fold(tc.in); got != tc.want {
+			t.Errorf("%s: Fold(%#v) = %#v, want %#v", tc.name, tc.in, got, tc.want)
+		}
+	}
+	// A Multi with several live recorders stays a Multi with the dead
+	// entries dropped.
+	b := NewStatsRecorder()
+	folded := Fold(Multi{Nop{}, stats, Multi{b, Nop{}}})
+	m, ok := folded.(Multi)
+	if !ok || len(m) != 2 || m[0] != Recorder(stats) || m[1] != Recorder(b) {
+		t.Errorf("Fold(mixed Multi) = %#v, want Multi{stats, b}", folded)
+	}
+}
+
 func TestNopImplementsRecorder(t *testing.T) {
 	var r Recorder = Nop{}
 	r.RecordDetect(DetectSample{})

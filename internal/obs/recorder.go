@@ -112,6 +112,41 @@ func (Nop) RecordFrame(FrameSample) {}
 // RecordPoint implements Recorder.
 func (Nop) RecordPoint(PointSample) {}
 
+// Fold canonicalizes a Recorder for storage in a hot-path struct:
+// nil, Nop and an empty Multi all fold to nil, so callers can gate
+// every emission on a single `rec != nil` branch instead of paying an
+// interface dispatch into a no-op. A Multi with exactly one element
+// folds to that element (recursively). Every SetRecorder in the repo
+// is expected to store Fold(r), not r — the recorderhygiene analyzer
+// enforces this.
+func Fold(r Recorder) Recorder {
+	switch v := r.(type) {
+	case nil:
+		return nil
+	case Nop:
+		return nil
+	case *Nop:
+		return nil
+	case Multi:
+		kept := make(Multi, 0, len(v))
+		for _, sub := range v {
+			if f := Fold(sub); f != nil {
+				kept = append(kept, f)
+			}
+		}
+		switch len(kept) {
+		case 0:
+			return nil
+		case 1:
+			return kept[0]
+		default:
+			return kept
+		}
+	default:
+		return r
+	}
+}
+
 // Multi fans every sample out to each recorder in order.
 type Multi []Recorder
 
@@ -212,6 +247,8 @@ func NewStatsRecorder() *StatsRecorder {
 }
 
 // RecordDetect implements Recorder.
+//
+//geolint:noalloc
 func (r *StatsRecorder) RecordDetect(s DetectSample) {
 	r.detects.Inc()
 	var peds int64
@@ -233,6 +270,8 @@ func (r *StatsRecorder) RecordDetect(s DetectSample) {
 }
 
 // RecordDecode implements Recorder.
+//
+//geolint:noalloc
 func (r *StatsRecorder) RecordDecode(s DecodeSample) {
 	r.decodes.Inc()
 	if !s.OK {
@@ -242,6 +281,8 @@ func (r *StatsRecorder) RecordDecode(s DecodeSample) {
 }
 
 // RecordFrame implements Recorder.
+//
+//geolint:noalloc
 func (r *StatsRecorder) RecordFrame(s FrameSample) {
 	r.frames.Inc()
 	if !s.OK {
@@ -261,6 +302,8 @@ func (r *StatsRecorder) RecordFrame(s FrameSample) {
 }
 
 // RecordPoint implements Recorder.
+//
+//geolint:noalloc
 func (r *StatsRecorder) RecordPoint(s PointSample) {
 	r.mu.Lock()
 	r.points = append(r.points, s)
@@ -452,12 +495,18 @@ func NewProgress(w io.Writer, interval time.Duration) *Progress {
 }
 
 // RecordDetect implements Recorder.
+//
+//geolint:noalloc
 func (p *Progress) RecordDetect(DetectSample) { p.detects.Inc() }
 
 // RecordDecode implements Recorder.
+//
+//geolint:noalloc
 func (p *Progress) RecordDecode(DecodeSample) {}
 
 // RecordFrame implements Recorder.
+//
+//geolint:noalloc
 func (p *Progress) RecordFrame(s FrameSample) {
 	p.frames.Inc()
 	if !s.OK {
@@ -466,6 +515,8 @@ func (p *Progress) RecordFrame(s FrameSample) {
 }
 
 // RecordPoint implements Recorder.
+//
+//geolint:noalloc
 func (p *Progress) RecordPoint(PointSample) { p.points.Inc() }
 
 // Emit writes one progress line immediately.

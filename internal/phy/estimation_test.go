@@ -20,7 +20,7 @@ func TestEstimateChannelsNoiseless(t *testing.T) {
 	}
 	for s := range hs {
 		for i := range hs[s].Data {
-			if hs[s].Data[i] != est[s].Data[i] {
+			if hs[s].Data[i] != est[s].Data[i] { //geolint:float-ok test asserts exact bitwise reproducibility
 				t.Fatalf("noiseless estimate differs at subcarrier %d entry %d", s, i)
 			}
 		}

@@ -82,6 +82,7 @@ func (l *Link) TransmitReceiveIterative(src *rng.Source, f *Frame, hs []*cmplxma
 			}
 			for k := 0; k < nc; k++ {
 				res.Symbols++
+				//geolint:float-ok both operands are verbatim entries of the same constellation table
 				if cfg.Cons.PointIndex(hard[k]) != f.X[t][s][k] {
 					res.SymbolErrors++
 				}

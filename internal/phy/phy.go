@@ -283,6 +283,7 @@ func (l *Link) TransmitReceiveCSI(src *rng.Source, f *Frame, hsTrue, hsDet []*cm
 			// Pre-FEC symbol error accounting.
 			for k := 0; k < nc; k++ {
 				res.Symbols++
+				//geolint:float-ok both operands are verbatim entries of the same constellation table
 				if cfg.Cons.PointIndex(detIdx[t][s][k]) != f.X[t][s][k] {
 					res.SymbolErrors++
 				}

@@ -238,7 +238,7 @@ func TestEncodeDeterministic(t *testing.T) {
 			}
 		}
 	}
-	if a.X[0][0][0] != b.X[0][0][0] || a.X[3][47][1] != b.X[3][47][1] {
+	if a.X[0][0][0] != b.X[0][0][0] || a.X[3][47][1] != b.X[3][47][1] { //geolint:float-ok test asserts exact bitwise reproducibility
 		t.Fatal("symbol grids diverged")
 	}
 }

@@ -8,7 +8,7 @@ import (
 func TestDeterminism(t *testing.T) {
 	a, b := New(42), New(42)
 	for i := 0; i < 100; i++ {
-		if a.Float64() != b.Float64() {
+		if a.Float64() != b.Float64() { //geolint:float-ok test asserts exact bitwise reproducibility
 			t.Fatal("same seed diverged")
 		}
 	}
@@ -20,7 +20,7 @@ func TestSplitIndependence(t *testing.T) {
 	c2 := a.Split()
 	same := 0
 	for i := 0; i < 50; i++ {
-		if c1.Float64() == c2.Float64() {
+		if c1.Float64() == c2.Float64() { //geolint:float-ok test asserts exact bitwise reproducibility
 			same++
 		}
 	}
@@ -65,7 +65,7 @@ func TestCNVector(t *testing.T) {
 	src.CNVector(v, 1)
 	zero := 0
 	for _, x := range v {
-		if x == 0 {
+		if x == 0 { //geolint:float-ok test asserts exact bitwise reproducibility
 			zero++
 		}
 	}
@@ -137,7 +137,7 @@ func TestSubstreamPureFunction(t *testing.T) {
 	}
 	b := Substream(7, 3)
 	for i := 0; i < 100; i++ {
-		if a.Float64() != b.Float64() {
+		if a.Float64() != b.Float64() { //geolint:float-ok test asserts exact bitwise reproducibility
 			t.Fatal("Substream is not a pure function of (seed, index)")
 		}
 	}
@@ -156,7 +156,7 @@ func TestSubstreamDistinctIndices(t *testing.T) {
 	c1, c2 := Substream(2014, 0), Substream(2014, 1)
 	same := 0
 	for i := 0; i < 50; i++ {
-		if c1.Float64() == c2.Float64() {
+		if c1.Float64() == c2.Float64() { //geolint:float-ok test asserts exact bitwise reproducibility
 			same++
 		}
 	}

@@ -290,7 +290,7 @@ func StatisticalPruningAblation(opts Options) (*Table, error) {
 			Workers: inner, Recorder: opts.Recorder,
 		}
 		factory := func(cons *constellation.Constellation, noiseVar float64) core.Detector {
-			if alpha == 0 {
+			if alpha == 0 { //geolint:float-ok alpha is a configuration constant, zero is its sentinel value
 				return core.NewGeosphere(cons)
 			}
 			return core.NewStatisticalPruning(cons, noiseVar, alpha)
