@@ -12,7 +12,7 @@
 STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
-.PHONY: check fmt vet lint staticcheck vulncheck test shuffle bench-smoke fuzz-smoke race
+.PHONY: check fmt vet lint staticcheck vulncheck test shuffle bench bench-smoke fuzz-smoke race
 
 # Everything the merge gate requires.
 check: fmt vet lint test
@@ -44,6 +44,12 @@ test:
 # Twice, in random order: catches tests coupled through shared state.
 shuffle:
 	go test -shuffle=on -count=2 ./...
+
+# Regenerate BENCH_geosphere.json: the performance envelope of the
+# receiver pipeline (ns/frame, ns/detect, allocs/op, preparation-cache
+# hit rate per scenario) against the recorded pre-cache baseline.
+bench:
+	go run ./cmd/geobench -o BENCH_geosphere.json
 
 bench-smoke:
 	go test -run '^$$' -bench 'BenchmarkDetect' -benchtime=1x ./...

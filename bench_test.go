@@ -5,8 +5,12 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/cmplxmat"
 	"repro/internal/constellation"
 	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/link"
+	"repro/internal/ofdm"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -106,6 +110,57 @@ func BenchmarkRunWorkers(b *testing.B) {
 					b.Fatalf("ran %d frames", m.Frames)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkLinkRun measures the full frame pipeline on a static
+// channel trace — the trace-replay regime of the paper's evaluation:
+// 48 distinct per-subcarrier channels (frequency selective), constant
+// across frames (time invariant), so every frame re-prepares the same
+// 48 matrices. The cached variant is the default Run path (per-worker
+// preparation cache, one slot per subcarrier); cold disables the cache
+// and refactorizes every subcarrier of every frame, which is what the
+// pipeline did before the cache existed. ns/frame is the headline
+// metric tracked by cmd/geobench.
+func BenchmarkLinkRun(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cold bool
+	}{
+		{"cached", false},
+		{"cold", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			const frames = 8
+			csrc := rng.New(7)
+			hs := make([]*cmplxmat.Matrix, ofdm.NumData)
+			for i := range hs {
+				hs[i] = NewRayleighChannel(csrc, 4, 4)
+			}
+			cfg := link.RunConfig{
+				Cons: QAM16, Rate: fec.Rate12,
+				NumSymbols: 1, Frames: frames,
+				SNRdB: 24, Seed: 2014, Workers: 1,
+				NoPrepCache: tc.cold,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src, err := link.NewStaticSubcarrierSource(hs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := link.Run(cfg, src, sim.GeosphereFactory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Frames != frames {
+					b.Fatalf("ran %d frames", m.Frames)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*frames), "ns/frame")
 		})
 	}
 }

@@ -1,0 +1,329 @@
+// Command geobench measures the receiver pipeline's performance
+// envelope and emits a machine-readable report (BENCH_geosphere.json
+// at the repo root) for tracking across commits. It covers the
+// scenarios the prepared-channel cache was built for:
+//
+//   - link-run/static-trace/{cached,cold}: the full frame pipeline on
+//     a frequency-selective, time-invariant channel (the trace-replay
+//     regime) with the per-worker preparation cache on and off.
+//   - link-run/rayleigh/cached: per-frame redrawn channels, where
+//     every preparation is a refill — the cache's worst case.
+//   - detect/geosphere-qam64-4x4: per-detection cost of the headline
+//     decoder.
+//   - prepare/{hit,refill}: the cached Prepare fast path and the
+//     steady-state refactorization it avoids.
+//
+// Timings come from testing.Benchmark (so ns/op, B/op and allocs/op
+// follow `go test -bench` semantics); cache hit rates come from a
+// separate instrumented run with an obs.StatsRecorder attached.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/link"
+	"repro/internal/obs"
+	"repro/internal/ofdm"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Metrics is one scenario's measured numbers. NsPerFrame and
+// NsPerDetect are derived views of NsPerOp for the scenarios where an
+// op spans several frames or is exactly one detection.
+type Metrics struct {
+	NsPerOp       float64 `json:"ns_per_op"`
+	NsPerFrame    float64 `json:"ns_per_frame,omitempty"`
+	NsPerDetect   float64 `json:"ns_per_detect,omitempty"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	PrepareHits   int64   `json:"prepare_hits,omitempty"`
+	PrepareMisses int64   `json:"prepare_misses,omitempty"`
+	CacheHitRate  float64 `json:"cache_hit_rate,omitempty"`
+}
+
+// Scenario pairs a stable name with its metrics and a human-readable
+// configuration string.
+type Scenario struct {
+	Name   string `json:"name"`
+	Config string `json:"config"`
+	Metrics
+}
+
+// Report is the BENCH_geosphere.json schema. Baseline carries the
+// pre-optimization numbers the current scenarios are compared against;
+// it is fixed at generation time, not re-measured.
+type Report struct {
+	Schema    string             `json:"schema"`
+	Baseline  map[string]Metrics `json:"baseline"`
+	BaselineA map[string]string  `json:"baseline_annotations"`
+	Scenarios []Scenario         `json:"scenarios"`
+}
+
+// preCacheBaseline is the static-trace link scenario measured at the
+// commit before the prepared-channel cache and zero-alloc QR
+// workspaces landed (three runs averaged), plus the fresh QR
+// preparation cost of the same commit. These are the reference points
+// for the ns/frame and allocs/op regression gates.
+func preCacheBaseline() (map[string]Metrics, map[string]string) {
+	return map[string]Metrics{
+			"link-run/static-trace": {
+				NsPerOp:     3675480,
+				NsPerFrame:  459435,
+				BytesPerOp:  1263417,
+				AllocsPerOp: 8708,
+			},
+			"prepare/fresh-qr": {
+				NsPerOp:     1108,
+				BytesPerOp:  1184,
+				AllocsPerOp: 10,
+			},
+		}, map[string]string{
+			"commit": "83729ea",
+			"note":   "pipeline before per-worker preparation caching; every frame refactorized all 48 subcarriers and rebuilt detector + Viterbi state",
+		}
+}
+
+// staticTrace draws the benchmark's frequency-selective, time-
+// invariant channel set: one 4×4 Rayleigh matrix per data subcarrier,
+// shared by every frame of a run.
+func staticTrace() []*cmplxmat.Matrix {
+	src := rng.New(7)
+	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
+	for i := range hs {
+		hs[i] = channel.Rayleigh(src, 4, 4)
+	}
+	return hs
+}
+
+const linkFrames = 8
+
+// linkRunConfig is the canonical static-channel-trace configuration:
+// 4×4 16-QAM rate-1/2, one OFDM symbol per frame so preparation cost
+// is not drowned by payload processing.
+func linkRunConfig(cold bool) link.RunConfig {
+	return link.RunConfig{
+		Cons: constellation.QAM16, Rate: fec.Rate12,
+		NumSymbols: 1, Frames: linkFrames,
+		SNRdB: 24, Seed: 2014, Workers: 1,
+		NoPrepCache: cold,
+	}
+}
+
+// benchLink times link.Run over the given source builder and collects
+// the run's preparation-cache counters from an instrumented pass.
+func benchLink(cfg link.RunConfig, newSource func() link.ChannelSource) (Metrics, error) {
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := link.Run(cfg, newSource(), sim.GeosphereFactory)
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			if m.Frames != cfg.Frames {
+				runErr = fmt.Errorf("ran %d frames, want %d", m.Frames, cfg.Frames)
+				b.Fatal(runErr)
+			}
+		}
+	})
+	if runErr != nil {
+		return Metrics{}, runErr
+	}
+	rec := obs.NewStatsRecorder()
+	icfg := cfg
+	icfg.Recorder = rec
+	if _, err := link.Run(icfg, newSource(), sim.GeosphereFactory); err != nil {
+		return Metrics{}, err
+	}
+	snap := rec.Snapshot()
+	m := Metrics{
+		NsPerOp:       float64(res.NsPerOp()),
+		NsPerFrame:    float64(res.NsPerOp()) / float64(cfg.Frames),
+		BytesPerOp:    res.AllocedBytesPerOp(),
+		AllocsPerOp:   res.AllocsPerOp(),
+		PrepareHits:   snap.Frames.PrepareHits,
+		PrepareMisses: snap.Frames.PrepareMisses,
+	}
+	if total := m.PrepareHits + m.PrepareMisses; total > 0 {
+		m.CacheHitRate = float64(m.PrepareHits) / float64(total)
+	}
+	return m, nil
+}
+
+// benchDetect times a single Geosphere detection at the paper's
+// headline 4×4 64-QAM operating point over a pool of received vectors.
+func benchDetect() (Metrics, error) {
+	src := rng.New(1)
+	cons := constellation.QAM64
+	det := core.NewGeosphere(cons)
+	h := channel.Rayleigh(src, 4, 4)
+	if err := det.Prepare(h); err != nil {
+		return Metrics{}, err
+	}
+	const pool = 256
+	noiseVar := channel.NoiseVarForSNRdB(25)
+	ys := make([][]complex128, pool)
+	x := make([]complex128, 4)
+	for i := range ys {
+		for k := range x {
+			x[k] = cons.PointIndex(src.Intn(cons.Size()))
+		}
+		ys[i] = channel.Transmit(nil, src, h, x, noiseVar)
+	}
+	dst := make([]int, 4)
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := det.Detect(dst, ys[i%pool]); err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if runErr != nil {
+		return Metrics{}, runErr
+	}
+	return Metrics{
+		NsPerOp:     float64(res.NsPerOp()),
+		NsPerDetect: float64(res.NsPerOp()),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}, nil
+}
+
+// benchPrepare times the detector-facing Prepare call on its two
+// steady-state paths: hit (channel unchanged since the last call) and
+// refill (alternating between two same-shape channels, so every call
+// refactorizes into existing workspace).
+func benchPrepare(refill bool) (Metrics, error) {
+	src := rng.New(3)
+	det := core.NewGeosphere(constellation.QAM64)
+	h1 := channel.Rayleigh(src, 4, 4)
+	h2 := channel.Rayleigh(src, 4, 4)
+	for _, h := range []*cmplxmat.Matrix{h1, h2, h1} {
+		if err := det.Prepare(h); err != nil {
+			return Metrics{}, err
+		}
+	}
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		h := h1
+		for i := 0; i < b.N; i++ {
+			if refill {
+				if h == h1 {
+					h = h2
+				} else {
+					h = h1
+				}
+			}
+			if err := det.Prepare(h); err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if runErr != nil {
+		return Metrics{}, runErr
+	}
+	return Metrics{
+		NsPerOp:     float64(res.NsPerOp()),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}, nil
+}
+
+// run measures every scenario and assembles the report.
+func run() (*Report, error) {
+	hs := staticTrace()
+	staticSource := func() link.ChannelSource {
+		s, err := link.NewStaticSubcarrierSource(hs)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	rayleighSource := func() link.ChannelSource {
+		s, err := link.NewRayleighSource(rng.New(7), 4, 4)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	linkDesc := fmt.Sprintf("4x4 16-QAM rate-1/2, 1 OFDM symbol, %d frames, SNR 24 dB, workers 1", linkFrames)
+	scenarios := []struct {
+		name, config string
+		measure      func() (Metrics, error)
+	}{
+		{"link-run/static-trace/cached", linkDesc + ", static per-subcarrier trace, prep cache on",
+			func() (Metrics, error) { return benchLink(linkRunConfig(false), staticSource) }},
+		{"link-run/static-trace/cold", linkDesc + ", static per-subcarrier trace, prep cache off",
+			func() (Metrics, error) { return benchLink(linkRunConfig(true), staticSource) }},
+		{"link-run/rayleigh/cached", linkDesc + ", fresh Rayleigh channel per frame, prep cache on",
+			func() (Metrics, error) { return benchLink(linkRunConfig(false), rayleighSource) }},
+		{"detect/geosphere-qam64-4x4", "Geosphere 4x4 64-QAM at 25 dB, prepared channel",
+			benchDetect},
+		{"prepare/hit", "Geosphere Prepare, channel unchanged (cache hit fast path)",
+			func() (Metrics, error) { return benchPrepare(false) }},
+		{"prepare/refill", "Geosphere Prepare, alternating channels (in-place refactorization)",
+			func() (Metrics, error) { return benchPrepare(true) }},
+	}
+	base, notes := preCacheBaseline()
+	rep := &Report{
+		Schema:    "geobench/v1",
+		Baseline:  base,
+		BaselineA: notes,
+	}
+	for _, s := range scenarios {
+		fmt.Fprintf(os.Stderr, "geobench: %s\n", s.name)
+		m, err := s.measure()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, Scenario{Name: s.name, Config: s.config, Metrics: m})
+	}
+	return rep, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_geosphere.json", "output path for the JSON report")
+	flag.Parse()
+	rep, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("geobench: wrote %s (%d scenarios)\n", *out, len(rep.Scenarios))
+	for _, s := range rep.Scenarios {
+		line := fmt.Sprintf("  %-32s %12.0f ns/op %8d allocs/op", s.Name, s.NsPerOp, s.AllocsPerOp)
+		if s.NsPerFrame > 0 {
+			line += fmt.Sprintf(" %10.0f ns/frame", s.NsPerFrame)
+		}
+		if s.PrepareHits+s.PrepareMisses > 0 {
+			line += fmt.Sprintf(" %5.1f%% cache hits", 100*s.CacheHitRate)
+		}
+		fmt.Println(line)
+	}
+}

@@ -9,21 +9,64 @@ import (
 // A = Q·R with Q m×n having orthonormal columns (Q*Q = I) and R n×n
 // upper triangular. The sphere decoder requires the diagonal of R to
 // be real and non-negative, which this implementation guarantees.
+//
+// A QR value also owns the scratch buffers the factorization needs,
+// so a caller that repeatedly factorizes same-shaped matrices via
+// QRDecomposeInto performs no allocations after the first call.
 type QR struct {
 	Q *Matrix // m×n, Q*Q = I
 	R *Matrix // n×n, upper triangular, real non-negative diagonal
+
+	// Factorization workspace, lazily sized by QRDecomposeInto and
+	// reused across calls when the input shape is unchanged.
+	work  *Matrix      // m×n working copy being triangularized
+	qfull *Matrix      // m×m accumulated product of reflections
+	v     []complex128 // Householder vector, length m
 }
 
 // QRDecompose computes the thin QR factorization of a using Householder
 // reflections. It panics if a has more columns than rows.
 func QRDecompose(a *Matrix) *QR {
+	return QRDecomposeInto(new(QR), a)
+}
+
+// QRDecomposeInto factorizes a into dst, reusing dst's factors and
+// internal workspace when their shapes already match a. It returns dst.
+// The result is bitwise identical to QRDecompose(a) — both run the
+// same factorization loop — so callers may cache and re-fill a QR
+// without perturbing downstream arithmetic. It panics if a has more
+// columns than rows.
+//
+//geolint:noalloc
+func QRDecomposeInto(dst *QR, a *Matrix) *QR {
 	m, n := a.Rows, a.Cols
 	if m < n {
-		panic(ErrShape)
+		panic(ErrShape) //geolint:alloc-ok shape bug, unreachable in hot path
 	}
-	r := a.Clone()       // will become the triangular factor (top n rows)
-	qfull := Identity(m) // accumulates the product of reflections
-	v := make([]complex128, m)
+	// Working copy that will become the triangular factor (top n rows).
+	r := dst.work
+	if r == nil || r.Rows != m || r.Cols != n {
+		r = New(m, n) //geolint:alloc-ok first use or reshape only
+		dst.work = r
+	}
+	copy(r.Data, a.Data)
+	// qfull accumulates the product of reflections, starting from I.
+	qfull := dst.qfull
+	if qfull == nil || qfull.Rows != m || qfull.Cols != m {
+		qfull = New(m, m) //geolint:alloc-ok first use or reshape only
+		dst.qfull = qfull
+	} else {
+		for i := range qfull.Data {
+			qfull.Data[i] = 0
+		}
+	}
+	for i := 0; i < m; i++ {
+		qfull.Set(i, i, 1)
+	}
+	if cap(dst.v) < m {
+		dst.v = make([]complex128, m) //geolint:alloc-ok first use or reshape only
+	}
+	v := dst.v[:m]
 
 	for k := 0; k < n; k++ {
 		// Build the Householder vector for column k below the diagonal.
@@ -105,21 +148,29 @@ func QRDecompose(a *Matrix) *QR {
 	}
 
 	// Extract the thin factors.
-	q := New(m, n)
+	q := dst.Q
+	if q == nil || q.Rows != m || q.Cols != n {
+		q = New(m, n) //geolint:alloc-ok first use or reshape only
+		dst.Q = q
+	}
 	for i := 0; i < m; i++ {
 		copy(q.Row(i), qfull.Row(i)[:n])
 	}
-	rt := New(n, n)
+	rt := dst.R
+	if rt == nil || rt.Rows != n || rt.Cols != n {
+		rt = New(n, n) //geolint:alloc-ok first use or reshape only
+		dst.R = rt
+	}
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if j >= i {
-				rt.Set(i, j, r.At(i, j))
-			}
+		row := rt.Row(i)
+		for j := 0; j < i; j++ {
+			row[j] = 0 // strictly lower part stays exactly zero
+		}
+		for j := i; j < n; j++ {
+			row[j] = r.At(i, j)
 		}
 	}
-	// Clean up negative-zero / roundoff on the strictly lower part is
-	// already handled by only copying the upper triangle.
-	return &QR{Q: q, R: rt}
+	return dst
 }
 
 // ApplyQConjT computes ŷ = Q*·y without forming intermediates, the

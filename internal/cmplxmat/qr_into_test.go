@@ -1,0 +1,74 @@
+package cmplxmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rnd *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = complex(rnd.NormFloat64(), rnd.NormFloat64())
+	}
+	return m
+}
+
+// QRDecomposeInto must agree bitwise with QRDecompose: the cached
+// detection pipeline relies on workspace reuse never perturbing a
+// single float, so equality here is exact, not tolerance-based.
+func TestQRDecomposeIntoBitIdentical(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	ws := new(QR)
+	shapes := []struct{ r, c int }{{2, 2}, {4, 4}, {4, 4}, {6, 4}, {3, 3}, {8, 8}, {4, 4}}
+	for _, sh := range shapes {
+		a := randomMatrix(rnd, sh.r, sh.c)
+		fresh := QRDecompose(a)
+		got := QRDecomposeInto(ws, a)
+		if got != ws {
+			t.Fatalf("QRDecomposeInto did not return dst")
+		}
+		for i := range fresh.Q.Data {
+			if got.Q.Data[i] != fresh.Q.Data[i] {
+				t.Fatalf("%d×%d: Q[%d] = %v, fresh %v", sh.r, sh.c, i, got.Q.Data[i], fresh.Q.Data[i])
+			}
+		}
+		for i := range fresh.R.Data {
+			if got.R.Data[i] != fresh.R.Data[i] {
+				t.Fatalf("%d×%d: R[%d] = %v, fresh %v", sh.r, sh.c, i, got.R.Data[i], fresh.R.Data[i])
+			}
+		}
+	}
+}
+
+// Repeated same-shape factorization through a warm workspace must not
+// allocate: this is the property the per-subcarrier preparation cache
+// depends on for its re-prepare path.
+func TestQRDecomposeIntoZeroAlloc(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	as := make([]*Matrix, 8)
+	for i := range as {
+		as[i] = randomMatrix(rnd, 4, 4)
+	}
+	ws := new(QR)
+	QRDecomposeInto(ws, as[0]) // warm the workspace
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		QRDecomposeInto(ws, as[i%len(as)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("warm QRDecomposeInto allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkQRDecomposeInto(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	a := randomMatrix(rnd, 4, 4)
+	ws := new(QR)
+	QRDecomposeInto(ws, a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QRDecomposeInto(ws, a)
+	}
+}

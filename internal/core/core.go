@@ -53,6 +53,21 @@ func (s *Stats) Add(other Stats) {
 	s.Detections += other.Detections
 }
 
+// Sub returns s − other, the per-interval delta between two snapshots
+// of one detector's monotonically growing counters. The link pipeline
+// uses it to attribute work to individual frames when a worker's
+// detector persists across frames.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		PEDCalcs:     s.PEDCalcs - other.PEDCalcs,
+		VisitedNodes: s.VisitedNodes - other.VisitedNodes,
+		BoundChecks:  s.BoundChecks - other.BoundChecks,
+		Prunes:       s.Prunes - other.Prunes,
+		Leaves:       s.Leaves - other.Leaves,
+		Detections:   s.Detections - other.Detections,
+	}
+}
+
 // PEDPerDetection returns the average PED computations per Detect
 // call, the per-subcarrier quantity plotted in Figures 14 and 15.
 func (s Stats) PEDPerDetection() float64 {

@@ -319,7 +319,8 @@ func TestReorderingReducesNodesAtLowSNR(t *testing.T) {
 func TestColumnOrderSorted(t *testing.T) {
 	src := rng.New(27)
 	h := channel.Rayleigh(src, 4, 4)
-	order := columnOrder(h)
+	order := make([]int, h.Cols)
+	columnOrderInto(order, make([]float64, h.Cols), h)
 	energy := func(c int) float64 {
 		var e float64
 		for r := 0; r < h.Rows; r++ {
@@ -333,7 +334,8 @@ func TestColumnOrderSorted(t *testing.T) {
 			t.Fatalf("order not ascending: %v", order)
 		}
 	}
-	perm := permuteColumns(h, order)
+	perm := cmplxmat.New(h.Rows, h.Cols)
+	permuteColumnsInto(perm, h, order)
 	for newCol, oldCol := range order {
 		for r := 0; r < h.Rows; r++ {
 			if perm.At(r, newCol) != h.At(r, oldCol) { //geolint:float-ok test asserts exact bitwise reproducibility

@@ -128,40 +128,56 @@ func TestRecorderDeltasMatchStats(t *testing.T) {
 	}
 }
 
-// TestDetectZeroAllocs proves the instrumented hot path stays
-// allocation-free, with and without a recorder attached — the
-// tentpole's overhead contract.
+// TestDetectZeroAllocs proves the detection hot paths stay
+// allocation-free — the sphere decoders with and without a recorder
+// attached (the observability overhead contract), and the RVD baseline
+// whose Detect runs entirely in Prepare-sized scratch.
 func TestDetectZeroAllocs(t *testing.T) {
 	src := rng.New(19)
 	cons := constellation.QAM64
 	h, _, y := randomScenario(src, cons, 4, 4, 25)
 	dst := make([]int, 4)
-	for _, tc := range []struct {
+	makers := []struct {
+		name string
+		make func() Detector
+	}{
+		{"Geosphere", func() Detector { return NewGeosphere(cons) }},
+		{"ETH-SD", func() Detector { return NewETHSD(cons) }},
+		{"RVD-SD", func() Detector { return NewRVD(cons) }},
+	}
+	recorders := []struct {
 		name string
 		rec  obs.Recorder
 	}{
 		{"no recorder", nil},
 		{"nop recorder", obs.Nop{}},
 		{"stats recorder", obs.NewStatsRecorder()},
-	} {
-		d := NewGeosphere(cons)
-		if tc.rec != nil {
-			d.SetRecorder(tc.rec)
-		}
-		if err := d.Prepare(h); err != nil {
-			t.Fatal(err)
-		}
-		// Warm up once so lazy growth is done before measuring.
-		if _, err := d.Detect(dst, y); err != nil {
-			t.Fatal(err)
-		}
-		allocs := testing.AllocsPerRun(100, func() {
+	}
+	for _, mk := range makers {
+		for _, tc := range recorders {
+			d := mk.make()
+			if tc.rec != nil {
+				tgt, ok := d.(obs.Target)
+				if !ok {
+					continue // RVD does not stream per-detect samples
+				}
+				tgt.SetRecorder(tc.rec)
+			}
+			if err := d.Prepare(h); err != nil {
+				t.Fatal(err)
+			}
+			// Warm up once so lazy growth is done before measuring.
 			if _, err := d.Detect(dst, y); err != nil {
 				t.Fatal(err)
 			}
-		})
-		if allocs > 0 {
-			t.Errorf("%s: %g allocs/op on Detect, want 0", tc.name, allocs)
+			allocs := testing.AllocsPerRun(100, func() {
+				if _, err := d.Detect(dst, y); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 0 {
+				t.Errorf("%s/%s: %g allocs/op on Detect, want 0", mk.name, tc.name, allocs)
+			}
 		}
 	}
 }

@@ -17,19 +17,22 @@ func (d *SphereDecoder) EnableColumnReordering(on bool) {
 	d.orderColumns = on
 }
 
-// columnOrder returns channel column indices sorted by ascending
-// column energy, so the strongest stream lands in the last QR column —
-// the top tree level, where an early wrong turn is most expensive.
-func columnOrder(h *cmplxmat.Matrix) []int {
+// columnOrderInto writes channel column indices sorted by ascending
+// column energy into order (len nc), so the strongest stream lands in
+// the last QR column — the top tree level, where an early wrong turn
+// is most expensive. energy (len nc) is caller-owned scratch, so the
+// preparation cache's re-prepare path stays allocation-free.
+//
+//geolint:noalloc
+func columnOrderInto(order []int, energy []float64, h *cmplxmat.Matrix) {
 	nc := h.Cols
-	energy := make([]float64, nc)
 	for c := 0; c < nc; c++ {
+		energy[c] = 0
 		for r := 0; r < h.Rows; r++ {
 			v := h.At(r, c)
 			energy[c] += real(v)*real(v) + imag(v)*imag(v)
 		}
 	}
-	order := make([]int, nc)
 	for i := range order {
 		order[i] = i
 	}
@@ -39,16 +42,16 @@ func columnOrder(h *cmplxmat.Matrix) []int {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
-	return order
 }
 
-// permuteColumns returns h with its columns rearranged to order.
-func permuteColumns(h *cmplxmat.Matrix, order []int) *cmplxmat.Matrix {
-	out := cmplxmat.New(h.Rows, h.Cols)
+// permuteColumnsInto writes h with its columns rearranged to order
+// into dst (same shape as h).
+//
+//geolint:noalloc
+func permuteColumnsInto(dst, h *cmplxmat.Matrix, order []int) {
 	for newCol, oldCol := range order {
 		for r := 0; r < h.Rows; r++ {
-			out.Set(r, newCol, h.At(r, oldCol))
+			dst.Set(r, newCol, h.At(r, oldCol))
 		}
 	}
-	return out
 }

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/rng"
+)
+
+// prepDetectors enumerates every SharedPreparer with a fresh instance
+// per call, covering all three cache modes (ordered QR, plain QR, RVD).
+func prepDetectors(cons *constellation.Constellation) []struct {
+	name string
+	det  SharedPreparer
+} {
+	return []struct {
+		name string
+		det  SharedPreparer
+	}{
+		{"Geosphere", NewGeosphere(cons)},
+		{"ETH-SD", NewETHSD(cons)},
+		{"RVD-SD", NewRVD(cons)},
+		{"Geosphere-soft", NewListSphereDecoder(cons)},
+	}
+}
+
+// TestPrepareCachedFastPathZeroAllocs pins the two steady-state
+// Prepare regimes of the link pipeline at zero allocations per call:
+// re-preparing an unchanged channel (cache hit, the common trace-replay
+// case) and alternating between two same-shape channels (every call a
+// refill into already-sized workspace).
+func TestPrepareCachedFastPathZeroAllocs(t *testing.T) {
+	src := rng.New(41)
+	cons := constellation.QAM16
+	h1 := channel.Rayleigh(src, 4, 4)
+	h2 := channel.Rayleigh(src, 4, 4)
+	for _, tc := range prepDetectors(cons) {
+		// Warm both channels so every buffer has reached its final size.
+		for _, h := range []*cmplxmat.Matrix{h1, h2, h1} {
+			if err := tc.det.Prepare(h); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+		}
+		hit := testing.AllocsPerRun(100, func() {
+			if err := tc.det.Prepare(h1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if hit > 0 {
+			t.Errorf("%s: %g allocs/op re-preparing an unchanged channel, want 0", tc.name, hit)
+		}
+		flip := h1
+		refill := testing.AllocsPerRun(100, func() {
+			if flip == h1 {
+				flip = h2
+			} else {
+				flip = h1
+			}
+			if err := tc.det.Prepare(flip); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if refill > 0 {
+			t.Errorf("%s: %g allocs/op refilling with a same-shape channel, want 0", tc.name, refill)
+		}
+	}
+}
+
+// TestPreparedChannelHitSemantics checks the cache-identity rules: a
+// hit requires the same mode and elementwise-identical contents, the
+// epoch counts refills only, and the fingerprint tracks the cached
+// bits.
+func TestPreparedChannelHitSemantics(t *testing.T) {
+	src := rng.New(43)
+	cons := constellation.QAM16
+	d := NewGeosphere(cons)
+	h := channel.Rayleigh(src, 4, 4)
+
+	var pc PreparedChannel
+	hit, err := d.PrepareShared(&pc, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first preparation reported a cache hit")
+	}
+	if pc.Epoch() != 1 {
+		t.Fatalf("epoch %d after first fill, want 1", pc.Epoch())
+	}
+	fp := pc.Fingerprint()
+	if fp == 0 {
+		t.Fatal("zero fingerprint on a filled cache")
+	}
+
+	// Same contents in a different matrix object must still hit: the
+	// cache compares values, not pointers.
+	hit, err = d.PrepareShared(&pc, h.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("value-identical clone missed the cache")
+	}
+	if pc.Epoch() != 1 || pc.Fingerprint() != fp {
+		t.Errorf("hit mutated cache identity: epoch %d fp %#x, want 1 %#x", pc.Epoch(), pc.Fingerprint(), fp)
+	}
+
+	// One changed element must miss and refill.
+	h2 := h.Clone()
+	h2.Set(2, 1, h2.At(2, 1)+complex(1e-12, 0))
+	hit, err = d.PrepareShared(&pc, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("perturbed channel hit the cache")
+	}
+	if pc.Epoch() != 2 {
+		t.Errorf("epoch %d after refill, want 2", pc.Epoch())
+	}
+	if pc.Fingerprint() == fp {
+		t.Error("fingerprint unchanged across a refill with different contents")
+	}
+
+	// A different detector family using a different derivation must not
+	// reuse this entry, even for identical channel contents.
+	rvd := NewRVD(cons)
+	hit, err = rvd.PrepareShared(&pc, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("RVD hit a cache entry holding an ordered-QR derivation")
+	}
+
+	// The soft decoder and the unordered hard decoders share prepModeQR
+	// entries.
+	var shared PreparedChannel
+	if _, err := NewListSphereDecoder(cons).PrepareShared(&shared, h); err != nil {
+		t.Fatal(err)
+	}
+	hit, err = NewETHSD(cons).PrepareShared(&shared, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("ETH-SD missed the soft decoder's plain-QR entry")
+	}
+}
+
+// TestSharedPrepareMatchesPlainPrepare proves a pool-cached
+// preparation leaves the detector in bit-identical state: decisions
+// after a cache hit equal those of a freshly built detector.
+func TestSharedPrepareMatchesPlainPrepare(t *testing.T) {
+	src := rng.New(47)
+	cons := constellation.QAM16
+	h, _, y := randomScenario(src, cons, 4, 4, 22)
+
+	for _, tc := range prepDetectors(cons) {
+		var pc PreparedChannel
+		// Fill, then hit: the second PrepareShared must take the cached
+		// path.
+		if _, err := tc.det.PrepareShared(&pc, h); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		hit, err := tc.det.PrepareShared(&pc, h)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !hit {
+			t.Fatalf("%s: second preparation missed", tc.name)
+		}
+		got, err := tc.det.Detect(nil, y)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+
+		fresh := prepDetectors(cons)
+		var ref Detector
+		for _, f := range fresh {
+			if f.name == tc.name {
+				ref = f.det
+			}
+		}
+		if err := ref.Prepare(h); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, err := ref.Detect(nil, y)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: stream %d decision %d via cache, %d fresh", tc.name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPrepPool covers the pool's counter bookkeeping and its fallbacks
+// for detectors without shared preparation and for out-of-range slots.
+func TestPrepPool(t *testing.T) {
+	src := rng.New(53)
+	cons := constellation.QAM16
+	h1 := channel.Rayleigh(src, 4, 4)
+	h2 := channel.Rayleigh(src, 4, 4)
+
+	p := NewPrepPool(2)
+	if p.Slots() != 2 {
+		t.Fatalf("Slots() = %d, want 2", p.Slots())
+	}
+	d := NewGeosphere(cons)
+	for _, step := range []struct {
+		slot    int
+		h       *cmplxmat.Matrix
+		wantHit bool
+	}{
+		{0, h1, false}, // cold fill slot 0
+		{1, h2, false}, // cold fill slot 1
+		{0, h1, true},  // unchanged slot 0
+		{1, h2, true},  // unchanged slot 1
+		{0, h2, false}, // slot 0 now sees h2: refill
+		{7, h1, false}, // out of range: uncached fallback
+	} {
+		if err := p.Prepare(d, step.slot, step.h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := p.Counters()
+	if hits != 2 || misses != 4 {
+		t.Errorf("counters = %d hits / %d misses, want 2/4", hits, misses)
+	}
+
+	// A detector without PrepareShared always counts a miss but still
+	// prepares.
+	ml := NewML(cons)
+	if err := p.Prepare(ml, 0, h1); err != nil {
+		t.Fatal(err)
+	}
+	if _, m := p.Counters(); m != 5 {
+		t.Errorf("misses = %d after uncached detector, want 5", m)
+	}
+	if _, err := ml.Detect(nil, mustVector(src, h1, cons)); err != nil {
+		t.Errorf("fallback-prepared detector cannot detect: %v", err)
+	}
+}
+
+// mustVector transmits a random symbol vector over h for test inputs.
+func mustVector(src *rng.Source, h *cmplxmat.Matrix, cons *constellation.Constellation) []complex128 {
+	x := make([]complex128, h.Cols)
+	for i := range x {
+		x[i] = cons.PointIndex(src.Intn(cons.Size()))
+	}
+	return channel.Transmit(nil, src, h, x, channel.NoiseVarForSNRdB(25))
+}

@@ -27,6 +27,7 @@ type RVDDecoder struct {
 	h     *cmplxmat.Matrix
 	qr    *cmplxmat.QR
 	m     int // 2·nc real dimensions
+	na    int // receive antennas of the prepared channel
 	stats Stats
 
 	yhat []complex128 // real parts carry the rotated observation
@@ -34,6 +35,15 @@ type RVDDecoder struct {
 	base []float64
 	// Per-level 1-D zigzag state.
 	lo, hi []int
+	// Per-detection scratch, sized by Prepare so Detect never
+	// allocates: the real embedding of the observation and the best
+	// leaf found so far.
+	yr   []complex128
+	best []int
+
+	// ownPrep backs plain Prepare calls, giving the standalone decoder
+	// the same cached fast path as a pool-attached one.
+	ownPrep PreparedChannel
 }
 
 var _ Detector = (*RVDDecoder)(nil)
@@ -59,57 +69,78 @@ func (d *RVDDecoder) ResetStats() { d.stats = Stats{} }
 // Prepare embeds the complex channel into its real form and
 // triangularizes it. The real matrix rides in the real parts of a
 // complex matrix so the existing QR applies; its imaginary parts are
-// identically zero.
+// identically zero. Preparation runs through the decoder's private
+// PreparedChannel, so an unchanged channel skips the embedding and QR.
 func (d *RVDDecoder) Prepare(h *cmplxmat.Matrix) error {
+	_, err := d.PrepareShared(&d.ownPrep, h)
+	return err
+}
+
+var _ SharedPreparer = (*RVDDecoder)(nil)
+
+// PrepareShared implements SharedPreparer. The cache holds the QR of
+// the 2na×2nc real embedding (prepModeRVD).
+//
+//geolint:noalloc
+func (d *RVDDecoder) PrepareShared(pc *PreparedChannel, h *cmplxmat.Matrix) (bool, error) {
 	if h == nil {
-		return ErrNotPrepared
+		return false, ErrNotPrepared
 	}
 	if h.Rows < h.Cols {
-		return fmt.Errorf("core: RVD decoder needs na ≥ nc, got %d×%d channel", h.Rows, h.Cols)
+		//geolint:alloc-ok error path
+		return false, fmt.Errorf("core: RVD decoder needs na ≥ nc, got %d×%d channel", h.Rows, h.Cols)
 	}
-	na, nc := h.Rows, h.Cols
-	real2 := cmplxmat.New(2*na, 2*nc)
-	for r := 0; r < na; r++ {
-		for c := 0; c < nc; c++ {
-			v := h.At(r, c)
-			real2.Set(r, c, complex(real(v), 0))
-			real2.Set(r, c+nc, complex(-imag(v), 0))
-			real2.Set(r+na, c, complex(imag(v), 0))
-			real2.Set(r+na, c+nc, complex(real(v), 0))
-		}
+	hit, err := pc.prepare(h, prepModeRVD)
+	if err != nil {
+		return false, err
 	}
-	qr := cmplxmat.QRDecompose(real2)
-	m := 2 * nc
-	for l := 0; l < m; l++ {
-		if real(qr.R.At(l, l)) == 0 { //geolint:float-ok exact-zero test for rank deficiency, not a tolerance comparison
-			return fmt.Errorf("core: rank-deficient channel: %w", cmplxmat.ErrSingular)
-		}
-	}
+	m := 2 * h.Cols
 	d.h = h
-	d.qr = qr
+	d.qr = &pc.qr
 	d.m = m
-	d.yhat = make([]complex128, m)
-	d.path = make([]int, m)
-	d.base = make([]float64, m+1)
-	d.lo = make([]int, m)
-	d.hi = make([]int, m)
-	return nil
+	d.na = h.Rows
+	if cap(d.yhat) < m || cap(d.yr) < 2*h.Rows {
+		d.yhat = make([]complex128, m)      //geolint:alloc-ok reshape only
+		d.path = make([]int, m)             //geolint:alloc-ok reshape only
+		d.base = make([]float64, m+1)       //geolint:alloc-ok reshape only
+		d.lo = make([]int, m)               //geolint:alloc-ok reshape only
+		d.hi = make([]int, m)               //geolint:alloc-ok reshape only
+		d.best = make([]int, m)             //geolint:alloc-ok reshape only
+		d.yr = make([]complex128, 2*h.Rows) //geolint:alloc-ok reshape only
+	} else {
+		d.yhat = d.yhat[:m]
+		d.path = d.path[:m]
+		d.base = d.base[:m+1]
+		d.lo = d.lo[:m]
+		d.hi = d.hi[:m]
+		d.best = d.best[:m]
+		d.yr = d.yr[:2*h.Rows]
+	}
+	return hit, nil
 }
 
 // Detect implements Detector by depth-first search over the real tree.
+//
+// The steady-state path (non-nil dst, no errors) is allocation-free:
+// the observation embedding and best-leaf buffers are Prepare-sized
+// scratch. TestDetectZeroAllocs pins it and the noalloc analyzer
+// guards it.
+//
+//geolint:noalloc
 func (d *RVDDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 	if err := checkDims(d.h, y); err != nil {
 		return nil, err
 	}
 	nc := d.h.Cols
 	if dst == nil {
-		dst = make([]int, nc)
+		dst = make([]int, nc) //geolint:alloc-ok one-time convenience path; steady state passes dst
 	} else if len(dst) != nc {
+		//geolint:alloc-ok error path
 		return nil, fmt.Errorf("core: dst has %d entries, want %d", len(dst), nc)
 	}
 	// Real embedding of the observation.
-	na := d.h.Rows
-	yr := make([]complex128, 2*na)
+	na := d.na
+	yr := d.yr
 	for r := 0; r < na; r++ {
 		yr[r] = complex(real(y[r]), 0)
 		yr[r+na] = complex(imag(y[r]), 0)
@@ -117,7 +148,7 @@ func (d *RVDDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 	d.qr.ApplyQConjT(d.yhat, yr)
 
 	radius2 := math.Inf(1)
-	best := make([]int, d.m)
+	best := d.best
 	found := false
 	level := d.m - 1
 	d.base[level+1] = 0
@@ -146,6 +177,7 @@ func (d *RVDDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 	}
 	d.stats.Detections++
 	if !found {
+		//geolint:alloc-ok error path
 		return nil, fmt.Errorf("core: RVD search found no candidate")
 	}
 	// Fold the 2·nc PAM decisions back into complex points: level k is
@@ -157,6 +189,8 @@ func (d *RVDDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 }
 
 // ytildeAt reduces interference from the fixed upper levels.
+//
+//geolint:noalloc
 func (d *RVDDecoder) ytildeAt(l int) float64 {
 	s := real(d.yhat[l])
 	row := d.qr.R.Row(l)
@@ -167,6 +201,8 @@ func (d *RVDDecoder) ytildeAt(l int) float64 {
 }
 
 // initLevel starts the 1-D zigzag at the sliced PAM level.
+//
+//geolint:noalloc
 func (d *RVDDecoder) initLevel(l int) {
 	i := d.cons.SliceAxis(d.ytildeAt(l))
 	d.lo[l] = i
@@ -175,6 +211,8 @@ func (d *RVDDecoder) initLevel(l int) {
 
 // nextChild emits PAM levels in exactly non-decreasing cumulative
 // distance via one-dimensional zigzag around ỹ_l.
+//
+//geolint:noalloc
 func (d *RVDDecoder) nextChild(l int, radius2 float64) (int, float64, bool) {
 	side := d.cons.Side()
 	ytilde := d.ytildeAt(l)

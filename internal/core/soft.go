@@ -49,6 +49,10 @@ type ListSphereDecoder struct {
 	lambdaBit [][][2]float64
 	bitbuf    []byte
 	clamp     float64
+
+	// ownPrep backs plain Prepare calls, giving the standalone decoder
+	// the same cached fast path as a pool-attached one.
+	ownPrep PreparedChannel
 }
 
 var _ SoftDetector = (*ListSphereDecoder)(nil)
@@ -71,38 +75,53 @@ func (d *ListSphereDecoder) Stats() Stats { return d.stats }
 // ResetStats implements Counter.
 func (d *ListSphereDecoder) ResetStats() { d.stats = Stats{} }
 
-// Prepare implements Detector.
+// Prepare implements Detector via the decoder's private
+// PreparedChannel, so repeated preparation of an unchanged channel
+// skips the QR.
 func (d *ListSphereDecoder) Prepare(h *cmplxmat.Matrix) error {
+	_, err := d.PrepareShared(&d.ownPrep, h)
+	return err
+}
+
+var _ SharedPreparer = (*ListSphereDecoder)(nil)
+
+// PrepareShared implements SharedPreparer. The soft decoder consumes
+// the plain thin QR of H (prepModeQR), the same derivation the
+// unordered hard sphere decoders use, so it can share their cache
+// entries.
+//
+//geolint:noalloc
+func (d *ListSphereDecoder) PrepareShared(pc *PreparedChannel, h *cmplxmat.Matrix) (bool, error) {
 	if h == nil {
-		return ErrNotPrepared
+		return false, ErrNotPrepared
 	}
 	if h.Rows < h.Cols {
-		return fmt.Errorf("core: soft decoder needs na ≥ nc, got %d×%d channel", h.Rows, h.Cols)
+		//geolint:alloc-ok error path
+		return false, fmt.Errorf("core: soft decoder needs na ≥ nc, got %d×%d channel", h.Rows, h.Cols)
+	}
+	hit, err := pc.prepare(h, prepModeQR)
+	if err != nil {
+		return false, err
 	}
 	d.h = h
-	d.qr = cmplxmat.QRDecompose(h)
+	d.qr = &pc.qr
 	d.nc = h.Cols
-	for l := 0; l < d.nc; l++ {
-		rll := d.qr.R.At(l, l)
-		if rll == 0 { //geolint:float-ok exact-zero test for rank deficiency, not a tolerance comparison
-			return fmt.Errorf("core: rank-deficient channel: %w", cmplxmat.ErrSingular)
-		}
-	}
 	if len(d.enums) != d.nc {
+		//geolint:alloc-ok reshape only
 		d.enums = make([]enumerator, d.nc)
 		for l := range d.enums {
 			d.enums[l] = newGeoEnumerator(d.cons, &d.stats, false)
 		}
-		d.yhat = make([]complex128, d.nc)
-		d.path = make([]int, d.nc)
-		d.sym = make([]complex128, d.nc)
-		d.lambdaBit = make([][][2]float64, d.nc)
+		d.yhat = make([]complex128, d.nc)        //geolint:alloc-ok reshape only
+		d.path = make([]int, d.nc)               //geolint:alloc-ok reshape only
+		d.sym = make([]complex128, d.nc)         //geolint:alloc-ok reshape only
+		d.lambdaBit = make([][][2]float64, d.nc) //geolint:alloc-ok reshape only
 		for k := range d.lambdaBit {
-			d.lambdaBit[k] = make([][2]float64, d.cons.Bits())
+			d.lambdaBit[k] = make([][2]float64, d.cons.Bits()) //geolint:alloc-ok reshape only
 		}
-		d.bitbuf = make([]byte, d.cons.Bits())
+		d.bitbuf = make([]byte, d.cons.Bits()) //geolint:alloc-ok reshape only
 	}
-	return nil
+	return hit, nil
 }
 
 // Detect implements Detector with the hard (maximum-likelihood)

@@ -72,8 +72,13 @@ type SphereDecoder struct {
 	path    []int        // chosen point index per level
 	pathSym []complex128 // chosen point per level
 	base    []float64    // cumulative PED of the partial path above each level
-	rll2    []float64    // |R[l][l]|²
-	rinv    []complex128 // 1 / R[l][l]
+	// Diagonal tables aliasing the attached PreparedChannel.
+	rll2 []float64    // |R[l][l]|²
+	rinv []complex128 // 1 / R[l][l]
+
+	// ownPrep backs plain Prepare calls, so a standalone decoder gets
+	// the same cached fast path as one attached to a link-layer pool.
+	ownPrep PreparedChannel
 }
 
 var _ Detector = (*SphereDecoder)(nil)
@@ -152,25 +157,56 @@ func (d *SphereDecoder) SetNodeBudget(n int64) {
 }
 
 // Prepare triangularizes the channel (Equation 3) and sizes the
-// per-level search state.
+// per-level search state. It runs through the decoder's private
+// PreparedChannel, so repeatedly preparing the same channel skips the
+// QR entirely and re-preparing a same-shaped channel allocates
+// nothing.
 func (d *SphereDecoder) Prepare(h *cmplxmat.Matrix) error {
+	_, err := d.PrepareShared(&d.ownPrep, h)
+	return err
+}
+
+var _ SharedPreparer = (*SphereDecoder)(nil)
+
+// PrepareShared implements SharedPreparer: identical to Prepare — same
+// validation, bitwise-identical resulting state — but the channel
+// derivation (QR, column ordering, diagonal tables) lives in pc and is
+// reused when pc already holds this exact channel.
+//
+//geolint:noalloc
+func (d *SphereDecoder) PrepareShared(pc *PreparedChannel, h *cmplxmat.Matrix) (bool, error) {
 	if h == nil {
-		return ErrNotPrepared
+		return false, ErrNotPrepared
 	}
 	if h.Rows < h.Cols {
-		return fmt.Errorf("core: sphere decoder needs na ≥ nc, got %d×%d channel", h.Rows, h.Cols)
+		//geolint:alloc-ok error path
+		return false, fmt.Errorf("core: sphere decoder needs na ≥ nc, got %d×%d channel", h.Rows, h.Cols)
 	}
-	hq := h
-	d.perm = nil
+	mode := prepModeQR
 	if d.orderColumns {
-		d.perm = columnOrder(h)
-		hq = permuteColumns(h, d.perm)
+		mode = prepModeOrderedQR
 	}
-	qr := cmplxmat.QRDecompose(hq)
-	nc := h.Cols
+	hit, err := pc.prepare(h, mode)
+	if err != nil {
+		return false, err
+	}
 	d.h = h
-	d.qr = qr
-	d.nc = nc
+	d.qr = &pc.qr
+	if mode == prepModeOrderedQR {
+		d.perm = pc.perm
+	} else {
+		d.perm = nil
+	}
+	d.nc = h.Cols
+	d.rll2 = pc.rll2
+	d.rinv = pc.rinv
+	d.sizeScratch(h.Cols)
+	return hit, nil
+}
+
+// sizeScratch (re)sizes the per-level search state to nc tree levels.
+// Same-size calls touch nothing but slice headers.
+func (d *SphereDecoder) sizeScratch(nc int) {
 	if cap(d.enums) < nc {
 		// Counters survive re-preparation (a detector is Prepared once
 		// per subcarrier and its Stats accumulate across the frame):
@@ -191,38 +227,24 @@ func (d *SphereDecoder) Prepare(h *cmplxmat.Matrix) error {
 		d.path = make([]int, nc)
 		d.pathSym = make([]complex128, nc)
 		d.base = make([]float64, nc)
-		d.rll2 = make([]float64, nc)
-		d.rinv = make([]complex128, nc)
-	} else {
-		// On shrink, fold the disappearing levels into the level-less
-		// bucket and zero them, so Stats() keeps every past count and
-		// nothing double-counts if the levels are re-extended later.
-		for l := nc; l < len(d.levelStats); l++ {
-			d.total.Add(d.levelStats[l])
-			d.levelStats[l] = Stats{}
-			d.prev[l] = Stats{}
-		}
-		d.enums = d.enums[:nc]
-		d.levelStats = d.levelStats[:nc]
-		d.prev = d.prev[:nc]
-		d.sampleBuf = d.sampleBuf[:nc]
-		d.yhat = d.yhat[:nc]
-		d.path = d.path[:nc]
-		d.pathSym = d.pathSym[:nc]
-		d.base = d.base[:nc]
-		d.rll2 = d.rll2[:nc]
-		d.rinv = d.rinv[:nc]
+		return
 	}
-	for l := 0; l < nc; l++ {
-		rll := qr.R.At(l, l)
-		mag2 := real(rll)*real(rll) + imag(rll)*imag(rll)
-		if mag2 == 0 { //geolint:float-ok exact-zero test for rank deficiency, not a tolerance comparison
-			return fmt.Errorf("core: rank-deficient channel (zero R[%d][%d]): %w", l, l, cmplxmat.ErrSingular)
-		}
-		d.rll2[l] = mag2
-		d.rinv[l] = 1 / rll
+	// On shrink, fold the disappearing levels into the level-less
+	// bucket and zero them, so Stats() keeps every past count and
+	// nothing double-counts if the levels are re-extended later.
+	for l := nc; l < len(d.levelStats); l++ {
+		d.total.Add(d.levelStats[l])
+		d.levelStats[l] = Stats{}
+		d.prev[l] = Stats{}
 	}
-	return nil
+	d.enums = d.enums[:nc]
+	d.levelStats = d.levelStats[:nc]
+	d.prev = d.prev[:nc]
+	d.sampleBuf = d.sampleBuf[:nc]
+	d.yhat = d.yhat[:nc]
+	d.path = d.path[:nc]
+	d.pathSym = d.pathSym[:nc]
+	d.base = d.base[:nc]
 }
 
 // ytildeAt computes the interference-reduced, diagonally-normalized

@@ -74,7 +74,6 @@ func ViterbiDecode(coded []byte) ([]byte, error) {
 	if steps < ConstraintLength-1 {
 		return nil, fmt.Errorf("fec: codeword of %d steps shorter than the tail", steps)
 	}
-	metrics := make([]float64, numStates)
 	soft := make([]float64, len(coded))
 	for i, b := range coded {
 		// Map hard bits to ±1 log-likelihoods.
@@ -84,7 +83,8 @@ func ViterbiDecode(coded []byte) ([]byte, error) {
 			soft[i] = -1
 		}
 	}
-	bits, err := viterbi(soft, metrics)
+	var w ViterbiWorkspace
+	bits, err := w.run(soft)
 	if err != nil {
 		return nil, err
 	}
@@ -106,76 +106,122 @@ func ViterbiDecodeSoft(llrs []float64) ([]byte, error) {
 // reception-quality observable (normalize by len(llrs) to compare
 // across frame sizes).
 func ViterbiDecodeSoftMetric(llrs []float64) ([]byte, float64, error) {
+	var w ViterbiWorkspace
+	return w.DecodeSoftMetric(llrs)
+}
+
+// ViterbiWorkspace owns the scratch the add-compare-select recursion
+// needs (path metrics, survivor decisions, decoded bits), so a decoder
+// that processes many same-length codewords — one per stream per frame
+// in the link pipeline — allocates nothing after the first call. The
+// zero value is ready to use. A workspace is not safe for concurrent
+// use; keep one per goroutine.
+type ViterbiWorkspace struct {
+	metrics   []float64
+	next      []float64
+	survivors []int16 // steps×numStates packed predecessor decisions
+	bits      []byte
+}
+
+// DecodeSoftMetric is ViterbiDecodeSoftMetric running in w's reusable
+// buffers: bitwise-identical decisions and metric, no steady-state
+// allocations. The returned bits alias the workspace and are valid
+// only until the next call on w.
+//
+//geolint:noalloc
+func (w *ViterbiWorkspace) DecodeSoftMetric(llrs []float64) ([]byte, float64, error) {
 	if len(llrs)%2 != 0 {
+		//geolint:alloc-ok error path
 		return nil, 0, fmt.Errorf("fec: LLR length %d is odd", len(llrs))
 	}
 	steps := len(llrs) / 2
 	if steps < ConstraintLength-1 {
+		//geolint:alloc-ok error path
 		return nil, 0, fmt.Errorf("fec: codeword of %d steps shorter than the tail", steps)
 	}
-	metrics := make([]float64, numStates)
-	bits, err := viterbi(llrs, metrics)
+	bits, err := w.run(llrs)
 	if err != nil {
 		return nil, 0, err
 	}
-	return bits[:steps-(ConstraintLength-1)], metrics[0], nil
+	return bits[:steps-(ConstraintLength-1)], w.metrics[0], nil
 }
 
-// viterbi runs the add-compare-select recursion over soft inputs
-// (2 per trellis step; a value of 0 marks a punctured/erased bit) and
-// traces back from the zero state.
-func viterbi(soft []float64, metrics []float64) ([]byte, error) {
+// run is the add-compare-select recursion over soft inputs (2 per
+// trellis step; a value of 0 marks a punctured/erased bit), tracing
+// back from the zero state. It is the single Viterbi implementation —
+// every public decode entry point funnels here.
+//
+//geolint:noalloc
+func (w *ViterbiWorkspace) run(soft []float64) ([]byte, error) {
 	steps := len(soft) / 2
 	const negInf = math.MaxFloat64
+	if cap(w.metrics) < numStates {
+		w.metrics = make([]float64, numStates) //geolint:alloc-ok first use only
+		w.next = make([]float64, numStates)    //geolint:alloc-ok first use only
+	}
+	metrics := w.metrics[:numStates]
+	next := w.next[:numStates]
+	if cap(w.survivors) < steps*numStates {
+		w.survivors = make([]int16, steps*numStates) //geolint:alloc-ok first use or longer codeword only
+	}
+	survivors := w.survivors[:steps*numStates]
 	for s := range metrics {
 		metrics[s] = -negInf
 	}
 	metrics[0] = 0
-	next := make([]float64, numStates)
-	// survivors[t][s] is the predecessor-state/input packed decision.
-	survivors := make([][]int16, steps)
+	// Butterfly add-compare-select: states 2k and 2k+1 are the only
+	// predecessors of states k and k+32, so each (k, input) pair
+	// resolves one next state with a single compare. The arithmetic is
+	// bit-identical to the straightforward per-state recursion: the
+	// branch metric adds ±l0 then ±l1 in the same order (IEEE a−b is
+	// exactly a+(−b), taken from the sign tables), the even predecessor
+	// wins ties exactly as the lower state id did, and a dead
+	// predecessor's −MaxFloat64 metric absorbs the branch terms, so it
+	// loses every compare just as the explicit reachability skip made it.
+	// Only dead states' survivor entries differ, and the traceback never
+	// reads those.
 	for t := 0; t < steps; t++ {
-		survivors[t] = make([]int16, numStates)
-		for s := range next {
-			next[s] = -negInf
-		}
+		surv := survivors[t*numStates : (t+1)*numStates]
 		l0, l1 := soft[2*t], soft[2*t+1]
-		for s := 0; s < numStates; s++ {
-			m := metrics[s]
-			if m == -negInf {
-				continue
-			}
+		sl0 := [2]float64{-l0, l0}
+		sl1 := [2]float64{-l1, l1}
+		for k := 0; k < numStates/2; k++ {
+			s0 := 2 * k
+			m0, m1 := metrics[s0], metrics[s0+1]
 			for b := 0; b < 2; b++ {
-				o := outputs[s][b]
-				// Branch metric: correlate expected bits with LLRs.
-				bm := m
-				if o>>1 == 1 {
-					bm += l0
+				ns := k | b<<(ConstraintLength-2)
+				o0 := outputs[s0][b]
+				bm0 := m0 + sl0[o0>>1]
+				bm0 += sl1[o0&1]
+				o1 := outputs[s0+1][b]
+				bm1 := m1 + sl0[o1>>1]
+				bm1 += sl1[o1&1]
+				if bm1 > bm0 {
+					next[ns] = bm1
+					surv[ns] = int16((s0+1)<<1 | b)
 				} else {
-					bm -= l0
-				}
-				if o&1 == 1 {
-					bm += l1
-				} else {
-					bm -= l1
-				}
-				ns := s>>1 | b<<(ConstraintLength-2)
-				if bm > next[ns] {
-					next[ns] = bm
-					survivors[t][ns] = int16(s<<1 | b)
+					next[ns] = bm0
+					surv[ns] = int16(s0<<1 | b)
 				}
 			}
 		}
-		copy(metrics, next)
+		metrics, next = next, metrics
 	}
+	// The swap above may leave the freshest metrics in w.next; keep the
+	// fields aligned with the locals so callers read the right buffer.
+	w.metrics, w.next = metrics, next
 	// Terminated trellis: trace back from state 0.
-	bits := make([]byte, steps)
+	if cap(w.bits) < steps {
+		w.bits = make([]byte, steps) //geolint:alloc-ok first use or longer codeword only
+	}
+	bits := w.bits[:steps]
 	state := 0
 	if metrics[0] == -negInf {
+		//geolint:alloc-ok error path
 		return nil, fmt.Errorf("fec: trellis did not terminate in the zero state")
 	}
 	for t := steps - 1; t >= 0; t-- {
-		dec := survivors[t][state]
+		dec := survivors[t*numStates+state]
 		bits[t] = byte(dec & 1)
 		state = int(dec >> 1)
 	}
@@ -252,21 +298,37 @@ func Puncture(coded []byte, r Rate) []byte {
 // soft Viterbi decoder can run over the mother code. motherLen is the
 // unpunctured codeword length.
 func Depuncture(llrs []float64, r Rate, motherLen int) []float64 {
+	var out []float64
+	if r.puncturePattern() == nil {
+		out = make([]float64, len(llrs))
+	} else {
+		out = make([]float64, motherLen)
+	}
+	return DepunctureInto(out, llrs, r, motherLen)
+}
+
+// DepunctureInto is Depuncture writing into caller-owned dst (length
+// len(llrs) for the unpunctured rate, motherLen otherwise), so decode
+// loops reuse one buffer across codewords. It returns dst.
+//
+//geolint:noalloc
+func DepunctureInto(dst, llrs []float64, r Rate, motherLen int) []float64 {
 	pat := r.puncturePattern()
 	if pat == nil {
-		out := make([]float64, len(llrs))
-		copy(out, llrs)
-		return out
+		copy(dst, llrs)
+		return dst
 	}
-	out := make([]float64, motherLen)
 	j := 0
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 0; i < motherLen && j < len(llrs); i++ {
 		if pat[i%len(pat)] {
-			out[i] = llrs[j]
+			dst[i] = llrs[j]
 			j++
 		}
 	}
-	return out
+	return dst
 }
 
 // PunctureSoft removes soft values at the rate's punctured positions,

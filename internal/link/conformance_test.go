@@ -5,11 +5,14 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
 	"repro/internal/constellation"
 	"repro/internal/core"
 	"repro/internal/fec"
 	"repro/internal/kbest"
 	"repro/internal/linear"
+	"repro/internal/ofdm"
 	"repro/internal/rng"
 )
 
@@ -166,6 +169,106 @@ func TestRateAdaptParallelEqualsSequential(t *testing.T) {
 		}
 		if got != ref {
 			t.Fatalf("workers=%d diverged:\n  seq: %+v\n  par: %+v", w, ref, got)
+		}
+	}
+}
+
+// prepCacheFactories are the detector families with distinct
+// preparation derivations (ordered QR, plain QR, RVD, soft list
+// decoding, hybrid fallback) — one of each must survive the prepared-
+// channel cache without changing a single byte of the Measurement.
+var prepCacheFactories = []struct {
+	name    string
+	factory DetectorFactory
+	soft    bool
+}{
+	{"geosphere", func(c *constellation.Constellation, _ float64) core.Detector {
+		return core.NewGeosphere(c)
+	}, false},
+	{"ethsd", func(c *constellation.Constellation, _ float64) core.Detector {
+		return core.NewETHSD(c)
+	}, false},
+	{"rvd", func(c *constellation.Constellation, _ float64) core.Detector {
+		return core.NewRVD(c)
+	}, false},
+	{"list-sd", func(c *constellation.Constellation, _ float64) core.Detector {
+		return core.NewListSphereDecoder(c)
+	}, true},
+	{"hybrid", func(c *constellation.Constellation, _ float64) core.Detector {
+		d, err := core.NewHybrid(c, linear.NewZF(c), 1.5)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}, false},
+}
+
+// TestRunPrepCacheConformance is the cache's byte-identity contract:
+// for every preparation mode, channel regime and worker count, a run
+// with the per-worker preparation cache must equal the cache-disabled
+// run exactly. The static-subcarrier source keeps the channel frame-
+// invariant so the cached runs take the hit path on every frame after
+// the first; the Rayleigh source redraws channels per frame so every
+// preparation is a refill — both must be invisible in the output.
+func TestRunPrepCacheConformance(t *testing.T) {
+	sources := []struct {
+		name string
+		make func(seed int64) ChannelSource
+	}{
+		{"rayleigh", func(seed int64) ChannelSource {
+			s, err := NewRayleighSource(rng.New(seed), 4, 2)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}},
+		{"static-subcarrier", func(seed int64) ChannelSource {
+			src := rng.New(seed)
+			hs := make([]*cmplxmat.Matrix, ofdm.NumData)
+			for i := range hs {
+				hs[i] = channel.Rayleigh(src, 4, 2)
+			}
+			s, err := NewStaticSubcarrierSource(hs)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}},
+	}
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, d := range prepCacheFactories {
+		for _, srcKind := range sources {
+			t.Run(d.name+"/"+srcKind.name, func(t *testing.T) {
+				cfg := RunConfig{
+					Cons: constellation.QAM16, Rate: fec.Rate12,
+					NumSymbols: 2, Frames: 5,
+					SNRdB:        20,
+					Seed:         int64(len(d.name)+len(srcKind.name)) * 53,
+					SoftDecoding: d.soft,
+				}
+				seed := int64(len(d.name)) * 7
+				run := func(workers int, noCache bool) Measurement {
+					cfg.Workers = workers
+					cfg.NoPrepCache = noCache
+					m, err := Run(cfg, srcKind.make(seed), d.factory)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return m
+				}
+				ref := run(1, true) // cold sequential: the pre-cache pipeline
+				if ref.Frames != cfg.Frames {
+					t.Fatalf("reference ran %d frames, want %d", ref.Frames, cfg.Frames)
+				}
+				for _, w := range workerCounts {
+					if got := run(w, false); got != ref {
+						t.Fatalf("cached workers=%d diverged from cold:\n  cold:   %+v\n  cached: %+v", w, ref, got)
+					}
+					if got := run(w, true); got != ref {
+						t.Fatalf("cold workers=%d diverged:\n  ref: %+v\n  got: %+v", w, ref, got)
+					}
+				}
+			})
 		}
 	}
 }

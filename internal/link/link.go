@@ -115,6 +115,59 @@ func (s *TraceSource) Next() ([]*cmplxmat.Matrix, error) {
 	return hs, nil
 }
 
+// StaticSource replays one frame-invariant channel: every frame sees
+// the same na×nc matrix on every data subcarrier. This is the
+// trace-replay regime of §5's evaluation (the same recorded channels
+// re-run across many frames and SNR points), the regime where the
+// preparation cache converts every per-subcarrier QR into a lookup.
+// The matrix is shared, not copied — callers must not mutate it.
+type StaticSource struct {
+	hs []*cmplxmat.Matrix
+}
+
+// NewStaticSource returns a ChannelSource that yields h for every
+// subcarrier of every frame.
+func NewStaticSource(h *cmplxmat.Matrix) (*StaticSource, error) {
+	if h == nil || h.Rows < h.Cols || h.Cols <= 0 {
+		return nil, fmt.Errorf("%w: static source needs a tall matrix", ErrBadShape)
+	}
+	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
+	for i := range hs {
+		hs[i] = h
+	}
+	return &StaticSource{hs: hs}, nil
+}
+
+// NewStaticSubcarrierSource returns a ChannelSource replaying the given
+// per-subcarrier channels (ofdm.NumData matrices of one shape) for
+// every frame — a frequency-selective but time-invariant channel, the
+// trace-replay regime where every subcarrier needs its own QR yet no
+// frame ever changes it. The matrices are shared, not copied.
+func NewStaticSubcarrierSource(hs []*cmplxmat.Matrix) (*StaticSource, error) {
+	if len(hs) != ofdm.NumData {
+		return nil, fmt.Errorf("%w: %d subcarrier channels, want %d", ErrBadShape, len(hs), ofdm.NumData)
+	}
+	na, nc := hs[0].Rows, hs[0].Cols
+	if na < nc || nc <= 0 {
+		return nil, fmt.Errorf("%w: static source needs tall matrices, got %d×%d", ErrBadShape, na, nc)
+	}
+	for i, h := range hs {
+		if h == nil || h.Rows != na || h.Cols != nc {
+			return nil, fmt.Errorf("%w: subcarrier %d shape differs", ErrBadShape, i)
+		}
+	}
+	out := make([]*cmplxmat.Matrix, ofdm.NumData)
+	copy(out, hs)
+	return &StaticSource{hs: out}, nil
+}
+
+// Shape implements ChannelSource.
+func (s *StaticSource) Shape() (int, int) { return s.hs[0].Rows, s.hs[0].Cols }
+
+// Next implements ChannelSource. The returned slice and its matrices
+// are shared across calls; consumers treat channels as read-only.
+func (s *StaticSource) Next() ([]*cmplxmat.Matrix, error) { return s.hs, nil }
+
 // RayleighSource draws one i.i.d. Rayleigh matrix per frame, constant
 // across subcarriers (the per-frame narrowband model of §5.3.2's
 // simulation methodology).
@@ -205,6 +258,13 @@ type RunConfig struct {
 	// byte-identical for every worker count. 0 and 1 both run on the
 	// calling goroutine.
 	Workers int
+	// NoPrepCache disables the per-worker channel-preparation cache:
+	// every frame rebuilds its detector and refactorizes every
+	// subcarrier's channel, the pipeline's pre-cache behavior. The
+	// Measurement is byte-identical either way (pinned by the
+	// cached-vs-cold conformance suite); the knob exists for that
+	// proof and for benchmarking the cache itself.
+	NoPrepCache bool
 	// Recorder, when non-nil, receives the run's observability stream:
 	// one obs.DetectSample per subcarrier detection (from recording-
 	// capable detectors), one obs.DecodeSample per stream decode, and
@@ -256,46 +316,104 @@ type frameOutcome struct {
 	err   error
 }
 
+// frameWorker is one pipeline worker's long-lived state: a phy.Link
+// (with its receive/decode scratch), and — unless the prep cache is
+// disabled — a persistent detector plus a PrepPool holding one
+// PreparedChannel per data subcarrier, so frames whose channels repeat
+// skip their QR decompositions entirely.
+type frameWorker struct {
+	cfg      RunConfig
+	l        *phy.Link
+	factory  DetectorFactory
+	noiseVar float64
+	// det is the worker's persistent detector, nil when NoPrepCache
+	// forces the pre-cache fresh-detector-per-frame behavior.
+	det  core.Detector
+	pool *core.PrepPool
+}
+
+// newFrameWorker builds one worker's pipeline state.
+func newFrameWorker(cfg RunConfig, pcfg phy.Config, factory DetectorFactory, noiseVar float64) (*frameWorker, error) {
+	l, err := phy.NewLink(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	w := &frameWorker{cfg: cfg, l: l, factory: factory, noiseVar: noiseVar}
+	if !cfg.NoPrepCache {
+		w.det = factory(cfg.Cons, noiseVar)
+		if cfg.Recorder != nil {
+			if t, ok := w.det.(obs.Target); ok {
+				t.SetRecorder(cfg.Recorder)
+			}
+		}
+		w.pool = core.NewPrepPool(ofdm.NumData)
+		l.SetPrepPool(w.pool)
+	}
+	return w, nil
+}
+
 // runFrame pushes one frame through jitter → encode → (estimate) →
 // transmit/detect/decode. All randomness comes from the frame's own
-// substream and the detector is freshly built, so the outcome depends
-// only on (cfg, fi, hs) — never on which worker ran it or when. The
-// worker id only labels the frame's observability sample.
-func runFrame(cfg RunConfig, l *phy.Link, factory DetectorFactory, noiseVar float64, nc, fi, worker int, hs []*cmplxmat.Matrix) frameOutcome {
+// substream, and the detector — whether rebuilt per frame or persisted
+// with its preparation cache — produces bit-identical decisions for a
+// given (cfg, fi, hs), so the outcome never depends on which worker
+// ran it or when. The worker id only labels the frame's observability
+// sample, as do the preparation-cache counters (a cache hit changes
+// where the prepared state comes from, never what it contains).
+func (w *frameWorker) runFrame(nc, fi, worker int, hs []*cmplxmat.Matrix) frameOutcome {
+	cfg := w.cfg
 	start := time.Now() //geolint:nondeterminism-ok wall-clock duration only labels the observability sample
 	fsrc := rng.Substream(cfg.Seed, int64(fi))
-	det := factory(cfg.Cons, noiseVar)
-	if cfg.Recorder != nil {
-		if t, ok := det.(obs.Target); ok {
-			t.SetRecorder(cfg.Recorder)
+	det := w.det
+	var before core.Stats
+	if det == nil {
+		det = w.factory(cfg.Cons, w.noiseVar)
+		if cfg.Recorder != nil {
+			if t, ok := det.(obs.Target); ok {
+				t.SetRecorder(cfg.Recorder)
+			}
 		}
+	} else {
+		// Persistent detector: counters carry over from earlier frames,
+		// so this frame's share is the snapshot delta.
+		before, _ = core.StatsOf(det)
+	}
+	var hitsBefore, missesBefore uint64
+	if w.pool != nil {
+		hitsBefore, missesBefore = w.pool.Counters()
 	}
 	if cfg.SNRJitterDB > 0 {
 		hs = jitterClients(fsrc, hs, cfg.SNRJitterDB)
 	}
-	f, err := l.Encode(fsrc, nc)
+	f, err := w.l.Encode(fsrc, nc)
 	if err != nil {
 		return frameOutcome{err: err}
 	}
 	hsDet := hs
 	if cfg.EstimatedCSI {
-		hsDet, err = phy.EstimateChannels(fsrc, hs, noiseVar, cfg.trainingReps())
+		hsDet, err = phy.EstimateChannels(fsrc, hs, w.noiseVar, cfg.trainingReps())
 		if err != nil {
 			return frameOutcome{err: err}
 		}
 	}
-	res, err := l.TransmitReceiveCSI(fsrc, f, hs, hsDet, det, noiseVar)
+	res, err := w.l.TransmitReceiveCSI(fsrc, f, hs, hsDet, det, w.noiseVar)
 	if err != nil {
 		return frameOutcome{err: err}
 	}
 	out := frameOutcome{res: res}
-	out.stats, _ = core.StatsOf(det)
+	after, _ := core.StatsOf(det)
+	out.stats = after.Sub(before)
 	if cfg.Recorder != nil {
 		errs := 0
 		for _, ok := range res.StreamOK {
 			if !ok {
 				errs++
 			}
+		}
+		var prepHits, prepMisses uint64
+		if w.pool != nil {
+			h, m := w.pool.Counters()
+			prepHits, prepMisses = h-hitsBefore, m-missesBefore
 		}
 		cfg.Recorder.RecordFrame(obs.FrameSample{
 			Frame:  fi,
@@ -305,6 +423,8 @@ func runFrame(cfg RunConfig, l *phy.Link, factory DetectorFactory, noiseVar floa
 			OK:           res.FrameOK(),
 			Streams:      len(res.StreamOK),
 			StreamErrors: errs,
+			PrepHits:     prepHits,
+			PrepMisses:   prepMisses,
 		})
 	}
 	return out
@@ -316,11 +436,13 @@ func runFrame(cfg RunConfig, l *phy.Link, factory DetectorFactory, noiseVar floa
 // Determinism is preserved by construction: the stateful ChannelSource
 // is drained sequentially up front (frame i always sees the i-th draw),
 // every frame's randomness comes from the state-independent substream
-// rng.Substream(cfg.Seed, i), each frame gets its own detector from the
-// factory and each worker its own phy.Link, and per-frame outcomes are
-// merged in frame order. The resulting Measurement — error counts,
-// throughput and complexity Stats — is byte-identical for every worker
-// count, including the sequential workers ≤ 1 path.
+// rng.Substream(cfg.Seed, i), each worker owns its phy.Link, detector
+// and preparation cache (a cache hit reuses bit-identical prepared
+// state, and per-frame complexity Stats are snapshot deltas), and
+// per-frame outcomes are merged in frame order. The resulting
+// Measurement — error counts, throughput and complexity Stats — is
+// byte-identical for every worker count, including the sequential
+// workers ≤ 1 path, and for NoPrepCache on or off.
 func Run(cfg RunConfig, source ChannelSource, factory DetectorFactory) (Measurement, error) {
 	if err := cfg.Validate(); err != nil {
 		return Measurement{}, err
@@ -353,12 +475,12 @@ func Run(cfg RunConfig, source ChannelSource, factory DetectorFactory) (Measurem
 	}
 	outcomes := make([]frameOutcome, cfg.Frames)
 	if workers == 1 {
-		l, err := phy.NewLink(pcfg)
+		fw, err := newFrameWorker(cfg, pcfg, factory, noiseVar)
 		if err != nil {
 			return Measurement{}, err
 		}
 		for fi := range channels {
-			outcomes[fi] = runFrame(cfg, l, factory, noiseVar, nc, fi, 0, channels[fi])
+			outcomes[fi] = fw.runFrame(nc, fi, 0, channels[fi])
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -367,13 +489,13 @@ func Run(cfg RunConfig, source ChannelSource, factory DetectorFactory) (Measurem
 			wg.Add(1)
 			go func(worker int) {
 				defer wg.Done()
-				l, err := phy.NewLink(pcfg)
+				fw, err := newFrameWorker(cfg, pcfg, factory, noiseVar)
 				for fi := range idx {
 					if err != nil {
 						outcomes[fi] = frameOutcome{err: err}
 						continue
 					}
-					outcomes[fi] = runFrame(cfg, l, factory, noiseVar, nc, fi, worker, channels[fi])
+					outcomes[fi] = fw.runFrame(nc, fi, worker, channels[fi])
 				}
 			}(w)
 		}

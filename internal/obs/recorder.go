@@ -79,6 +79,11 @@ type FrameSample struct {
 	// how many of them failed.
 	Streams      int
 	StreamErrors int
+	// PrepHits and PrepMisses count this frame's channel-preparation
+	// cache outcomes (per-subcarrier PreparedChannel reuse vs refill).
+	// Both are zero when the pipeline runs without a prep pool.
+	PrepHits   uint64
+	PrepMisses uint64
 }
 
 // PointSample is one completed sweep measurement point (one
@@ -228,6 +233,8 @@ type StatsRecorder struct {
 	frameErrors  Counter
 	streams      Counter
 	streamErrors Counter
+	prepHits     Counter
+	prepMisses   Counter
 	workers      [maxWorkers]workerCounters
 
 	mu     sync.Mutex
@@ -290,6 +297,8 @@ func (r *StatsRecorder) RecordFrame(s FrameSample) {
 	}
 	r.streams.Add(int64(s.Streams))
 	r.streamErrors.Add(int64(s.StreamErrors))
+	r.prepHits.Add(int64(s.PrepHits))
+	r.prepMisses.Add(int64(s.PrepMisses))
 	w := s.Worker
 	if w < 0 {
 		w = 0
@@ -338,13 +347,18 @@ type DecodeSnapshot struct {
 	PathMetric  HistogramSnapshot `json:"path_metric"`
 }
 
-// FrameSnapshot aggregates the link layer.
+// FrameSnapshot aggregates the link layer. PrepareHits and
+// PrepareMisses total the channel-preparation cache outcomes across
+// all workers; their sum is the number of detector preparations, and
+// the hit fraction is the cache's effectiveness for the run.
 type FrameSnapshot struct {
-	Frames       int64   `json:"frames"`
-	FrameErrors  int64   `json:"frame_errors"`
-	Streams      int64   `json:"streams"`
-	StreamErrors int64   `json:"stream_errors"`
-	BusySeconds  float64 `json:"busy_seconds"`
+	Frames        int64   `json:"frames"`
+	FrameErrors   int64   `json:"frame_errors"`
+	Streams       int64   `json:"streams"`
+	StreamErrors  int64   `json:"stream_errors"`
+	PrepareHits   int64   `json:"prepare_hits"`
+	PrepareMisses int64   `json:"prepare_misses"`
+	BusySeconds   float64 `json:"busy_seconds"`
 }
 
 // WorkerSnapshot is one pipeline worker's activity.
@@ -383,10 +397,12 @@ func (r *StatsRecorder) Snapshot() Snapshot {
 			PathMetric:  r.pathMetric.Snapshot(),
 		},
 		Frames: FrameSnapshot{
-			Frames:       r.frames.Load(),
-			FrameErrors:  r.frameErrors.Load(),
-			Streams:      r.streams.Load(),
-			StreamErrors: r.streamErrors.Load(),
+			Frames:        r.frames.Load(),
+			FrameErrors:   r.frameErrors.Load(),
+			Streams:       r.streams.Load(),
+			StreamErrors:  r.streamErrors.Load(),
+			PrepareHits:   r.prepHits.Load(),
+			PrepareMisses: r.prepMisses.Load(),
 		},
 		Workers: []WorkerSnapshot{},
 		Points:  []PointSample{},
@@ -442,6 +458,10 @@ func (s Snapshot) WriteText(w io.Writer) {
 		s.Decode.Decodes, s.Decode.CRCFailures, s.Decode.PathMetric.Mean())
 	fmt.Fprintf(w, "  frames: %d (%d errors), %d streams (%d errors), %.2fs busy\n",
 		s.Frames.Frames, s.Frames.FrameErrors, s.Frames.Streams, s.Frames.StreamErrors, s.Frames.BusySeconds)
+	if total := s.Frames.PrepareHits + s.Frames.PrepareMisses; total > 0 {
+		fmt.Fprintf(w, "  prepare cache: %d hits / %d preparations (%.1f%% hit rate)\n",
+			s.Frames.PrepareHits, total, 100*float64(s.Frames.PrepareHits)/float64(total))
+	}
 	for _, ws := range s.Workers {
 		fmt.Fprintf(w, "    worker %2d: %6d frames %8.2fs busy\n", ws.Worker, ws.Frames, ws.BusySeconds)
 	}

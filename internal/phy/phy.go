@@ -97,10 +97,43 @@ type Frame struct {
 }
 
 // Link runs frames through encode → channel → detect → decode.
+//
+// A Link owns reusable receive/decode scratch (detector outputs,
+// deinterleave and depuncture buffers, a Viterbi workspace), so it is
+// not safe for concurrent use: the link pipeline builds one Link per
+// worker.
 type Link struct {
 	cfg  Config
 	il   *fec.Interleaver
 	nbps int
+
+	// prep, when set via SetPrepPool, routes per-subcarrier detector
+	// preparation through a per-worker PreparedChannel cache.
+	prep *core.PrepPool
+
+	rx  receiveScratch
+	dec decodeScratch
+}
+
+// receiveScratch holds the per-frame detector output buffers
+// TransmitReceiveCSI reuses across frames of identical geometry.
+type receiveScratch struct {
+	detIdx [][][]int
+	detLLR [][][]float64
+	y      []complex128
+}
+
+// decodeScratch holds the per-stream decode buffers, sized once on
+// first use so steady-state stream decoding does not allocate.
+type decodeScratch struct {
+	coded     []float64 // deinterleaved soft coded bits, whole frame
+	bitbuf    []byte    // per-symbol demapped bits
+	block     []byte    // one interleaver block, hard path
+	blockSoft []float64 // one interleaver block, soft path
+	deint     []byte    // deinterleaver output, hard path
+	deintSoft []float64 // deinterleaver output, soft path
+	llrs      []float64 // depunctured mother-code LLRs
+	vit       fec.ViterbiWorkspace
 }
 
 // NewLink validates the configuration and builds the interleaver.
@@ -117,6 +150,12 @@ func NewLink(cfg Config) (*Link, error) {
 
 // Config returns the link's frame format.
 func (l *Link) Config() Config { return l.cfg }
+
+// SetPrepPool attaches a per-subcarrier preparation cache: subsequent
+// TransmitReceiveCSI calls prepare the detector through pool (slot =
+// data-subcarrier index), so an unchanged channel skips its QR. A nil
+// pool restores the direct det.Prepare path.
+func (l *Link) SetPrepPool(pool *core.PrepPool) { l.prep = pool }
 
 // Encode builds one frame for nc independent streams with random
 // payloads drawn from src.
@@ -243,31 +282,15 @@ func (l *Link) TransmitReceiveCSI(src *rng.Source, f *Frame, hsTrue, hsDet []*cm
 		soft = sd
 	}
 	// detIdx[t][s] holds the detected point indices; detLLR the
-	// per-bit soft values when soft decoding is on.
-	detIdx := make([][][]int, cfg.NumSymbols)
-	var detLLR [][][]float64
-	if soft != nil {
-		detLLR = make([][][]float64, cfg.NumSymbols)
-	}
-	for t := range detIdx {
-		detIdx[t] = make([][]int, ofdm.NumData)
-		for s := range detIdx[t] {
-			detIdx[t][s] = make([]int, nc)
-		}
-		if soft != nil {
-			detLLR[t] = make([][]float64, ofdm.NumData)
-			for s := range detLLR[t] {
-				detLLR[t][s] = make([]float64, nc*cfg.Cons.Bits())
-			}
-		}
-	}
-	y := make([]complex128, na)
+	// per-bit soft values when soft decoding is on. Both live in
+	// link-owned scratch reused across frames of the same geometry.
+	detIdx, detLLR, y := l.sizeReceive(nc, na, soft != nil)
 	res := &Result{StreamOK: make([]bool, nc)}
 	for s := 0; s < ofdm.NumData; s++ {
 		if hsDet[s].Rows != na || hsDet[s].Cols != nc {
 			return nil, fmt.Errorf("phy: CSI shape mismatch at subcarrier %d", s)
 		}
-		if err := det.Prepare(hsDet[s]); err != nil {
+		if err := l.prepareDetector(det, s, hsDet[s]); err != nil {
 			return nil, fmt.Errorf("phy: prepare subcarrier %d: %w", s, err)
 		}
 		for t := 0; t < cfg.NumSymbols; t++ {
@@ -311,27 +334,96 @@ func (l *Link) TransmitReceiveCSI(src *rng.Source, f *Frame, hsTrue, hsDet []*cm
 	return res, nil
 }
 
+// prepareDetector prepares det for subcarrier s's channel, through the
+// attached PrepPool when one is set.
+func (l *Link) prepareDetector(det core.Detector, s int, h *cmplxmat.Matrix) error {
+	if l.prep != nil {
+		return l.prep.Prepare(det, s, h)
+	}
+	return det.Prepare(h)
+}
+
+// sizeReceive returns the frame-geometry-dependent detector output
+// buffers, reusing the link's scratch when the shape is unchanged.
+// Every entry is fully overwritten before use (Detect and DetectSoft
+// write all nc entries of their slot), so reuse cannot leak one
+// frame's decisions into the next.
+func (l *Link) sizeReceive(nc, na int, soft bool) (detIdx [][][]int, detLLR [][][]float64, y []complex128) {
+	cfg := l.cfg
+	r := &l.rx
+	T := cfg.NumSymbols
+	if len(r.detIdx) != T || len(r.detIdx[0][0]) != nc {
+		r.detIdx = make([][][]int, T)
+		flat := make([]int, T*ofdm.NumData*nc)
+		for t := range r.detIdx {
+			r.detIdx[t] = make([][]int, ofdm.NumData)
+			for s := range r.detIdx[t] {
+				r.detIdx[t][s], flat = flat[:nc:nc], flat[nc:]
+			}
+		}
+	}
+	if soft {
+		q := nc * cfg.Cons.Bits()
+		if len(r.detLLR) != T || len(r.detLLR[0][0]) != q {
+			r.detLLR = make([][][]float64, T)
+			flat := make([]float64, T*ofdm.NumData*q)
+			for t := range r.detLLR {
+				r.detLLR[t] = make([][]float64, ofdm.NumData)
+				for s := range r.detLLR[t] {
+					r.detLLR[t][s], flat = flat[:q:q], flat[q:]
+				}
+			}
+		}
+		detLLR = r.detLLR
+	}
+	if cap(r.y) < na {
+		r.y = make([]complex128, na)
+	}
+	return r.detIdx, detLLR, r.y[:na]
+}
+
+// depuncture re-inserts erasures into one stream's coded LLRs using
+// the link's reusable mother-code buffer. For rate 1/2 the mother
+// length equals the coded length, so one motherLen-sized buffer serves
+// every rate.
+func (l *Link) depuncture(coded []float64) []float64 {
+	cfg := l.cfg
+	sc := &l.dec
+	motherLen := 2 * (cfg.InfoBits() + fec.ConstraintLength - 1)
+	if cap(sc.llrs) < motherLen {
+		sc.llrs = make([]float64, motherLen)
+	}
+	return fec.DepunctureInto(sc.llrs[:motherLen], coded, cfg.Rate, motherLen)
+}
+
 // decodeStreamSoft is decodeStream over detector LLRs: deinterleave
 // the soft values, depuncture, Viterbi-decode, CRC-check. The second
 // return value is the winning Viterbi path metric per coded bit.
 func (l *Link) decodeStreamSoft(f *Frame, detLLR [][][]float64, k int, scramblerSeed byte) (bool, float64, error) {
 	cfg := l.cfg
+	sc := &l.dec
 	q := cfg.Cons.Bits()
-	coded := make([]float64, 0, cfg.CodedBits())
-	block := make([]float64, cfg.BitsPerSymbol())
+	if cap(sc.coded) < cfg.CodedBits() {
+		sc.coded = make([]float64, 0, cfg.CodedBits())
+	}
+	if cap(sc.blockSoft) < cfg.BitsPerSymbol() {
+		sc.blockSoft = make([]float64, cfg.BitsPerSymbol())
+		sc.deintSoft = make([]float64, cfg.BitsPerSymbol())
+	}
+	coded := sc.coded[:0]
+	block := sc.blockSoft[:cfg.BitsPerSymbol()]
 	for t := 0; t < cfg.NumSymbols; t++ {
 		for s := 0; s < ofdm.NumData; s++ {
 			copy(block[s*q:(s+1)*q], detLLR[t][s][k*q:(k+1)*q])
 		}
-		deint, err := l.il.DeinterleaveSoft(nil, block)
+		deint, err := l.il.DeinterleaveSoft(sc.deintSoft[:cfg.BitsPerSymbol()], block)
 		if err != nil {
 			return false, 0, err
 		}
 		coded = append(coded, deint...)
 	}
-	motherLen := 2 * (cfg.InfoBits() + fec.ConstraintLength - 1)
-	llrs := fec.Depuncture(coded, cfg.Rate, motherLen)
-	dec, metric, err := fec.ViterbiDecodeSoftMetric(llrs)
+	llrs := l.depuncture(coded)
+	dec, metric, err := sc.vit.DecodeSoftMetric(llrs)
 	if err != nil {
 		return false, 0, err
 	}
@@ -355,16 +447,25 @@ func (l *Link) decodeStreamSoft(f *Frame, detLLR [][][]float64, k int, scrambler
 // bit.
 func (l *Link) decodeStream(f *Frame, detIdx [][][]int, k int, scramblerSeed byte) (bool, float64, error) {
 	cfg := l.cfg
-	coded := make([]float64, 0, cfg.CodedBits())
-	bitbuf := make([]byte, l.nbps)
-	block := make([]byte, cfg.BitsPerSymbol())
+	sc := &l.dec
+	if cap(sc.coded) < cfg.CodedBits() {
+		sc.coded = make([]float64, 0, cfg.CodedBits())
+	}
+	if cap(sc.block) < cfg.BitsPerSymbol() {
+		sc.bitbuf = make([]byte, l.nbps)
+		sc.block = make([]byte, cfg.BitsPerSymbol())
+		sc.deint = make([]byte, cfg.BitsPerSymbol())
+	}
+	coded := sc.coded[:0]
+	bitbuf := sc.bitbuf[:l.nbps]
+	block := sc.block[:cfg.BitsPerSymbol()]
 	for t := 0; t < cfg.NumSymbols; t++ {
 		for s := 0; s < ofdm.NumData; s++ {
 			col, row := cfg.Cons.Coords(detIdx[t][s][k])
 			cfg.Cons.SymbolBits(bitbuf, col, row)
 			copy(block[s*l.nbps:(s+1)*l.nbps], bitbuf)
 		}
-		deint, err := l.il.Deinterleave(nil, block)
+		deint, err := l.il.Deinterleave(sc.deint[:cfg.BitsPerSymbol()], block)
 		if err != nil {
 			return false, 0, err
 		}
@@ -376,9 +477,8 @@ func (l *Link) decodeStream(f *Frame, detIdx [][][]int, k int, scramblerSeed byt
 			}
 		}
 	}
-	motherLen := 2 * (cfg.InfoBits() + fec.ConstraintLength - 1)
-	llrs := fec.Depuncture(coded, cfg.Rate, motherLen)
-	dec, metric, err := fec.ViterbiDecodeSoftMetric(llrs)
+	llrs := l.depuncture(coded)
+	dec, metric, err := sc.vit.DecodeSoftMetric(llrs)
 	if err != nil {
 		return false, 0, err
 	}
