@@ -12,10 +12,12 @@
 STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
-.PHONY: check fmt vet lint staticcheck vulncheck test shuffle bench bench-smoke fuzz-smoke race
+.PHONY: check fmt vet lint staticcheck vulncheck test shuffle equiv bench bench-smoke fuzz-smoke race
 
-# Everything the merge gate requires.
-check: fmt vet lint test
+# Everything the merge gate requires. The detector-equivalence suite
+# runs a second time in shuffled order so an accidental coupling
+# between its grid cells cannot hide behind a fixed execution order.
+check: fmt vet lint test equiv
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -45,6 +47,12 @@ test:
 shuffle:
 	go test -shuffle=on -count=2 ./...
 
+# The cross-detector equivalence suite (TestEquiv*), shuffled: the
+# bit-identity and symbol-agreement contracts must hold regardless of
+# which grid cell runs first.
+equiv:
+	go test -shuffle=on -run 'TestEquiv' ./internal/core
+
 # Regenerate BENCH_geosphere.json: the performance envelope of the
 # receiver pipeline (ns/frame, ns/detect, allocs/op, preparation-cache
 # hit rate per scenario) against the recorded pre-cache baseline.
@@ -54,10 +62,14 @@ bench:
 bench-smoke:
 	go test -run '^$$' -bench 'BenchmarkDetect' -benchtime=1x ./...
 
-# 30 seconds on the detector-agreement property (Geosphere, ETH-SD and
-# exhaustive ML must agree on every random 2x2 instance).
+# A short budget on each fuzzed property: detector agreement across
+# the constellation × shape grid (Geosphere, ETH-SD, RVD and — where
+# enumerable — exhaustive ML must agree on every random instance), and
+# projection-stack consistency (cached partial projections must equal
+# from-scratch recomputation to the last ULP on any search walk).
 fuzz-smoke:
-	go test -run '^$$' -fuzz FuzzDetectAgreement -fuzztime 30s ./internal/core
+	go test -run '^$$' -fuzz FuzzDetectAgreement -fuzztime 20s ./internal/core
+	go test -run '^$$' -fuzz FuzzProjectionCache -fuzztime 10s ./internal/core
 
 race:
 	go test -race -short ./internal/...

@@ -1,9 +1,12 @@
 package geosphere
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/cmplxmat"
 	"repro/internal/constellation"
@@ -391,4 +394,95 @@ func BenchmarkETHSD1024QAM4x4(b *testing.B) {
 // probabilistic-pruning trade-off ablation.
 func BenchmarkStatisticalPruningAblation(b *testing.B) {
 	benchExperiment(b, sim.StatisticalPruningAblation)
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark regression guard: the headline ns/frame number tracked by
+// cmd/geobench must not quietly rot between bench regenerations.
+// ---------------------------------------------------------------------------
+
+// benchReport mirrors the slice of the BENCH_geosphere.json schema the
+// regression guard reads.
+type benchReport struct {
+	Schema    string `json:"schema"`
+	Scenarios []struct {
+		Name       string  `json:"name"`
+		NsPerFrame float64 `json:"ns_per_frame"`
+	} `json:"scenarios"`
+}
+
+// TestBenchRegressionGuard re-measures the cached static-trace link
+// pipeline — the exact configuration cmd/geobench records — and fails
+// when it runs more than 25% slower per frame than the last
+// BENCH_geosphere.json entry. The tolerance is deliberately generous
+// (shared machines, thermal noise) and the measurement takes the best
+// of many runs, so a failure means a real regression, not jitter.
+func TestBenchRegressionGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock regression guard skipped in -short mode")
+	}
+	buf, err := os.ReadFile("BENCH_geosphere.json")
+	if err != nil {
+		t.Skipf("no recorded benchmark report: %v", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("BENCH_geosphere.json: %v", err)
+	}
+	const scenario = "link-run/static-trace/cached"
+	recorded := 0.0
+	for _, s := range rep.Scenarios {
+		if s.Name == scenario {
+			recorded = s.NsPerFrame
+		}
+	}
+	if recorded <= 0 {
+		t.Fatalf("scenario %q missing from BENCH_geosphere.json", scenario)
+	}
+
+	// The same static-trace configuration cmd/geobench measures: 4×4
+	// 16-QAM rate-1/2, one OFDM symbol, 8 frames, prep cache on.
+	const frames = 8
+	csrc := rng.New(7)
+	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
+	for i := range hs {
+		hs[i] = NewRayleighChannel(csrc, 4, 4)
+	}
+	cfg := link.RunConfig{
+		Cons: QAM16, Rate: fec.Rate12,
+		NumSymbols: 1, Frames: frames,
+		SNRdB: 24, Seed: 2014, Workers: 1,
+	}
+	run := func() time.Duration {
+		src, err := link.NewStaticSubcarrierSource(hs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		m, err := link.Run(cfg, src, sim.GeosphereFactory)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Frames != frames {
+			t.Fatalf("ran %d frames", m.Frames)
+		}
+		return elapsed
+	}
+	for i := 0; i < 3; i++ {
+		run() // warm caches, page in code
+	}
+	best := run()
+	for i := 0; i < 40; i++ {
+		if d := run(); d < best {
+			best = d
+		}
+	}
+	got := float64(best.Nanoseconds()) / frames
+	if limit := 1.25 * recorded; got > limit {
+		t.Errorf("%s: %.0f ns/frame (best of 41 runs) exceeds %.0f recorded by more than 25%% (limit %.0f)",
+			scenario, got, recorded, limit)
+	} else {
+		t.Logf("%s: %.0f ns/frame vs %.0f recorded (limit %.0f)", scenario, got, recorded, limit)
+	}
 }

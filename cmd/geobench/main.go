@@ -297,9 +297,54 @@ func run() (*Report, error) {
 	return rep, nil
 }
 
+// regressionTolerance is the generous headroom for shared-runner
+// noise: a scenario fails the gate only when its per-frame cost
+// exceeds the previously recorded value by more than 25%.
+const regressionTolerance = 1.25
+
+// readPrevious parses the report already at path, if any. A missing or
+// unparseable file (first run, schema migration) just disables the
+// regression gate.
+func readPrevious(path string) *Report {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil || rep.Schema != "geobench/v1" {
+		return nil
+	}
+	return &rep
+}
+
+// regressions compares every frame-timed scenario of the new report
+// against the last recorded one and describes each >25% slowdown.
+func regressions(prev, cur *Report) []string {
+	if prev == nil {
+		return nil
+	}
+	old := make(map[string]Metrics, len(prev.Scenarios))
+	for _, s := range prev.Scenarios {
+		old[s.Name] = s.Metrics
+	}
+	var regs []string
+	for _, s := range cur.Scenarios {
+		p, ok := old[s.Name]
+		if !ok || p.NsPerFrame <= 0 || s.NsPerFrame <= 0 {
+			continue
+		}
+		if s.NsPerFrame > regressionTolerance*p.NsPerFrame {
+			regs = append(regs, fmt.Sprintf("%s: %.0f ns/frame vs %.0f recorded (beyond the %.0f%% tolerance)",
+				s.Name, s.NsPerFrame, p.NsPerFrame, 100*(regressionTolerance-1)))
+		}
+	}
+	return regs
+}
+
 func main() {
 	out := flag.String("o", "BENCH_geosphere.json", "output path for the JSON report")
 	flag.Parse()
+	prev := readPrevious(*out)
 	rep, err := run()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
@@ -325,5 +370,14 @@ func main() {
 			line += fmt.Sprintf(" %5.1f%% cache hits", 100*s.CacheHitRate)
 		}
 		fmt.Println(line)
+	}
+	// The report is written either way (the new numbers are what you
+	// need to diagnose the slowdown); the exit status is what makes
+	// `make bench` fail loudly on a regression.
+	if regs := regressions(prev, rep); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "geobench: REGRESSION: %s\n", r)
+		}
+		os.Exit(1)
 	}
 }

@@ -21,7 +21,10 @@ type QR struct {
 	// reused across calls when the input shape is unchanged.
 	work  *Matrix      // m×n working copy being triangularized
 	qfull *Matrix      // m×m accumulated product of reflections
-	v     []complex128 // Householder vector, length m
+	v     []complex128 // Householder vector (decompose) / q̃ (update), length m
+	// Rank-1 update workspace, lazily sized by QRUpdateInto.
+	uw   []complex128 // projected update coefficients, length n+1
+	hess *Matrix      // (n+1)×n working factor being re-triangularized
 }
 
 // QRDecompose computes the thin QR factorization of a using Householder
@@ -171,6 +174,212 @@ func QRDecomposeInto(dst *QR, a *Matrix) *QR {
 		}
 	}
 	return dst
+}
+
+// QRUpdateInto applies the rank-1 update A ← A + u·v* to the
+// factorization held in dst, rewriting dst.Q and dst.R in place so
+// they factor the perturbed matrix: Q'·R' = Q·R + u·v*. len(u) must be
+// m and len(v) must be n for an m×n factorization; dst must hold a
+// completed factorization (panics otherwise).
+//
+// The update is the standard Givens scheme (Golub & Van Loan §12.5)
+// adapted to the thin factors: project u onto range(Q), extend the
+// basis with the normalized residual when it is numerically
+// significant, chase the projected coefficients into the first row,
+// add the rank-1 term there, and re-triangularize the resulting upper
+// Hessenberg factor — O(mn + n²) work against the O(mn² + m²n) of a
+// fresh factorization. Like QRDecomposeInto it leaves the diagonal of
+// R real and non-negative. The factors drift from a freshly computed
+// factorization only by normal floating-point roundoff; callers that
+// chain many updates should refactorize periodically (see
+// core.PreparedChannel) to keep the accumulated error bounded.
+//
+//geolint:noalloc
+func QRUpdateInto(dst *QR, u, v []complex128) *QR {
+	if dst.Q == nil || dst.R == nil {
+		panic(ErrShape) //geolint:alloc-ok misuse, unreachable in hot path
+	}
+	m, n := dst.Q.Rows, dst.Q.Cols
+	if len(u) != m || len(v) != n {
+		panic(ErrShape) //geolint:alloc-ok misuse, unreachable in hot path
+	}
+	if cap(dst.uw) < n+1 {
+		dst.uw = make([]complex128, n+1) //geolint:alloc-ok first use or reshape only
+	}
+	w := dst.uw[:n+1]
+	if cap(dst.v) < m {
+		dst.v = make([]complex128, m) //geolint:alloc-ok first use or reshape only
+	}
+	qt := dst.v[:m]
+	q := dst.Q
+	// w = Q*·u and the in-range residual u⊥ = u − Q·w.
+	var unorm2 float64
+	for i := 0; i < m; i++ {
+		unorm2 += real(u[i])*real(u[i]) + imag(u[i])*imag(u[i])
+	}
+	for j := 0; j < n; j++ {
+		var s complex128
+		for i := 0; i < m; i++ {
+			s += cmplx.Conj(q.At(i, j)) * u[i]
+		}
+		w[j] = s
+	}
+	var rho2 float64
+	for i := 0; i < m; i++ {
+		s := u[i]
+		row := q.Row(i)
+		for j := 0; j < n; j++ {
+			s -= row[j] * w[j]
+		}
+		qt[i] = s
+		rho2 += real(s)*real(s) + imag(s)*imag(s)
+	}
+	rho := math.Sqrt(rho2)
+	// Keep the extra basis column only when the residual is numerically
+	// meaningful; below this threshold normalizing it would amplify
+	// cancellation noise into a garbage direction (and for m == n no
+	// residual direction exists at all).
+	p := n // active rows of the augmented factor
+	if rho > 1e-14*math.Sqrt(unorm2) && m > n {
+		inv := complex(1/rho, 0)
+		for i := 0; i < m; i++ {
+			qt[i] *= inv
+		}
+		w[n] = complex(rho, 0)
+		p = n + 1
+	}
+	// hs holds [R; 0] with p rows; rotations chase w into its first
+	// entry, turning hs upper Hessenberg, then the rank-1 term lands in
+	// row 0 and a second sweep re-triangularizes.
+	hs := dst.hess
+	if hs == nil || hs.Rows != n+1 || hs.Cols != n {
+		hs = New(n+1, n) //geolint:alloc-ok first use or reshape only
+		dst.hess = hs
+	}
+	for i := 0; i < n; i++ {
+		copy(hs.Row(i), dst.R.Row(i))
+	}
+	for j := 0; j < n; j++ {
+		hs.Row(n)[j] = 0
+	}
+	for k := p - 2; k >= 0; k-- {
+		updGivens(dst, hs, k, w[k], w[k+1], &w[k])
+		w[k+1] = 0
+	}
+	alpha := w[0]
+	row0 := hs.Row(0)
+	for j := 0; j < n; j++ {
+		row0[j] += alpha * cmplx.Conj(v[j])
+	}
+	kmax := p - 1
+	if kmax > n-1 {
+		kmax = n - 1
+	}
+	for k := 0; k <= kmax; k++ {
+		if k+1 >= p {
+			break
+		}
+		updGivens(dst, hs, k, hs.At(k, k), hs.At(k+1, k), nil)
+		hs.Set(k+1, k, 0)
+	}
+	// Extract the updated thin factors and restore the real
+	// non-negative diagonal.
+	for i := 0; i < n; i++ {
+		row := dst.R.Row(i)
+		src := hs.Row(i)
+		for j := 0; j < i; j++ {
+			row[j] = 0
+		}
+		for j := i; j < n; j++ {
+			row[j] = src[j]
+		}
+	}
+	for k := 0; k < n; k++ {
+		d := dst.R.At(k, k)
+		ad := cmplx.Abs(d)
+		if ad == 0 {
+			continue
+		}
+		ph := d / complex(ad, 0)
+		if ph == 1 {
+			continue
+		}
+		inv := cmplx.Conj(ph)
+		for j := k; j < n; j++ {
+			dst.R.Set(k, j, inv*dst.R.At(k, j))
+		}
+		dst.R.Set(k, k, complex(ad, 0)) // exact: kill phase-fix roundoff
+		for i := 0; i < m; i++ {
+			q.Set(i, k, ph*q.At(i, k))
+		}
+	}
+	return dst
+}
+
+// updGivens applies one Givens rotation on rows (k, k+1) of hs —
+// chosen to map the pair (a, b) to (√(|a|²+|b|²), 0) — and the
+// conjugate-transposed rotation to the corresponding basis columns:
+// columns (k, k+1) of Q, with dst.v standing in for the virtual column
+// n. When rOut is non-nil the rotated pair head is stored through it
+// (used while chasing the w vector). A zero b leaves everything
+// untouched.
+//
+//geolint:noalloc
+func updGivens(dst *QR, hs *Matrix, k int, a, b complex128, rOut *complex128) {
+	if b == 0 {
+		if rOut != nil {
+			*rOut = a
+		}
+		return
+	}
+	habs := math.Hypot(cmplx.Abs(a), cmplx.Abs(b))
+	r := complex(habs, 0)
+	c := cmplx.Conj(a) / r
+	s := cmplx.Conj(b) / r
+	if rOut != nil {
+		*rOut = r
+	}
+	n := hs.Cols
+	rowk, rowk1 := hs.Row(k), hs.Row(k+1)
+	// Both phases keep rows k and k+1 exactly zero left of column k
+	// (upper triangular before the chase, Hessenberg during the
+	// re-triangularization), so the rotation starts there.
+	for j := k; j < n; j++ {
+		x, y := rowk[j], rowk1[j]
+		rowk[j] = c*x + s*y
+		rowk1[j] = -b/r*x + a/r*y
+	}
+	// Basis columns: [colk, colk1] ← [colk, colk1]·G*, with G the
+	// rotation above; column n is the virtual residual direction in
+	// dst.v.
+	q := dst.Q
+	m := q.Rows
+	nq := q.Cols
+	for i := 0; i < m; i++ {
+		var x, y complex128
+		if k < nq {
+			x = q.At(i, k)
+		} else {
+			x = dst.v[i]
+		}
+		if k+1 < nq {
+			y = q.At(i, k+1)
+		} else {
+			y = dst.v[i]
+		}
+		nx := x*cmplx.Conj(c) + y*cmplx.Conj(s)
+		ny := x*(-cmplx.Conj(b/r)) + y*cmplx.Conj(a/r)
+		if k < nq {
+			q.Set(i, k, nx)
+		} else {
+			dst.v[i] = nx
+		}
+		if k+1 < nq {
+			q.Set(i, k+1, ny)
+		} else {
+			dst.v[i] = ny
+		}
+	}
 }
 
 // ApplyQConjT computes ŷ = Q*·y without forming intermediates, the

@@ -1,0 +1,244 @@
+package cmplxmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// qrFactorTol is the acceptance tolerance for one rank-1 update: the
+// Givens chase is backward stable, so the updated factors must track a
+// fresh factorization of A + u·v* to a small multiple of machine
+// epsilon times the problem scale.
+const qrFactorTol = 1e-12
+
+// checkQRFactors verifies the three defining properties of the thin QR
+// this package produces: Q·R reconstructs a (within tol·scale), Q has
+// orthonormal columns, and R is upper triangular with a real
+// non-negative diagonal (the sign convention the detectors' diagonal
+// tables assume).
+func checkQRFactors(t *testing.T, qr *QR, a *Matrix, tol float64) {
+	t.Helper()
+	m, n := a.Rows, a.Cols
+	scale := 1.0
+	for _, v := range a.Data {
+		scale += real(v)*real(v) + imag(v)*imag(v)
+	}
+	scale = math.Sqrt(scale)
+	rec := Mul(qr.Q, qr.R)
+	if diff := MaxAbsDiff(rec, a); diff > tol*scale {
+		t.Fatalf("%d×%d: ‖QR − A‖ = %g, want ≤ %g", m, n, diff, tol*scale)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var dot complex128
+			for r := 0; r < m; r++ {
+				dot += cmplx.Conj(qr.Q.At(r, i)) * qr.Q.At(r, j)
+			}
+			want := complex(0, 0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(dot-want) > tol*10 {
+				t.Fatalf("%d×%d: Q*Q[%d][%d] = %v, want %v", m, n, i, j, dot, want)
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			v := qr.R.At(r, c)
+			if c < r && cmplx.Abs(v) != 0 {
+				t.Fatalf("%d×%d: R[%d][%d] = %v below the diagonal", m, n, r, c, v)
+			}
+			if c == r && (imag(v) != 0 || real(v) < 0) {
+				t.Fatalf("%d×%d: R[%d][%d] = %v, want real non-negative diagonal", m, n, r, c, v)
+			}
+		}
+	}
+}
+
+// TestQRUpdateMatchesFresh pins the rank-1 update against a fresh
+// factorization across shapes, including the tall matrices whose
+// update must extend the thin basis when u leaves range(Q).
+func TestQRUpdateMatchesFresh(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2014))
+	shapes := []struct{ r, c int }{{2, 2}, {4, 4}, {6, 4}, {3, 2}, {8, 3}, {8, 8}}
+	for _, sh := range shapes {
+		for trial := 0; trial < 50; trial++ {
+			a := randomMatrix(rnd, sh.r, sh.c)
+			u := make([]complex128, sh.r)
+			v := make([]complex128, sh.c)
+			for i := range u {
+				u[i] = complex(rnd.NormFloat64(), rnd.NormFloat64())
+			}
+			for i := range v {
+				v[i] = complex(rnd.NormFloat64(), rnd.NormFloat64())
+			}
+			qr := new(QR)
+			QRDecomposeInto(qr, a)
+			if got := QRUpdateInto(qr, u, v); got != qr {
+				t.Fatalf("QRUpdateInto did not return dst")
+			}
+			upd := a.Clone()
+			for r := 0; r < sh.r; r++ {
+				for c := 0; c < sh.c; c++ {
+					upd.Set(r, c, upd.At(r, c)+u[r]*cmplx.Conj(v[c]))
+				}
+			}
+			checkQRFactors(t, qr, upd, qrFactorTol)
+		}
+	}
+}
+
+// TestQRUpdateRankOneColumn exercises the exact pattern the channel
+// preparation cache issues: v is a unit vector, so the update replaces
+// a single column.
+func TestQRUpdateRankOneColumn(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		m, n := 4+rnd.Intn(4), 2+rnd.Intn(3)
+		if n > m {
+			m = n
+		}
+		a := randomMatrix(rnd, m, n)
+		col := rnd.Intn(n)
+		u := make([]complex128, m)
+		v := make([]complex128, n)
+		v[col] = 1
+		upd := a.Clone()
+		for r := 0; r < m; r++ {
+			u[r] = complex(rnd.NormFloat64(), rnd.NormFloat64())
+			upd.Set(r, col, upd.At(r, col)+u[r])
+		}
+		qr := new(QR)
+		QRDecomposeInto(qr, a)
+		QRUpdateInto(qr, u, v)
+		checkQRFactors(t, qr, upd, qrFactorTol)
+	}
+}
+
+// TestQRUpdateZeroVector pins the degenerate update: u = 0 must leave
+// a factorization of the unchanged matrix (and not corrupt the
+// workspace for later updates).
+func TestQRUpdateZeroVector(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	a := randomMatrix(rnd, 6, 4)
+	u := make([]complex128, 6)
+	v := make([]complex128, 4)
+	v[1] = 1
+	qr := new(QR)
+	QRDecomposeInto(qr, a)
+	QRUpdateInto(qr, u, v)
+	checkQRFactors(t, qr, a, qrFactorTol)
+}
+
+// TestQRUpdateGaussMarkovChain drives the update the way the
+// preparation cache does on a drifting channel: a long chain of
+// per-column rank-1 updates following a Gauss-Markov process, with the
+// factors checked against a fresh decomposition at every step. The
+// tolerance grows only mildly with chain length — the Givens chase
+// must not let roundoff compound geometrically.
+func TestQRUpdateGaussMarkovChain(t *testing.T) {
+	rnd := rand.New(rand.NewSource(77))
+	const steps = 120
+	for _, sh := range []struct{ r, c int }{{4, 4}, {8, 4}} {
+		h := randomMatrix(rnd, sh.r, sh.c)
+		qr := new(QR)
+		QRDecomposeInto(qr, h)
+		u := make([]complex128, sh.r)
+		v := make([]complex128, sh.c)
+		for step := 0; step < steps; step++ {
+			col := step % sh.c
+			// Gauss-Markov innovation on one column.
+			for r := 0; r < sh.r; r++ {
+				old := h.At(r, col)
+				next := old*complex(0.995, 0) + complex(0.05*rnd.NormFloat64(), 0.05*rnd.NormFloat64())
+				u[r] = next - old
+				h.Set(r, col, next)
+			}
+			for i := range v {
+				v[i] = 0
+			}
+			v[col] = 1
+			QRUpdateInto(qr, u, v)
+			checkQRFactors(t, qr, h, qrFactorTol*float64(1+step))
+			// The chained R must match a from-scratch factorization of
+			// the drifted channel to accumulated-roundoff accuracy.
+			fresh := QRDecompose(h)
+			if diff := MaxAbsDiff(qr.R, fresh.R); diff > 1e-10*float64(1+step) {
+				t.Fatalf("%d×%d step %d: chained R diverged from fresh by %g", sh.r, sh.c, step, diff)
+			}
+		}
+	}
+}
+
+// TestQRUpdateShapePanics pins the validation contract: mismatched
+// operand lengths and an unfactorized workspace must panic with
+// ErrShape rather than corrupt state.
+func TestQRUpdateShapePanics(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	a := randomMatrix(rnd, 4, 3)
+	qr := new(QR)
+	QRDecomposeInto(qr, a)
+	cases := []struct {
+		name string
+		run  func()
+	}{
+		{"short u", func() { QRUpdateInto(qr, make([]complex128, 3), make([]complex128, 3)) }},
+		{"short v", func() { QRUpdateInto(qr, make([]complex128, 4), make([]complex128, 2)) }},
+		{"empty workspace", func() { QRUpdateInto(new(QR), make([]complex128, 4), make([]complex128, 3)) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.run()
+		}()
+	}
+}
+
+// TestQRUpdateZeroAlloc pins the steady-state allocation contract the
+// incremental re-preparation path depends on: updating a warm
+// workspace allocates nothing.
+func TestQRUpdateZeroAlloc(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	a := randomMatrix(rnd, 6, 4)
+	qr := new(QR)
+	QRDecomposeInto(qr, a)
+	u := make([]complex128, 6)
+	v := make([]complex128, 4)
+	v[2] = 1
+	for i := range u {
+		u[i] = complex(0.01*rnd.NormFloat64(), 0.01*rnd.NormFloat64())
+	}
+	QRUpdateInto(qr, u, v) // warm the update workspace
+	allocs := testing.AllocsPerRun(100, func() {
+		QRUpdateInto(qr, u, v)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm QRUpdateInto allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkQRUpdateInto(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	a := randomMatrix(rnd, 4, 4)
+	qr := new(QR)
+	QRDecomposeInto(qr, a)
+	u := make([]complex128, 4)
+	v := make([]complex128, 4)
+	v[1] = 1
+	for i := range u {
+		u[i] = complex(0.01*rnd.NormFloat64(), 0.01*rnd.NormFloat64())
+	}
+	QRUpdateInto(qr, u, v)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QRUpdateInto(qr, u, v)
+	}
+}

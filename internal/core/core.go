@@ -34,6 +34,9 @@ var ErrNotPrepared = errors.New("core: detector not prepared with a channel")
 // identical across all exact Schnorr-Euchner decoders. Prunes counts
 // backtrack events: a level's sibling enumeration ended because every
 // remaining child was outside the sphere (or the level was exhausted).
+// ProjReuse counts interference-projection terms served from the
+// incremental projection stack instead of being recomputed — the
+// Ghasemmehdi-Agrell redundancy the search no longer pays for.
 type Stats struct {
 	PEDCalcs     int64
 	VisitedNodes int64
@@ -41,6 +44,7 @@ type Stats struct {
 	Prunes       int64
 	Leaves       int64
 	Detections   int64
+	ProjReuse    int64
 }
 
 // Add accumulates other into s.
@@ -51,6 +55,7 @@ func (s *Stats) Add(other Stats) {
 	s.Prunes += other.Prunes
 	s.Leaves += other.Leaves
 	s.Detections += other.Detections
+	s.ProjReuse += other.ProjReuse
 }
 
 // Sub returns s − other, the per-interval delta between two snapshots
@@ -65,6 +70,7 @@ func (s Stats) Sub(other Stats) Stats {
 		Prunes:       s.Prunes - other.Prunes,
 		Leaves:       s.Leaves - other.Leaves,
 		Detections:   s.Detections - other.Detections,
+		ProjReuse:    s.ProjReuse - other.ProjReuse,
 	}
 }
 

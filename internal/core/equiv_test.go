@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/rng"
+)
+
+// The TestEquiv* suite is the detector-equivalence contract pinning
+// the redundancy-free search rebuild: every exact detector — Geosphere,
+// zigzag-only, the ETH-SD baseline, the real-valued decomposition and
+// (where tractable) brute-force ML — agrees symbol for symbol on
+// seeded channels across the full constellation × antenna-shape grid,
+// and the incremental-projection engine reproduces the retained
+// reference implementation bit for bit. Makefile `check` re-runs the
+// suite with -shuffle=on so no test depends on its neighbors' state.
+
+// equivShape is one antenna geometry of the equivalence grid.
+type equivShape struct{ na, nc int }
+
+var equivShapes = []equivShape{{2, 2}, {4, 2}, {4, 3}, {4, 4}}
+
+// equivSNRs picks operating points that keep the exact searches
+// tractable: big constellations on tall trees only get high-SNR draws
+// (the regime the paper evaluates them in), everything else spans the
+// full range.
+func equivSNRs(cons *constellation.Constellation, nc int) []float64 {
+	hardness := cons.Bits() * nc
+	switch {
+	case hardness > 20: // e.g. 64-QAM 4×4, 256-QAM 4×4
+		return []float64{26, 33}
+	case hardness > 12:
+		return []float64{15, 24, 32}
+	default:
+		return []float64{5, 14, 24, 32}
+	}
+}
+
+// mlTractable reports whether exhaustive ML search over size^nc
+// candidates fits the suite's time budget.
+func mlTractable(size, nc int) bool {
+	total := 1
+	for i := 0; i < nc; i++ {
+		total *= size
+		if total > 70000 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEquivAllDetectorsAgree sweeps the constellation × shape grid and
+// requires every exact detector to return the same symbol vector on
+// every seeded draw. Agreement is judged on the ML metric: each
+// detector's candidate must achieve the best metric any of them found
+// (and the exhaustive optimum when ML is in the panel), and detectors
+// may only disagree on indices when their candidates' metrics tie to
+// within floating-point noise — two exact decoders accumulating PEDs
+// in different orders are both correct on a tie.
+func TestEquivAllDetectorsAgree(t *testing.T) {
+	for _, cons := range constellation.All() {
+		for _, sh := range equivShapes {
+			name := fmt.Sprintf("%s/%dx%d", cons.Name(), sh.na, sh.nc)
+			t.Run(name, func(t *testing.T) {
+				src := rng.New(int64(1000*sh.na + 10*sh.nc + cons.Bits()))
+				dets := []Detector{
+					NewGeosphere(cons),
+					NewGeosphereZigzagOnly(cons),
+					NewETHSD(cons),
+					NewRVD(cons),
+				}
+				if mlTractable(cons.Size(), sh.nc) {
+					dets = append(dets, NewML(cons))
+				}
+				got := make([][]int, len(dets))
+				for i := range got {
+					got[i] = make([]int, sh.nc)
+				}
+				for _, snrdB := range equivSNRs(cons, sh.nc) {
+					for trial := 0; trial < 5; trial++ {
+						h, _, y := randomScenario(src, cons, sh.na, sh.nc, snrdB)
+						skip := false
+						for _, d := range dets {
+							if err := d.Prepare(h); err != nil {
+								skip = true // rank-deficient draw
+								break
+							}
+						}
+						if skip {
+							continue
+						}
+						best := -1.0
+						for i, d := range dets {
+							if _, err := d.Detect(got[i], y); err != nil {
+								t.Fatalf("%s @ %gdB: %v", d.Name(), snrdB, err)
+							}
+							if dist := distanceOf(h, y, cons, got[i]); best < 0 || dist < best {
+								best = dist
+							}
+						}
+						tol := 1e-9 * (1 + best)
+						for i, d := range dets {
+							dist := distanceOf(h, y, cons, got[i])
+							if dist > best+tol {
+								t.Errorf("%s @ %gdB trial %d: metric %v exceeds best %v (idx %v)",
+									d.Name(), snrdB, trial, dist, best, got[i])
+							}
+							for j := 0; j < i; j++ {
+								if !equalInts(got[i], got[j]) {
+									dj := distanceOf(h, y, cons, got[j])
+									if dist > dj+tol || dj > dist+tol {
+										t.Errorf("%s and %s disagree beyond a metric tie @ %gdB trial %d: %v (%v) vs %v (%v)",
+											dets[i].Name(), dets[j].Name(), snrdB, trial, got[i], dist, got[j], dj)
+									}
+								}
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refEngineOf returns det with its search switched to the retained
+// reference implementation (full ascending-order interference
+// recomputation, no projection stack).
+func refEngineOf(det Detector) Detector {
+	switch d := det.(type) {
+	case *SphereDecoder:
+		d.refProj = true
+	case *RVDDecoder:
+		d.refProj = true
+	}
+	return det
+}
+
+// TestEquivNewEngineMatchesReference pins the tentpole's bit-identity
+// claim: with the incremental projection stack on (the default) and
+// off (refProj, the old engine kept as the unexported reference),
+// every decoder returns identical indices and identical search-shape
+// counters — same PEDs, same visited nodes, same leaves — on every
+// draw of the grid. Only ProjReuse may differ: the reference never
+// reuses, the new engine must (in aggregate) reuse.
+func TestEquivNewEngineMatchesReference(t *testing.T) {
+	builders := []struct {
+		name string
+		mk   func(*constellation.Constellation) Detector
+	}{
+		{"geosphere", func(c *constellation.Constellation) Detector { return NewGeosphere(c) }},
+		{"zigzag-only", func(c *constellation.Constellation) Detector { return NewGeosphereZigzagOnly(c) }},
+		{"eth-sd", func(c *constellation.Constellation) Detector { return NewETHSD(c) }},
+		{"rvd", func(c *constellation.Constellation) Detector { return NewRVD(c) }},
+	}
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			var totalReuse int64
+			for _, cons := range constellation.All() {
+				for _, sh := range equivShapes {
+					src := rng.New(int64(7000*sh.na + 100*sh.nc + cons.Bits()))
+					newEng := b.mk(cons)
+					refEng := refEngineOf(b.mk(cons))
+					gotNew := make([]int, sh.nc)
+					gotRef := make([]int, sh.nc)
+					for _, snrdB := range equivSNRs(cons, sh.nc) {
+						for trial := 0; trial < 4; trial++ {
+							h, _, y := randomScenario(src, cons, sh.na, sh.nc, snrdB)
+							if err := newEng.Prepare(h); err != nil {
+								continue
+							}
+							if err := refEng.Prepare(h); err != nil {
+								t.Fatalf("engines disagree on channel admissibility: %v", err)
+							}
+							ResetStatsOf(newEng)
+							ResetStatsOf(refEng)
+							if _, err := newEng.Detect(gotNew, y); err != nil {
+								t.Fatal(err)
+							}
+							if _, err := refEng.Detect(gotRef, y); err != nil {
+								t.Fatal(err)
+							}
+							if !equalInts(gotNew, gotRef) {
+								t.Fatalf("%s %s %dx%d @ %gdB trial %d: new engine %v, reference %v",
+									b.name, cons.Name(), sh.na, sh.nc, snrdB, trial, gotNew, gotRef)
+							}
+							sNew, _ := StatsOf(newEng)
+							sRef, _ := StatsOf(refEng)
+							if sNew.PEDCalcs != sRef.PEDCalcs || sNew.VisitedNodes != sRef.VisitedNodes || sNew.Leaves != sRef.Leaves {
+								t.Fatalf("%s %s %dx%d @ %gdB trial %d: search shape diverged: new {ped %d nodes %d leaves %d} ref {ped %d nodes %d leaves %d}",
+									b.name, cons.Name(), sh.na, sh.nc, snrdB, trial,
+									sNew.PEDCalcs, sNew.VisitedNodes, sNew.Leaves,
+									sRef.PEDCalcs, sRef.VisitedNodes, sRef.Leaves)
+							}
+							if sRef.ProjReuse != 0 {
+								t.Fatalf("reference engine reported %d reused projections; it must never reuse", sRef.ProjReuse)
+							}
+							totalReuse += sNew.ProjReuse
+						}
+					}
+				}
+			}
+			if totalReuse == 0 {
+				t.Errorf("%s: projection stack never served a cached term across the whole grid", b.name)
+			}
+		})
+	}
+}
+
+// TestEquivIncrementalPrepMatchesFresh pins the decision-equivalence
+// of the rank-1 QR re-preparation path: a detector whose
+// PreparedChannel follows a slowly-drifting channel through
+// incremental updates makes the same decisions as one freshly
+// factorizing every draw.
+func TestEquivIncrementalPrepMatchesFresh(t *testing.T) {
+	builders := []struct {
+		name string
+		mk   func() Detector
+	}{
+		{"eth-sd", func() Detector { return NewETHSD(constellation.QAM16) }},
+		{"geosphere", func() Detector { return NewGeosphere(constellation.QAM16) }},
+		{"rvd", func() Detector { return NewRVD(constellation.QAM16) }},
+	}
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			src := rng.New(2014)
+			upd := b.mk().(SharedPreparer)
+			fresh := b.mk().(SharedPreparer)
+			var pcUpd, pcFresh PreparedChannel
+			pcUpd.SetIncremental(true)
+			na, nc := 4, 4
+			h := cmplxmat.New(na, nc)
+			for i := range h.Data {
+				h.Data[i] = complex(src.Norm(), src.Norm())
+			}
+			y := make([]complex128, na)
+			gotUpd := make([]int, nc)
+			gotFresh := make([]int, nc)
+			for step := 0; step < 30; step++ {
+				// Gauss-Markov drift: small innovation on top of the
+				// previous realization.
+				for i := range h.Data {
+					h.Data[i] = h.Data[i]*complex(0.999, 0) +
+						complex(0.02*src.Norm(), 0.02*src.Norm())
+				}
+				if _, err := upd.PrepareShared(&pcUpd, h); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := fresh.PrepareShared(&pcFresh, h); err != nil {
+					t.Fatal(err)
+				}
+				for sym := 0; sym < 20; sym++ {
+					for i := range y {
+						y[i] = complex(src.Norm(), src.Norm())
+					}
+					if _, err := upd.Detect(gotUpd, y); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := fresh.Detect(gotFresh, y); err != nil {
+						t.Fatal(err)
+					}
+					if !equalInts(gotUpd, gotFresh) {
+						t.Fatalf("step %d symbol %d: incremental prep decided %v, fresh factorization %v",
+							step, sym, gotUpd, gotFresh)
+					}
+				}
+			}
+			if pcUpd.Updates() == 0 {
+				t.Error("incremental path never taken over 30 drift steps")
+			}
+			if pcFresh.Updates() != 0 {
+				t.Errorf("fresh-path cache reported %d updates, want 0", pcFresh.Updates())
+			}
+		})
+	}
+}

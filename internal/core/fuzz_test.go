@@ -7,13 +7,43 @@ import (
 	"repro/internal/rng"
 )
 
+// fuzzCons maps a fuzzer-chosen selector to a constellation, covering
+// QPSK through 64-QAM (256-QAM tree searches at fuzz-random SNRs can
+// run long enough to trip the per-input fuzz deadline, so the largest
+// alphabet stays with the deterministic equivalence suite).
+func fuzzCons(sel byte) *constellation.Constellation {
+	switch sel % 3 {
+	case 0:
+		return constellation.QPSK
+	case 1:
+		return constellation.QAM16
+	default:
+		return constellation.QAM64
+	}
+}
+
+// fuzzShape maps a fuzzer-chosen selector to an antenna geometry.
+func fuzzShape(sel byte) (na, nc int) {
+	switch sel % 3 {
+	case 0:
+		return 2, 2
+	case 1:
+		return 4, 2
+	default:
+		return 4, 4
+	}
+}
+
 // FuzzDetectAgreement fuzzes the central correctness property of the
-// repository: on any 2×2 instance, Geosphere, the ETH-SD baseline and
-// exhaustive maximum-likelihood search agree on the detected symbol
-// vector. The fuzzer steers the channel/noise draw through the seed
-// and the operating point through the constellation and SNR selectors,
-// so the corpus explores well- and ill-conditioned channels across the
-// whole SNR range instead of the fixed grid of TestSphereDecodersMatchML.
+// repository: on any instance of the constellation × shape grid —
+// 2×2 through 4×4, QPSK through 64-QAM — Geosphere, the ETH-SD
+// baseline, the real-valued decomposition and (when the candidate
+// space is small enough to enumerate) exhaustive maximum-likelihood
+// search agree on the detected symbol vector. The fuzzer steers the
+// channel/noise draw through the seed and the operating point through
+// the selectors, so the corpus explores well- and ill-conditioned
+// channels across the whole SNR range instead of the fixed grid of
+// TestSphereDecodersMatchML.
 //
 // Agreement is checked on the ML metric (Equation 1), not on raw
 // indices: the decoders accumulate partial Euclidean distances in
@@ -22,18 +52,23 @@ import (
 // exactly only when the best candidate is separated from the runner-up
 // by more than the tie tolerance.
 func FuzzDetectAgreement(f *testing.F) {
-	f.Add(int64(1), byte(0), byte(5))
-	f.Add(int64(42), byte(1), byte(30))
-	f.Add(int64(-7), byte(0), byte(0))
-	f.Add(int64(1<<40), byte(1), byte(12))
-	f.Fuzz(func(t *testing.T, seed int64, consSel, snrSel byte) {
-		cons := constellation.QPSK
-		if consSel&1 == 1 {
-			cons = constellation.QAM16
-		}
+	f.Add(int64(1), byte(0), byte(0), byte(5))
+	f.Add(int64(42), byte(1), byte(1), byte(30))
+	f.Add(int64(-7), byte(0), byte(2), byte(0))
+	f.Add(int64(1<<40), byte(2), byte(2), byte(12))
+	f.Add(int64(99), byte(2), byte(0), byte(33))
+	f.Fuzz(func(t *testing.T, seed int64, consSel, shapeSel, snrSel byte) {
+		cons := fuzzCons(consSel)
+		na, nc := fuzzShape(shapeSel)
 		snrdB := float64(snrSel % 36) // 0..35 dB
+		if cons.Bits()*nc > 16 && snrdB < 15 {
+			// 64-QAM 4×4 at very low SNR makes the exact search's tree
+			// exponentially large (the paper's Figure 15 regime); cap
+			// the cost so the fuzzer spends its budget on breadth.
+			snrdB = 15 + snrdB
+		}
 		src := rng.New(seed)
-		h, _, y := randomScenario(src, cons, 2, 2, snrdB)
+		h, _, y := randomScenario(src, cons, na, nc, snrdB)
 
 		detectors := []struct {
 			name string
@@ -41,7 +76,14 @@ func FuzzDetectAgreement(f *testing.F) {
 		}{
 			{"geosphere", NewGeosphere(cons)},
 			{"eth-sd", NewETHSD(cons)},
-			{"ml", NewML(cons)},
+			{"rvd", NewRVD(cons)},
+		}
+		exhaustive := mlTractable(cons.Size(), nc)
+		if exhaustive {
+			detectors = append(detectors, struct {
+				name string
+				det  Detector
+			}{"ml", NewML(cons)})
 		}
 		got := make([][]int, len(detectors))
 		for i, d := range detectors {
@@ -63,44 +105,196 @@ func FuzzDetectAgreement(f *testing.F) {
 			got[i] = idx
 		}
 
-		// Exhaustive ground truth on one shared metric implementation:
-		// the best and second-best metrics over all |cons|^2 candidates.
-		size := cons.Size()
-		best, second := -1.0, -1.0
-		var bestIdx [2]int
-		cand := make([]int, 2)
-		for a := 0; a < size; a++ {
-			for b := 0; b < size; b++ {
-				cand[0], cand[1] = a, b
+		if exhaustive {
+			// Exhaustive ground truth on one shared metric
+			// implementation: the best and second-best metrics over all
+			// |cons|^nc candidates, enumerated odometer-style.
+			best, second := -1.0, -1.0
+			bestIdx := make([]int, nc)
+			cand := make([]int, nc)
+			for {
 				d := distanceOf(h, y, cons, cand)
 				switch {
 				case best < 0 || d < best:
 					second = best
 					best = d
-					bestIdx = [2]int{a, b}
+					copy(bestIdx, cand)
 				case second < 0 || d < second:
 					second = d
 				}
+				k := 0
+				for ; k < nc; k++ {
+					cand[k]++
+					if cand[k] < cons.Size() {
+						break
+					}
+					cand[k] = 0
+				}
+				if k == nc {
+					break
+				}
 			}
+
+			// Every decoder's answer must achieve the optimal metric.
+			tol := 1e-9 * (1 + best)
+			for i, d := range detectors {
+				dist := distanceOf(h, y, cons, got[i])
+				if dist > best+tol {
+					t.Errorf("%s: metric %v exceeds optimum %v (idx %v, best %v)",
+						d.name, dist, best, got[i], bestIdx)
+				}
+			}
+			// With a clear winner the indices must match exactly.
+			if second > best+tol {
+				for i, d := range detectors {
+					if !equalInts(got[i], bestIdx) {
+						t.Errorf("%s: detected %v, exhaustive search says %v (best %v, second %v)",
+							d.name, got[i], bestIdx, best, second)
+					}
+				}
+			}
+			return
 		}
 
-		// Every decoder's answer must achieve the optimal metric.
+		// Candidate space too large to enumerate: the exact decoders
+		// must still agree with each other — identical indices, or a
+		// metric tie within floating-point noise.
+		best := -1.0
+		for i := range detectors {
+			if d := distanceOf(h, y, cons, got[i]); best < 0 || d < best {
+				best = d
+			}
+		}
 		tol := 1e-9 * (1 + best)
 		for i, d := range detectors {
 			dist := distanceOf(h, y, cons, got[i])
 			if dist > best+tol {
-				t.Errorf("%s: metric %v exceeds optimum %v (idx %v, best %v)",
-					d.name, dist, best, got[i], bestIdx)
+				t.Errorf("%s: metric %v exceeds panel best %v (idx %v)", d.name, dist, best, got[i])
 			}
 		}
-		// With a clear winner the indices must match exactly.
-		if second > best+tol {
-			for i, d := range detectors {
-				if got[i][0] != bestIdx[0] || got[i][1] != bestIdx[1] {
-					t.Errorf("%s: detected %v, exhaustive search says %v (best %v, second %v)",
-						d.name, got[i], bestIdx, best, second)
-				}
+	})
+}
+
+// FuzzProjectionCache fuzzes the invariant behind the incremental
+// projection stack: after any descend/backtrack walk with any symbol
+// assignments, the interference projection the stack serves for a
+// level is ULP-identical to recomputing the whole sum from scratch in
+// the stack's descending-j subtraction order. The walk bytes drive
+// both the move (descend vs backtrack) and the symbol chosen on each
+// descend, so the fuzzer explores revisit patterns — re-descending a
+// subtree with a different symbol, repeated queries at one node — that
+// the real search only produces for particular noise draws.
+func FuzzProjectionCache(f *testing.F) {
+	f.Add(int64(1), byte(0), []byte{0x00, 0x81, 0x42, 0x13, 0x54})
+	f.Add(int64(9), byte(1), []byte{0x10, 0x11, 0x01, 0x00, 0xfe, 0x37})
+	f.Add(int64(-3), byte(2), []byte{0xaa, 0x55, 0xaa, 0x55})
+	f.Fuzz(func(t *testing.T, seed int64, consSel byte, walk []byte) {
+		cons := fuzzCons(consSel)
+		src := rng.New(seed)
+		const na, nc = 4, 4
+		h, _, y := randomScenario(src, cons, na, nc, 20)
+
+		// Complex tree: drive a SphereDecoder's stack directly.
+		d := NewGeosphere(cons)
+		if err := d.Prepare(h); err != nil {
+			t.Skip("rank-deficient channel draw")
+		}
+		d.qr.ApplyQConjT(d.yhat, y)
+		row := d.proj[nc*nc:]
+		for l := 0; l < nc; l++ {
+			row[l] = d.yhat[l]
+			d.projDepth[l] = nc
+		}
+		checkC := func(l int) {
+			got := d.ytildeAt(l)
+			s := d.yhat[l]
+			r := d.qr.R.Row(l)
+			for j := nc - 1; j > l; j-- {
+				s -= r[j] * d.pathSym[j]
 			}
+			//geolint:float-ok the stack must serve the bit-exact value the descending-order recomputation produces
+			if want := s * d.rinv[l]; got != want {
+				t.Fatalf("complex stack at level %d: cached %v, from-scratch %v", l, got, want)
+			}
+		}
+		top := nc - 1
+		level := top
+		checkC(level)
+		for _, b := range walk {
+			descend := b&1 == 0
+			if level == 0 {
+				descend = false
+			}
+			if level == top {
+				descend = true
+			}
+			if descend {
+				idx := int(b>>1) % cons.Size()
+				d.path[level] = idx
+				d.pathSym[level] = cons.PointIndex(idx)
+				for l := 0; l < level; l++ {
+					if d.projDepth[l] <= level {
+						d.projDepth[l] = level + 1
+					}
+				}
+				level--
+			} else {
+				level++
+			}
+			checkC(level)
+		}
+
+		// Real-valued tree: the same walk over an RVDDecoder's stack.
+		rd := NewRVD(cons)
+		if err := rd.Prepare(h); err != nil {
+			t.Skip("rank-deficient channel draw")
+		}
+		m := rd.m
+		for r := 0; r < na; r++ {
+			rd.yr[r] = complex(real(y[r]), 0)
+			rd.yr[r+na] = complex(imag(y[r]), 0)
+		}
+		rd.qr.ApplyQConjT(rd.yhat, rd.yr)
+		rrow := rd.proj[m*m:]
+		for l := 0; l < m; l++ {
+			rrow[l] = real(rd.yhat[l])
+			rd.projDepth[l] = m
+		}
+		checkR := func(l int) {
+			got := rd.ytildeAt(l)
+			s := real(rd.yhat[l])
+			r := rd.qr.R.Row(l)
+			for j := m - 1; j > l; j-- {
+				s -= real(r[j]) * rd.cons.AxisCoord(rd.path[j])
+			}
+			//geolint:float-ok the stack must serve the bit-exact value the descending-order recomputation produces
+			if want := s / real(rd.qr.R.At(l, l)); got != want {
+				t.Fatalf("real stack at level %d: cached %v, from-scratch %v", l, got, want)
+			}
+		}
+		rtop := m - 1
+		level = rtop
+		checkR(level)
+		for _, b := range walk {
+			descend := b&1 == 0
+			if level == 0 {
+				descend = false
+			}
+			if level == rtop {
+				descend = true
+			}
+			if descend {
+				rd.path[level] = int(b>>1) % cons.Side()
+				for l := 0; l < level; l++ {
+					if rd.projDepth[l] <= level {
+						rd.projDepth[l] = level + 1
+					}
+				}
+				level--
+			} else {
+				level++
+			}
+			checkR(level)
 		}
 	})
 }

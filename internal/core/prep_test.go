@@ -255,3 +255,158 @@ func mustVector(src *rng.Source, h *cmplxmat.Matrix, cons *constellation.Constel
 	}
 	return channel.Transmit(nil, src, h, x, channel.NoiseVarForSNRdB(25))
 }
+
+// TestPrepPoolIncremental pins the three-way counter semantics of the
+// incremental re-preparation path: a cold fill is a miss, an unchanged
+// channel is a hit, a small drift is absorbed by a rank-1 QR update
+// (neither hit nor miss — reported via QRUpdates), and a drift beyond
+// the relative-Frobenius gate falls back to a full refactorization,
+// which is a miss again.
+func TestPrepPoolIncremental(t *testing.T) {
+	src := rng.New(61)
+	det := NewETHSD(constellation.QAM16)
+	p := NewPrepPool(1)
+	p.SetIncremental(true)
+	h := channel.Rayleigh(src, 4, 4)
+
+	step := func(wantHits, wantMisses, wantUpd uint64, what string) {
+		t.Helper()
+		if err := p.Prepare(det, 0, h); err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		hits, misses := p.Counters()
+		if hits != wantHits || misses != wantMisses || p.QRUpdates() != wantUpd {
+			t.Fatalf("%s: hits/misses/qr-updates = %d/%d/%d, want %d/%d/%d",
+				what, hits, misses, p.QRUpdates(), wantHits, wantMisses, wantUpd)
+		}
+	}
+
+	step(0, 1, 0, "cold fill is a miss")
+	step(1, 1, 0, "unchanged channel is a hit")
+
+	h.Set(2, 1, h.At(2, 1)+complex(0.03, -0.02))
+	step(1, 1, 1, "small drift takes the update path")
+	step(2, 1, 1, "updated channel is cached afterwards")
+
+	for i := range h.Data {
+		h.Data[i] += complex(0.9*src.Norm(), 0.9*src.Norm())
+	}
+	step(2, 2, 1, "drift beyond the gate forces a full refill")
+	step(3, 2, 1, "refilled channel is cached afterwards")
+}
+
+// TestPrepPoolIncrementalChainCap pins the forced-refactorization
+// bound: after maxUpdateChain consecutive rank-1 updates the cache
+// must take one full refactorization (a miss) to shed accumulated
+// roundoff, then resume updating.
+func TestPrepPoolIncrementalChainCap(t *testing.T) {
+	src := rng.New(62)
+	det := NewGeosphere(constellation.QAM16)
+	p := NewPrepPool(1)
+	p.SetIncremental(true)
+	h := channel.Rayleigh(src, 4, 4)
+	if err := p.Prepare(det, 0, h); err != nil {
+		t.Fatal(err)
+	}
+	drift := func(i int) {
+		h.Data[i%len(h.Data)] += complex(1e-3, -1e-3)
+		if err := p.Prepare(det, 0, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < maxUpdateChain; i++ {
+		drift(i)
+	}
+	if _, misses := p.Counters(); misses != 1 || p.QRUpdates() != maxUpdateChain {
+		t.Fatalf("after %d drifts: misses %d qr-updates %d, want 1 %d",
+			maxUpdateChain, misses, p.QRUpdates(), maxUpdateChain)
+	}
+	drift(0) // chain exhausted: this one must refactorize in full
+	if _, misses := p.Counters(); misses != 2 || p.QRUpdates() != maxUpdateChain {
+		t.Fatalf("chain cap not enforced: misses %d qr-updates %d, want 2 %d",
+			misses, p.QRUpdates(), maxUpdateChain)
+	}
+	drift(1) // fresh factorization: updating resumes
+	if p.QRUpdates() != maxUpdateChain+1 {
+		t.Fatalf("updates did not resume after forced refill: qr-updates %d, want %d",
+			p.QRUpdates(), maxUpdateChain+1)
+	}
+}
+
+// TestPrepPoolIncrementalReorderRefills pins the ordered-QR
+// invalidation rule: a drift that changes the column-energy ordering
+// invalidates the cached permutation, so the update path must decline
+// and a full re-preparation (with the new ordering) must run — even
+// though the drift itself is well inside the Frobenius gate.
+func TestPrepPoolIncrementalReorderRefills(t *testing.T) {
+	det := NewGeosphere(constellation.QAM16)
+	det.EnableColumnReordering(true)
+	p := NewPrepPool(1)
+	p.SetIncremental(true)
+
+	// Distinct, well-separated column energies: ascending order is
+	// column 0, 1, 2, 3.
+	h := cmplxmat.New(4, 4)
+	for c := 0; c < 4; c++ {
+		h.Set(c, c, complex(1.0+0.1*float64(c), 0))
+	}
+	if err := p.Prepare(det, 0, h); err != nil {
+		t.Fatal(err)
+	}
+
+	// A small drift that preserves the ordering is still absorbed by
+	// the update path in ordered mode.
+	h.Set(3, 3, h.At(3, 3)+complex(0.01, 0))
+	if err := p.Prepare(det, 0, h); err != nil {
+		t.Fatal(err)
+	}
+	if p.QRUpdates() != 1 {
+		t.Fatalf("order-preserving drift: qr-updates %d, want 1", p.QRUpdates())
+	}
+
+	// Boosting column 0 past the others flips the energy order; the
+	// drift (0.5 on one entry) is far below the 25%-Frobenius gate, so
+	// only the permutation check can force the refill.
+	h.Set(0, 0, h.At(0, 0)+complex(0.5, 0))
+	if err := p.Prepare(det, 0, h); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := p.Counters(); misses != 2 || p.QRUpdates() != 1 {
+		t.Fatalf("order-changing drift: misses %d qr-updates %d, want 2 1", misses, p.QRUpdates())
+	}
+}
+
+// TestPrepPoolIncrementalZeroAllocs pins the steady-state allocation
+// contract of the update path for every SharedPreparer: once the
+// update scratch is warm, absorbing a small in-place channel drift
+// allocates nothing.
+func TestPrepPoolIncrementalZeroAllocs(t *testing.T) {
+	src := rng.New(63)
+	cons := constellation.QAM16
+	for _, tc := range prepDetectors(cons) {
+		p := NewPrepPool(1)
+		p.SetIncremental(true)
+		h := channel.Rayleigh(src, 4, 4)
+		// Warm: one fill, then one update to size the rank-1 scratch.
+		for i := 0; i < 2; i++ {
+			h.Data[0] += complex(1e-4, 1e-4)
+			if err := p.Prepare(tc.det, 0, h); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+		}
+		before := p.QRUpdates()
+		allocs := testing.AllocsPerRun(50, func() {
+			h.Data[0] += complex(1e-4, -1e-4)
+			if err := p.Prepare(tc.det, 0, h); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("%s: %g allocs/op on the warm update path, want 0", tc.name, allocs)
+		}
+		if p.QRUpdates() <= before {
+			t.Errorf("%s: alloc loop never took the update path (qr-updates %d before, %d after)",
+				tc.name, before, p.QRUpdates())
+		}
+	}
+}

@@ -41,6 +41,18 @@ type RVDDecoder struct {
 	yr   []complex128
 	best []int
 
+	// yt caches each level's interference-reduced value for the
+	// lifetime of the node (the prefix is fixed while siblings
+	// enumerate, so the old per-sibling recomputation always returned
+	// this same value). proj/projDepth are the real-valued incremental
+	// projection stack, the same scheme sphere.go documents; refProj
+	// replays the pre-stack ascending-order recomputation as the
+	// old-engine reference.
+	yt        []float64
+	proj      []float64
+	projDepth []int
+	refProj   bool
+
 	// ownPrep backs plain Prepare calls, giving the standalone decoder
 	// the same cached fast path as a pool-attached one.
 	ownPrep PreparedChannel
@@ -107,6 +119,9 @@ func (d *RVDDecoder) PrepareShared(pc *PreparedChannel, h *cmplxmat.Matrix) (boo
 		d.hi = make([]int, m)               //geolint:alloc-ok reshape only
 		d.best = make([]int, m)             //geolint:alloc-ok reshape only
 		d.yr = make([]complex128, 2*h.Rows) //geolint:alloc-ok reshape only
+		d.yt = make([]float64, m)           //geolint:alloc-ok reshape only
+		d.proj = make([]float64, (m+1)*m)   //geolint:alloc-ok reshape only
+		d.projDepth = make([]int, m)        //geolint:alloc-ok reshape only
 	} else {
 		d.yhat = d.yhat[:m]
 		d.path = d.path[:m]
@@ -115,6 +130,9 @@ func (d *RVDDecoder) PrepareShared(pc *PreparedChannel, h *cmplxmat.Matrix) (boo
 		d.hi = d.hi[:m]
 		d.best = d.best[:m]
 		d.yr = d.yr[:2*h.Rows]
+		d.yt = d.yt[:m]
+		d.proj = d.proj[:(m+1)*m]
+		d.projDepth = d.projDepth[:m]
 	}
 	return hit, nil
 }
@@ -151,6 +169,14 @@ func (d *RVDDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 	best := d.best
 	found := false
 	level := d.m - 1
+	if !d.refProj {
+		// Reset the projection stack: depth m holds ŷ itself.
+		row := d.proj[d.m*d.m:]
+		for l := 0; l < d.m; l++ {
+			row[l] = real(d.yhat[l])
+			d.projDepth[l] = d.m
+		}
+	}
 	d.base[level+1] = 0
 	d.initLevel(level)
 	for {
@@ -164,6 +190,15 @@ func (d *RVDDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 		}
 		d.stats.VisitedNodes++
 		d.path[level] = idx
+		if !d.refProj {
+			// The symbol at this level changed: cached partial sums
+			// that included it are stale for every column below.
+			for l := 0; l < level; l++ {
+				if d.projDepth[l] <= level {
+					d.projDepth[l] = level + 1
+				}
+			}
+		}
 		if level == 0 {
 			d.stats.Leaves++
 			radius2 = ped
@@ -188,23 +223,44 @@ func (d *RVDDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 	return dst, nil
 }
 
-// ytildeAt reduces interference from the fixed upper levels.
+// ytildeAt reduces interference from the fixed upper levels, serving
+// cached partial sums from the projection stack (or, under refProj,
+// recomputing the whole sum in the original ascending order).
 //
 //geolint:noalloc
 func (d *RVDDecoder) ytildeAt(l int) float64 {
-	s := real(d.yhat[l])
-	row := d.qr.R.Row(l)
-	for j := l + 1; j < d.m; j++ {
-		s -= real(row[j]) * d.cons.AxisCoord(d.path[j])
+	if d.refProj {
+		s := real(d.yhat[l])
+		row := d.qr.R.Row(l)
+		for j := l + 1; j < d.m; j++ {
+			s -= real(row[j]) * d.cons.AxisCoord(d.path[j])
+		}
+		return s / real(d.qr.R.At(l, l))
 	}
-	return s / real(d.qr.R.At(l, l))
+	m := d.m
+	p := d.projDepth[l]
+	d.stats.ProjReuse += int64(m - p)
+	row := d.qr.R.Row(l)
+	f := d.proj[p*m+l]
+	for p > l+1 {
+		p--
+		f -= real(row[p]) * d.cons.AxisCoord(d.path[p])
+		d.proj[p*m+l] = f
+	}
+	d.projDepth[l] = l + 1
+	return f / real(d.qr.R.At(l, l))
 }
 
-// initLevel starts the 1-D zigzag at the sliced PAM level.
+// initLevel starts the 1-D zigzag at the sliced PAM level. The
+// interference-reduced value is computed once here and cached for the
+// node's lifetime — the prefix above l is fixed while this node's
+// siblings enumerate, so the per-sibling recomputation the old engine
+// performed always reproduced this exact value.
 //
 //geolint:noalloc
 func (d *RVDDecoder) initLevel(l int) {
-	i := d.cons.SliceAxis(d.ytildeAt(l))
+	d.yt[l] = d.ytildeAt(l)
+	i := d.cons.SliceAxis(d.yt[l])
 	d.lo[l] = i
 	d.hi[l] = i - 1 // the first nextChild call emits i itself
 }
@@ -215,7 +271,7 @@ func (d *RVDDecoder) initLevel(l int) {
 //geolint:noalloc
 func (d *RVDDecoder) nextChild(l int, radius2 float64) (int, float64, bool) {
 	side := d.cons.Side()
-	ytilde := d.ytildeAt(l)
+	ytilde := d.yt[l]
 	var idx int
 	switch {
 	case d.hi[l] < d.lo[l]:

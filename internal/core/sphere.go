@@ -76,6 +76,22 @@ type SphereDecoder struct {
 	rll2 []float64    // |R[l][l]|²
 	rinv []complex128 // 1 / R[l][l]
 
+	// Incremental projection stack (Ghasemmehdi & Agrell, "Faster
+	// Projection in Sphere Decoding"): proj[p*nc+l] caches the partial
+	// interference sum F[p][l] = ŷ_l − Σ_{j≥p} R[l][j]·s_j, and
+	// projDepth[l] is the shallowest depth p at which the cached column
+	// is still consistent with the current path (nc = nothing cached
+	// beyond ŷ_l itself). Descending into level l extends the column
+	// from projDepth[l] down to l+1 — terms above projDepth[l] are
+	// reused, never recomputed — and assigning a symbol at level j
+	// raises projDepth below it back to j+1. refProj disables the stack
+	// and replays the pre-stack per-descend recomputation (ascending-j
+	// subtraction order); the equivalence suite uses it as the
+	// old-engine reference.
+	proj      []complex128
+	projDepth []int
+	refProj   bool
+
 	// ownPrep backs plain Prepare calls, so a standalone decoder gets
 	// the same cached fast path as one attached to a link-layer pool.
 	ownPrep PreparedChannel
@@ -227,6 +243,8 @@ func (d *SphereDecoder) sizeScratch(nc int) {
 		d.path = make([]int, nc)
 		d.pathSym = make([]complex128, nc)
 		d.base = make([]float64, nc)
+		d.proj = make([]complex128, (nc+1)*nc)
+		d.projDepth = make([]int, nc)
 		return
 	}
 	// On shrink, fold the disappearing levels into the level-less
@@ -245,14 +263,48 @@ func (d *SphereDecoder) sizeScratch(nc int) {
 	d.path = d.path[:nc]
 	d.pathSym = d.pathSym[:nc]
 	d.base = d.base[:nc]
+	d.proj = d.proj[:(nc+1)*nc]
+	d.projDepth = d.projDepth[:nc]
 }
 
 // ytildeAt computes the interference-reduced, diagonally-normalized
 // received value for level l given the partial path above it
 // (Equation 8's ỹ_l). Level nc−1 is the top of the tree.
 //
+// The hot path serves it from the incremental projection stack: the
+// cached partial sum for the unchanged prefix above projDepth[l] is
+// reused and only the terms for symbols fixed since the column's last
+// extension are subtracted (deepest first, so each intermediate sum is
+// itself cacheable). refProj replays the original full recomputation
+// in its original ascending-j order instead.
+//
 //geolint:noalloc
 func (d *SphereDecoder) ytildeAt(l int) complex128 {
+	if d.refProj {
+		return d.ytildeRefAt(l)
+	}
+	nc := d.nc
+	p := d.projDepth[l]
+	d.levelStats[l].ProjReuse += int64(nc - p)
+	row := d.qr.R.Row(l)
+	f := d.proj[p*nc+l]
+	for p > l+1 {
+		p--
+		f -= row[p] * d.pathSym[p]
+		d.proj[p*nc+l] = f
+	}
+	d.projDepth[l] = l + 1
+	return f * d.rinv[l]
+}
+
+// ytildeRefAt is the pre-projection-stack reference implementation:
+// one full interference recomputation per descend, subtracting in
+// ascending j. It is retained (behind refProj) so the equivalence
+// suite can pin the stack-served engine's decisions against the exact
+// arithmetic of the previous engine.
+//
+//geolint:noalloc
+func (d *SphereDecoder) ytildeRefAt(l int) complex128 {
 	s := d.yhat[l]
 	row := d.qr.R.Row(l)
 	for j := l + 1; j < d.nc; j++ {
@@ -282,6 +334,15 @@ func (d *SphereDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 	d.qr.ApplyQConjT(d.yhat, y)
 	radius2 := math.Inf(1)
 	top := d.nc - 1
+	if !d.refProj {
+		// Reset the projection stack: depth nc holds ŷ itself and
+		// nothing deeper is cached yet.
+		row := d.proj[d.nc*d.nc:]
+		for l := 0; l <= top; l++ {
+			row[l] = d.yhat[l]
+			d.projDepth[l] = d.nc
+		}
+	}
 	d.base[top] = 0
 	d.enums[top].init(d.ytildeAt(top), 0, d.rll2[top])
 	level := top
@@ -316,6 +377,15 @@ func (d *SphereDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 		visited++
 		d.path[level] = idx
 		d.pathSym[level] = d.cons.PointIndex(idx)
+		if !d.refProj {
+			// The symbol at this level changed: cached partial sums
+			// that included it are stale for every column below.
+			for l := 0; l < level; l++ {
+				if d.projDepth[l] <= level {
+					d.projDepth[l] = level + 1
+				}
+			}
+		}
 		if level == 0 {
 			// Leaf: tighten the sphere radius and record the best
 			// candidate so far, then keep scanning siblings.

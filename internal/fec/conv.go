@@ -67,28 +67,18 @@ func ConvEncode(bits []byte) []byte {
 // a terminated rate-1/2 codeword, returning the information bits. The
 // input length must be even and cover at least the tail.
 func ViterbiDecode(coded []byte) ([]byte, error) {
-	if len(coded)%2 != 0 {
-		return nil, fmt.Errorf("fec: coded length %d is odd", len(coded))
-	}
-	steps := len(coded) / 2
-	if steps < ConstraintLength-1 {
-		return nil, fmt.Errorf("fec: codeword of %d steps shorter than the tail", steps)
-	}
-	soft := make([]float64, len(coded))
+	vals := make([]int8, len(coded))
 	for i, b := range coded {
-		// Map hard bits to ±1 log-likelihoods.
+		// Map hard bits to ±1 correlation values.
 		if b&1 == 1 {
-			soft[i] = 1
+			vals[i] = 1
 		} else {
-			soft[i] = -1
+			vals[i] = -1
 		}
 	}
 	var w ViterbiWorkspace
-	bits, err := w.run(soft)
-	if err != nil {
-		return nil, err
-	}
-	return bits[:steps-(ConstraintLength-1)], nil
+	bits, _, err := w.DecodeHardMetric(vals)
+	return bits, err
 }
 
 // ViterbiDecodeSoft decodes from per-bit log-likelihood ratios
@@ -119,6 +109,8 @@ func ViterbiDecodeSoftMetric(llrs []float64) ([]byte, float64, error) {
 type ViterbiWorkspace struct {
 	metrics   []float64
 	next      []float64
+	imetrics  []int32 // integer twin of metrics for the hard-input path
+	inext     []int32
 	survivors []int16 // steps×numStates packed predecessor decisions
 	bits      []byte
 }
@@ -228,6 +220,126 @@ func (w *ViterbiWorkspace) run(soft []float64) ([]byte, error) {
 	return bits, nil
 }
 
+// DecodeHardMetric is DecodeSoftMetric specialized to hard-decision
+// inputs: vals holds one correlation value per mother-code bit, +1 for
+// a received 1, −1 for a received 0 and 0 for a punctured/erased
+// position. Because every branch and path metric is then a small exact
+// integer, the recursion runs in int32 arithmetic — the decoded bits
+// and the returned metric are bit-identical to feeding the same values
+// through the float path (every float the soft recursion would form is
+// an exactly-representable integer, and the compare/tie rules are the
+// same), at roughly half the add-compare-select cost.
+//
+//geolint:noalloc
+func (w *ViterbiWorkspace) DecodeHardMetric(vals []int8) ([]byte, float64, error) {
+	if len(vals)%2 != 0 {
+		//geolint:alloc-ok error path
+		return nil, 0, fmt.Errorf("fec: coded length %d is odd", len(vals))
+	}
+	steps := len(vals) / 2
+	if steps < ConstraintLength-1 {
+		//geolint:alloc-ok error path
+		return nil, 0, fmt.Errorf("fec: codeword of %d steps shorter than the tail", steps)
+	}
+	bits, err := w.runInt(vals)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bits[:steps-(ConstraintLength-1)], float64(w.imetrics[0]), nil
+}
+
+// runInt is the integer add-compare-select twin of run. The dead-state
+// bookkeeping differs in one harmless way: run's −MaxFloat64 sentinel
+// absorbs branch terms exactly while the integer sentinel accumulates
+// them, so the two recursions can disagree on the survivor of a state
+// both of whose predecessors are unreachable — and only there. Such
+// states exist only in the first K−2 steps, are never on any path that
+// terminates in state 0, and the traceback therefore never reads them,
+// which is the same argument run itself makes for skipping explicit
+// reachability tracking.
+//
+//geolint:noalloc
+func (w *ViterbiWorkspace) runInt(vals []int8) ([]byte, error) {
+	steps := len(vals) / 2
+	// Low enough that every dead path stays far below any live metric
+	// (|branch| ≤ 2 per step), high enough that int32 never wraps for
+	// any codeword short of 2^28 steps.
+	const deadMetric = math.MinInt32 / 4
+	if cap(w.imetrics) < numStates {
+		w.imetrics = make([]int32, numStates) //geolint:alloc-ok first use only
+		w.inext = make([]int32, numStates)    //geolint:alloc-ok first use only
+	}
+	metrics := w.imetrics[:numStates]
+	next := w.inext[:numStates]
+	if cap(w.survivors) < steps*numStates {
+		w.survivors = make([]int16, steps*numStates) //geolint:alloc-ok first use or longer codeword only
+	}
+	survivors := w.survivors[:steps*numStates]
+	for s := range metrics {
+		metrics[s] = deadMetric
+	}
+	metrics[0] = 0
+	for t := 0; t < steps; t++ {
+		surv := survivors[t*numStates : (t+1)*numStates]
+		_ = surv[numStates-1]
+		l0, l1 := int32(vals[2*t]), int32(vals[2*t+1])
+		// Branch metrics for the four output pairs, indexed by the
+		// packed outputs byte: bm[o] = ±l0 ± l1.
+		var bm [4]int32
+		bm[0] = -l0 - l1
+		bm[1] = -l0 + l1
+		bm[2] = l0 - l1
+		bm[3] = l0 + l1
+		for k := 0; k < numStates/2; k++ {
+			s0 := 2 * k
+			m0, m1 := metrics[s0], metrics[s0+1]
+			c0 := bm[outputs[s0][0]]
+			c1 := bm[outputs[s0+1][0]]
+			// Input 0 → next state k. The selects below are
+			// branch-free (CMOV), which matters: the compare direction
+			// is data-dependent and essentially random.
+			a0, a1 := m0+c0, m1+c1
+			m, d := a0, int16(s0<<1)
+			if a1 > a0 {
+				m, d = a1, int16((s0+1)<<1)
+			}
+			next[k] = m
+			surv[k] = d
+			// Input 1 → next state k+numStates/2. Both generators have
+			// the input tap set (bit K−1 of 133 and 171 octal), so
+			// flipping the input flips both coded bits and the branch
+			// metric exactly negates — no second table lookup.
+			b0, b1 := m0-c0, m1-c1
+			m, d = b0, int16(s0<<1|1)
+			if b1 > b0 {
+				m, d = b1, int16((s0+1)<<1|1)
+			}
+			next[k+numStates/2] = m
+			surv[k+numStates/2] = d
+		}
+		metrics, next = next, metrics
+	}
+	w.imetrics, w.inext = metrics, next
+	if cap(w.bits) < steps {
+		w.bits = make([]byte, steps) //geolint:alloc-ok first use or longer codeword only
+	}
+	bits := w.bits[:steps]
+	state := 0
+	// A dead path's metric drifts from the sentinel by at most 2 per
+	// step, so the halfway threshold cleanly separates dead from live
+	// (live metrics are ≥ −2·steps).
+	if metrics[0] < deadMetric/2 {
+		//geolint:alloc-ok error path
+		return nil, fmt.Errorf("fec: trellis did not terminate in the zero state")
+	}
+	for t := steps - 1; t >= 0; t-- {
+		dec := survivors[t*numStates+state]
+		bits[t] = byte(dec & 1)
+		state = int(dec >> 1)
+	}
+	return bits, nil
+}
+
 // Rate identifies a puncturing pattern applied to the rate-1/2 mother
 // code.
 type Rate int
@@ -325,6 +437,30 @@ func DepunctureInto(dst, llrs []float64, r Rate, motherLen int) []float64 {
 	for i := 0; i < motherLen && j < len(llrs); i++ {
 		if pat[i%len(pat)] {
 			dst[i] = llrs[j]
+			j++
+		}
+	}
+	return dst
+}
+
+// DepunctureHardInto is DepunctureInto over hard ±1 correlation
+// values, feeding the integer Viterbi path: erased positions become 0,
+// exactly the neutral value the float path would carry.
+//
+//geolint:noalloc
+func DepunctureHardInto(dst, vals []int8, r Rate, motherLen int) []int8 {
+	pat := r.puncturePattern()
+	if pat == nil {
+		copy(dst, vals)
+		return dst
+	}
+	j := 0
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < motherLen && j < len(vals); i++ {
+		if pat[i%len(pat)] {
+			dst[i] = vals[j]
 			j++
 		}
 	}

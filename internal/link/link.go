@@ -265,6 +265,13 @@ type RunConfig struct {
 	// cached-vs-cold conformance suite); the knob exists for that
 	// proof and for benchmarking the cache itself.
 	NoPrepCache bool
+	// IncrementalPrep lets each worker's preparation cache absorb a
+	// slowly-drifted channel with rank-1 QR updates instead of a full
+	// refactorization (core.PrepPool.SetIncremental). Off by default:
+	// the update chain tracks the fresh factorization only to rotation
+	// roundoff, so the default pipeline stays bitwise reproducible
+	// against the golden suite. Ignored when NoPrepCache is set.
+	IncrementalPrep bool
 	// Recorder, when non-nil, receives the run's observability stream:
 	// one obs.DetectSample per subcarrier detection (from recording-
 	// capable detectors), one obs.DecodeSample per stream decode, and
@@ -347,6 +354,7 @@ func newFrameWorker(cfg RunConfig, pcfg phy.Config, factory DetectorFactory, noi
 			}
 		}
 		w.pool = core.NewPrepPool(ofdm.NumData)
+		w.pool.SetIncremental(cfg.IncrementalPrep)
 		l.SetPrepPool(w.pool)
 	}
 	return w, nil
@@ -378,9 +386,10 @@ func (w *frameWorker) runFrame(nc, fi, worker int, hs []*cmplxmat.Matrix) frameO
 		// so this frame's share is the snapshot delta.
 		before, _ = core.StatsOf(det)
 	}
-	var hitsBefore, missesBefore uint64
+	var hitsBefore, missesBefore, updatesBefore uint64
 	if w.pool != nil {
 		hitsBefore, missesBefore = w.pool.Counters()
+		updatesBefore = w.pool.QRUpdates()
 	}
 	if cfg.SNRJitterDB > 0 {
 		hs = jitterClients(fsrc, hs, cfg.SNRJitterDB)
@@ -410,10 +419,11 @@ func (w *frameWorker) runFrame(nc, fi, worker int, hs []*cmplxmat.Matrix) frameO
 				errs++
 			}
 		}
-		var prepHits, prepMisses uint64
+		var prepHits, prepMisses, qrUpdates uint64
 		if w.pool != nil {
 			h, m := w.pool.Counters()
 			prepHits, prepMisses = h-hitsBefore, m-missesBefore
+			qrUpdates = w.pool.QRUpdates() - updatesBefore
 		}
 		cfg.Recorder.RecordFrame(obs.FrameSample{
 			Frame:  fi,
@@ -425,6 +435,8 @@ func (w *frameWorker) runFrame(nc, fi, worker int, hs []*cmplxmat.Matrix) frameO
 			StreamErrors: errs,
 			PrepHits:     prepHits,
 			PrepMisses:   prepMisses,
+			ProjReuse:    out.stats.ProjReuse,
+			QRUpdates:    qrUpdates,
 		})
 	}
 	return out

@@ -12,7 +12,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestNoAlloc(t *testing.T) {
-	analysistest.Run(t, "testdata", lint.NoAlloc, "noalloc/a")
+	analysistest.Run(t, "testdata", lint.NoAlloc, "noalloc/a", "noalloc/update")
 }
 
 func TestRecorderHygiene(t *testing.T) {

@@ -1,0 +1,85 @@
+// Package update mirrors the hot shapes introduced by the
+// redundancy-free search rebuild — incremental re-preparation
+// (core.PreparedChannel.tryUpdate, cmplxmat.QRUpdateInto), the
+// projection-stack serve (ytildeAt) and the batched SoA sweep
+// (phy.Link.detectOne) — so the noalloc analyzer's treatment of their
+// patterns is pinned: cap-gated scratch growth and error constructors
+// need the alloc-ok waiver, one-hot scratch writes and pure index
+// arithmetic are free, and untagged growth on the hot path is flagged.
+package update
+
+import "fmt"
+
+type cache struct {
+	epoch      uint64
+	ucol, vcol []float64
+	proj       []float64
+	depth      []int
+	rows       [][]float64
+	path       []float64
+}
+
+// tryUpdate mirrors the guard-then-update shape: early returns on the
+// guards, amortized cap-gated scratch growth behind an alloc-ok
+// waiver, and the one-hot set/reset of receiver-owned scratch.
+//
+//geolint:noalloc
+func (c *cache) tryUpdate(h []float64) bool {
+	if c.epoch == 0 || len(h) != len(c.proj) {
+		return false
+	}
+	if cap(c.ucol) < len(h) {
+		c.ucol = make([]float64, len(h)) //geolint:alloc-ok sized once per shape, amortized over the update chain
+	}
+	c.ucol = c.ucol[:len(h)]
+	for i := range h {
+		c.ucol[i] = h[i] - c.proj[i]
+	}
+	c.vcol[0] = 1
+	c.vcol[0] = 0
+	c.epoch++
+	return true
+}
+
+// serve mirrors the projection-stack serve: reuse the deepest valid
+// prefix, extend it downward in place, publish the new frontier —
+// pure index arithmetic over receiver-owned state.
+//
+//geolint:noalloc
+func (c *cache) serve(l, n int) float64 {
+	p := c.depth[l]
+	row := c.rows[l]
+	f := c.proj[p*n+l]
+	for p > l+1 {
+		p--
+		f -= row[p] * c.path[p]
+		c.proj[p*n+l] = f
+	}
+	c.depth[l] = l + 1
+	return f
+}
+
+// detectOne mirrors the batched sweep's per-observation step: the
+// error constructor is the tagged cold path, the accounting loop is
+// free.
+//
+//geolint:noalloc
+func (c *cache) detectOne(idx []int, y []float64) error {
+	if len(idx) != len(y) {
+		return fmt.Errorf("update: %d decisions for %d observations", len(idx), len(y)) //geolint:alloc-ok error path
+	}
+	for k := range y {
+		if y[k] < 0 {
+			idx[k] = -1
+		}
+	}
+	return nil
+}
+
+// growUntagged is the regression these fixtures exist to catch:
+// scratch growth on the hot path without the waiver must be flagged.
+//
+//geolint:noalloc
+func (c *cache) growUntagged(n int) {
+	c.ucol = make([]float64, n) // want `make allocates`
+}

@@ -84,6 +84,14 @@ type FrameSample struct {
 	// Both are zero when the pipeline runs without a prep pool.
 	PrepHits   uint64
 	PrepMisses uint64
+	// ProjReuse counts interference-projection terms the frame's tree
+	// searches served from the incremental projection stack instead of
+	// recomputing (core.Stats.ProjReuse delta).
+	ProjReuse int64
+	// QRUpdates counts channel preparations this frame absorbed with
+	// rank-1 QR updates instead of full refactorizations. Zero unless
+	// the pipeline enables incremental preparation.
+	QRUpdates uint64
 }
 
 // PointSample is one completed sweep measurement point (one
@@ -235,6 +243,8 @@ type StatsRecorder struct {
 	streamErrors Counter
 	prepHits     Counter
 	prepMisses   Counter
+	projReuse    Counter
+	qrUpdates    Counter
 	workers      [maxWorkers]workerCounters
 
 	mu     sync.Mutex
@@ -299,6 +309,8 @@ func (r *StatsRecorder) RecordFrame(s FrameSample) {
 	r.streamErrors.Add(int64(s.StreamErrors))
 	r.prepHits.Add(int64(s.PrepHits))
 	r.prepMisses.Add(int64(s.PrepMisses))
+	r.projReuse.Add(s.ProjReuse)
+	r.qrUpdates.Add(int64(s.QRUpdates))
 	w := s.Worker
 	if w < 0 {
 		w = 0
@@ -351,6 +363,10 @@ type DecodeSnapshot struct {
 // PrepareMisses total the channel-preparation cache outcomes across
 // all workers; their sum is the number of detector preparations, and
 // the hit fraction is the cache's effectiveness for the run.
+// ProjReuse totals the interference-projection terms the tree searches
+// served from their incremental projection stacks, and QRUpdates the
+// preparations absorbed by rank-1 QR updates instead of full
+// refactorizations.
 type FrameSnapshot struct {
 	Frames        int64   `json:"frames"`
 	FrameErrors   int64   `json:"frame_errors"`
@@ -358,6 +374,8 @@ type FrameSnapshot struct {
 	StreamErrors  int64   `json:"stream_errors"`
 	PrepareHits   int64   `json:"prepare_hits"`
 	PrepareMisses int64   `json:"prepare_misses"`
+	ProjReuse     int64   `json:"proj_reuse"`
+	QRUpdates     int64   `json:"qr_updates"`
 	BusySeconds   float64 `json:"busy_seconds"`
 }
 
@@ -403,6 +421,8 @@ func (r *StatsRecorder) Snapshot() Snapshot {
 			StreamErrors:  r.streamErrors.Load(),
 			PrepareHits:   r.prepHits.Load(),
 			PrepareMisses: r.prepMisses.Load(),
+			ProjReuse:     r.projReuse.Load(),
+			QRUpdates:     r.qrUpdates.Load(),
 		},
 		Workers: []WorkerSnapshot{},
 		Points:  []PointSample{},
@@ -458,9 +478,12 @@ func (s Snapshot) WriteText(w io.Writer) {
 		s.Decode.Decodes, s.Decode.CRCFailures, s.Decode.PathMetric.Mean())
 	fmt.Fprintf(w, "  frames: %d (%d errors), %d streams (%d errors), %.2fs busy\n",
 		s.Frames.Frames, s.Frames.FrameErrors, s.Frames.Streams, s.Frames.StreamErrors, s.Frames.BusySeconds)
-	if total := s.Frames.PrepareHits + s.Frames.PrepareMisses; total > 0 {
-		fmt.Fprintf(w, "  prepare cache: %d hits / %d preparations (%.1f%% hit rate)\n",
-			s.Frames.PrepareHits, total, 100*float64(s.Frames.PrepareHits)/float64(total))
+	if total := s.Frames.PrepareHits + s.Frames.PrepareMisses + s.Frames.QRUpdates; total > 0 {
+		fmt.Fprintf(w, "  prepare cache: %d hits / %d preparations (%.1f%% hit rate), %d QR updates\n",
+			s.Frames.PrepareHits, total, 100*float64(s.Frames.PrepareHits)/float64(total), s.Frames.QRUpdates)
+	}
+	if s.Frames.ProjReuse > 0 {
+		fmt.Fprintf(w, "  projection stack: %d reused terms\n", s.Frames.ProjReuse)
 	}
 	for _, ws := range s.Workers {
 		fmt.Fprintf(w, "    worker %2d: %6d frames %8.2fs busy\n", ws.Worker, ws.Frames, ws.BusySeconds)

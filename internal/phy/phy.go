@@ -116,23 +116,30 @@ type Link struct {
 }
 
 // receiveScratch holds the per-frame detector output buffers
-// TransmitReceiveCSI reuses across frames of identical geometry.
+// TransmitReceiveCSI reuses across frames of identical geometry. yb is
+// the structure-of-arrays received-signal buffer: one flat slice
+// holding every (symbol, subcarrier) observation contiguously in
+// symbol-major order, yb[(t·NumData+s)·na : +na], so the batched
+// detection pass walks one OFDM symbol's 48 subcarriers as a single
+// sequential sweep.
 type receiveScratch struct {
 	detIdx [][][]int
 	detLLR [][][]float64
-	y      []complex128
+	yb     []complex128
 }
 
 // decodeScratch holds the per-stream decode buffers, sized once on
 // first use so steady-state stream decoding does not allocate.
 type decodeScratch struct {
 	coded     []float64 // deinterleaved soft coded bits, whole frame
+	codedHard []int8    // deinterleaved ±1 coded values, hard path
 	bitbuf    []byte    // per-symbol demapped bits
 	block     []byte    // one interleaver block, hard path
 	blockSoft []float64 // one interleaver block, soft path
 	deint     []byte    // deinterleaver output, hard path
 	deintSoft []float64 // deinterleaver output, soft path
 	llrs      []float64 // depunctured mother-code LLRs
+	llrsHard  []int8    // depunctured mother-code values, hard path
 	vit       fec.ViterbiWorkspace
 }
 
@@ -284,31 +291,52 @@ func (l *Link) TransmitReceiveCSI(src *rng.Source, f *Frame, hsTrue, hsDet []*cm
 	// detIdx[t][s] holds the detected point indices; detLLR the
 	// per-bit soft values when soft decoding is on. Both live in
 	// link-owned scratch reused across frames of the same geometry.
-	detIdx, detLLR, y := l.sizeReceive(nc, na, soft != nil)
+	detIdx, detLLR, yb := l.sizeReceive(nc, na, soft != nil)
 	res := &Result{StreamOK: make([]bool, nc)}
 	for s := 0; s < ofdm.NumData; s++ {
 		if hsDet[s].Rows != na || hsDet[s].Cols != nc {
 			return nil, fmt.Errorf("phy: CSI shape mismatch at subcarrier %d", s)
 		}
-		if err := l.prepareDetector(det, s, hsDet[s]); err != nil {
-			return nil, fmt.Errorf("phy: prepare subcarrier %d: %w", s, err)
-		}
+	}
+	// Transmit every (subcarrier, symbol) observation into the flat SoA
+	// buffer. The loop nest is subcarrier-major so the noise draw
+	// schedule — and with it every golden measurement — is independent
+	// of how the detection pass below is ordered.
+	for s := 0; s < ofdm.NumData; s++ {
 		for t := 0; t < cfg.NumSymbols; t++ {
-			channel.Transmit(y, src, hs[s], f.X[t][s], noiseVar)
-			if _, err := det.Detect(detIdx[t][s], y); err != nil {
-				return nil, fmt.Errorf("phy: detect subcarrier %d symbol %d: %w", s, t, err)
-			}
-			if soft != nil {
-				if _, err := soft.DetectSoft(detLLR[t][s], y, noiseVar); err != nil {
-					return nil, fmt.Errorf("phy: soft detect subcarrier %d symbol %d: %w", s, t, err)
+			at := (t*ofdm.NumData + s) * na
+			channel.Transmit(yb[at:at+na], src, hs[s], f.X[t][s], noiseVar)
+		}
+	}
+	if l.prep != nil {
+		// Batched detection: walk all data subcarriers of one OFDM
+		// symbol as a single sequential sweep over the SoA buffer — the
+		// order the observations arrive in a real receiver. Switching
+		// subcarrier per detection re-prepares through the cache, where
+		// it is a pure hit after each subcarrier's first symbol.
+		for t := 0; t < cfg.NumSymbols; t++ {
+			row := yb[t*ofdm.NumData*na:]
+			for s := 0; s < ofdm.NumData; s++ {
+				if err := l.prepareDetector(det, s, hsDet[s]); err != nil {
+					return nil, fmt.Errorf("phy: prepare subcarrier %d: %w", s, err)
+				}
+				if err := l.detectOne(det, soft, f, res, detIdx, detLLR, row[s*na:(s+1)*na], t, s, nc, noiseVar); err != nil {
+					return nil, err
 				}
 			}
-			// Pre-FEC symbol error accounting.
-			for k := 0; k < nc; k++ {
-				res.Symbols++
-				//geolint:float-ok both operands are verbatim entries of the same constellation table
-				if cfg.Cons.PointIndex(detIdx[t][s][k]) != f.X[t][s][k] {
-					res.SymbolErrors++
+		}
+	} else {
+		// Without a preparation cache a subcarrier switch costs a full
+		// factorization, so keep the subcarrier-major order that
+		// prepares each channel exactly once.
+		for s := 0; s < ofdm.NumData; s++ {
+			if err := l.prepareDetector(det, s, hsDet[s]); err != nil {
+				return nil, fmt.Errorf("phy: prepare subcarrier %d: %w", s, err)
+			}
+			for t := 0; t < cfg.NumSymbols; t++ {
+				at := (t*ofdm.NumData + s) * na
+				if err := l.detectOne(det, soft, f, res, detIdx, detLLR, yb[at:at+na], t, s, nc, noiseVar); err != nil {
+					return nil, err
 				}
 			}
 		}
@@ -343,12 +371,40 @@ func (l *Link) prepareDetector(det core.Detector, s int, h *cmplxmat.Matrix) err
 	return det.Prepare(h)
 }
 
+// detectOne runs one (symbol, subcarrier) detection from the SoA
+// receive buffer: hard decisions, soft values when requested, and the
+// pre-FEC symbol-error accounting.
+//
+//geolint:noalloc
+func (l *Link) detectOne(det core.Detector, soft core.SoftDetector, f *Frame, res *Result, detIdx [][][]int, detLLR [][][]float64, y []complex128, t, s, nc int, noiseVar float64) error {
+	if _, err := det.Detect(detIdx[t][s], y); err != nil {
+		//geolint:alloc-ok error path
+		return fmt.Errorf("phy: detect subcarrier %d symbol %d: %w", s, t, err)
+	}
+	if soft != nil {
+		if _, err := soft.DetectSoft(detLLR[t][s], y, noiseVar); err != nil {
+			//geolint:alloc-ok error path
+			return fmt.Errorf("phy: soft detect subcarrier %d symbol %d: %w", s, t, err)
+		}
+	}
+	cons := l.cfg.Cons
+	for k := 0; k < nc; k++ {
+		res.Symbols++
+		//geolint:float-ok both operands are verbatim entries of the same constellation table
+		if cons.PointIndex(detIdx[t][s][k]) != f.X[t][s][k] {
+			res.SymbolErrors++
+		}
+	}
+	return nil
+}
+
 // sizeReceive returns the frame-geometry-dependent detector output
-// buffers, reusing the link's scratch when the shape is unchanged.
-// Every entry is fully overwritten before use (Detect and DetectSoft
-// write all nc entries of their slot), so reuse cannot leak one
-// frame's decisions into the next.
-func (l *Link) sizeReceive(nc, na int, soft bool) (detIdx [][][]int, detLLR [][][]float64, y []complex128) {
+// buffers and the flat SoA receive buffer, reusing the link's scratch
+// when the shape is unchanged. Every entry is fully overwritten before
+// use (Transmit writes every observation, Detect and DetectSoft write
+// all nc entries of their slot), so reuse cannot leak one frame's
+// signal or decisions into the next.
+func (l *Link) sizeReceive(nc, na int, soft bool) (detIdx [][][]int, detLLR [][][]float64, yb []complex128) {
 	cfg := l.cfg
 	r := &l.rx
 	T := cfg.NumSymbols
@@ -376,10 +432,11 @@ func (l *Link) sizeReceive(nc, na int, soft bool) (detIdx [][][]int, detLLR [][]
 		}
 		detLLR = r.detLLR
 	}
-	if cap(r.y) < na {
-		r.y = make([]complex128, na)
+	n := T * ofdm.NumData * na
+	if cap(r.yb) < n {
+		r.yb = make([]complex128, n)
 	}
-	return r.detIdx, detLLR, r.y[:na]
+	return r.detIdx, detLLR, r.yb[:n]
 }
 
 // depuncture re-inserts erasures into one stream's coded LLRs using
@@ -394,6 +451,17 @@ func (l *Link) depuncture(coded []float64) []float64 {
 		sc.llrs = make([]float64, motherLen)
 	}
 	return fec.DepunctureInto(sc.llrs[:motherLen], coded, cfg.Rate, motherLen)
+}
+
+// depunctureHard is depuncture over the hard path's ±1 values.
+func (l *Link) depunctureHard(coded []int8) []int8 {
+	cfg := l.cfg
+	sc := &l.dec
+	motherLen := 2 * (cfg.InfoBits() + fec.ConstraintLength - 1)
+	if cap(sc.llrsHard) < motherLen {
+		sc.llrsHard = make([]int8, motherLen)
+	}
+	return fec.DepunctureHardInto(sc.llrsHard[:motherLen], coded, cfg.Rate, motherLen)
 }
 
 // decodeStreamSoft is decodeStream over detector LLRs: deinterleave
@@ -448,15 +516,15 @@ func (l *Link) decodeStreamSoft(f *Frame, detLLR [][][]float64, k int, scrambler
 func (l *Link) decodeStream(f *Frame, detIdx [][][]int, k int, scramblerSeed byte) (bool, float64, error) {
 	cfg := l.cfg
 	sc := &l.dec
-	if cap(sc.coded) < cfg.CodedBits() {
-		sc.coded = make([]float64, 0, cfg.CodedBits())
-	}
 	if cap(sc.block) < cfg.BitsPerSymbol() {
 		sc.bitbuf = make([]byte, l.nbps)
 		sc.block = make([]byte, cfg.BitsPerSymbol())
 		sc.deint = make([]byte, cfg.BitsPerSymbol())
 	}
-	coded := sc.coded[:0]
+	if cap(sc.codedHard) < cfg.CodedBits() {
+		sc.codedHard = make([]int8, 0, cfg.CodedBits())
+	}
+	coded := sc.codedHard[:0]
 	bitbuf := sc.bitbuf[:l.nbps]
 	block := sc.block[:cfg.BitsPerSymbol()]
 	for t := 0; t < cfg.NumSymbols; t++ {
@@ -477,12 +545,12 @@ func (l *Link) decodeStream(f *Frame, detIdx [][][]int, k int, scramblerSeed byt
 			}
 		}
 	}
-	llrs := l.depuncture(coded)
-	dec, metric, err := sc.vit.DecodeSoftMetric(llrs)
+	vals := l.depunctureHard(coded)
+	dec, metric, err := sc.vit.DecodeHardMetric(vals)
 	if err != nil {
 		return false, 0, err
 	}
-	metric /= float64(len(llrs))
+	metric /= float64(len(vals))
 	fec.Scramble(dec, scramblerSeed)
 	payload, ok := fec.CheckCRC(dec)
 	if !ok {

@@ -268,3 +268,51 @@ func TestFrameFailsAtAbsurdNoise(t *testing.T) {
 		t.Fatalf("error accounting empty: %+v", res)
 	}
 }
+
+// TestBatchedDetectZeroAllocs extends the detection-hot-path
+// allocation contract (core's TestDetectZeroAllocs) to the batched
+// structure-of-arrays sweep the link runs when a preparation pool is
+// attached: one full OFDM symbol — pool prepare on every subcarrier
+// switch plus hard detection and pre-FEC accounting straight from the
+// flat receive buffer — allocates nothing in steady state.
+func TestBatchedDetectZeroAllocs(t *testing.T) {
+	cfg := Config{Cons: constellation.QAM16, Rate: fec.Rate12, NumSymbols: 1}
+	link, err := NewLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := core.NewPrepPool(ofdm.NumData)
+	link.SetPrepPool(pool)
+	det := core.NewGeosphere(cfg.Cons)
+	src := rng.New(5)
+	const na, nc = 4, 4
+	hs := perSCChannels(src, na, nc)
+	f, err := link.Encode(src, nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noiseVar := channel.NoiseVarForSNRdB(24)
+	// One full frame warms everything: the SoA scratch reaches its
+	// final size and every pool slot holds its subcarrier's channel.
+	if _, err := link.TransmitReceive(src, f, hs, det, noiseVar); err != nil {
+		t.Fatal(err)
+	}
+	detIdx, _, yb := link.sizeReceive(nc, na, false)
+	res := &Result{StreamOK: make([]bool, nc)}
+	allocs := testing.AllocsPerRun(20, func() {
+		for s := 0; s < ofdm.NumData; s++ {
+			if err := link.prepareDetector(det, s, hs[s]); err != nil {
+				t.Fatal(err)
+			}
+			if err := link.detectOne(det, nil, f, res, detIdx, nil, yb[s*na:(s+1)*na], 0, s, nc, noiseVar); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("batched SoA sweep: %g allocs per symbol, want 0", allocs)
+	}
+	if hits, _ := pool.Counters(); hits == 0 {
+		t.Error("sweep never hit the preparation cache")
+	}
+}
