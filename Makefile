@@ -12,7 +12,7 @@
 STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
-.PHONY: check fmt vet lint staticcheck vulncheck test shuffle equiv bench bench-smoke fuzz-smoke race
+.PHONY: check fmt vet lint staticcheck vulncheck test shuffle equiv bench bench-smoke serve-bench fuzz-smoke race
 
 # Everything the merge gate requires. The detector-equivalence suite
 # runs a second time in shuffled order so an accidental coupling
@@ -62,6 +62,15 @@ bench:
 bench-smoke:
 	go test -run '^$$' -bench 'BenchmarkDetect' -benchtime=1x ./...
 
+# Load-test the resident serving pipeline (cmd/geocell): tens of
+# thousands of concurrent simulated user groups through the sharded
+# detector service, recording p50/p99 frame latency, frames/sec and
+# the Geosphere → K-best → ZF degradation mix under the "serve" key of
+# BENCH_geosphere.json (cmd/geobench preserves that key when it
+# regenerates the rest of the file).
+serve-bench:
+	go run ./cmd/geoload -users 10000 -frames 3 -retries 100 -backoff 100ms -o BENCH_geosphere.json
+
 # A short budget on each fuzzed property: detector agreement across
 # the constellation × shape grid (Geosphere, ETH-SD, RVD and — where
 # enumerable — exhaustive ML must agree on every random instance), and
@@ -71,5 +80,8 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz FuzzDetectAgreement -fuzztime 20s ./internal/core
 	go test -run '^$$' -fuzz FuzzProjectionCache -fuzztime 10s ./internal/core
 
+# The whole module, including the facade's streaming conformance and
+# Receiver-hammering tests; -short skips only the long benchmark-grade
+# root tests.
 race:
-	go test -race -short ./internal/...
+	go test -race -short ./...

@@ -61,12 +61,16 @@ type Scenario struct {
 
 // Report is the BENCH_geosphere.json schema. Baseline carries the
 // pre-optimization numbers the current scenarios are compared against;
-// it is fixed at generation time, not re-measured.
+// it is fixed at generation time, not re-measured. Serve is the load-
+// harness record cmd/geoload maintains under the same file — geobench
+// does not interpret it, only carries it across regenerations so the
+// two tools can share one trajectory file.
 type Report struct {
 	Schema    string             `json:"schema"`
 	Baseline  map[string]Metrics `json:"baseline"`
 	BaselineA map[string]string  `json:"baseline_annotations"`
 	Scenarios []Scenario         `json:"scenarios"`
+	Serve     json.RawMessage    `json:"serve,omitempty"`
 }
 
 // preCacheBaseline is the static-trace link scenario measured at the
@@ -349,6 +353,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
 		os.Exit(1)
+	}
+	if prev != nil {
+		rep.Serve = prev.Serve
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,139 @@
+// Command geocell is the resident multi-user detection service: a
+// long-running base-station process serving uplink frames for an
+// unbounded population of user groups on a sharded pipeline with
+// bounded queues, admission control, and Geosphere → K-best → ZF
+// degradation under overload (see internal/serve).
+//
+// Two modes:
+//
+//   - Listener (default): serve HTTP on -listen. GET /healthz and
+//     GET /stats expose liveness and the serving + pipeline counters;
+//     POST /ingest?group=N&frames=M pushes frames through the
+//     detector. The process runs until SIGINT/SIGTERM, then shuts
+//     down gracefully (in-flight frames complete).
+//
+//   - Firehose (-firehose): replay a synthetic trace firehose through
+//     the service in-process — -users concurrent simulated user
+//     groups, -frames frames each — and print the load report
+//     (p50/p99 frame latency, frames/sec, ladder-tier mix) as JSON.
+//     This is the mode the load harness (cmd/geoload) and the
+//     serve-bench CI job build on.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("geocell", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:8443", "listener mode: HTTP address to serve on")
+		bits      = fs.Int("bits", 4, "constellation bits per symbol (2, 4, 6, 8)")
+		na        = fs.Int("na", 4, "AP antennas")
+		nc        = fs.Int("nc", 2, "clients per user group")
+		symbols   = fs.Int("symbols", 8, "OFDM symbols per frame")
+		snr       = fs.Float64("snr", 25, "per-stream SNR in dB")
+		seed      = fs.Int64("seed", 2014, "determinism root seed")
+		shards    = fs.Int("shards", 8, "pipeline shards")
+		queue     = fs.Int("queue", 64, "per-shard frame queue depth")
+		maxGroups = fs.Int("max-groups", 512, "resident user groups per shard (LRU beyond)")
+		kbestK    = fs.Int("kbest", 4, "K of the K-best degradation tier")
+		kbestLoad = fs.Float64("kbest-load", 0.5, "queue occupancy above which frames degrade to K-best")
+		zfLoad    = fs.Float64("zf-load", 0.85, "queue occupancy above which frames degrade to ZF")
+		firehose  = fs.Bool("firehose", false, "firehose mode: replay a synthetic trace load and print the report")
+		users     = fs.Int("users", 1000, "firehose mode: concurrent simulated user groups")
+		frames    = fs.Int("frames", 4, "firehose mode: frames per user")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cons, err := constellation.ByBits(*bits)
+	if err != nil {
+		fmt.Fprintf(stderr, "geocell: %v\n", err)
+		return 1
+	}
+	pipeline := obs.NewStatsRecorder()
+	srv, err := serve.New(serve.Config{
+		Cons:       cons,
+		NA:         *na,
+		NC:         *nc,
+		NumSymbols: *symbols,
+		SNRdB:      *snr,
+		Seed:       *seed,
+		Shards:     *shards,
+		QueueDepth: *queue,
+		MaxGroups:  *maxGroups,
+		KBestK:     *kbestK,
+		KBestLoad:  *kbestLoad,
+		ZFLoad:     *zfLoad,
+		Recorder:   pipeline,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "geocell: %v\n", err)
+		return 1
+	}
+	defer srv.Close()
+
+	if *firehose {
+		rep := serve.RunLoad(context.Background(), srv, serve.LoadConfig{
+			Users:         *users,
+			FramesPerUser: *frames,
+		})
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "geocell: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	return serveHTTP(srv, pipeline, *listen, stdout, stderr)
+}
+
+// serveHTTP runs the listener mode until SIGINT/SIGTERM, then shuts
+// down gracefully.
+func serveHTTP(srv *serve.Server, pipeline *obs.StatsRecorder, addr string, stdout, stderr io.Writer) int {
+	hs := &http.Server{Addr: addr, Handler: serve.NewHandler(srv, pipeline)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(stdout, "geocell: serving on %s (%d shards, queue %d)\n",
+		addr, srv.Config().Shards, srv.Config().QueueDepth)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "geocell: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(stdout, "geocell: %v, shutting down\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "geocell: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestFirehoseSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-firehose", "-users", "6", "-frames", "2",
+		"-shards", "2", "-queue", "8", "-symbols", "2", "-bits", "2",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var rep serve.LoadReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Users != 6 || rep.FramesPerUser != 2 {
+		t.Fatalf("config not echoed: %+v", rep)
+	}
+	if rep.FramesServed+rep.Dropped != 12 {
+		t.Fatalf("served %d + dropped %d != 12", rep.FramesServed, rep.Dropped)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown flag exited %d, want 2", code)
+	}
+	if code := run([]string{"-bits", "3"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("odd bits exited %d, want 1", code)
+	}
+	if code := run([]string{"-na", "1", "-nc", "4"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("wide shape exited %d, want 1", code)
+	}
+}

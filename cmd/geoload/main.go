@@ -1,0 +1,198 @@
+// Command geoload is the load harness for the geocell serving
+// pipeline: it builds an in-process serve.Server, hammers it with
+// -users concurrent simulated user groups (each submitting -frames
+// frames with bounded retry on admission rejects), prints the
+// resulting report, and records it under the "serve" key of
+// BENCH_geosphere.json — alongside, and without disturbing, the
+// batch-pipeline results that cmd/geobench maintains there.
+//
+//	go run ./cmd/geoload -users 10000 -frames 3 -o BENCH_geosphere.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// serveBlock is the value stored under the "serve" key of
+// BENCH_geosphere.json. Records accumulate across runs so trends stay
+// visible; cmd/geobench carries the block verbatim when it rewrites
+// the rest of the file.
+type serveBlock struct {
+	Schema  string        `json:"schema"`
+	Records []serveRecord `json:"records"`
+}
+
+// serveRecord is one geoload run.
+type serveRecord struct {
+	Label  string           `json:"label,omitempty"`
+	Config serveConfigStamp `json:"config"`
+	Report serve.LoadReport `json:"report"`
+}
+
+// serveConfigStamp pins the service shape the report was measured on.
+type serveConfigStamp struct {
+	Constellation string  `json:"constellation"`
+	NA            int     `json:"na"`
+	NC            int     `json:"nc"`
+	NumSymbols    int     `json:"num_symbols"`
+	SNRdB         float64 `json:"snr_db"`
+	Seed          int64   `json:"seed"`
+	Shards        int     `json:"shards"`
+	QueueDepth    int     `json:"queue_depth"`
+	KBestLoad     float64 `json:"kbest_load"`
+	ZFLoad        float64 `json:"zf_load"`
+}
+
+const serveSchema = "geoload/v1"
+
+// maxRecords bounds the history kept in the bench file; older runs
+// roll off the front.
+const maxRecords = 32
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("geoload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		users     = fs.Int("users", 10000, "concurrent simulated user groups")
+		frames    = fs.Int("frames", 3, "frames per user")
+		retries   = fs.Int("retries", 3, "retries per frame after an admission reject")
+		backoff   = fs.Duration("backoff", 200*time.Microsecond, "wait between admission retries")
+		out       = fs.String("o", "", "bench file to update under the \"serve\" key (e.g. BENCH_geosphere.json); empty = print only")
+		label     = fs.String("label", "", "optional record label (e.g. CI run id)")
+		bits      = fs.Int("bits", 4, "constellation bits per symbol (2, 4, 6, 8)")
+		na        = fs.Int("na", 4, "AP antennas")
+		nc        = fs.Int("nc", 2, "clients per user group")
+		symbols   = fs.Int("symbols", 8, "OFDM symbols per frame")
+		snr       = fs.Float64("snr", 25, "per-stream SNR in dB")
+		seed      = fs.Int64("seed", 2014, "determinism root seed")
+		shards    = fs.Int("shards", 8, "pipeline shards")
+		queue     = fs.Int("queue", 64, "per-shard frame queue depth")
+		maxGroups = fs.Int("max-groups", 512, "resident user groups per shard (LRU beyond)")
+		kbestK    = fs.Int("kbest", 4, "K of the K-best degradation tier")
+		kbestLoad = fs.Float64("kbest-load", 0.5, "queue occupancy above which frames degrade to K-best")
+		zfLoad    = fs.Float64("zf-load", 0.85, "queue occupancy above which frames degrade to ZF")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cons, err := constellation.ByBits(*bits)
+	if err != nil {
+		fmt.Fprintf(stderr, "geoload: %v\n", err)
+		return 1
+	}
+	srv, err := serve.New(serve.Config{
+		Cons:       cons,
+		NA:         *na,
+		NC:         *nc,
+		NumSymbols: *symbols,
+		SNRdB:      *snr,
+		Seed:       *seed,
+		Shards:     *shards,
+		QueueDepth: *queue,
+		MaxGroups:  *maxGroups,
+		KBestK:     *kbestK,
+		KBestLoad:  *kbestLoad,
+		ZFLoad:     *zfLoad,
+		Recorder:   obs.NewStatsRecorder(),
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "geoload: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprintf(stderr, "geoload: %d users x %d frames on %d shards (queue %d)...\n",
+		*users, *frames, *shards, *queue)
+	rep := serve.RunLoad(context.Background(), srv, serve.LoadConfig{
+		Users:         *users,
+		FramesPerUser: *frames,
+		Retries:       *retries,
+		Backoff:       *backoff,
+	})
+	srv.Close()
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(stderr, "geoload: %v\n", err)
+		return 1
+	}
+
+	if *out == "" {
+		return 0
+	}
+	rec := serveRecord{
+		Label: *label,
+		Config: serveConfigStamp{
+			Constellation: cons.Name(),
+			NA:            *na,
+			NC:            *nc,
+			NumSymbols:    *symbols,
+			SNRdB:         *snr,
+			Seed:          *seed,
+			Shards:        *shards,
+			QueueDepth:    *queue,
+			KBestLoad:     *kbestLoad,
+			ZFLoad:        *zfLoad,
+		},
+		Report: rep,
+	}
+	if err := appendRecord(*out, rec); err != nil {
+		fmt.Fprintf(stderr, "geoload: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "geoload: recorded under %q in %s\n", "serve", *out)
+	return 0
+}
+
+// appendRecord read-modify-writes the bench file: every top-level key
+// other than "serve" (geobench's schema, results, environment, ...) is
+// preserved byte-for-byte as raw JSON; the "serve" block gains rec.
+func appendRecord(path string, rec serveRecord) error {
+	doc := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	var block serveBlock
+	if raw, ok := doc["serve"]; ok {
+		// A malformed block is replaced rather than fatal: the bench
+		// file is advisory output, not input state we must trust.
+		_ = json.Unmarshal(raw, &block)
+	}
+	block.Schema = serveSchema
+	block.Records = append(block.Records, rec)
+	if n := len(block.Records); n > maxRecords {
+		block.Records = block.Records[n-maxRecords:]
+	}
+	raw, err := json.Marshal(block)
+	if err != nil {
+		return err
+	}
+	doc["serve"] = raw
+
+	outRaw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(outRaw, '\n'), 0o644)
+}

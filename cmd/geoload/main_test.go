@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadRecordsPreserveBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_geosphere.json")
+	// Pre-existing geobench content must survive untouched.
+	seed := []byte(`{"schema": "geobench/v1", "results": [{"name": "uplink"}]}`)
+	if err := os.WriteFile(path, seed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	args := []string{
+		"-users", "4", "-frames", "1", "-shards", "2", "-queue", "8",
+		"-symbols", "2", "-bits", "2", "-label", "test", "-o", path,
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string          `json:"schema"`
+		Results json.RawMessage `json:"results"`
+		Serve   serveBlock      `json:"serve"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "geobench/v1" {
+		t.Fatalf("geobench schema clobbered: %q", doc.Schema)
+	}
+	if !bytes.Contains(doc.Results, []byte("uplink")) {
+		t.Fatalf("geobench results clobbered: %s", doc.Results)
+	}
+	if doc.Serve.Schema != serveSchema {
+		t.Fatalf("serve schema %q", doc.Serve.Schema)
+	}
+	if len(doc.Serve.Records) != 1 {
+		t.Fatalf("%d serve records, want 1", len(doc.Serve.Records))
+	}
+	rec := doc.Serve.Records[0]
+	if rec.Label != "test" || rec.Config.Shards != 2 || rec.Report.Users != 4 {
+		t.Fatalf("record mangled: %+v", rec)
+	}
+
+	// A second run appends rather than replacing.
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("second run exit %d, stderr: %s", code, stderr.String())
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Serve = serveBlock{}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Serve.Records) != 2 {
+		t.Fatalf("%d serve records after second run, want 2", len(doc.Serve.Records))
+	}
+}
+
+func TestLoadCreatesBenchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-users", "2", "-frames", "1", "-shards", "1", "-queue", "8",
+		"-symbols", "2", "-bits", "2", "-o", path,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]serveBlock
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc["serve"].Records) != 1 {
+		t.Fatalf("fresh file holds %d records, want 1", len(doc["serve"].Records))
+	}
+}

@@ -46,15 +46,6 @@ import (
 // into one constellation-point index per stream.
 type Detector = core.Detector
 
-// Counter is implemented by detectors that track complexity
-// statistics (sphere decoders, K-best, FCSD).
-//
-// Deprecated: asserting det.(Counter) couples callers to which
-// concrete detectors count work. Use StatsOf to read statistics and
-// ResetStatsOf to zero them; both perform the assertion and report
-// whether statistics are available.
-type Counter = core.Counter
-
 // StatsOf returns the complexity statistics a detector has accumulated
 // since construction (or its last reset), and whether the detector
 // counts work at all. Linear detectors (ZF, MMSE, MMSE-SIC) return

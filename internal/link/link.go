@@ -7,11 +7,11 @@
 package link
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
-	"time"
 
 	"repro/internal/channel"
 	"repro/internal/cmplxmat"
@@ -46,6 +46,15 @@ var (
 	// ErrBadShape reports an antenna/client geometry no receiver can
 	// serve (nc < 1 or fewer antennas than clients).
 	ErrBadShape = errors.New("link: invalid antenna/client shape")
+	// ErrBadQueueDepth reports a negative session queue depth.
+	ErrBadQueueDepth = errors.New("link: QueueDepth must be non-negative")
+	// ErrQueueFull reports a non-blocking submission rejected because
+	// the session's bounded frame queue is at capacity — the admission-
+	// control signal; callers shed or retry instead of queueing
+	// unboundedly.
+	ErrQueueFull = errors.New("link: frame queue full")
+	// ErrClosed reports a frame submitted to a closed Session.
+	ErrClosed = errors.New("link: session closed")
 )
 
 // ChannelSource yields one frame's worth of per-subcarrier channel
@@ -265,6 +274,11 @@ type RunConfig struct {
 	// cached-vs-cold conformance suite); the knob exists for that
 	// proof and for benchmarking the cache itself.
 	NoPrepCache bool
+	// QueueDepth bounds the Session's frame queue (the backpressure /
+	// admission-control knob for the streaming path). 0 means 4×
+	// workers. The batch Run path is insensitive to it beyond pipeline
+	// depth — outcomes are merged in frame order regardless.
+	QueueDepth int
 	// IncrementalPrep lets each worker's preparation cache absorb a
 	// slowly-drifted channel with rank-1 QR updates instead of a full
 	// refactorization (core.PrepPool.SetIncremental). Off by default:
@@ -292,6 +306,21 @@ func (cfg RunConfig) Validate() error {
 	if cfg.Frames <= 0 {
 		return fmt.Errorf("%w, got %d", ErrBadFrames, cfg.Frames)
 	}
+	return cfg.validateRest()
+}
+
+// ValidateFormat validates everything Validate does except the batch
+// horizon cfg.Frames — the per-frame format shared by the streaming
+// Session, which has no frame count.
+func (cfg RunConfig) ValidateFormat() error {
+	if cfg.Cons == nil {
+		return ErrNilConstellation
+	}
+	return cfg.validateRest()
+}
+
+// validateRest holds the checks shared by Validate and ValidateFormat.
+func (cfg RunConfig) validateRest() error {
 	if cfg.NumSymbols <= 0 {
 		return fmt.Errorf("%w, got %d", ErrBadNumSymbols, cfg.NumSymbols)
 	}
@@ -304,7 +333,15 @@ func (cfg RunConfig) Validate() error {
 	if cfg.Workers < 0 {
 		return fmt.Errorf("%w, got %d", ErrBadWorkers, cfg.Workers)
 	}
+	if cfg.QueueDepth < 0 {
+		return fmt.Errorf("%w, got %d", ErrBadQueueDepth, cfg.QueueDepth)
+	}
 	return nil
+}
+
+// phyConfig derives the physical-layer configuration.
+func (cfg RunConfig) phyConfig() phy.Config {
+	return phy.Config{Cons: cfg.Cons, Rate: cfg.Rate, NumSymbols: cfg.NumSymbols, SoftDecoding: cfg.SoftDecoding, Recorder: cfg.Recorder}
 }
 
 // trainingReps returns the effective preamble repetition count.
@@ -315,246 +352,33 @@ func (cfg RunConfig) trainingReps() int {
 	return cfg.TrainingReps
 }
 
-// frameOutcome is one frame's contribution to a Measurement, produced
-// by any worker and merged in frame order.
-type frameOutcome struct {
-	res   *phy.Result
-	stats core.Stats
-	err   error
-}
-
-// frameWorker is one pipeline worker's long-lived state: a phy.Link
-// (with its receive/decode scratch), and — unless the prep cache is
-// disabled — a persistent detector plus a PrepPool holding one
-// PreparedChannel per data subcarrier, so frames whose channels repeat
-// skip their QR decompositions entirely.
-type frameWorker struct {
-	cfg      RunConfig
-	l        *phy.Link
-	factory  DetectorFactory
-	noiseVar float64
-	// det is the worker's persistent detector, nil when NoPrepCache
-	// forces the pre-cache fresh-detector-per-frame behavior.
-	det  core.Detector
-	pool *core.PrepPool
-}
-
-// newFrameWorker builds one worker's pipeline state.
-func newFrameWorker(cfg RunConfig, pcfg phy.Config, factory DetectorFactory, noiseVar float64) (*frameWorker, error) {
-	l, err := phy.NewLink(pcfg)
-	if err != nil {
-		return nil, err
-	}
-	w := &frameWorker{cfg: cfg, l: l, factory: factory, noiseVar: noiseVar}
-	if !cfg.NoPrepCache {
-		w.det = factory(cfg.Cons, noiseVar)
-		if cfg.Recorder != nil {
-			if t, ok := w.det.(obs.Target); ok {
-				t.SetRecorder(cfg.Recorder)
-			}
-		}
-		w.pool = core.NewPrepPool(ofdm.NumData)
-		w.pool.SetIncremental(cfg.IncrementalPrep)
-		l.SetPrepPool(w.pool)
-	}
-	return w, nil
-}
-
-// runFrame pushes one frame through jitter → encode → (estimate) →
-// transmit/detect/decode. All randomness comes from the frame's own
-// substream, and the detector — whether rebuilt per frame or persisted
-// with its preparation cache — produces bit-identical decisions for a
-// given (cfg, fi, hs), so the outcome never depends on which worker
-// ran it or when. The worker id only labels the frame's observability
-// sample, as do the preparation-cache counters (a cache hit changes
-// where the prepared state comes from, never what it contains).
-func (w *frameWorker) runFrame(nc, fi, worker int, hs []*cmplxmat.Matrix) frameOutcome {
-	cfg := w.cfg
-	start := time.Now() //geolint:nondeterminism-ok wall-clock duration only labels the observability sample
-	fsrc := rng.Substream(cfg.Seed, int64(fi))
-	det := w.det
-	var before core.Stats
-	if det == nil {
-		det = w.factory(cfg.Cons, w.noiseVar)
-		if cfg.Recorder != nil {
-			if t, ok := det.(obs.Target); ok {
-				t.SetRecorder(cfg.Recorder)
-			}
-		}
-	} else {
-		// Persistent detector: counters carry over from earlier frames,
-		// so this frame's share is the snapshot delta.
-		before, _ = core.StatsOf(det)
-	}
-	var hitsBefore, missesBefore, updatesBefore uint64
-	if w.pool != nil {
-		hitsBefore, missesBefore = w.pool.Counters()
-		updatesBefore = w.pool.QRUpdates()
-	}
-	if cfg.SNRJitterDB > 0 {
-		hs = jitterClients(fsrc, hs, cfg.SNRJitterDB)
-	}
-	f, err := w.l.Encode(fsrc, nc)
-	if err != nil {
-		return frameOutcome{err: err}
-	}
-	hsDet := hs
-	if cfg.EstimatedCSI {
-		hsDet, err = phy.EstimateChannels(fsrc, hs, w.noiseVar, cfg.trainingReps())
-		if err != nil {
-			return frameOutcome{err: err}
-		}
-	}
-	res, err := w.l.TransmitReceiveCSI(fsrc, f, hs, hsDet, det, w.noiseVar)
-	if err != nil {
-		return frameOutcome{err: err}
-	}
-	out := frameOutcome{res: res}
-	after, _ := core.StatsOf(det)
-	out.stats = after.Sub(before)
-	if cfg.Recorder != nil {
-		errs := 0
-		for _, ok := range res.StreamOK {
-			if !ok {
-				errs++
-			}
-		}
-		var prepHits, prepMisses, qrUpdates uint64
-		if w.pool != nil {
-			h, m := w.pool.Counters()
-			prepHits, prepMisses = h-hitsBefore, m-missesBefore
-			qrUpdates = w.pool.QRUpdates() - updatesBefore
-		}
-		cfg.Recorder.RecordFrame(obs.FrameSample{
-			Frame:  fi,
-			Worker: worker,
-			//geolint:nondeterminism-ok wall-clock duration only labels the observability sample
-			Duration:     time.Since(start),
-			OK:           res.FrameOK(),
-			Streams:      len(res.StreamOK),
-			StreamErrors: errs,
-			PrepHits:     prepHits,
-			PrepMisses:   prepMisses,
-			ProjReuse:    out.stats.ProjReuse,
-			QRUpdates:    qrUpdates,
-		})
-	}
-	return out
-}
-
 // Run measures one detector over frames from source.
 //
-// Frames are detected by a bounded pool of cfg.Workers goroutines.
-// Determinism is preserved by construction: the stateful ChannelSource
-// is drained sequentially up front (frame i always sees the i-th draw),
-// every frame's randomness comes from the state-independent substream
-// rng.Substream(cfg.Seed, i), each worker owns its phy.Link, detector
-// and preparation cache (a cache hit reuses bit-identical prepared
-// state, and per-frame complexity Stats are snapshot deltas), and
-// per-frame outcomes are merged in frame order. The resulting
-// Measurement — error counts, throughput and complexity Stats — is
-// byte-identical for every worker count, including the sequential
-// workers ≤ 1 path, and for NoPrepCache on or off.
+// Run is the batch entry point over the streaming Session: one Session
+// is opened with a bounded pool of cfg.Workers goroutines, frames
+// 0..Frames-1 are submitted in order and merged in frame order
+// (Session.Measure). Determinism is preserved by construction: the
+// stateful ChannelSource is drained sequentially up front (frame i
+// always sees the i-th draw), every frame's randomness comes from the
+// state-independent substream rng.Substream(cfg.Seed, i), and each
+// worker owns its phy.Link, detector and preparation cache (a cache
+// hit reuses bit-identical prepared state, and per-frame complexity
+// Stats are snapshot deltas). The resulting Measurement — error
+// counts, throughput and complexity Stats — is byte-identical for
+// every worker count and queue depth, and for NoPrepCache on or off.
 func Run(cfg RunConfig, source ChannelSource, factory DetectorFactory) (Measurement, error) {
 	if err := cfg.Validate(); err != nil {
 		return Measurement{}, err
 	}
-	pcfg := phy.Config{Cons: cfg.Cons, Rate: cfg.Rate, NumSymbols: cfg.NumSymbols, SoftDecoding: cfg.SoftDecoding, Recorder: cfg.Recorder}
-	if _, err := phy.NewLink(pcfg); err != nil {
+	if cfg.Workers > cfg.Frames {
+		cfg.Workers = cfg.Frames
+	}
+	s, err := NewSession(cfg, factory)
+	if err != nil {
 		return Measurement{}, err
 	}
-	noiseVar := channel.NoiseVarForSNRdB(cfg.SNRdB)
-	_, nc := source.Shape()
-
-	// Pre-draw every frame's channel on this goroutine: TraceSource's
-	// cursor and RayleighSource's RNG stay single-threaded, and the
-	// frame→channel mapping cannot depend on worker scheduling.
-	channels := make([][]*cmplxmat.Matrix, cfg.Frames)
-	for fi := range channels {
-		hs, err := source.Next()
-		if err != nil {
-			return Measurement{}, err
-		}
-		channels[fi] = hs
-	}
-
-	workers := cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > cfg.Frames {
-		workers = cfg.Frames
-	}
-	outcomes := make([]frameOutcome, cfg.Frames)
-	if workers == 1 {
-		fw, err := newFrameWorker(cfg, pcfg, factory, noiseVar)
-		if err != nil {
-			return Measurement{}, err
-		}
-		for fi := range channels {
-			outcomes[fi] = fw.runFrame(nc, fi, 0, channels[fi])
-		}
-	} else {
-		var wg sync.WaitGroup
-		idx := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(worker int) {
-				defer wg.Done()
-				fw, err := newFrameWorker(cfg, pcfg, factory, noiseVar)
-				for fi := range idx {
-					if err != nil {
-						outcomes[fi] = frameOutcome{err: err}
-						continue
-					}
-					outcomes[fi] = fw.runFrame(nc, fi, worker, channels[fi])
-				}
-			}(w)
-		}
-		for fi := 0; fi < cfg.Frames; fi++ {
-			idx <- fi
-		}
-		close(idx)
-		wg.Wait()
-	}
-
-	// Ordered merge: accumulate in frame order so the Measurement is
-	// independent of which worker finished first.
-	var m Measurement
-	m.Detector = factory(cfg.Cons, noiseVar).Name()
-	m.Constellation = cfg.Cons.Name()
-	var payloadBitsOK float64
-	for fi := range outcomes {
-		o := outcomes[fi]
-		if o.err != nil {
-			return Measurement{}, fmt.Errorf("link: frame %d: %w", fi, o.err)
-		}
-		m.Frames++
-		if !o.res.FrameOK() {
-			m.FrameErrors++
-		}
-		for _, ok := range o.res.StreamOK {
-			m.Streams++
-			if ok {
-				payloadBitsOK += float64(pcfg.PayloadBits())
-			} else {
-				m.StreamErrors++
-			}
-		}
-		m.Stats.Add(o.stats)
-	}
-	symbolsPerFrame := cfg.NumSymbols
-	if cfg.EstimatedCSI {
-		symbolsPerFrame += phy.TrainingSymbols(nc, cfg.trainingReps())
-	}
-	airTime := float64(cfg.Frames) * float64(symbolsPerFrame) * ofdm.SymbolDuration
-	if airTime > 0 {
-		m.NetMbps = payloadBitsOK / airTime / 1e6
-	}
-	if m.Streams > 0 {
-		m.PerStreamFER = float64(m.StreamErrors) / float64(m.Streams)
-	}
-	return m, nil
+	defer s.Close()
+	return s.Measure(context.Background(), source, cfg.Frames)
 }
 
 // jitterClients scales each client's channel column by a per-frame

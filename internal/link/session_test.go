@@ -1,0 +1,294 @@
+package link
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/ofdm"
+	"repro/internal/rng"
+)
+
+// sessionConfig is a small configuration shared by the session tests.
+func sessionConfig(workers int) RunConfig {
+	return RunConfig{
+		Cons:       constellation.QPSK,
+		Rate:       fec.Rate12,
+		NumSymbols: 2,
+		SNRdB:      30,
+		Seed:       11,
+		Workers:    workers,
+	}
+}
+
+func sphereFactory(cons *constellation.Constellation, _ float64) core.Detector {
+	return core.NewGeosphere(cons)
+}
+
+// testChannels draws one frame's worth of subcarrier channels.
+func testChannels(seed int64, na, nc int) []*cmplxmat.Matrix {
+	h := channel.Rayleigh(rng.New(seed), na, nc)
+	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
+	for i := range hs {
+		hs[i] = h
+	}
+	return hs
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := NewSession(sessionConfig(1), nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	bad := sessionConfig(1)
+	bad.QueueDepth = -1
+	if _, err := NewSession(bad, sphereFactory); !errors.Is(err, ErrBadQueueDepth) {
+		t.Fatalf("negative QueueDepth accepted: %v", err)
+	}
+	bad = sessionConfig(1)
+	bad.Cons = nil
+	if _, err := NewSession(bad, sphereFactory); !errors.Is(err, ErrNilConstellation) {
+		t.Fatalf("nil constellation accepted: %v", err)
+	}
+	// Frames is a batch-only knob: a session validates without it.
+	s, err := NewSession(sessionConfig(0), sphereFactory)
+	if err != nil {
+		t.Fatalf("Frames required by NewSession: %v", err)
+	}
+	defer s.Close()
+	if s.Workers() != 1 {
+		t.Fatalf("zero workers gave %d", s.Workers())
+	}
+	if s.QueueDepth() != 4 {
+		t.Fatalf("default queue depth %d, want 4× workers", s.QueueDepth())
+	}
+	if s.DetectorName() == "" {
+		t.Fatal("detector name empty")
+	}
+}
+
+func TestSessionQueueDepthOverride(t *testing.T) {
+	cfg := sessionConfig(2)
+	cfg.QueueDepth = 17
+	s, err := NewSession(cfg, sphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.QueueDepth() != 17 {
+		t.Fatalf("queue depth %d, want 17", s.QueueDepth())
+	}
+}
+
+// TestSessionProcessDeterministic pins the substream contract: a
+// frame's outcome depends only on (config, frame index, channels) —
+// not on submission order or on which frames ran before it.
+func TestSessionProcessDeterministic(t *testing.T) {
+	hs := testChannels(3, 4, 2)
+	run := func(order []int64) map[int64]FrameOutcome {
+		s, err := NewSession(sessionConfig(2), sphereFactory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		outs := make(map[int64]FrameOutcome, len(order))
+		for _, fi := range order {
+			o, err := s.Process(context.Background(), fi, hs)
+			if err != nil {
+				t.Fatalf("frame %d: %v", fi, err)
+			}
+			outs[fi] = o
+		}
+		return outs
+	}
+	fwd := run([]int64{0, 1, 2, 3})
+	rev := run([]int64{3, 2, 1, 0})
+	//geolint:nondeterminism-ok order-independent per-key comparison of two complete maps
+	for fi, a := range fwd {
+		b := rev[fi]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("frame %d errored: %v / %v", fi, a.Err, b.Err)
+		}
+		if a.Res.SymbolErrors != b.Res.SymbolErrors || a.Res.Symbols != b.Res.Symbols {
+			t.Fatalf("frame %d diverged across submission orders", fi)
+		}
+		if a.Stats != b.Stats {
+			t.Fatalf("frame %d stats diverged: %+v vs %+v", fi, a.Stats, b.Stats)
+		}
+	}
+}
+
+func TestSessionCloseSemantics(t *testing.T) {
+	s, err := NewSession(sessionConfig(1), sphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := testChannels(5, 4, 2)
+	if _, err := s.Process(context.Background(), 0, hs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Process(context.Background(), 1, hs); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed session Process: %v", err)
+	}
+	if _, err := s.Submit(1, hs); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed session Submit: %v", err)
+	}
+	if _, err := s.SubmitWait(context.Background(), 1, hs); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed session SubmitWait: %v", err)
+	}
+	if _, err := s.Measure(context.Background(), mustRayleigh(t, 1), 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed session Measure: %v", err)
+	}
+}
+
+// TestSubmitQueueFull wedges the single worker by withholding reply
+// reads, fills the queue behind it, and checks the non-blocking path
+// rejects with ErrQueueFull while the blocking path still admits once
+// capacity frees up.
+func TestSubmitQueueFull(t *testing.T) {
+	cfg := sessionConfig(1)
+	cfg.QueueDepth = 1
+	s, err := NewSession(cfg, sphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := testChannels(7, 4, 2)
+
+	// The worker takes the first frame; reply channels are buffered, so
+	// it keeps going — wedge it with enough work that the queue stays
+	// full while we probe: one in flight + one queued.
+	r1, err := s.Submit(0, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replies []<-chan FrameOutcome
+	var rejected bool
+	for fi := int64(1); fi < 64; fi++ {
+		r, err := s.Submit(fi, hs)
+		if err == nil {
+			replies = append(replies, r)
+			continue
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("frame %d: %v", fi, err)
+		}
+		rejected = true
+		break
+	}
+	if !rejected {
+		t.Fatal("depth-1 queue admitted 64 frames without rejecting")
+	}
+
+	// The blocking variant waits for capacity instead of rejecting.
+	rw, err := s.SubmitWait(context.Background(), 99, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := <-r1; o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	for _, r := range replies {
+		if o := <-r; o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	if o := <-rw; o.Err != nil {
+		t.Fatal(o.Err)
+	}
+}
+
+func TestSubmitWaitCancelled(t *testing.T) {
+	s, err := NewSession(sessionConfig(1), sphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	hs := testChannels(9, 4, 2)
+	if _, err := s.SubmitWait(ctx, 0, hs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SubmitWait: %v", err)
+	}
+	if _, err := s.Process(ctx, 0, hs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Process: %v", err)
+	}
+}
+
+func TestMeasureCancelled(t *testing.T) {
+	s, err := NewSession(sessionConfig(2), sphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Measure(ctx, mustRayleigh(t, 1), 8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Measure: %v", err)
+	}
+	// The session survives a cancelled measurement.
+	res, err := s.Measure(context.Background(), mustRayleigh(t, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 2 {
+		t.Fatalf("post-cancel Measure ran %d frames", res.Frames)
+	}
+}
+
+func TestMeasureBadFrames(t *testing.T) {
+	s, err := NewSession(sessionConfig(1), sphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Measure(context.Background(), mustRayleigh(t, 1), 0); !errors.Is(err, ErrBadFrames) {
+		t.Fatalf("zero frames accepted: %v", err)
+	}
+}
+
+// TestSessionMeasureMatchesRun pins that a reused long-lived session
+// reproduces the one-shot batch entry point exactly.
+func TestSessionMeasureMatchesRun(t *testing.T) {
+	cfg := sessionConfig(2)
+	cfg.Frames = 4
+	want, err := Run(cfg, mustRayleigh(t, 1), sphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(cfg, sphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Twice through the same session: persistent detectors and caches
+	// must not leak state into the results.
+	for round := 0; round < 2; round++ {
+		got, err := s.Measure(context.Background(), mustRayleigh(t, 1), cfg.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round %d diverged from Run:\n got %+v\nwant %+v", round, got, want)
+		}
+	}
+}
+
+func mustRayleigh(t *testing.T, seed int64) *RayleighSource {
+	t.Helper()
+	src, err := NewRayleighSource(rng.New(seed), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}

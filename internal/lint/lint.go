@@ -46,16 +46,21 @@ func Analyzers() []*analysis.Analyzer {
 
 // DeterministicPackages lists the import paths whose results must be
 // bit-for-bit reproducible: every package on the seeded
-// Monte-Carlo path from channel draw to measurement table. The
-// determinism and floatdet analyzers apply only to these (and to any
-// package carrying a //geolint:deterministic file marker, which is
-// how the analyzers' own test fixtures opt in).
+// Monte-Carlo path from channel draw to measurement table, plus the
+// serving layer (whose detection outcomes are substream-determined
+// even though its latency metrics and tier choices are intentionally
+// wall-clock/load dependent — those sites carry explicit
+// nondeterminism-ok annotations). The determinism and floatdet
+// analyzers apply only to these (and to any package carrying a
+// //geolint:deterministic file marker, which is how the analyzers' own
+// test fixtures opt in).
 var DeterministicPackages = []string{
 	"repro/internal/channel",
 	"repro/internal/core",
 	"repro/internal/link",
 	"repro/internal/phy",
 	"repro/internal/rng",
+	"repro/internal/serve",
 	"repro/internal/sim",
 }
 

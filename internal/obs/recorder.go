@@ -65,12 +65,44 @@ type DecodeSample struct {
 	OK bool
 }
 
+// Tier identifies which rung of the overload-degradation ladder served
+// a frame: the full Geosphere search, the bounded K-best search, or
+// plain ZF. TierNone marks pipelines outside the ladder (the batch
+// measurement path).
+type Tier uint8
+
+// Degradation-ladder tiers, in decreasing complexity order.
+const (
+	TierNone Tier = iota
+	TierGeosphere
+	TierKBest
+	TierZF
+	numTiers
+)
+
+// String returns the tier's snapshot label.
+func (t Tier) String() string {
+	switch t {
+	case TierGeosphere:
+		return "geosphere"
+	case TierKBest:
+		return "kbest"
+	case TierZF:
+		return "zf"
+	default:
+		return "none"
+	}
+}
+
 // FrameSample is one completed link-layer frame.
 type FrameSample struct {
 	// Frame is the frame index within the run.
 	Frame int
 	// Worker identifies the pipeline worker that detected the frame.
 	Worker int
+	// Tier is the degradation-ladder rung that served the frame;
+	// TierNone outside the ladder.
+	Tier Tier
 	// Duration is the frame's wall-clock processing time.
 	Duration time.Duration
 	// OK reports whether every stream's CRC verified.
@@ -245,6 +277,7 @@ type StatsRecorder struct {
 	prepMisses   Counter
 	projReuse    Counter
 	qrUpdates    Counter
+	tiers        [numTiers]Counter
 	workers      [maxWorkers]workerCounters
 
 	mu     sync.Mutex
@@ -311,6 +344,11 @@ func (r *StatsRecorder) RecordFrame(s FrameSample) {
 	r.prepMisses.Add(int64(s.PrepMisses))
 	r.projReuse.Add(s.ProjReuse)
 	r.qrUpdates.Add(int64(s.QRUpdates))
+	t := s.Tier
+	if t >= numTiers {
+		t = TierNone
+	}
+	r.tiers[t].Inc()
 	w := s.Worker
 	if w < 0 {
 		w = 0
@@ -366,17 +404,27 @@ type DecodeSnapshot struct {
 // ProjReuse totals the interference-projection terms the tree searches
 // served from their incremental projection stacks, and QRUpdates the
 // preparations absorbed by rank-1 QR updates instead of full
-// refactorizations.
+// refactorizations. Tiers splits the frames by degradation-ladder
+// rung (all mass on "none" outside the serving path).
 type FrameSnapshot struct {
-	Frames        int64   `json:"frames"`
-	FrameErrors   int64   `json:"frame_errors"`
-	Streams       int64   `json:"streams"`
-	StreamErrors  int64   `json:"stream_errors"`
-	PrepareHits   int64   `json:"prepare_hits"`
-	PrepareMisses int64   `json:"prepare_misses"`
-	ProjReuse     int64   `json:"proj_reuse"`
-	QRUpdates     int64   `json:"qr_updates"`
-	BusySeconds   float64 `json:"busy_seconds"`
+	Frames        int64        `json:"frames"`
+	FrameErrors   int64        `json:"frame_errors"`
+	Streams       int64        `json:"streams"`
+	StreamErrors  int64        `json:"stream_errors"`
+	PrepareHits   int64        `json:"prepare_hits"`
+	PrepareMisses int64        `json:"prepare_misses"`
+	ProjReuse     int64        `json:"proj_reuse"`
+	QRUpdates     int64        `json:"qr_updates"`
+	Tiers         TierSnapshot `json:"tiers"`
+	BusySeconds   float64      `json:"busy_seconds"`
+}
+
+// TierSnapshot counts frames per degradation-ladder rung.
+type TierSnapshot struct {
+	None      int64 `json:"none"`
+	Geosphere int64 `json:"geosphere"`
+	KBest     int64 `json:"kbest"`
+	ZF        int64 `json:"zf"`
 }
 
 // WorkerSnapshot is one pipeline worker's activity.
@@ -423,6 +471,12 @@ func (r *StatsRecorder) Snapshot() Snapshot {
 			PrepareMisses: r.prepMisses.Load(),
 			ProjReuse:     r.projReuse.Load(),
 			QRUpdates:     r.qrUpdates.Load(),
+			Tiers: TierSnapshot{
+				None:      r.tiers[TierNone].Load(),
+				Geosphere: r.tiers[TierGeosphere].Load(),
+				KBest:     r.tiers[TierKBest].Load(),
+				ZF:        r.tiers[TierZF].Load(),
+			},
 		},
 		Workers: []WorkerSnapshot{},
 		Points:  []PointSample{},
@@ -484,6 +538,9 @@ func (s Snapshot) WriteText(w io.Writer) {
 	}
 	if s.Frames.ProjReuse > 0 {
 		fmt.Fprintf(w, "  projection stack: %d reused terms\n", s.Frames.ProjReuse)
+	}
+	if tt := s.Frames.Tiers; tt.Geosphere+tt.KBest+tt.ZF > 0 {
+		fmt.Fprintf(w, "  tiers: %d geosphere, %d kbest, %d zf\n", tt.Geosphere, tt.KBest, tt.ZF)
 	}
 	for _, ws := range s.Workers {
 		fmt.Fprintf(w, "    worker %2d: %6d frames %8.2fs busy\n", ws.Worker, ws.Frames, ws.BusySeconds)

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// LoadConfig drives RunLoad: Users concurrent simulated user groups,
+// each submitting FramesPerUser frames as fast as the service admits
+// them. A rejected frame (ErrOverload) is retried up to Retries times
+// after Backoff; still-rejected frames are dropped and counted — the
+// harness exercises exactly the admission-control contract the service
+// promises instead of hiding it.
+type LoadConfig struct {
+	Users         int
+	FramesPerUser int
+	// Retries per frame after an admission reject; default 3.
+	Retries int
+	// Backoff between retries; default 200µs.
+	Backoff time.Duration
+}
+
+// withDefaults fills unset fields.
+func (lc LoadConfig) withDefaults() LoadConfig {
+	if lc.Users <= 0 {
+		lc.Users = 1
+	}
+	if lc.FramesPerUser <= 0 {
+		lc.FramesPerUser = 1
+	}
+	if lc.Retries <= 0 {
+		lc.Retries = 3
+	}
+	if lc.Backoff <= 0 {
+		lc.Backoff = 200 * time.Microsecond
+	}
+	return lc
+}
+
+// LatencyReport is the exact (fully sorted, not bucketed) end-to-end
+// frame latency distribution observed by the load harness, in
+// milliseconds. Latency is measured at the submitter: admission wait,
+// queueing, detection and reply delivery all count.
+type LatencyReport struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// LoadReport summarizes one load run; cmd/geoload appends it to
+// BENCH_geosphere.json.
+type LoadReport struct {
+	Users         int              `json:"users"`
+	FramesPerUser int              `json:"frames_per_user"`
+	FramesServed  int64            `json:"frames_served"`
+	FramesOK      int64            `json:"frames_ok"`
+	FrameErrors   int64            `json:"frame_errors"`
+	Rejects       int64            `json:"rejects"`
+	Dropped       int64            `json:"dropped"`
+	ElapsedSec    float64          `json:"elapsed_sec"`
+	FramesPerSec  float64          `json:"frames_per_sec"`
+	Latency       LatencyReport    `json:"latency"`
+	Tiers         obs.TierSnapshot `json:"tiers"`
+	Stats         StatsSnapshot    `json:"stats"`
+}
+
+// RunLoad hammers s with lc.Users concurrent simulated user groups
+// (group ids 0..Users-1, one goroutine each) and reports throughput,
+// the exact p50/p90/p99/max frame latency, the ladder-tier mix and the
+// admission-control counters. Cancelling ctx stops every user at its
+// next frame boundary; the report covers the frames served so far.
+func RunLoad(ctx context.Context, s *Server, lc LoadConfig) LoadReport {
+	lc = lc.withDefaults()
+	var (
+		served, okFrames, rejects, dropped obs.Counter
+		tiers                              [4]obs.Counter
+	)
+	latencies := make([][]float64, lc.Users) // per-user, merged after the run
+	var wg sync.WaitGroup
+	start := time.Now() //geolint:nondeterminism-ok load-harness wall clock: throughput and latency are the measurement
+	for u := 0; u < lc.Users; u++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			lats := make([]float64, 0, lc.FramesPerUser)
+			group := uint64(user)
+			for f := 0; f < lc.FramesPerUser; f++ {
+				if ctx.Err() != nil {
+					break
+				}
+				t0 := time.Now() //geolint:nondeterminism-ok load-harness wall clock: throughput and latency are the measurement
+				var o Outcome
+				var err error
+				for attempt := 0; ; attempt++ {
+					o, err = s.Process(ctx, group)
+					if !isOverload(err) {
+						break
+					}
+					rejects.Inc()
+					if attempt >= lc.Retries {
+						break
+					}
+					select {
+					case <-time.After(lc.Backoff):
+					case <-ctx.Done():
+					}
+				}
+				switch {
+				case err == nil:
+					served.Inc()
+					if o.OK {
+						okFrames.Inc()
+					}
+					tiers[o.Tier].Inc()
+					//geolint:nondeterminism-ok load-harness wall clock: throughput and latency are the measurement
+					lats = append(lats, float64(time.Since(t0).Microseconds())/1000)
+				case isOverload(err):
+					dropped.Inc()
+				default:
+					// Context cancellation or server close: stop this user.
+					return
+				}
+			}
+			latencies[user] = lats
+		}(u)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds() //geolint:nondeterminism-ok load-harness wall clock: throughput and latency are the measurement
+
+	var all []float64
+	for _, lats := range latencies {
+		all = append(all, lats...)
+	}
+	sort.Float64s(all)
+
+	rep := LoadReport{
+		Users:         lc.Users,
+		FramesPerUser: lc.FramesPerUser,
+		FramesServed:  served.Load(),
+		FramesOK:      okFrames.Load(),
+		FrameErrors:   served.Load() - okFrames.Load(),
+		Rejects:       rejects.Load(),
+		Dropped:       dropped.Load(),
+		ElapsedSec:    elapsed,
+		Tiers: obs.TierSnapshot{
+			None:      tiers[obs.TierNone].Load(),
+			Geosphere: tiers[obs.TierGeosphere].Load(),
+			KBest:     tiers[obs.TierKBest].Load(),
+			ZF:        tiers[obs.TierZF].Load(),
+		},
+		Stats: s.Stats().Snapshot(),
+	}
+	if elapsed > 0 {
+		rep.FramesPerSec = float64(rep.FramesServed) / elapsed
+	}
+	if n := len(all); n > 0 {
+		rep.Latency = LatencyReport{
+			P50: quantileExact(all, 0.50),
+			P90: quantileExact(all, 0.90),
+			P99: quantileExact(all, 0.99),
+			Max: all[n-1],
+		}
+	}
+	return rep
+}
+
+// quantileExact returns the q-quantile of a sorted sample by the
+// nearest-rank method.
+func quantileExact(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,448 @@
+// Package serve is the resident multi-user detection service behind
+// cmd/geocell: a sharded pool of link.Processor pipelines serving
+// uplink frames for an unbounded population of user groups, with
+// bounded per-shard queues (backpressure and admission control),
+// per-group channel state and preparation caches behind an LRU cap,
+// and graceful degradation under overload — each frame is served at
+// the deepest affordable rung of the Geosphere → K-best → ZF ladder,
+// chosen from the target shard's queue occupancy (the complexity-
+// budget proxy: a backlog means the full search is too expensive right
+// now). Every ladder decision is counted in obs, so the served mix is
+// observable, and a full queue rejects (ErrOverload) instead of
+// queueing unboundedly.
+//
+// Detection itself stays deterministic: a group's channels are drawn
+// from the substream (Seed+1, group), a frame's randomness from the
+// substream (Seed, frameKey(group, seq)), so the outcome of a group's
+// n-th frame at a given tier is a pure function of the configuration —
+// independent of shard scheduling, interleaving with other groups, or
+// wall-clock time. Only the tier choice (explicitly load-dependent)
+// and the latency metrics depend on the environment.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/kbest"
+	"repro/internal/linear"
+	"repro/internal/link"
+	"repro/internal/obs"
+	"repro/internal/ofdm"
+	"repro/internal/rng"
+)
+
+// Typed sentinel errors of the serving layer.
+var (
+	// ErrOverload reports a frame rejected by admission control: the
+	// target shard's bounded queue is full even for the cheapest tier.
+	// It wraps link.ErrQueueFull, so errors.Is matches either.
+	ErrOverload = fmt.Errorf("serve: shard overloaded: %w", link.ErrQueueFull)
+	// ErrServerClosed reports a frame submitted to a closed Server.
+	ErrServerClosed = errors.New("serve: server closed")
+	// ErrBadLadder reports degradation thresholds outside
+	// 0 ≤ KBestLoad ≤ ZFLoad ≤ 1.
+	ErrBadLadder = errors.New("serve: ladder thresholds must satisfy 0 <= KBestLoad <= ZFLoad <= 1")
+)
+
+// Config configures a Server. The zero value of every optional field
+// picks a sensible default (see withDefaults).
+type Config struct {
+	// Cons is the uplink constellation; defaults to QAM16.
+	Cons *constellation.Constellation
+	// NA and NC are the AP antenna count and the clients per group
+	// (one group = one spatially-multiplexed uplink transmission).
+	// Defaults: 4×2.
+	NA, NC int
+	// NumSymbols is the OFDM symbols per frame; defaults to 8.
+	NumSymbols int
+	// SNRdB is the per-stream SNR; defaults to 25.
+	SNRdB float64
+	// Seed roots all of the service's determinism: group channels come
+	// from substream (Seed+1, group), frame randomness from substream
+	// (Seed, frameKey(group, seq)).
+	Seed int64
+	// Shards is the number of independent pipeline shards (one
+	// goroutine, one link.Processor, one detector ladder and one group
+	// table each). Groups map to shards by group % Shards, so a
+	// group's frames always hit the same shard — and therefore the
+	// same preparation caches. Defaults to 8.
+	Shards int
+	// QueueDepth bounds each shard's frame queue; a full queue rejects
+	// with ErrOverload. Defaults to 64.
+	QueueDepth int
+	// MaxGroups caps each shard's resident group table; beyond it the
+	// least-recently-used group's channel state and preparation cache
+	// are evicted (bounded memory for an unbounded user population; a
+	// returning evicted group is rebuilt from its substreams with its
+	// frame sequence restarted). Defaults to 512, so the global
+	// residency cap is Shards × MaxGroups groups.
+	MaxGroups int
+	// KBestK is the K-best list size of the middle ladder rung;
+	// defaults to 4.
+	KBestK int
+	// KBestLoad and ZFLoad are the degradation thresholds on shard
+	// queue occupancy (queued / QueueDepth): below KBestLoad frames
+	// get the full Geosphere search, below ZFLoad the K-best search,
+	// above it ZF. Defaults: 0.5 and 0.85.
+	KBestLoad, ZFLoad float64
+	// Recorder, when non-nil, receives the pipeline's observability
+	// stream (per-frame samples carry the serving tier). It must be
+	// safe for concurrent use.
+	Recorder obs.Recorder
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Cons == nil {
+		c.Cons = constellation.QAM16
+	}
+	if c.NA == 0 && c.NC == 0 {
+		c.NA, c.NC = 4, 2
+	}
+	if c.NumSymbols == 0 {
+		c.NumSymbols = 8
+	}
+	if c.SNRdB == 0 { //geolint:float-ok exact zero-value test for "field unset", not a tolerance comparison
+		c.SNRdB = 25
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxGroups <= 0 {
+		c.MaxGroups = 512
+	}
+	if c.KBestK <= 0 {
+		c.KBestK = 4
+	}
+	if c.KBestLoad == 0 && c.ZFLoad == 0 { //geolint:float-ok exact zero-value test for "fields unset", not a tolerance comparison
+		c.KBestLoad, c.ZFLoad = 0.5, 0.85
+	}
+	return c
+}
+
+// runConfig maps the serving configuration onto the link pipeline's.
+func (c Config) runConfig() link.RunConfig {
+	return link.RunConfig{
+		Cons:       c.Cons,
+		Rate:       fec.Rate12,
+		NumSymbols: c.NumSymbols,
+		SNRdB:      c.SNRdB,
+		Seed:       c.Seed,
+		Recorder:   c.Recorder,
+	}
+}
+
+// seqBits is the width of the per-group frame sequence inside the
+// 63-bit frame key; group ids get the bits above it.
+const seqBits = 20
+
+// frameKey packs (group, seq) into the frame index that fixes the
+// frame's RNG substream. Unique per (group, seq) for groups below
+// 2^43; a group's sequence wraps after 2^20 frames, replaying its
+// substreams — acceptable for a simulated-traffic service and kept
+// explicit here.
+func frameKey(group uint64, seq int64) int64 {
+	return int64(group)<<seqBits | (seq & (1<<seqBits - 1))
+}
+
+// Outcome is one served frame's result.
+type Outcome struct {
+	// Group is the user group that transmitted the frame.
+	Group uint64
+	// Frame is the frame key (see frameKey) the pipeline used.
+	Frame int64
+	// Tier is the ladder rung that served the frame.
+	Tier obs.Tier
+	// OK reports whether every stream's CRC verified.
+	OK bool
+	// StreamErrors counts the frame's failed streams.
+	StreamErrors int
+	// Err is the pipeline error, nil on success.
+	Err error
+}
+
+// groupState is one resident group's serving state: its (static,
+// frequency-selective) per-subcarrier channels, the preparation cache
+// those channels warm, the frame sequence counter, and the LRU tick.
+type groupState struct {
+	hs       []*cmplxmat.Matrix
+	pool     *core.PrepPool
+	seq      int64
+	lastUsed uint64
+}
+
+// job is one queued frame request.
+type job struct {
+	group uint64
+	tier  obs.Tier
+	reply chan<- Outcome
+}
+
+// shard is one pipeline shard: a single goroutine draining a bounded
+// queue through its own link.Processor, with a persistent detector per
+// ladder tier and a resident-group table. Single-goroutine execution
+// is what makes the non-concurrency-safe Processor and PrepPools safe
+// without locks.
+type shard struct {
+	id        int
+	srv       *Server
+	proc      *link.Processor
+	dets      [4]core.Detector // indexed by obs.Tier; TierNone unused
+	jobs      chan job
+	groups    map[uint64]*groupState
+	clock     uint64
+	maxGroups int
+}
+
+// Server is the resident detection service. Safe for concurrent use
+// by any number of submitters.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	stats  *Stats
+	wg     sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed against concurrent submits
+	closed bool
+}
+
+// New validates the configuration, builds every shard's pipeline and
+// detector ladder, and starts the shard goroutines. The caller owns
+// the Server and must Close it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NC <= 0 || cfg.NA < cfg.NC {
+		return nil, fmt.Errorf("%w: %d antennas × %d clients", link.ErrBadShape, cfg.NA, cfg.NC)
+	}
+	if cfg.KBestLoad < 0 || cfg.ZFLoad < cfg.KBestLoad || cfg.ZFLoad > 1 {
+		return nil, fmt.Errorf("%w: KBestLoad=%g ZFLoad=%g", ErrBadLadder, cfg.KBestLoad, cfg.ZFLoad)
+	}
+	if err := cfg.runConfig().ValidateFormat(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, stats: NewStats()}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := newShard(i, s)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go sh.run()
+	}
+	return s, nil
+}
+
+// newShard builds one shard's processor, detector ladder and tables.
+func newShard(id int, s *Server) (*shard, error) {
+	cfg := s.cfg
+	proc, err := link.NewProcessor(cfg.runConfig())
+	if err != nil {
+		return nil, err
+	}
+	kb, err := kbest.NewKBest(cfg.Cons, cfg.KBestK)
+	if err != nil {
+		return nil, err
+	}
+	sh := &shard{
+		id:        id,
+		srv:       s,
+		proc:      proc,
+		jobs:      make(chan job, cfg.QueueDepth),
+		groups:    make(map[uint64]*groupState, cfg.MaxGroups),
+		maxGroups: cfg.MaxGroups,
+	}
+	sh.dets[obs.TierGeosphere] = core.NewGeosphere(cfg.Cons)
+	sh.dets[obs.TierKBest] = kb
+	sh.dets[obs.TierZF] = linear.NewZF(cfg.Cons)
+	if cfg.Recorder != nil {
+		for _, det := range sh.dets {
+			if t, ok := det.(obs.Target); ok {
+				t.SetRecorder(cfg.Recorder)
+			}
+		}
+	}
+	return sh, nil
+}
+
+// Config returns the effective (default-filled) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Stats returns the server's live counters.
+func (s *Server) Stats() *Stats { return s.stats }
+
+// shardFor maps a group to its home shard; the affinity keeps a
+// group's frames on one preparation cache.
+func (s *Server) shardFor(group uint64) *shard {
+	return s.shards[group%uint64(len(s.shards))]
+}
+
+// pickTier applies the degradation ladder to a shard's queue occupancy
+// — the service's complexity-budget proxy: everything in the queue is
+// detection work already promised, so a deep backlog means the full
+// search cannot be afforded for new arrivals.
+func (s *Server) pickTier(queued, depth int) obs.Tier {
+	occ := float64(queued) / float64(depth)
+	switch {
+	case occ < s.cfg.KBestLoad:
+		return obs.TierGeosphere
+	case occ < s.cfg.ZFLoad:
+		return obs.TierKBest
+	default:
+		return obs.TierZF
+	}
+}
+
+// Process serves one frame for group: the ladder picks a tier from the
+// home shard's current queue occupancy, admission control either
+// enqueues the frame or rejects with ErrOverload (never blocks), and
+// the outcome is awaited under ctx. A frame admitted before ctx is
+// cancelled still completes on its shard; Process just stops waiting.
+func (s *Server) Process(ctx context.Context, group uint64) (Outcome, error) {
+	sh := s.shardFor(group)
+	tier := s.pickTier(len(sh.jobs), cap(sh.jobs))
+	reply := make(chan Outcome, 1)
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Outcome{}, ErrServerClosed
+	}
+	admitted := false
+	select {
+	case sh.jobs <- job{group: group, tier: tier, reply: reply}:
+		admitted = true
+	default:
+	}
+	s.mu.RUnlock()
+	if !admitted {
+		s.stats.rejected.Inc()
+		return Outcome{}, ErrOverload
+	}
+	s.stats.submitted.Inc()
+
+	select {
+	case o := <-reply:
+		return o, o.Err
+	case <-ctx.Done():
+		return Outcome{}, ctx.Err()
+	}
+}
+
+// Close stops the service: every admitted frame completes, then the
+// shard goroutines exit. Further submissions return ErrServerClosed.
+// Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.jobs)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// run drains the shard's queue until Close.
+func (sh *shard) run() {
+	defer sh.srv.wg.Done()
+	for j := range sh.jobs {
+		j.reply <- sh.process(j)
+	}
+}
+
+// process serves one frame on the shard goroutine.
+func (sh *shard) process(j job) Outcome {
+	start := time.Now() //geolint:nondeterminism-ok wall-clock latency only feeds the service metrics, never detection
+	g := sh.group(j.group)
+	fi := frameKey(j.group, g.seq)
+	g.seq++
+	out := sh.proc.Process(link.Work{
+		Frame:    fi,
+		Worker:   sh.id,
+		Tier:     j.tier,
+		Channels: g.hs,
+		Det:      sh.dets[j.tier],
+		Pool:     g.pool,
+	})
+	o := Outcome{Group: j.group, Frame: fi, Tier: j.tier, Err: out.Err}
+	if out.Err == nil {
+		o.OK = out.Res.FrameOK()
+		for _, ok := range out.Res.StreamOK {
+			if !ok {
+				o.StreamErrors++
+			}
+		}
+	}
+	sh.srv.stats.observe(o, time.Since(start)) //geolint:nondeterminism-ok wall-clock latency only feeds the service metrics, never detection
+	return o
+}
+
+// group returns the resident state for id, creating it (and evicting
+// the least-recently-used group past the cap) on first use.
+func (sh *shard) group(id uint64) *groupState {
+	sh.clock++
+	if g, ok := sh.groups[id]; ok {
+		g.lastUsed = sh.clock
+		return g
+	}
+	if len(sh.groups) >= sh.maxGroups {
+		sh.evict()
+		sh.srv.stats.groupsEvicted.Inc()
+	}
+	g := &groupState{
+		hs:       groupChannels(sh.srv.cfg, id),
+		pool:     core.NewPrepPool(ofdm.NumData),
+		lastUsed: sh.clock,
+	}
+	sh.groups[id] = g
+	sh.srv.stats.groupsCreated.Inc()
+	return g
+}
+
+// evict removes the least-recently-used group. The victim is the
+// unique entry with the strictly smallest lastUsed tick, so the choice
+// does not depend on map iteration order.
+func (sh *shard) evict() {
+	var victim uint64
+	oldest := uint64(math.MaxUint64)
+	for id, g := range sh.groups { //geolint:nondeterminism-ok victim selection by strictly-minimal unique lastUsed tick is iteration-order independent
+		if g.lastUsed < oldest {
+			oldest, victim = g.lastUsed, id
+		}
+	}
+	delete(sh.groups, victim)
+}
+
+// groupChannels draws a group's static frequency-selective channel:
+// one Rayleigh matrix per data subcarrier from the group's own
+// substream. Static-per-group is the trace-replay regime — every frame
+// after the group's first hits the preparation cache on the Geosphere
+// tier.
+func groupChannels(cfg Config, id uint64) []*cmplxmat.Matrix {
+	src := rng.Substream(cfg.Seed+1, int64(id))
+	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
+	for i := range hs {
+		hs[i] = channel.Rayleigh(src, cfg.NA, cfg.NC)
+	}
+	return hs
+}

@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/link"
+	"repro/internal/obs"
+)
+
+// quickConfig is a small, fast service shape shared by the tests.
+func quickConfig() Config {
+	return Config{
+		Cons:       constellation.QPSK,
+		NA:         4,
+		NC:         2,
+		NumSymbols: 2,
+		SNRdB:      30,
+		Seed:       7,
+		Shards:     2,
+		QueueDepth: 8,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{NA: 2, NC: 4}); !errors.Is(err, link.ErrBadShape) {
+		t.Fatalf("wide shape accepted: %v", err)
+	}
+	bad := quickConfig()
+	bad.KBestLoad, bad.ZFLoad = 0.8, 0.3
+	if _, err := New(bad); !errors.Is(err, ErrBadLadder) {
+		t.Fatalf("inverted ladder accepted: %v", err)
+	}
+	bad = quickConfig()
+	bad.KBestLoad, bad.ZFLoad = 0.5, 1.5
+	if _, err := New(bad); !errors.Is(err, ErrBadLadder) {
+		t.Fatalf("ZFLoad > 1 accepted: %v", err)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := s.Config()
+	if cfg.Cons == nil || cfg.NA != 4 || cfg.NC != 2 || cfg.Shards != 8 ||
+		cfg.QueueDepth != 64 || cfg.MaxGroups != 512 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+}
+
+// TestDeterministicOutcomes pins the serving determinism contract: two
+// same-seeded servers produce identical outcomes for the same groups
+// in the same per-group order, regardless of shard interleaving.
+func TestDeterministicOutcomes(t *testing.T) {
+	run := func() []Outcome {
+		s, err := New(quickConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var outs []Outcome
+		for _, group := range []uint64{3, 0, 11, 3, 7, 0, 3} {
+			o, err := s.Process(context.Background(), group)
+			if err != nil {
+				t.Fatalf("group %d: %v", group, err)
+			}
+			outs = append(outs, o)
+		}
+		return outs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d diverged:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+	// Frame keys advance per group: the two frames of group 0 differ.
+	if a[1].Frame == a[5].Frame {
+		t.Fatalf("group 0 reused frame key %d", a[1].Frame)
+	}
+	if a[0].Frame == a[3].Frame || a[3].Frame == a[6].Frame {
+		t.Fatal("group 3 reused a frame key")
+	}
+	// Sequential submission never queues, so every frame gets the top tier.
+	for i, o := range a {
+		if o.Tier != obs.TierGeosphere {
+			t.Fatalf("outcome %d served at %v under no load", i, o.Tier)
+		}
+	}
+}
+
+func TestPickTierLadder(t *testing.T) {
+	s, err := New(quickConfig()) // ladder defaults: 0.5, 0.85
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cases := []struct {
+		queued int
+		want   obs.Tier
+	}{
+		{0, obs.TierGeosphere},
+		{7, obs.TierGeosphere}, // 7/16 < 0.5
+		{8, obs.TierKBest},     // 8/16 = 0.5
+		{13, obs.TierKBest},    // 13/16 < 0.85
+		{14, obs.TierZF},       // 14/16 >= 0.85
+		{16, obs.TierZF},
+	}
+	for _, c := range cases {
+		if got := s.pickTier(c.queued, 16); got != c.want {
+			t.Fatalf("pickTier(%d, 16) = %v, want %v", c.queued, got, c.want)
+		}
+	}
+}
+
+// TestAdmissionControl verifies that overload sheds via ErrOverload
+// instead of queueing unboundedly. The overload is constructed
+// deterministically: the single shard's worker is wedged by
+// withholding the read of an unbuffered reply channel, the depth-1
+// queue is filled behind it, and only then is Process asked to admit.
+func TestAdmissionControl(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Shards = 1
+	cfg.QueueDepth = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Unbuffered: the shard goroutine blocks delivering the first job's
+	// outcome until this test reads it. The second (blocking) send can
+	// therefore only complete into the queue buffer — after it returns,
+	// the worker is busy and the queue is full.
+	wedge := make(chan Outcome)
+	sh := s.shards[0]
+	sh.jobs <- job{group: 0, tier: obs.TierGeosphere, reply: wedge}
+	sh.jobs <- job{group: 0, tier: obs.TierGeosphere, reply: wedge}
+
+	if _, err := s.Process(context.Background(), 0); !errors.Is(err, ErrOverload) {
+		t.Fatalf("full queue admitted a frame: %v", err)
+	}
+	// ErrOverload is also the link-layer queue-full signal.
+	if !errors.Is(ErrOverload, link.ErrQueueFull) {
+		t.Fatal("ErrOverload does not wrap link.ErrQueueFull")
+	}
+	if snap := s.Stats().Snapshot(); snap.Rejected != 1 {
+		t.Fatalf("stats counted %d rejects, want 1", snap.Rejected)
+	}
+
+	// Unwedge, drain both outcomes, and confirm the service recovers.
+	<-wedge
+	<-wedge
+	if _, err := s.Process(context.Background(), 0); err != nil {
+		t.Fatalf("service did not recover after overload: %v", err)
+	}
+	snap := s.Stats().Snapshot()
+	if snap.Submitted != 1 {
+		t.Fatalf("stats counted %d admissions, want 1", snap.Submitted)
+	}
+}
+
+// TestGroupEviction pins the LRU bound on resident group state.
+func TestGroupEviction(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Shards = 1
+	cfg.MaxGroups = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, group := range []uint64{0, 1, 2, 3, 4} {
+		if _, err := s.Process(context.Background(), group); err != nil {
+			t.Fatalf("group %d: %v", group, err)
+		}
+	}
+	snap := s.Stats().Snapshot()
+	if snap.GroupsCreated != 5 {
+		t.Fatalf("created %d groups, want 5", snap.GroupsCreated)
+	}
+	if snap.GroupsEvicted != 3 {
+		t.Fatalf("evicted %d groups, want 3", snap.GroupsEvicted)
+	}
+	if n := len(s.shards[0].groups); n != 2 {
+		t.Fatalf("%d resident groups, want 2", n)
+	}
+	// Group 4 was just served; it must still be resident, and serving it
+	// again must not create a new group.
+	if _, err := s.Process(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if snap := s.Stats().Snapshot(); snap.GroupsCreated != 5 {
+		t.Fatalf("revisiting a resident group created state: %d", snap.GroupsCreated)
+	}
+	// An evicted group returning is rebuilt with its sequence restarted:
+	// same first frame key as its very first visit.
+	o, err := s.Process(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Frame != frameKey(0, 0) {
+		t.Fatalf("rebuilt group 0 resumed at frame key %d, want %d", o.Frame, frameKey(0, 0))
+	}
+}
+
+func TestServerClosed(t *testing.T) {
+	s, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Process(context.Background(), 1); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("closed server accepted a frame: %v", err)
+	}
+}
+
+func TestRunLoadReport(t *testing.T) {
+	s, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep := RunLoad(context.Background(), s, LoadConfig{Users: 8, FramesPerUser: 2})
+	if rep.Users != 8 || rep.FramesPerUser != 2 {
+		t.Fatalf("config not echoed: %+v", rep)
+	}
+	if rep.FramesServed+rep.Dropped != 16 {
+		t.Fatalf("served %d + dropped %d != 16", rep.FramesServed, rep.Dropped)
+	}
+	if rep.FramesServed > 0 {
+		if rep.FramesPerSec <= 0 {
+			t.Fatalf("no throughput: %+v", rep)
+		}
+		if rep.Latency.P99 < rep.Latency.P50 || rep.Latency.Max < rep.Latency.P99 {
+			t.Fatalf("latency quantiles out of order: %+v", rep.Latency)
+		}
+		total := rep.Tiers.None + rep.Tiers.Geosphere + rep.Tiers.KBest + rep.Tiers.ZF
+		if total != rep.FramesServed {
+			t.Fatalf("tier counts sum to %d, served %d", total, rep.FramesServed)
+		}
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantileExact(sorted, 0.5); q != 5 { //geolint:float-ok nearest-rank picks an exact sample value, not a computed float
+		t.Fatalf("p50 = %g", q)
+	}
+	if q := quantileExact(sorted, 0.99); q != 10 { //geolint:float-ok nearest-rank picks an exact sample value, not a computed float
+		t.Fatalf("p99 = %g", q)
+	}
+	if q := quantileExact(nil, 0.5); q != 0 { //geolint:float-ok empty-sample sentinel is an exact zero
+		t.Fatalf("empty sample p50 = %g", q)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	s, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	pipeline := obs.NewStatsRecorder()
+	ts := httptest.NewServer(NewHandler(s, pipeline))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = ts.Client().Post(ts.URL+"/ingest?group=5&frames=3", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum ingestSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+	if sum.Group != 5 || sum.Served != 3 {
+		t.Fatalf("ingest summary: %+v", sum)
+	}
+
+	resp, err = ts.Client().Post(ts.URL+"/ingest?group=x", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad group: %d", resp.StatusCode)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Serve    StatsSnapshot   `json:"serve"`
+		Pipeline json.RawMessage `json:"pipeline"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Serve.Frames != 3 {
+		t.Fatalf("stats served %d frames, want 3", stats.Serve.Frames)
+	}
+	if len(stats.Pipeline) == 0 || strings.TrimSpace(string(stats.Pipeline)) == "null" {
+		t.Fatal("pipeline snapshot missing from /stats")
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Stats is the serving layer's live counter set: admission decisions,
+// frame outcomes, ladder-tier mix, group-table churn and the end-to-
+// end frame-service latency histogram (queueing plus detection,
+// measured on the shard). All fields are atomic; a Stats is safe for
+// concurrent use.
+type Stats struct {
+	submitted     obs.Counter
+	rejected      obs.Counter
+	frames        obs.Counter
+	frameErrors   obs.Counter
+	streamErrors  obs.Counter
+	tiers         [4]obs.Counter // indexed by obs.Tier
+	groupsCreated obs.Counter
+	groupsEvicted obs.Counter
+	latencyUS     *obs.Histogram
+}
+
+// NewStats returns an empty counter set. The latency histogram buckets
+// are microseconds, spanning sub-100µs cache-hit frames up to the
+// tens-of-milliseconds queueing tail.
+func NewStats() *Stats {
+	return &Stats{
+		latencyUS: obs.NewHistogram(50, 100, 200, 500, 1000, 2000, 5000,
+			10000, 20000, 50000, 100000, 200000, 500000),
+	}
+}
+
+// observe folds one served frame into the counters.
+func (st *Stats) observe(o Outcome, d time.Duration) {
+	st.frames.Inc()
+	if !o.OK {
+		st.frameErrors.Inc()
+	}
+	st.streamErrors.Add(int64(o.StreamErrors))
+	st.tiers[o.Tier].Inc()
+	st.latencyUS.Observe(float64(d.Microseconds()))
+}
+
+// StatsSnapshot is the serializable state of Stats, served by the
+// /stats endpoint and embedded in load reports.
+type StatsSnapshot struct {
+	Submitted     int64                 `json:"submitted"`
+	Rejected      int64                 `json:"rejected"`
+	Frames        int64                 `json:"frames"`
+	FrameErrors   int64                 `json:"frame_errors"`
+	StreamErrors  int64                 `json:"stream_errors"`
+	Tiers         obs.TierSnapshot      `json:"tiers"`
+	GroupsCreated int64                 `json:"groups_created"`
+	GroupsEvicted int64                 `json:"groups_evicted"`
+	LatencyMsP50  float64               `json:"latency_ms_p50"`
+	LatencyMsP99  float64               `json:"latency_ms_p99"`
+	LatencyUS     obs.HistogramSnapshot `json:"latency_us"`
+}
+
+// Snapshot returns a point-in-time copy. Counters are individually
+// atomic but not mutually consistent while shards are still serving.
+func (st *Stats) Snapshot() StatsSnapshot {
+	lat := st.latencyUS.Snapshot()
+	return StatsSnapshot{
+		Submitted:    st.submitted.Load(),
+		Rejected:     st.rejected.Load(),
+		Frames:       st.frames.Load(),
+		FrameErrors:  st.frameErrors.Load(),
+		StreamErrors: st.streamErrors.Load(),
+		Tiers: obs.TierSnapshot{
+			None:      st.tiers[obs.TierNone].Load(),
+			Geosphere: st.tiers[obs.TierGeosphere].Load(),
+			KBest:     st.tiers[obs.TierKBest].Load(),
+			ZF:        st.tiers[obs.TierZF].Load(),
+		},
+		GroupsCreated: st.groupsCreated.Load(),
+		GroupsEvicted: st.groupsEvicted.Load(),
+		LatencyMsP50:  lat.Quantile(0.5) / 1000,
+		LatencyMsP99:  lat.Quantile(0.99) / 1000,
+		LatencyUS:     lat,
+	}
+}

@@ -1,0 +1,355 @@
+package geosphere
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/link"
+	"repro/internal/ofdm"
+	"repro/internal/phy"
+)
+
+// NumSubcarriers is the number of OFDM data subcarriers per frame
+// (the 802.11-style 48-of-64 layout the whole pipeline assumes).
+// UplinkFrame.Channels carries either one matrix (flat in frequency)
+// or exactly this many (frequency-selective).
+const NumSubcarriers = ofdm.NumData
+
+// ReceiverOptions configures a long-lived Receiver session. It is
+// UplinkOptions minus the batch horizon (Frames) plus the streaming
+// knobs (QueueDepth); the zero value of every optional field keeps the
+// batch path's defaults, so a Receiver built from the same parameters
+// reproduces MeasureUplink* exactly.
+type ReceiverOptions struct {
+	// Cons is the transmit constellation.
+	Cons *Constellation
+	// NumSymbols is the OFDM symbols per frame (4 µs each).
+	NumSymbols int
+	// SNRdB is the average per-stream SNR.
+	SNRdB float64
+	// Seed fixes the session's determinism root: frame i's randomness
+	// is the substream (Seed, i) regardless of submission order,
+	// worker count or queue depth.
+	Seed int64
+	// NA and NC are the AP antenna and client counts.
+	NA, NC int
+	// Detector builds each worker's persistent detector; defaults to
+	// NewGeosphere.
+	Detector DetectorFactory
+	// SNRJitterDB spreads per-client power over ±dB around SNRdB per
+	// frame (the §5.2 "SNR range" user-selection methodology).
+	SNRJitterDB float64
+	// EstimatedCSI switches the receiver to noisy preamble-based
+	// channel estimates, charging the preamble's air time in
+	// Aggregate's throughput accounting.
+	EstimatedCSI bool
+	// Workers bounds the goroutines detecting frames concurrently.
+	// Outcomes are byte-identical for every value; 0 means 1.
+	Workers int
+	// QueueDepth bounds the session's frame queue — the backpressure
+	// and admission-control knob. 0 means 4× workers.
+	QueueDepth int
+	// Observer, when non-nil, receives per-detection, per-decode and
+	// per-frame samples as frames stream through. It must be safe for
+	// concurrent use; observing never changes outcomes.
+	Observer Observer
+}
+
+// Validate rejects option sets that would fail deep inside the
+// pipeline, wrapping the package's typed sentinels for errors.Is.
+func (o ReceiverOptions) Validate() error {
+	if o.NC <= 0 || o.NA < o.NC {
+		return fmt.Errorf("%w: %d antennas × %d clients", ErrBadShape, o.NA, o.NC)
+	}
+	if err := o.runConfig().ValidateFormat(); err != nil {
+		return fmt.Errorf("geosphere: %w", err)
+	}
+	return nil
+}
+
+func (o ReceiverOptions) runConfig() link.RunConfig {
+	return o.uplinkOptions().runConfig()
+}
+
+// uplinkOptions maps back to the batch option set (Frames unset).
+func (o ReceiverOptions) uplinkOptions() UplinkOptions {
+	return UplinkOptions{
+		Cons:         o.Cons,
+		NumSymbols:   o.NumSymbols,
+		SNRdB:        o.SNRdB,
+		Seed:         o.Seed,
+		NA:           o.NA,
+		NC:           o.NC,
+		Detector:     o.Detector,
+		SNRJitterDB:  o.SNRJitterDB,
+		EstimatedCSI: o.EstimatedCSI,
+		Workers:      o.Workers,
+		QueueDepth:   o.QueueDepth,
+		Observer:     o.Observer,
+	}
+}
+
+// UplinkFrame is one frame of streaming input: a caller-chosen index
+// (which fixes the frame's deterministic RNG substream — the batch
+// path uses 0..Frames-1) and the frame's channel state. Channels holds
+// either a single NA×NC matrix, replicated across all NumSubcarriers
+// data subcarriers (the narrowband model), or exactly NumSubcarriers
+// matrices (frequency-selective). Matrices are shared, not copied —
+// they must not be mutated until the frame's outcome is delivered.
+type UplinkFrame struct {
+	Index    int64
+	Channels []*Matrix
+}
+
+// FrameOutcome is one streamed frame's result. Err is set when the
+// frame failed inside the pipeline (bad channel shape, encode or
+// detection failure); all other fields are then zero.
+type FrameOutcome struct {
+	// Frame echoes the UplinkFrame.Index.
+	Frame int64
+	// StreamOK[k] reports whether client k's CRC verified.
+	StreamOK []bool
+	// SymbolErrors and Symbols count wrong and total pre-FEC
+	// constellation decisions.
+	SymbolErrors int
+	Symbols      int
+	// Stats is the frame's share of detector complexity counters.
+	Stats Stats
+	// Err is the frame's pipeline error, nil on success.
+	Err error
+}
+
+// OK reports whether every stream decoded cleanly.
+func (o FrameOutcome) OK() bool {
+	if o.Err != nil || len(o.StreamOK) == 0 {
+		return false
+	}
+	for _, ok := range o.StreamOK {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Receiver is a long-lived uplink detection session: persistent
+// per-worker detectors and channel-preparation caches behind a bounded
+// frame queue, fed frame-by-frame (ProcessFrame) or from a channel
+// (ProcessStream) instead of one batch call. It is safe for concurrent
+// use by any number of submitters, and every frame's outcome is a pure
+// function of (options, frame index, channels) — byte-identical to
+// what the batch MeasureUplink* path computes for the same frame,
+// pinned by the streaming-vs-batch conformance suite.
+//
+// Construct with NewReceiver, release with Close. The batch
+// MeasureUplink* functions are thin wrappers over one Receiver.
+type Receiver struct {
+	opts ReceiverOptions
+	sess *link.Session
+}
+
+// NewReceiver validates the options and starts the session's workers.
+// The caller owns the Receiver and must Close it to stop them.
+func NewReceiver(o ReceiverOptions) (*Receiver, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	sess, err := link.NewSession(o.runConfig(), o.uplinkOptions().factory())
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{opts: o, sess: sess}, nil
+}
+
+// Close drains the frame queue — every admitted frame completes and
+// delivers its outcome — then stops the workers. Subsequent
+// submissions return ErrReceiverClosed. Close is idempotent.
+func (r *Receiver) Close() error { return r.sess.Close() }
+
+// Workers returns the session's worker count.
+func (r *Receiver) Workers() int { return r.sess.Workers() }
+
+// QueueDepth returns the bounded frame queue's capacity.
+func (r *Receiver) QueueDepth() int { return r.sess.QueueDepth() }
+
+// expand validates a frame's channel state against the session shape
+// and expands the single-matrix narrowband form to all subcarriers.
+func (r *Receiver) expand(f UplinkFrame) ([]*cmplxmat.Matrix, error) {
+	switch len(f.Channels) {
+	case 1, NumSubcarriers:
+	default:
+		return nil, fmt.Errorf("geosphere: %w: frame %d has %d channel matrices, want 1 or %d",
+			ErrBadShape, f.Index, len(f.Channels), NumSubcarriers)
+	}
+	for i, h := range f.Channels {
+		if h == nil || h.Rows != r.opts.NA || h.Cols != r.opts.NC {
+			return nil, fmt.Errorf("geosphere: %w: frame %d subcarrier %d is not %d×%d",
+				ErrBadShape, f.Index, i, r.opts.NA, r.opts.NC)
+		}
+	}
+	if len(f.Channels) == NumSubcarriers {
+		return f.Channels, nil
+	}
+	hs := make([]*cmplxmat.Matrix, NumSubcarriers)
+	for i := range hs {
+		hs[i] = f.Channels[0]
+	}
+	return hs, nil
+}
+
+// convert maps a link-layer outcome into the facade form.
+func convert(fi int64, o link.FrameOutcome) FrameOutcome {
+	if o.Err != nil {
+		return FrameOutcome{Frame: fi, Err: o.Err}
+	}
+	return FrameOutcome{
+		Frame:        fi,
+		StreamOK:     o.Res.StreamOK,
+		SymbolErrors: o.Res.SymbolErrors,
+		Symbols:      o.Res.Symbols,
+		Stats:        o.Stats,
+	}
+}
+
+// ProcessFrame runs one frame to completion: blocking admission to the
+// bounded queue (backpressure), then the frame's outcome. Cancelling
+// ctx before admission abandons the frame; after admission the frame
+// still completes on its worker, but ProcessFrame returns ctx.Err()
+// without waiting. Pipeline failures are reported in the returned
+// error (wrapping the frame index), never in FrameOutcome.Err.
+func (r *Receiver) ProcessFrame(ctx context.Context, f UplinkFrame) (FrameOutcome, error) {
+	hs, err := r.expand(f)
+	if err != nil {
+		return FrameOutcome{}, err
+	}
+	out, err := r.sess.Process(ctx, f.Index, hs)
+	if err != nil {
+		return FrameOutcome{}, err
+	}
+	return convert(f.Index, out), nil
+}
+
+// pendingFrame threads one in-flight frame through ProcessStream's
+// ordered collector.
+type pendingFrame struct {
+	idx   int64
+	reply <-chan link.FrameOutcome
+	err   error // admission-time error (bad shape), delivered in-band
+}
+
+// ProcessStream pumps frames from in through the session, delivering
+// outcomes on out in submission order. It returns when in closes and
+// every outcome has been delivered, or when ctx is cancelled. Frame-
+// level failures (bad shape, pipeline errors) are delivered in-band as
+// outcomes with Err set; the stream keeps going — a resident service
+// must survive one user's bad frame.
+//
+// Cancellation drains deterministically: no further frames are
+// admitted, frames already admitted complete on their workers (their
+// outcomes are discarded), and ProcessStream returns ctx.Err(). The
+// caller keeps ownership of both channels; out is not closed.
+func (r *Receiver) ProcessStream(ctx context.Context, in <-chan UplinkFrame, out chan<- FrameOutcome) error {
+	// The collector forwards outcomes in submission order. Its inbox is
+	// sized past the session's in-flight maximum (queue + one per
+	// worker) so a successful session admission never blocks on it.
+	pendings := make(chan pendingFrame, r.sess.QueueDepth()+r.sess.Workers()+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for p := range pendings {
+			o := FrameOutcome{Frame: p.idx, Err: p.err}
+			if p.err == nil {
+				o = convert(p.idx, <-p.reply)
+			}
+			select {
+			case out <- o:
+			case <-ctx.Done():
+				// Keep draining replies so the submitter (blocked on a
+				// full inbox, at worst) always unblocks; outcomes after
+				// cancellation are discarded.
+			}
+		}
+	}()
+	var streamErr error
+loop:
+	for {
+		select {
+		case f, ok := <-in:
+			if !ok {
+				break loop
+			}
+			hs, err := r.expand(f)
+			if err != nil {
+				pendings <- pendingFrame{idx: f.Index, err: err}
+				continue
+			}
+			reply, err := r.sess.SubmitWait(ctx, f.Index, hs)
+			if err != nil {
+				// Cancellation or Close — the stream itself is over.
+				streamErr = err
+				break loop
+			}
+			pendings <- pendingFrame{idx: f.Index, reply: reply}
+		case <-ctx.Done():
+			streamErr = ctx.Err()
+			break loop
+		}
+	}
+	close(pendings)
+	wg.Wait()
+	return streamErr
+}
+
+// Aggregate folds streamed outcomes into the batch UplinkResult form,
+// using the same accounting as MeasureUplink*: a frame fails when any
+// stream's CRC fails, net throughput is successful payload bits over
+// air time (including the training preamble when EstimatedCSI is set).
+// Feeding it the outcomes of frames 0..n-1 in index order reproduces
+// the batch result for an n-frame measurement byte-for-byte. Outcomes
+// with Err set contribute nothing.
+func (r *Receiver) Aggregate(outs []FrameOutcome) UplinkResult {
+	cfg := r.opts.runConfig()
+	noiseVar := NoiseVarForSNRdB(r.opts.SNRdB)
+	var m UplinkResult
+	m.Detector = r.opts.uplinkOptions().factory()(cfg.Cons, noiseVar).Name()
+	m.Constellation = cfg.Cons.Name()
+	pcfg := phy.Config{Cons: cfg.Cons, Rate: cfg.Rate, NumSymbols: cfg.NumSymbols, SoftDecoding: cfg.SoftDecoding}
+	var payloadBitsOK float64
+	for _, o := range outs {
+		if o.Err != nil {
+			continue
+		}
+		m.Frames++
+		if !o.OK() {
+			m.FrameErrors++
+		}
+		for _, ok := range o.StreamOK {
+			m.Streams++
+			if ok {
+				payloadBitsOK += float64(pcfg.PayloadBits())
+			} else {
+				m.StreamErrors++
+			}
+		}
+		m.Stats.Add(o.Stats)
+	}
+	symbolsPerFrame := cfg.NumSymbols
+	if cfg.EstimatedCSI {
+		reps := cfg.TrainingReps
+		if reps <= 0 {
+			reps = 1
+		}
+		symbolsPerFrame += phy.TrainingSymbols(r.opts.NC, reps)
+	}
+	airTime := float64(m.Frames) * float64(symbolsPerFrame) * ofdm.SymbolDuration
+	if airTime > 0 {
+		m.NetMbps = payloadBitsOK / airTime / 1e6
+	}
+	if m.Streams > 0 {
+		m.PerStreamFER = float64(m.StreamErrors) / float64(m.Streams)
+	}
+	return m
+}

@@ -1,0 +1,373 @@
+package geosphere
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/rng"
+	"repro/internal/testbed"
+)
+
+// drawFrames replays the exact channel sequence the batch path sees:
+// frames 0..n-1 drawn sequentially from the source.
+func drawFrames(t *testing.T, src link.ChannelSource, n int) []UplinkFrame {
+	t.Helper()
+	frames := make([]UplinkFrame, n)
+	for i := range frames {
+		hs, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = UplinkFrame{Index: int64(i), Channels: hs}
+	}
+	return frames
+}
+
+// rayleighSource rebuilds the channel source MeasureUplinkRayleigh
+// constructs internally for the given options.
+func rayleighSource(t *testing.T, o UplinkOptions) link.ChannelSource {
+	t.Helper()
+	src, err := link.NewRayleighSource(rng.New(o.Seed+1), o.NA, o.NC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// testbedSource rebuilds the channel source MeasureUplinkTestbed
+// constructs internally for the given options.
+func testbedSource(t *testing.T, o UplinkOptions) link.ChannelSource {
+	t.Helper()
+	tr, err := testbed.Generate(testbed.OfficePlan(), testbed.GenerateConfig{
+		Seed:         o.Seed,
+		NumClients:   o.NC,
+		NumAntennas:  o.NA,
+		LinksPerAP:   4,
+		Realizations: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := link.NewTraceSource(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func streamReceiver(t *testing.T, o UplinkOptions) *Receiver {
+	t.Helper()
+	r, err := NewReceiver(ReceiverOptions{
+		Cons:         o.Cons,
+		NumSymbols:   o.NumSymbols,
+		SNRdB:        o.SNRdB,
+		Seed:         o.Seed,
+		NA:           o.NA,
+		NC:           o.NC,
+		Detector:     o.Detector,
+		SNRJitterDB:  o.SNRJitterDB,
+		EstimatedCSI: o.EstimatedCSI,
+		Workers:      o.Workers,
+		QueueDepth:   o.QueueDepth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestStreamingMatchesBatch is the streaming-vs-batch conformance
+// suite: for every measurement mode × channel source × worker count,
+// the same frames fed through a Receiver (both the ProcessStream and
+// the ProcessFrame paths) must aggregate to a byte-identical
+// UplinkResult as the legacy batch entry points.
+func TestStreamingMatchesBatch(t *testing.T) {
+	zf := func(cons *Constellation, _ float64) Detector { return NewZF(cons) }
+	modes := []struct {
+		name string
+		opts UplinkOptions
+	}{
+		{"geosphere", UplinkOptions{Cons: QAM16, NumSymbols: 2, Frames: 4, SNRdB: 28, Seed: 21, NA: 4, NC: 2}},
+		{"estimated-csi", UplinkOptions{Cons: QAM16, NumSymbols: 2, Frames: 4, SNRdB: 28, Seed: 22, NA: 4, NC: 2, EstimatedCSI: true}},
+		{"snr-jitter", UplinkOptions{Cons: QPSK, NumSymbols: 2, Frames: 4, SNRdB: 24, Seed: 23, NA: 4, NC: 2, SNRJitterDB: 3}},
+		{"zf", UplinkOptions{Cons: QPSK, NumSymbols: 2, Frames: 4, SNRdB: 24, Seed: 24, NA: 4, NC: 2, Detector: zf}},
+	}
+	sources := []struct {
+		name  string
+		batch func(UplinkOptions) (UplinkResult, error)
+		src   func(*testing.T, UplinkOptions) link.ChannelSource
+	}{
+		{"rayleigh", MeasureUplinkRayleigh, rayleighSource},
+		{"testbed", MeasureUplinkTestbed, testbedSource},
+	}
+	for _, mode := range modes {
+		for _, source := range sources {
+			for _, workers := range []int{0, 3} {
+				o := mode.opts
+				o.Workers = workers
+				t.Run(fmt.Sprintf("%s/%s/w%d", mode.name, source.name, workers), func(t *testing.T) {
+					want, err := source.batch(o)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					// Path 1: ProcessStream over a frame channel.
+					r := streamReceiver(t, o)
+					frames := drawFrames(t, source.src(t, o), o.Frames)
+					in := make(chan UplinkFrame)
+					out := make(chan FrameOutcome, o.Frames)
+					go func() {
+						for _, f := range frames {
+							in <- f
+						}
+						close(in)
+					}()
+					if err := r.ProcessStream(context.Background(), in, out); err != nil {
+						t.Fatal(err)
+					}
+					close(out)
+					var outs []FrameOutcome
+					for fo := range out {
+						if fo.Err != nil {
+							t.Fatalf("frame %d: %v", fo.Frame, fo.Err)
+						}
+						outs = append(outs, fo)
+					}
+					if got := r.Aggregate(outs); got != want {
+						t.Fatalf("ProcessStream diverged from batch:\n got %+v\nwant %+v", got, want)
+					}
+					r.Close()
+
+					// Path 2: ProcessFrame, one call per frame, in reverse
+					// submission order — outcomes depend only on the index.
+					r = streamReceiver(t, o)
+					defer r.Close()
+					outs = outs[:0]
+					for i := len(frames) - 1; i >= 0; i-- {
+						fo, err := r.ProcessFrame(context.Background(), frames[i])
+						if err != nil {
+							t.Fatal(err)
+						}
+						outs = append(outs, fo)
+					}
+					if got := r.Aggregate(outs); got != want {
+						t.Fatalf("ProcessFrame diverged from batch:\n got %+v\nwant %+v", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReceiverNarrowbandExpansion pins that the single-matrix frame
+// form is exactly the 48-replica form.
+func TestReceiverNarrowbandExpansion(t *testing.T) {
+	o := UplinkOptions{Cons: QPSK, NumSymbols: 2, Frames: 1, SNRdB: 25, Seed: 31, NA: 4, NC: 2}
+	hs, err := rayleighSource(t, o).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := streamReceiver(t, o)
+	defer r.Close()
+	wide, err := r.ProcessFrame(context.Background(), UplinkFrame{Index: 0, Channels: hs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Rayleigh source is narrowband: all 48 entries are one matrix.
+	narrow, err := r.ProcessFrame(context.Background(), UplinkFrame{Index: 0, Channels: hs[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.SymbolErrors != wide.SymbolErrors || narrow.Symbols != wide.Symbols || narrow.Stats != wide.Stats {
+		t.Fatalf("narrowband form diverged:\n %+v\n %+v", narrow, wide)
+	}
+}
+
+// TestReceiverConcurrent hammers one Receiver from many goroutines —
+// the race-detector test of the streaming API's concurrency contract —
+// and checks every outcome is the deterministic function of its index.
+func TestReceiverConcurrent(t *testing.T) {
+	o := UplinkOptions{Cons: QPSK, NumSymbols: 2, SNRdB: 26, Seed: 41, NA: 4, NC: 2, Workers: 4}
+	hs, err := rayleighSource(t, o).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := streamReceiver(t, o)
+	defer r.Close()
+
+	const (
+		submitters     = 8
+		framesEach     = 6
+		distinctFrames = 4 // indices collide across submitters on purpose
+	)
+	outs := make([][]FrameOutcome, submitters)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			outs[g] = make([]FrameOutcome, framesEach)
+			for i := 0; i < framesEach; i++ {
+				fi := int64((g + i) % distinctFrames)
+				fo, err := r.ProcessFrame(context.Background(), UplinkFrame{Index: fi, Channels: hs})
+				if err != nil {
+					t.Errorf("goroutine %d frame %d: %v", g, fi, err)
+					return
+				}
+				outs[g][i] = fo
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	byIndex := make(map[int64]FrameOutcome)
+	for g := range outs {
+		for _, fo := range outs[g] {
+			ref, seen := byIndex[fo.Frame]
+			if !seen {
+				byIndex[fo.Frame] = fo
+				continue
+			}
+			if fo.SymbolErrors != ref.SymbolErrors || fo.Symbols != ref.Symbols || fo.Stats != ref.Stats {
+				t.Fatalf("frame %d nondeterministic under concurrency:\n %+v\n %+v", fo.Frame, fo, ref)
+			}
+		}
+	}
+	if len(byIndex) != distinctFrames {
+		t.Fatalf("saw %d distinct frames, want %d", len(byIndex), distinctFrames)
+	}
+}
+
+// TestProcessStreamBadFrameInBand pins the resident-service contract:
+// one bad frame is reported in its outcome, and the stream continues.
+func TestProcessStreamBadFrameInBand(t *testing.T) {
+	o := UplinkOptions{Cons: QPSK, NumSymbols: 2, SNRdB: 25, Seed: 51, NA: 4, NC: 2}
+	hs, err := rayleighSource(t, o).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := streamReceiver(t, o)
+	defer r.Close()
+	in := make(chan UplinkFrame, 3)
+	out := make(chan FrameOutcome, 3)
+	in <- UplinkFrame{Index: 0, Channels: hs}
+	in <- UplinkFrame{Index: 1, Channels: hs[:2]} // neither 1 nor 48 matrices
+	in <- UplinkFrame{Index: 2, Channels: hs}
+	close(in)
+	if err := r.ProcessStream(context.Background(), in, out); err != nil {
+		t.Fatal(err)
+	}
+	close(out)
+	var got []FrameOutcome
+	for fo := range out {
+		got = append(got, fo)
+	}
+	if len(got) != 3 {
+		t.Fatalf("delivered %d outcomes, want 3", len(got))
+	}
+	for i, fo := range got {
+		if fo.Frame != int64(i) {
+			t.Fatalf("outcome %d carries frame %d: delivery must follow submission order", i, fo.Frame)
+		}
+	}
+	if got[0].Err != nil || got[2].Err != nil {
+		t.Fatalf("good frames failed: %v / %v", got[0].Err, got[2].Err)
+	}
+	if !errors.Is(got[1].Err, ErrBadShape) {
+		t.Fatalf("bad frame error: %v", got[1].Err)
+	}
+	if got[1].OK() {
+		t.Fatal("errored frame reported OK")
+	}
+}
+
+func TestProcessStreamCancelled(t *testing.T) {
+	o := UplinkOptions{Cons: QPSK, NumSymbols: 2, SNRdB: 25, Seed: 61, NA: 4, NC: 2}
+	hs, err := rayleighSource(t, o).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := streamReceiver(t, o)
+	defer r.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan UplinkFrame) // never closed: only cancellation can end the stream
+	out := make(chan FrameOutcome, 4)
+	done := make(chan error, 1)
+	go func() { done <- r.ProcessStream(ctx, in, out) }()
+	in <- UplinkFrame{Index: 0, Channels: hs}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream returned %v", err)
+	}
+	// The receiver survives: the admitted frame drained, new work runs.
+	if _, err := r.ProcessFrame(context.Background(), UplinkFrame{Index: 1, Channels: hs}); err != nil {
+		t.Fatalf("receiver unusable after stream cancellation: %v", err)
+	}
+}
+
+func TestReceiverClosed(t *testing.T) {
+	o := UplinkOptions{Cons: QPSK, NumSymbols: 2, SNRdB: 25, Seed: 71, NA: 4, NC: 2}
+	hs, err := rayleighSource(t, o).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := streamReceiver(t, o)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := r.ProcessFrame(context.Background(), UplinkFrame{Index: 0, Channels: hs}); !errors.Is(err, ErrReceiverClosed) {
+		t.Fatalf("closed receiver accepted a frame: %v", err)
+	}
+}
+
+func TestReceiverOptionsValidate(t *testing.T) {
+	base := ReceiverOptions{Cons: QPSK, NumSymbols: 2, SNRdB: 25, NA: 4, NC: 2}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*ReceiverOptions)
+		want error
+	}{
+		{"nil cons", func(o *ReceiverOptions) { o.Cons = nil }, ErrNilConstellation},
+		{"wide shape", func(o *ReceiverOptions) { o.NA, o.NC = 2, 4 }, ErrBadShape},
+		{"bad symbols", func(o *ReceiverOptions) { o.NumSymbols = 0 }, ErrBadNumSymbols},
+		{"bad workers", func(o *ReceiverOptions) { o.Workers = -1 }, ErrBadWorkers},
+		{"bad queue", func(o *ReceiverOptions) { o.QueueDepth = -1 }, ErrBadQueueDepth},
+		{"bad jitter", func(o *ReceiverOptions) { o.SNRJitterDB = -1 }, ErrBadJitter},
+	}
+	for _, c := range cases {
+		o := base
+		c.mut(&o)
+		if err := o.Validate(); !errors.Is(err, c.want) {
+			t.Fatalf("%s: got %v, want %v", c.name, err, c.want)
+		}
+		if _, err := NewReceiver(o); !errors.Is(err, c.want) {
+			t.Fatalf("%s: NewReceiver got %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// TestMeasureUplinkContextCancelled pins the documented cancellation
+// contract of the *Context batch variants.
+func TestMeasureUplinkContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := UplinkOptions{Cons: QPSK, NumSymbols: 2, Frames: 4, SNRdB: 25, Seed: 81, NA: 4, NC: 2}
+	if _, err := MeasureUplinkRayleighContext(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Rayleigh measurement returned %v", err)
+	}
+	if _, err := MeasureUplinkTestbedContext(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled testbed measurement returned %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package geosphere
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/constellation"
@@ -10,9 +11,11 @@ import (
 	"repro/internal/testbed"
 )
 
-// Typed sentinel errors returned (wrapped) by UplinkOptions.Validate
-// and the MeasureUplink* entry points. Match them with errors.Is; the
-// wrapping error carries the offending values.
+// Typed sentinel errors shared by every entry point of the facade —
+// the batch MeasureUplink* calls, their *Context variants, and the
+// streaming Receiver. Validation failures and admission rejects wrap
+// these (with the offending values attached); match them with
+// errors.Is.
 var (
 	// ErrNilConstellation reports options without a constellation.
 	ErrNilConstellation = link.ErrNilConstellation
@@ -24,10 +27,20 @@ var (
 	ErrBadJitter = link.ErrBadJitter
 	// ErrBadWorkers reports a negative Workers.
 	ErrBadWorkers = link.ErrBadWorkers
+	// ErrBadQueueDepth reports a negative QueueDepth.
+	ErrBadQueueDepth = link.ErrBadQueueDepth
 	// ErrBadShape reports an antenna/client geometry no receiver can
-	// serve (NC < 1 or NA < NC), or a trace whose shape disagrees with
-	// the options.
+	// serve (NC < 1 or NA < NC), a trace whose shape disagrees with the
+	// options, or a streamed frame whose channel matrices do not match
+	// the session shape.
 	ErrBadShape = link.ErrBadShape
+	// ErrQueueFull reports a frame rejected because the Receiver's
+	// bounded queue is at capacity — the admission-control signal of
+	// the streaming path; callers shed or retry instead of queueing
+	// unboundedly.
+	ErrQueueFull = link.ErrQueueFull
+	// ErrReceiverClosed reports a frame submitted to a closed Receiver.
+	ErrReceiverClosed = link.ErrClosed
 )
 
 // UplinkResult summarizes a coded multi-user uplink measurement: frame
@@ -67,6 +80,10 @@ type UplinkOptions struct {
 	// Workers bounds the goroutines detecting frames concurrently.
 	// Results are byte-identical for every value; 0 runs sequentially.
 	Workers int
+	// QueueDepth bounds the underlying session's frame queue; 0 keeps
+	// the default (4× workers). The result is byte-identical for every
+	// value — the knob only matters for the streaming Receiver.
+	QueueDepth int
 	// Observer, when non-nil, receives per-detection, per-decode and
 	// per-frame samples as the measurement runs. It must be safe for
 	// concurrent use when Workers > 1; observing never changes the
@@ -110,7 +127,26 @@ func (o UplinkOptions) runConfig() link.RunConfig {
 		SNRJitterDB:  o.SNRJitterDB,
 		EstimatedCSI: o.EstimatedCSI,
 		Workers:      o.Workers,
+		QueueDepth:   o.QueueDepth,
 		Recorder:     o.Observer,
+	}
+}
+
+// receiverOptions maps the batch options onto a streaming session.
+func (o UplinkOptions) receiverOptions() ReceiverOptions {
+	return ReceiverOptions{
+		Cons:         o.Cons,
+		NumSymbols:   o.NumSymbols,
+		SNRdB:        o.SNRdB,
+		Seed:         o.Seed,
+		NA:           o.NA,
+		NC:           o.NC,
+		Detector:     o.Detector,
+		SNRJitterDB:  o.SNRJitterDB,
+		EstimatedCSI: o.EstimatedCSI,
+		Workers:      o.Workers,
+		QueueDepth:   o.QueueDepth,
+		Observer:     o.Observer,
 	}
 }
 
@@ -123,9 +159,34 @@ func (o UplinkOptions) checkShape(src link.ChannelSource) error {
 	return nil
 }
 
+// measure opens one Receiver session over the options and runs the
+// whole batch through it — the batch API is a thin wrapper over the
+// streaming one, so both produce byte-identical results by
+// construction.
+func (o UplinkOptions) measure(ctx context.Context, src link.ChannelSource) (UplinkResult, error) {
+	ro := o.receiverOptions()
+	if ro.Workers > o.Frames {
+		ro.Workers = o.Frames
+	}
+	r, err := NewReceiver(ro)
+	if err != nil {
+		return UplinkResult{}, err
+	}
+	defer r.Close()
+	return r.sess.Measure(ctx, src, o.Frames)
+}
+
 // MeasureUplinkRayleigh measures coded uplink throughput over i.i.d.
-// per-frame Rayleigh fading.
+// per-frame Rayleigh fading. It is MeasureUplinkRayleighContext with
+// context.Background().
 func MeasureUplinkRayleigh(o UplinkOptions) (UplinkResult, error) {
+	return MeasureUplinkRayleighContext(context.Background(), o)
+}
+
+// MeasureUplinkRayleighContext is MeasureUplinkRayleigh under a
+// context: cancellation stops admitting frames, lets frames already
+// on workers finish, and returns ctx.Err().
+func MeasureUplinkRayleighContext(ctx context.Context, o UplinkOptions) (UplinkResult, error) {
 	if err := o.Validate(); err != nil {
 		return UplinkResult{}, err
 	}
@@ -133,13 +194,20 @@ func MeasureUplinkRayleigh(o UplinkOptions) (UplinkResult, error) {
 	if err != nil {
 		return UplinkResult{}, err
 	}
-	return link.Run(o.runConfig(), src, o.factory())
+	return o.measure(ctx, src)
 }
 
 // MeasureUplinkTestbed measures coded uplink throughput over a
 // synthetic indoor-testbed trace generated on the fly for the given
-// shape (see cmd/tracegen to record reusable traces).
+// shape (see cmd/tracegen to record reusable traces). It is
+// MeasureUplinkTestbedContext with context.Background().
 func MeasureUplinkTestbed(o UplinkOptions) (UplinkResult, error) {
+	return MeasureUplinkTestbedContext(context.Background(), o)
+}
+
+// MeasureUplinkTestbedContext is MeasureUplinkTestbed under a context;
+// see MeasureUplinkRayleighContext for the cancellation semantics.
+func MeasureUplinkTestbedContext(ctx context.Context, o UplinkOptions) (UplinkResult, error) {
 	if err := o.Validate(); err != nil {
 		return UplinkResult{}, err
 	}
@@ -160,12 +228,19 @@ func MeasureUplinkTestbed(o UplinkOptions) (UplinkResult, error) {
 	if err := o.checkShape(src); err != nil {
 		return UplinkResult{}, err
 	}
-	return link.Run(o.runConfig(), src, o.factory())
+	return o.measure(ctx, src)
 }
 
 // MeasureUplinkTrace measures coded uplink throughput over a recorded
-// trace file written by cmd/tracegen.
+// trace file written by cmd/tracegen. It is MeasureUplinkTraceContext
+// with context.Background().
 func MeasureUplinkTrace(o UplinkOptions, tracePath string) (UplinkResult, error) {
+	return MeasureUplinkTraceContext(context.Background(), o, tracePath)
+}
+
+// MeasureUplinkTraceContext is MeasureUplinkTrace under a context; see
+// MeasureUplinkRayleighContext for the cancellation semantics.
+func MeasureUplinkTraceContext(ctx context.Context, o UplinkOptions, tracePath string) (UplinkResult, error) {
 	if err := o.Validate(); err != nil {
 		return UplinkResult{}, err
 	}
@@ -180,5 +255,5 @@ func MeasureUplinkTrace(o UplinkOptions, tracePath string) (UplinkResult, error)
 	if err := o.checkShape(src); err != nil {
 		return UplinkResult{}, err
 	}
-	return link.Run(o.runConfig(), src, o.factory())
+	return o.measure(ctx, src)
 }
