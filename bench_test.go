@@ -402,25 +402,23 @@ func BenchmarkStatisticalPruningAblation(b *testing.B) {
 // ---------------------------------------------------------------------------
 
 // benchReport mirrors the slice of the BENCH_geosphere.json schema the
-// regression guard reads.
+// regression guards read.
 type benchReport struct {
 	Schema    string `json:"schema"`
 	Scenarios []struct {
 		Name       string  `json:"name"`
 		NsPerFrame float64 `json:"ns_per_frame"`
 	} `json:"scenarios"`
+	Adaptive *struct {
+		SpeedupVsSphere float64 `json:"speedup_vs_sphere"`
+		PERDelta        float64 `json:"per_delta"`
+	} `json:"adaptive"`
 }
 
-// TestBenchRegressionGuard re-measures the cached static-trace link
-// pipeline — the exact configuration cmd/geobench records — and fails
-// when it runs more than 25% slower per frame than the last
-// BENCH_geosphere.json entry. The tolerance is deliberately generous
-// (shared machines, thermal noise) and the measurement takes the best
-// of many runs, so a failure means a real regression, not jitter.
-func TestBenchRegressionGuard(t *testing.T) {
-	if testing.Short() {
-		t.Skip("wall-clock regression guard skipped in -short mode")
-	}
+// readBenchReport parses BENCH_geosphere.json, skipping the test when
+// the file is absent (fresh checkout before the first `make bench`).
+func readBenchReport(t *testing.T) *benchReport {
+	t.Helper()
 	buf, err := os.ReadFile("BENCH_geosphere.json")
 	if err != nil {
 		t.Skipf("no recorded benchmark report: %v", err)
@@ -429,60 +427,141 @@ func TestBenchRegressionGuard(t *testing.T) {
 	if err := json.Unmarshal(buf, &rep); err != nil {
 		t.Fatalf("BENCH_geosphere.json: %v", err)
 	}
-	const scenario = "link-run/static-trace/cached"
-	recorded := 0.0
-	for _, s := range rep.Scenarios {
-		if s.Name == scenario {
-			recorded = s.NsPerFrame
-		}
-	}
-	if recorded <= 0 {
-		t.Fatalf("scenario %q missing from BENCH_geosphere.json", scenario)
-	}
+	return &rep
+}
 
-	// The same static-trace configuration cmd/geobench measures: 4×4
-	// 16-QAM rate-1/2, one OFDM symbol, 8 frames, prep cache on.
-	const frames = 8
+// rayleighTrace rebuilds cmd/geobench's canonical static trace.
+func rayleighTrace(t *testing.T) []*cmplxmat.Matrix {
+	t.Helper()
 	csrc := rng.New(7)
 	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
 	for i := range hs {
 		hs[i] = NewRayleighChannel(csrc, 4, 4)
 	}
-	cfg := link.RunConfig{
-		Cons: QAM16, Rate: fec.Rate12,
-		NumSymbols: 1, Frames: frames,
-		SNRdB: 24, Seed: 2014, Workers: 1,
-	}
-	run := func() time.Duration {
-		src, err := link.NewStaticSubcarrierSource(hs)
+	return hs
+}
+
+// conditionedSweepTrace rebuilds cmd/geobench's κ²-swept trace: per-
+// subcarrier conditioning ramped linearly from 0 to 55 dB.
+func conditionedSweepTrace(t *testing.T) []*cmplxmat.Matrix {
+	t.Helper()
+	csrc := rng.New(77)
+	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
+	for i := range hs {
+		k2 := 55 * float64(i) / float64(len(hs)-1)
+		h, err := NewConditionedChannel(csrc, 4, 4, k2)
 		if err != nil {
 			t.Fatal(err)
 		}
-		start := time.Now()
-		m, err := link.Run(cfg, src, sim.GeosphereFactory)
-		elapsed := time.Since(start)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if m.Frames != frames {
-			t.Fatalf("ran %d frames", m.Frames)
-		}
-		return elapsed
+		hs[i] = h
 	}
-	for i := 0; i < 3; i++ {
-		run() // warm caches, page in code
+	return hs
+}
+
+// TestBenchRegressionGuard re-measures the frame-timed link scenarios
+// cmd/geobench records — the cached static trace and the condition-
+// adaptive κ² sweep — and fails when one runs more than 25% slower per
+// frame than its last BENCH_geosphere.json entry. The tolerance is
+// deliberately generous (shared machines, thermal noise) and the
+// measurement takes the best of many runs, so a failure means a real
+// regression, not jitter.
+func TestBenchRegressionGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock regression guard skipped in -short mode")
 	}
-	best := run()
-	for i := 0; i < 40; i++ {
-		if d := run(); d < best {
-			best = d
-		}
+	rep := readBenchReport(t)
+	recorded := make(map[string]float64, len(rep.Scenarios))
+	for _, s := range rep.Scenarios {
+		recorded[s.Name] = s.NsPerFrame
 	}
-	got := float64(best.Nanoseconds()) / frames
-	if limit := 1.25 * recorded; got > limit {
-		t.Errorf("%s: %.0f ns/frame (best of 41 runs) exceeds %.0f recorded by more than 25%% (limit %.0f)",
-			scenario, got, recorded, limit)
-	} else {
-		t.Logf("%s: %.0f ns/frame vs %.0f recorded (limit %.0f)", scenario, got, recorded, limit)
+	for _, tc := range []struct {
+		scenario string
+		runs     int
+		cfg      link.RunConfig
+		trace    func(*testing.T) []*cmplxmat.Matrix
+	}{
+		{
+			// 4×4 16-QAM rate-1/2, one OFDM symbol, prep cache on.
+			scenario: "link-run/static-trace/cached",
+			runs:     41,
+			cfg: link.RunConfig{
+				Cons: QAM16, Rate: fec.Rate12,
+				NumSymbols: 1, Frames: 8,
+				SNRdB: 24, Seed: 2014, Workers: 1,
+			},
+			trace: rayleighTrace,
+		},
+		{
+			// The κ² sweep under the default-calibrated scheduler: two
+			// OFDM symbols so detection cost dominates, 30 frames so the
+			// per-run scheduler setup amortizes as in cmd/geobench.
+			scenario: "link-run/kappa-sweep/adaptive",
+			runs:     11,
+			cfg: link.RunConfig{
+				Cons: QAM16, Rate: fec.Rate12,
+				NumSymbols: 2, Frames: 30,
+				SNRdB: 24, Seed: 2014, Workers: 1,
+				AdaptiveDetect: true,
+			},
+			trace: conditionedSweepTrace,
+		},
+	} {
+		t.Run(tc.scenario, func(t *testing.T) {
+			rec := recorded[tc.scenario]
+			if rec <= 0 {
+				t.Fatalf("scenario %q missing from BENCH_geosphere.json", tc.scenario)
+			}
+			hs := tc.trace(t)
+			run := func() time.Duration {
+				src, err := link.NewStaticSubcarrierSource(hs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				start := time.Now()
+				m, err := link.Run(tc.cfg, src, sim.GeosphereFactory)
+				elapsed := time.Since(start)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Frames != tc.cfg.Frames {
+					t.Fatalf("ran %d frames", m.Frames)
+				}
+				return elapsed
+			}
+			for i := 0; i < 3; i++ {
+				run() // warm caches, page in code
+			}
+			best := run()
+			for i := 0; i < tc.runs-1; i++ {
+				if d := run(); d < best {
+					best = d
+				}
+			}
+			got := float64(best.Nanoseconds()) / float64(tc.cfg.Frames)
+			if limit := 1.25 * rec; got > limit {
+				t.Errorf("%s: %.0f ns/frame (best of %d runs) exceeds %.0f recorded by more than 25%% (limit %.0f)",
+					tc.scenario, got, tc.runs, rec, limit)
+			} else {
+				t.Logf("%s: %.0f ns/frame vs %.0f recorded (limit %.0f)", tc.scenario, got, rec, limit)
+			}
+		})
+	}
+}
+
+// TestBenchAdaptiveRecord pins the recorded adaptive headline against
+// the acceptance floor: the κ²-swept scenario must show the scheduler
+// at least 1.3× faster than the all-sphere baseline while degrading
+// the packet error rate by at most 0.1% absolute. A regeneration that
+// records worse numbers fails here instead of rotting silently.
+func TestBenchAdaptiveRecord(t *testing.T) {
+	rep := readBenchReport(t)
+	if rep.Adaptive == nil {
+		t.Fatal("BENCH_geosphere.json has no adaptive record; regenerate with `make bench`")
+	}
+	if rep.Adaptive.SpeedupVsSphere < 1.3 {
+		t.Errorf("recorded adaptive speedup %.2fx is below the 1.3x floor", rep.Adaptive.SpeedupVsSphere)
+	}
+	if rep.Adaptive.PERDelta > 0.001 {
+		t.Errorf("recorded adaptive PER delta %+.4f exceeds the 0.1%% bound", rep.Adaptive.PERDelta)
 	}
 }

@@ -8,6 +8,12 @@
 //     regime) with the per-worker preparation cache on and off.
 //   - link-run/rayleigh/cached: per-frame redrawn channels, where
 //     every preparation is a refill — the cache's worst case.
+//   - link-run/kappa-sweep/{sphere,adaptive}: the κ²-swept static
+//     trace (subcarrier conditioning ramped 0→55 dB) decoded all-sphere
+//     and with the condition-adaptive ZF/K-best/sphere scheduler; the
+//     pair's ratio is the scheduler's headline speedup, recorded with
+//     its packet-error-rate delta and tier mix under the top-level
+//     "adaptive" key.
 //   - detect/geosphere-qam64-4x4: per-detection cost of the headline
 //     decoder.
 //   - prepare/{hit,refill}: the cached Prepare fast path and the
@@ -19,10 +25,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/channel"
@@ -59,18 +69,104 @@ type Scenario struct {
 	Metrics
 }
 
+// AdaptiveReport is the condition-adaptive scheduler's headline record
+// on the κ²-swept static trace: benchmarked speedup of the adaptive
+// run over the all-sphere baseline, the packet-error-rate cost of that
+// speedup, and the tier mix that produced it.
+type AdaptiveReport struct {
+	Config          string  `json:"config"`
+	SpeedupVsSphere float64 `json:"speedup_vs_sphere"`
+	PERSphere       float64 `json:"per_sphere"`
+	PERAdaptive     float64 `json:"per_adaptive"`
+	PERDelta        float64 `json:"per_delta"`
+	SchedZF         int64   `json:"sched_zf"`
+	SchedKBest      int64   `json:"sched_kbest"`
+	SchedSphere     int64   `json:"sched_sphere"`
+	GatePassRate    float64 `json:"gate_pass_rate"`
+}
+
 // Report is the BENCH_geosphere.json schema. Baseline carries the
 // pre-optimization numbers the current scenarios are compared against;
-// it is fixed at generation time, not re-measured. Serve is the load-
-// harness record cmd/geoload maintains under the same file — geobench
-// does not interpret it, only carries it across regenerations so the
-// two tools can share one trajectory file.
+// it is fixed at generation time, not re-measured. Extra holds every
+// top-level key of the previous report that geobench does not own —
+// records other tools (cmd/geoload's "serve" block, future additions)
+// maintain under the same file. They are carried across regenerations
+// verbatim so the tools can share one trajectory file without geobench
+// needing to know each key.
 type Report struct {
-	Schema    string             `json:"schema"`
-	Baseline  map[string]Metrics `json:"baseline"`
-	BaselineA map[string]string  `json:"baseline_annotations"`
-	Scenarios []Scenario         `json:"scenarios"`
-	Serve     json.RawMessage    `json:"serve,omitempty"`
+	Schema    string                     `json:"schema"`
+	Baseline  map[string]Metrics         `json:"baseline"`
+	BaselineA map[string]string          `json:"baseline_annotations"`
+	Scenarios []Scenario                 `json:"scenarios"`
+	Adaptive  *AdaptiveReport            `json:"adaptive,omitempty"`
+	Extra     map[string]json.RawMessage `json:"-"`
+}
+
+// ownedReportKeys are the top-level JSON keys declared by Report
+// itself; any other key found when parsing a previous report is
+// foreign and lands in Extra.
+func ownedReportKeys() map[string]bool {
+	keys := make(map[string]bool)
+	t := reflect.TypeOf(Report{})
+	for i := 0; i < t.NumField(); i++ {
+		name, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
+		if name != "" && name != "-" {
+			keys[name] = true
+		}
+	}
+	return keys
+}
+
+// UnmarshalJSON parses the owned fields and stashes every unknown
+// top-level key in Extra, byte for byte.
+func (r *Report) UnmarshalJSON(buf []byte) error {
+	type bare Report // no methods: avoids recursing into this Unmarshal
+	if err := json.Unmarshal(buf, (*bare)(r)); err != nil {
+		return err
+	}
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &all); err != nil {
+		return err
+	}
+	owned := ownedReportKeys()
+	for k := range all {
+		if owned[k] {
+			delete(all, k)
+		}
+	}
+	if len(all) > 0 {
+		r.Extra = all
+	}
+	return nil
+}
+
+// MarshalJSON emits the owned fields in declaration order followed by
+// the carried foreign keys in sorted order.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type bare Report
+	buf, err := json.Marshal((*bare)(r))
+	if err != nil || len(r.Extra) == 0 {
+		return buf, err
+	}
+	keys := make([]string, 0, len(r.Extra))
+	for k := range r.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	b.Write(buf[:len(buf)-1]) // reopen the object: drop the closing brace
+	for _, k := range keys {
+		name, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		b.WriteByte(',')
+		b.Write(name)
+		b.WriteByte(':')
+		b.Write(r.Extra[k])
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
 }
 
 // preCacheBaseline is the static-trace link scenario measured at the
@@ -121,6 +217,94 @@ func linkRunConfig(cold bool) link.RunConfig {
 		SNRdB: 24, Seed: 2014, Workers: 1,
 		NoPrepCache: cold,
 	}
+}
+
+// kappaSweepMaxdB is the top of the κ² ramp: the sweep spans
+// well-conditioned subcarriers (where the gate and the sphere are both
+// cheap) through the explosion-prone tail (κ̂² past the K-best cut,
+// where an unbounded sphere search costs hundreds of microseconds per
+// vector).
+const kappaSweepMaxdB = 55
+
+// kappaSweepTrace draws the adaptive benchmark's static trace: one 4×4
+// channel per data subcarrier with the exact squared condition number
+// ramped linearly from 0 dB to kappaSweepMaxdB across the band.
+func kappaSweepTrace() ([]*cmplxmat.Matrix, error) {
+	src := rng.New(77)
+	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
+	for i := range hs {
+		k2 := kappaSweepMaxdB * float64(i) / float64(len(hs)-1)
+		h, err := channel.Conditioned(src, 4, 4, k2)
+		if err != nil {
+			return nil, err
+		}
+		hs[i] = h
+	}
+	return hs, nil
+}
+
+// kappaFrames sizes the κ²-swept runs: long enough to amortize the
+// adaptive run's one-time per-run costs (scheduler construction,
+// K-best factor preparation on the tail subcarriers) the way a real
+// trace-replay session does.
+const kappaFrames = 30
+
+// kappaRunConfig is the κ²-swept scenario configuration: the canonical
+// link setup with two OFDM symbols per frame (so detection, the cost
+// the scheduler changes, dominates preparation and frame overhead) and
+// the default-calibrated adaptive scheduler on or off.
+func kappaRunConfig(adaptive bool) link.RunConfig {
+	return link.RunConfig{
+		Cons: constellation.QAM16, Rate: fec.Rate12,
+		NumSymbols: 2, Frames: kappaFrames,
+		SNRdB: 24, Seed: 2014, Workers: 1,
+		AdaptiveDetect: adaptive,
+	}
+}
+
+// adaptivePERFrames sizes the error-rate comparison runs: long enough
+// for a stable per-stream PER on the sweep, short enough to keep the
+// report generation quick.
+const adaptivePERFrames = 60
+
+// measureAdaptive runs the κ²-swept trace all-sphere and adaptive with
+// an instrumented recorder and fills the error-rate and tier-mix half
+// of the AdaptiveReport; the benchmarked speedup is filled in by run()
+// from the scenario timings.
+func measureAdaptive(newSource func() link.ChannelSource) (*AdaptiveReport, error) {
+	runPER := func(adaptive bool) (float64, obs.AdaptiveSnapshot, error) {
+		cfg := kappaRunConfig(adaptive)
+		cfg.Frames = adaptivePERFrames
+		rec := obs.NewStatsRecorder()
+		cfg.Recorder = rec
+		m, err := link.Run(cfg, newSource(), sim.GeosphereFactory)
+		if err != nil {
+			return 0, obs.AdaptiveSnapshot{}, err
+		}
+		return m.PerStreamFER, rec.Snapshot().Frames.Adaptive, nil
+	}
+	perSphere, _, err := runPER(false)
+	if err != nil {
+		return nil, err
+	}
+	perAdaptive, a, err := runPER(true)
+	if err != nil {
+		return nil, err
+	}
+	rep := &AdaptiveReport{
+		Config: fmt.Sprintf("4x4 16-QAM rate-1/2, 2 OFDM symbols, %d frames, SNR 24 dB, κ² ramp 0-%g dB over %d subcarriers, default policy",
+			adaptivePERFrames, float64(kappaSweepMaxdB), ofdm.NumData),
+		PERSphere:   perSphere,
+		PERAdaptive: perAdaptive,
+		PERDelta:    perAdaptive - perSphere,
+		SchedZF:     a.SchedZF,
+		SchedKBest:  a.SchedKBest,
+		SchedSphere: a.SchedSphere,
+	}
+	if vectors := a.GatePass + a.KBestFallbacks + a.SphereFallbacks; vectors > 0 {
+		rep.GatePassRate = float64(a.GatePass) / float64(vectors)
+	}
+	return rep, nil
 }
 
 // benchLink times link.Run over the given source builder and collects
@@ -266,7 +450,19 @@ func run() (*Report, error) {
 		}
 		return s
 	}
+	khs, err := kappaSweepTrace()
+	if err != nil {
+		return nil, err
+	}
+	kappaSource := func() link.ChannelSource {
+		s, err := link.NewStaticSubcarrierSource(khs)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
 	linkDesc := fmt.Sprintf("4x4 16-QAM rate-1/2, 1 OFDM symbol, %d frames, SNR 24 dB, workers 1", linkFrames)
+	kappaDesc := fmt.Sprintf("4x4 16-QAM rate-1/2, 2 OFDM symbols, %d frames, SNR 24 dB, κ² ramp 0-%g dB static trace", kappaFrames, float64(kappaSweepMaxdB))
 	scenarios := []struct {
 		name, config string
 		measure      func() (Metrics, error)
@@ -277,6 +473,10 @@ func run() (*Report, error) {
 			func() (Metrics, error) { return benchLink(linkRunConfig(true), staticSource) }},
 		{"link-run/rayleigh/cached", linkDesc + ", fresh Rayleigh channel per frame, prep cache on",
 			func() (Metrics, error) { return benchLink(linkRunConfig(false), rayleighSource) }},
+		{"link-run/kappa-sweep/sphere", kappaDesc + ", all-sphere baseline",
+			func() (Metrics, error) { return benchLink(kappaRunConfig(false), kappaSource) }},
+		{"link-run/kappa-sweep/adaptive", kappaDesc + ", condition-adaptive ZF/K-best/sphere scheduler",
+			func() (Metrics, error) { return benchLink(kappaRunConfig(true), kappaSource) }},
 		{"detect/geosphere-qam64-4x4", "Geosphere 4x4 64-QAM at 25 dB, prepared channel",
 			benchDetect},
 		{"prepare/hit", "Geosphere Prepare, channel unchanged (cache hit fast path)",
@@ -298,6 +498,24 @@ func run() (*Report, error) {
 		}
 		rep.Scenarios = append(rep.Scenarios, Scenario{Name: s.name, Config: s.config, Metrics: m})
 	}
+	fmt.Fprintln(os.Stderr, "geobench: adaptive error-rate comparison")
+	ad, err := measureAdaptive(kappaSource)
+	if err != nil {
+		return nil, fmt.Errorf("adaptive comparison: %w", err)
+	}
+	var sphNs, adNs float64
+	for _, s := range rep.Scenarios {
+		switch s.Name {
+		case "link-run/kappa-sweep/sphere":
+			sphNs = s.NsPerFrame
+		case "link-run/kappa-sweep/adaptive":
+			adNs = s.NsPerFrame
+		}
+	}
+	if sphNs > 0 && adNs > 0 {
+		ad.SpeedupVsSphere = sphNs / adNs
+	}
+	rep.Adaptive = ad
 	return rep, nil
 }
 
@@ -355,7 +573,7 @@ func main() {
 		os.Exit(1)
 	}
 	if prev != nil {
-		rep.Serve = prev.Serve
+		rep.Extra = prev.Extra
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -377,6 +595,10 @@ func main() {
 			line += fmt.Sprintf(" %5.1f%% cache hits", 100*s.CacheHitRate)
 		}
 		fmt.Println(line)
+	}
+	if ad := rep.Adaptive; ad != nil {
+		fmt.Printf("  adaptive: %.2fx vs sphere, PER %+.4f delta, tiers zf/kbest/sphere %d/%d/%d, gate %.1f%%\n",
+			ad.SpeedupVsSphere, ad.PERDelta, ad.SchedZF, ad.SchedKBest, ad.SchedSphere, 100*ad.GatePassRate)
 	}
 	// The report is written either way (the new numbers are what you
 	// need to diagnose the slowdown); the exit status is what makes

@@ -157,6 +157,13 @@ func NewCorrelatedChannel(src *Source, na, nc int, rhoRx, rhoTx float64) (*Matri
 	return channel.Correlated(src, na, nc, rhoRx, rhoTx)
 }
 
+// NewConditionedChannel draws a random na×nc channel with the exact
+// squared condition number κ² = kappa2dB, the knob behind the adaptive
+// scheduler's κ²-swept calibration traces.
+func NewConditionedChannel(src *Source, na, nc int, kappa2dB float64) (*Matrix, error) {
+	return channel.Conditioned(src, na, nc, kappa2dB)
+}
+
 // Transmit applies y = H·x + w with CN(0, noiseVar) noise per receive
 // antenna, writing into dst (allocated when nil).
 func Transmit(dst []complex128, src *Source, h *Matrix, x []complex128, noiseVar float64) []complex128 {

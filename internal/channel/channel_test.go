@@ -141,3 +141,47 @@ func TestTransmitNoisePower(t *testing.T) {
 		t.Fatalf("noise power %g, want 0.5", power)
 	}
 }
+
+// TestConditionedHitsTargetKappa2 pins the κ²-sweep source: every draw
+// lands exactly (to numerical precision) on the requested squared
+// condition number, and the Frobenius power matches a Rayleigh draw's
+// expectation so a sweep varies conditioning, not receive power.
+func TestConditionedHitsTargetKappa2(t *testing.T) {
+	src := rng.New(11)
+	for _, k2dB := range []float64{0, 6, 14, 25, 40} {
+		for _, shape := range [][2]int{{4, 4}, {6, 4}, {3, 2}} {
+			na, nc := shape[0], shape[1]
+			h, err := Conditioned(src, na, nc, k2dB)
+			if err != nil {
+				t.Fatalf("Conditioned(%d×%d, %g): %v", na, nc, k2dB, err)
+			}
+			want := math.Pow(10, k2dB/20) // Cond2 is σ_max/σ_min, κ in amplitude
+			if got := h.Cond2(); math.Abs(got-want) > 1e-6*want {
+				t.Fatalf("Conditioned(%d×%d, %g dB): κ = %g, want %g", na, nc, k2dB, got, want)
+			}
+			f := h.FrobeniusNorm()
+			if want := math.Sqrt(float64(na * nc)); math.Abs(f-want) > 1e-9*want {
+				t.Fatalf("Conditioned(%d×%d): ‖H‖F = %g, want %g", na, nc, f, want)
+			}
+		}
+	}
+}
+
+// TestConditionedKappa2EqualsOne pins the degenerate cases: a 0 dB
+// target and a single-column channel are both perfectly conditioned.
+func TestConditionedValidation(t *testing.T) {
+	src := rng.New(12)
+	if _, err := Conditioned(src, 2, 3, 10); err == nil {
+		t.Fatal("wide matrix accepted")
+	}
+	if _, err := Conditioned(src, 4, 4, -1); err == nil {
+		t.Fatal("negative dynamic range accepted")
+	}
+	h, err := Conditioned(src, 4, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Cond2(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("single-column κ = %g, want 1", got)
+	}
+}

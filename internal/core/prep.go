@@ -51,6 +51,14 @@ type PreparedChannel struct {
 	rinv []complex128     // 1/R[l][l] per tree level
 	hq   *cmplxmat.Matrix // derived QR input (permuted copy / real embedding)
 
+	// kappa2 is the diagonal condition estimate κ̂² = max|R[l][l]|² /
+	// min|R[l][l]|², derived for free from the diagonal tables whenever
+	// they are (re)built. It lower-bounds the true κ²(H) (the singular
+	// values interlace the R diagonal), which makes it a cheap
+	// per-subcarrier difficulty signal: no SVD, no Cond2, no extra
+	// arithmetic on the hot path.
+	kappa2 float64
+
 	energy []float64 // column-energy scratch for the ordering pass
 
 	// Incremental re-preparation (opt-in via SetIncremental): a miss
@@ -100,6 +108,43 @@ func (pc *PreparedChannel) Epoch() uint64 { return pc.epoch }
 // channel produce the same fingerprint; it identifies cache contents
 // in logs and tests but is never used as the hit criterion.
 func (pc *PreparedChannel) Fingerprint() uint64 { return pc.fp }
+
+// Kappa2 returns the cached diagonal condition estimate κ̂² =
+// max|R[l][l]|²/min|R[l][l]|² of the prepared channel, or zero when the
+// cache is empty. It is computed as a byproduct of the diagonal tables
+// at preparation time, so reading it costs nothing — the point of
+// caching it here is that the serving layer and the adaptive scheduler
+// never call the SVD-based metrics.Kappa2dB per frame. κ̂² lower-bounds
+// the true κ²(H); it is a scheduling signal, not a bound certificate.
+func (pc *PreparedChannel) Kappa2() float64 { return pc.kappa2 }
+
+// Kappa2dB returns Kappa2 in decibels (the paper's Figure 9 scale), or
+// NaN when the cache is empty.
+func (pc *PreparedChannel) Kappa2dB() float64 {
+	if pc.kappa2 <= 0 {
+		return math.NaN()
+	}
+	return 10 * math.Log10(pc.kappa2)
+}
+
+// QRFactors returns the cached factorization, valid until the next
+// refill. Callers must treat it as read-only.
+func (pc *PreparedChannel) QRFactors() *cmplxmat.QR { return &pc.qr }
+
+// Perm returns the QR-column → original-stream permutation of the
+// ordered mode, nil otherwise. The slice aliases cache state.
+func (pc *PreparedChannel) Perm() []int {
+	if pc.mode != prepModeOrderedQR {
+		return nil
+	}
+	return pc.perm
+}
+
+// DiagTables returns the cached per-level diagonal tables |R[l][l]|²
+// and 1/R[l][l]. Both slices alias cache state and are read-only.
+func (pc *PreparedChannel) DiagTables() (rll2 []float64, rinv []complex128) {
+	return pc.rll2, pc.rinv
+}
 
 // matches reports whether the cache already holds the derivation of h
 // for mode: same mode, same shape, elementwise-identical contents.
@@ -199,6 +244,17 @@ func (pc *PreparedChannel) rebuildDiagTables(levels int) error {
 		pc.rll2[l] = mag2
 		pc.rinv[l] = 1 / rll
 	}
+	// κ̂² rides along for free: the extremes of the diagonal just built.
+	minR2, maxR2 := pc.rll2[0], pc.rll2[0]
+	for _, m2 := range pc.rll2[1:] {
+		if m2 < minR2 {
+			minR2 = m2
+		}
+		if m2 > maxR2 {
+			maxR2 = m2
+		}
+	}
+	pc.kappa2 = maxR2 / minR2
 	return nil
 }
 
@@ -467,6 +523,47 @@ func (p *PrepPool) SetIncremental(on bool) {
 	for i := range p.pcs {
 		p.pcs[i].SetIncremental(on)
 	}
+}
+
+// AppendKappa2dB appends the cached diagonal condition estimate (in
+// dB) of every filled slot to dst and returns it. Empty slots (never
+// prepared through a SharedPreparer) are skipped, so on the batched
+// link path the result holds one value per data subcarrier. The caller
+// reuses dst across frames to keep the observability path
+// allocation-free.
+//
+//geolint:noalloc
+func (p *PrepPool) AppendKappa2dB(dst []float64) []float64 {
+	for i := range p.pcs {
+		if p.pcs[i].epoch == 0 {
+			continue
+		}
+		dst = append(dst, p.pcs[i].Kappa2dB()) //geolint:alloc-ok caller presizes dst; growth only on first frame
+	}
+	return dst
+}
+
+// MeanKappa2dB returns the mean cached condition estimate (in dB)
+// across the pool's filled slots, or NaN when no slot has been filled
+// yet. The serving layer uses it as a per-group conditioning summary —
+// read from state the first processed frame already built, never
+// recomputed.
+//
+//geolint:noalloc
+func (p *PrepPool) MeanKappa2dB() float64 {
+	var sum float64
+	n := 0
+	for i := range p.pcs {
+		if p.pcs[i].epoch == 0 {
+			continue
+		}
+		sum += p.pcs[i].Kappa2dB()
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
 }
 
 // embedReal writes the real-valued decomposition of h into dst

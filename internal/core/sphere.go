@@ -322,6 +322,38 @@ func (d *SphereDecoder) ytildeRefAt(l int) complex128 {
 //
 //geolint:noalloc
 func (d *SphereDecoder) Detect(dst []int, y []complex128) ([]int, error) {
+	return d.search(dst, y, nil, math.Inf(1))
+}
+
+// DetectSeeded runs the same search as Detect but starts from a known
+// candidate instead of an infinite sphere: seed is a full symbol path
+// in QR-column (search) order — typically the sliced zero-forcing
+// solution — and seedPED its exact squared residual ‖Q*y − R·seed‖².
+// The seed is installed as the incumbent and seedPED as the initial
+// squared radius, so the enumeration prunes against a noise-sized
+// sphere from the very first node. Because the incumbent is only
+// replaced by a strictly smaller distance, the decision equals
+// Detect's for every input whose maximum-likelihood solution is unique
+// (ties — a measure-zero event — may resolve to the seed instead).
+// Detect itself is DetectSeeded with no seed and an infinite radius,
+// bit for bit: the flagged infinite-radius search stays the
+// bit-identity reference.
+//
+//geolint:noalloc
+func (d *SphereDecoder) DetectSeeded(dst []int, y []complex128, seed []int, seedPED float64) ([]int, error) {
+	if len(seed) != d.nc {
+		//geolint:alloc-ok error path
+		return nil, fmt.Errorf("core: seed has %d entries, want %d", len(seed), d.nc)
+	}
+	return d.search(dst, y, seed, seedPED)
+}
+
+// search is the depth-first engine shared by Detect and DetectSeeded.
+// With seed == nil and an infinite radius it is exactly the historical
+// Detect body.
+//
+//geolint:noalloc
+func (d *SphereDecoder) search(dst []int, y []complex128, seed []int, radius2 float64) ([]int, error) {
 	if err := checkDims(d.h, y); err != nil {
 		return nil, err
 	}
@@ -332,7 +364,6 @@ func (d *SphereDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 		return nil, fmt.Errorf("core: dst has %d entries, want %d", len(dst), d.nc)
 	}
 	d.qr.ApplyQConjT(d.yhat, y)
-	radius2 := math.Inf(1)
 	top := d.nc - 1
 	if !d.refProj {
 		// Reset the projection stack: depth nc holds ŷ itself and
@@ -347,6 +378,13 @@ func (d *SphereDecoder) Detect(dst []int, y []complex128) ([]int, error) {
 	d.enums[top].init(d.ytildeAt(top), 0, d.rll2[top])
 	level := top
 	found := false
+	if seed != nil {
+		// The seed is the incumbent: any candidate the search keeps must
+		// strictly beat it, exactly as if the search itself had reached
+		// this leaf first.
+		copy(dst, seed)
+		found = true
+	}
 	var visited int64
 
 	for {

@@ -1,6 +1,7 @@
 package kbest
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/channel"
@@ -101,16 +102,23 @@ func TestKBestNarrowIsSuboptimal(t *testing.T) {
 	}
 }
 
-func TestKBestComplexityFixed(t *testing.T) {
+// TestKBestComplexityBounded pins the fixed-complexity property the
+// adaptive scheduler's bounded tier relies on: the survivor count per
+// level is an exact function of the shape, and the lazy merge never
+// evaluates more than ~3K children per level regardless of channel
+// conditioning — unlike depth-first search, whose node count diverges
+// on ill-conditioned channels.
+func TestKBestComplexityBounded(t *testing.T) {
 	cons := constellation.QAM16
 	src := rng.New(3)
-	d, err := NewKBest(cons, 4)
+	const k, nc = 4, 4
+	d, err := NewKBest(cons, k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var peds []int64
+	var visited []int64
 	for trial := 0; trial < 5; trial++ {
-		h, _, y := scenario(src, cons, 4, 4, 20)
+		h, _, y := scenario(src, cons, 4, nc, 20)
 		d.ResetStats()
 		if err := d.Prepare(h); err != nil {
 			t.Fatal(err)
@@ -118,11 +126,86 @@ func TestKBestComplexityFixed(t *testing.T) {
 		if _, err := d.Detect(nil, y); err != nil {
 			t.Fatal(err)
 		}
-		peds = append(peds, d.Stats().PEDCalcs)
+		visited = append(visited, d.Stats().VisitedNodes)
+		if got, cap := d.Stats().PEDCalcs, int64(3*k*nc); got > cap {
+			t.Fatalf("trial %d: %d PED evaluations exceed the %d lazy-merge bound", trial, got, cap)
+		}
 	}
-	for _, p := range peds[1:] {
-		if p != peds[0] {
-			t.Fatalf("K-best complexity varied across channels: %v", peds)
+	for _, v := range visited[1:] {
+		if v != visited[0] {
+			t.Fatalf("K-best survivor count varied across channels: %v", visited)
+		}
+	}
+}
+
+// fullExpansionKBest is the textbook reference: expand every child of
+// every survivor, sort by (PED, generation order), keep K. The lazy
+// merge must reproduce its decisions exactly.
+func fullExpansionKBest(cons *constellation.Constellation, k int, h *cmplxmat.Matrix, y []complex128) []int {
+	qr := cmplxmat.QRDecompose(h)
+	nc := h.Cols
+	yhat := make([]complex128, nc)
+	qr.ApplyQConjT(yhat, y)
+	type cand struct {
+		path []int // position p holds level nc−1−p
+		ped  float64
+	}
+	cur := []cand{{path: []int{}, ped: 0}}
+	for l := nc - 1; l >= 0; l-- {
+		rll := qr.R.At(l, l)
+		row := qr.R.Row(l)
+		var next []cand
+		for _, c := range cur {
+			s := yhat[l]
+			for j := l + 1; j < nc; j++ {
+				s -= row[j] * cons.PointIndex(c.path[nc-1-j])
+			}
+			for pt := 0; pt < cons.Size(); pt++ {
+				diff := s - rll*cons.PointIndex(pt)
+				path := append(append([]int{}, c.path...), pt)
+				next = append(next, cand{path: path, ped: c.ped + real(diff)*real(diff) + imag(diff)*imag(diff)})
+			}
+		}
+		sort.SliceStable(next, func(i, j int) bool { return next[i].ped < next[j].ped })
+		if len(next) > k {
+			next = next[:k]
+		}
+		cur = next
+	}
+	dst := make([]int, nc)
+	for pos, pt := range cur[0].path {
+		dst[nc-1-pos] = pt
+	}
+	return dst
+}
+
+// TestKBestMatchesFullExpansion checks the lazy Schnorr-Euchner merge
+// against the full-expansion reference over random channels spanning
+// well- to ill-conditioned, for several K and constellation densities.
+func TestKBestMatchesFullExpansion(t *testing.T) {
+	src := rng.New(11)
+	for _, cons := range []*constellation.Constellation{constellation.QPSK, constellation.QAM16, constellation.QAM64} {
+		for _, k := range []int{1, 3, 8} {
+			d, err := NewKBest(cons, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 40; trial++ {
+				h, _, y := scenario(src, cons, 4, 4, 15+float64(trial%3)*6)
+				if err := d.Prepare(h); err != nil {
+					t.Fatal(err)
+				}
+				got, err := d.Detect(nil, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := fullExpansionKBest(cons, k, h, y)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s K=%d trial %d: lazy merge decided %v, full expansion %v", cons.Name(), k, trial, got, want)
+					}
+				}
+			}
 		}
 	}
 }

@@ -71,6 +71,49 @@ func (d *ZF) Detect(dst []int, y []complex128) ([]int, error) {
 	return dst, nil
 }
 
+// SolveZF computes the zero-forcing decisions from a thin-QR
+// factorization of the channel: back-substitution of R·ŝ = Q*y (the
+// exact unconstrained least-squares solution — the same estimate the
+// pseudo-inverse filter produces) followed by per-stream slicing. It
+// also returns the sliced decision's squared lattice residual
+// r₀² = ‖Q*y − R·s₀‖², the quantity the adaptive scheduler's
+// maximum-likelihood equality gate tests (DESIGN.md §14): since
+// ‖y − Hs‖² decomposes as ‖P⊥y‖² + ‖R(ŝ−s)‖², r₀² is exactly the
+// lattice part of the ZF decision's metric.
+//
+// Everything works in QR-column order: yhat is Q*y, rll2/rinv the
+// diagonal tables, and dst[l] receives the flat point index for QR
+// column l (the caller undoes any column ordering). est is caller
+// scratch holding the unquantized back-substituted estimate. All
+// slices must have length n = R's dimension; the steady state
+// allocates nothing.
+//
+//geolint:noalloc
+func SolveZF(cons *constellation.Constellation, r *cmplxmat.Matrix, rinv []complex128, yhat []complex128, est []complex128, dst []int) float64 {
+	n := len(dst)
+	for l := n - 1; l >= 0; l-- {
+		row := r.Row(l)
+		s := yhat[l]
+		for j := l + 1; j < n; j++ {
+			s -= row[j] * est[j]
+		}
+		e := s * rinv[l]
+		est[l] = e // back-substitution continues on the unquantized value
+		col, rw := cons.Slice(e)
+		dst[l] = cons.Index(col, rw)
+	}
+	var r2 float64
+	for l := 0; l < n; l++ {
+		row := r.Row(l)
+		s := yhat[l]
+		for j := l; j < n; j++ {
+			s -= row[j] * cons.PointIndex(dst[j])
+		}
+		r2 += real(s)*real(s) + imag(s)*imag(s)
+	}
+	return r2
+}
+
 // MMSE is the minimum mean-squared-error detector: the filter
 // (H*H + σ²I)⁻¹H* balances stream decoupling against noise
 // amplification. NoiseVar must be set (per complex dimension, total)

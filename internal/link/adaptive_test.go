@@ -1,0 +1,214 @@
+package link
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/obs"
+	"repro/internal/ofdm"
+	"repro/internal/policy"
+	"repro/internal/rng"
+)
+
+// kappaSweepSource builds a frequency-selective static channel whose
+// subcarriers sweep κ² from 0 dB up to maxKappa2dB — the conditioning
+// mix the adaptive scheduler is calibrated against (well-conditioned
+// subcarriers dominate, a tail is genuinely hard).
+func kappaSweepSource(t *testing.T, seed int64, na, nc int, maxKappa2dB float64) ChannelSource {
+	t.Helper()
+	src := rng.New(seed)
+	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
+	for i := range hs {
+		k2 := maxKappa2dB * float64(i) / float64(len(hs)-1)
+		h, err := channel.Conditioned(src, na, nc, k2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs[i] = h
+	}
+	s, err := NewStaticSubcarrierSource(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func adaptiveBaseConfig() RunConfig {
+	return RunConfig{
+		Cons:       constellation.QAM16,
+		Rate:       fec.Rate12,
+		NumSymbols: 2,
+		Frames:     40,
+		SNRdB:      24,
+		Seed:       2014,
+	}
+}
+
+func geosphereFactory(c *constellation.Constellation, _ float64) core.Detector {
+	return core.NewGeosphere(c)
+}
+
+// TestAdaptiveExactConfigMatchesBaseline pins the scheduler's ML
+// guarantee end to end: with the K-best band pushed out of reach,
+// every subcarrier resolves exactly (gate pass or seeded sphere), so
+// the adaptive run's error counts and throughput must equal the
+// all-sphere baseline's — while doing strictly less tree work.
+func TestAdaptiveExactConfigMatchesBaseline(t *testing.T) {
+	cfg := adaptiveBaseConfig()
+	base, err := Run(cfg, kappaSweepSource(t, 7, 4, 4, 30), geosphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.AdaptiveDetect = true
+	cfg.Adaptive = policy.Config{ZFKappa2dB: 10, KBestKappa2dB: 1e3}
+	ad, err := Run(cfg, kappaSweepSource(t, 7, 4, 4, 30), geosphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.FrameErrors != base.FrameErrors || ad.StreamErrors != base.StreamErrors {
+		t.Fatalf("exact adaptive config changed errors: %d/%d frames, %d/%d streams",
+			ad.FrameErrors, base.FrameErrors, ad.StreamErrors, base.StreamErrors)
+	}
+	if ad.NetMbps != base.NetMbps { //geolint:float-ok both sides accumulate the identical success sequence, so the comparison is exact
+		t.Fatalf("throughput diverged: %g vs %g Mbps", ad.NetMbps, base.NetMbps)
+	}
+	if ad.Stats.PEDCalcs >= base.Stats.PEDCalcs {
+		t.Fatalf("adaptive did no less tree work: %d vs %d PED calcs", ad.Stats.PEDCalcs, base.Stats.PEDCalcs)
+	}
+}
+
+// TestAdaptivePERDeltaBound pins the default calibration over the κ²
+// sweep: the adaptive run (K-best band included) may not degrade the
+// per-stream error rate by more than 0.1% absolute against the
+// all-sphere baseline — the acceptance bound the scheduler's default
+// cuts were chosen to meet.
+func TestAdaptivePERDeltaBound(t *testing.T) {
+	cfg := adaptiveBaseConfig()
+	cfg.Frames = 120
+	base, err := Run(cfg, kappaSweepSource(t, 21, 4, 4, 55), geosphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.AdaptiveDetect = true
+	ad, err := Run(cfg, kappaSweepSource(t, 21, 4, 4, 55), geosphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := ad.PerStreamFER - base.PerStreamFER; delta > 0.001 {
+		t.Fatalf("adaptive PER %.5f exceeds baseline %.5f by %.5f (> 0.1%%)",
+			ad.PerStreamFER, base.PerStreamFER, delta)
+	}
+}
+
+// TestAdaptiveDeterministicTiers pins scheduling determinism through
+// the whole pipeline: the same seed yields the identical per-run tier
+// and gate counter totals for every worker count, and the Measurement
+// stays byte-identical.
+func TestAdaptiveDeterministicTiers(t *testing.T) {
+	run := func(workers int) (Measurement, obs.AdaptiveSnapshot) {
+		rec := obs.NewStatsRecorder()
+		cfg := adaptiveBaseConfig()
+		cfg.AdaptiveDetect = true
+		cfg.Workers = workers
+		cfg.Recorder = rec
+		m, err := Run(cfg, kappaSweepSource(t, 33, 4, 4, 55), geosphereFactory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, rec.Snapshot().Frames.Adaptive
+	}
+	m1, a1 := run(1)
+	m4, a4 := run(4)
+	if m1 != m4 {
+		t.Fatalf("Measurement diverged across workers:\n1: %+v\n4: %+v", m1, m4)
+	}
+	// Histograms aside, the counter totals must match exactly.
+	a1.Kappa2dB, a4.Kappa2dB = obs.HistogramSnapshot{}, obs.HistogramSnapshot{}
+	if a1.SchedZF != a4.SchedZF || a1.SchedKBest != a4.SchedKBest || a1.SchedSphere != a4.SchedSphere ||
+		a1.GatePass != a4.GatePass || a1.KBestFallbacks != a4.KBestFallbacks ||
+		a1.SphereFallbacks != a4.SphereFallbacks || a1.SeededRadius != a4.SeededRadius {
+		t.Fatalf("adaptive counters diverged across workers:\n1: %+v\n4: %+v", a1, a4)
+	}
+	if a1.SchedZF+a1.SchedKBest+a1.SchedSphere == 0 {
+		t.Fatal("no tier assignments recorded")
+	}
+	if a1.GatePass == 0 {
+		t.Fatal("gate never passed on the sweep; calibration is broken")
+	}
+	// The κ² sweep spans all three bands, so every tier must appear.
+	if a1.SchedZF == 0 || a1.SchedKBest == 0 || a1.SchedSphere == 0 {
+		t.Fatalf("sweep did not exercise all tiers: %+v", a1)
+	}
+	// Run-level totals must be reproducible run over run, not just
+	// across worker counts.
+	_, again := run(1)
+	if a1.SchedZF != again.SchedZF || a1.SchedKBest != again.SchedKBest ||
+		a1.SchedSphere != again.SchedSphere || a1.GatePass != again.GatePass ||
+		a1.KBestFallbacks != again.KBestFallbacks || a1.SphereFallbacks != again.SphereFallbacks ||
+		a1.SeededRadius != again.SeededRadius {
+		t.Fatalf("adaptive counters diverged across identical runs:\n%+v\n%+v", a1, again)
+	}
+}
+
+// TestAdaptiveKappaHistogramRecorded verifies the κ̂² observability
+// stream: an adaptive run with a prep pool populates the histogram
+// with finite per-subcarrier estimates.
+func TestAdaptiveKappaHistogramRecorded(t *testing.T) {
+	rec := obs.NewStatsRecorder()
+	cfg := adaptiveBaseConfig()
+	cfg.Frames = 4
+	cfg.AdaptiveDetect = true
+	cfg.Recorder = rec
+	if _, err := Run(cfg, kappaSweepSource(t, 5, 4, 4, 30), geosphereFactory); err != nil {
+		t.Fatal(err)
+	}
+	h := rec.Snapshot().Frames.Adaptive.Kappa2dB
+	if h.Count == 0 {
+		t.Fatal("κ̂² histogram is empty")
+	}
+	if math.IsNaN(h.Sum) || math.IsInf(h.Sum, 0) {
+		t.Fatalf("κ̂² histogram sum is not finite: %g", h.Sum)
+	}
+}
+
+// TestAdaptiveValidation pins the config surface: soft decoding and
+// invalid policy configs are rejected with ErrBadAdaptive; NoPrepCache
+// composes with adaptive detection (fresh scheduler per frame).
+func TestAdaptiveValidation(t *testing.T) {
+	cfg := adaptiveBaseConfig()
+	cfg.AdaptiveDetect = true
+	cfg.SoftDecoding = true
+	if err := cfg.Validate(); !errors.Is(err, ErrBadAdaptive) {
+		t.Fatalf("soft+adaptive: got %v, want ErrBadAdaptive", err)
+	}
+	cfg = adaptiveBaseConfig()
+	cfg.AdaptiveDetect = true
+	cfg.Adaptive = policy.Config{ZFKappa2dB: 20, KBestKappa2dB: 10}
+	if err := cfg.Validate(); !errors.Is(err, ErrBadAdaptive) {
+		t.Fatalf("inverted cuts: got %v, want ErrBadAdaptive", err)
+	}
+	cfg = adaptiveBaseConfig()
+	cfg.AdaptiveDetect = true
+	cfg.NoPrepCache = true
+	cfg.Frames = 4
+	withCache := adaptiveBaseConfig()
+	withCache.AdaptiveDetect = true
+	withCache.Frames = 4
+	cold, err := Run(cfg, kappaSweepSource(t, 9, 4, 4, 30), geosphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(withCache, kappaSweepSource(t, 9, 4, 4, 30), geosphereFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FrameErrors != warm.FrameErrors || cold.StreamErrors != warm.StreamErrors {
+		t.Fatalf("NoPrepCache changed adaptive outcomes: %+v vs %+v", cold, warm)
+	}
+}

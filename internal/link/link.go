@@ -21,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ofdm"
 	"repro/internal/phy"
+	"repro/internal/policy"
 	"repro/internal/rng"
 	"repro/internal/testbed"
 )
@@ -48,6 +49,10 @@ var (
 	ErrBadShape = errors.New("link: invalid antenna/client shape")
 	// ErrBadQueueDepth reports a negative session queue depth.
 	ErrBadQueueDepth = errors.New("link: QueueDepth must be non-negative")
+	// ErrBadAdaptive reports an AdaptiveDetect configuration the
+	// pipeline cannot serve: an invalid policy.Config, or a combination
+	// with soft decoding (the adaptive detector emits hard decisions).
+	ErrBadAdaptive = errors.New("link: invalid adaptive detection config")
 	// ErrQueueFull reports a non-blocking submission rejected because
 	// the session's bounded frame queue is at capacity — the admission-
 	// control signal; callers shed or retry instead of queueing
@@ -286,6 +291,19 @@ type RunConfig struct {
 	// roundoff, so the default pipeline stays bitwise reproducible
 	// against the golden suite. Ignored when NoPrepCache is set.
 	IncrementalPrep bool
+	// AdaptiveDetect replaces the factory's detector with the
+	// condition-adaptive scheduler (internal/policy): each subcarrier
+	// is assigned a ZF / K-best / Geosphere tier from its cached κ̂²
+	// and the run SNR, every vector is first resolved by the gated
+	// zero-forcing solve, and only gate failures pay for a tree search
+	// (sphere escalations seeded with the ZF residual radius). Off by
+	// default: the factory's detector runs unchanged and every golden
+	// byte stays identical. Incompatible with SoftDecoding.
+	AdaptiveDetect bool
+	// Adaptive tunes the scheduler when AdaptiveDetect is set; the zero
+	// value is the calibrated default (policy.Config documents the
+	// fields and the Default* calibration).
+	Adaptive policy.Config
 	// Recorder, when non-nil, receives the run's observability stream:
 	// one obs.DetectSample per subcarrier detection (from recording-
 	// capable detectors), one obs.DecodeSample per stream decode, and
@@ -336,7 +354,25 @@ func (cfg RunConfig) validateRest() error {
 	if cfg.QueueDepth < 0 {
 		return fmt.Errorf("%w, got %d", ErrBadQueueDepth, cfg.QueueDepth)
 	}
+	if cfg.AdaptiveDetect {
+		if cfg.SoftDecoding {
+			return fmt.Errorf("%w: soft decoding needs detector LLRs, which the adaptive scheduler does not produce", ErrBadAdaptive)
+		}
+		if err := cfg.Adaptive.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadAdaptive, err)
+		}
+	}
 	return nil
+}
+
+// buildDetector constructs one worker's detector: the condition-
+// adaptive scheduler when AdaptiveDetect is set, the factory's
+// detector otherwise.
+func (cfg RunConfig) buildDetector(factory DetectorFactory, noiseVar float64) (core.Detector, error) {
+	if cfg.AdaptiveDetect {
+		return policy.NewDetector(cfg.Cons, cfg.SNRdB, cfg.Adaptive)
+	}
+	return factory(cfg.Cons, noiseVar), nil
 }
 
 // phyConfig derives the physical-layer configuration.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ofdm"
 	"repro/internal/phy"
+	"repro/internal/policy"
 	"repro/internal/rng"
 )
 
@@ -61,6 +62,16 @@ type Processor struct {
 	cfg      RunConfig
 	l        *phy.Link
 	noiseVar float64
+	// kappa is borrowed scratch for the per-frame κ̂² observability
+	// sample (reused across frames, only valid during RecordFrame).
+	kappa []float64
+}
+
+// schedCounters is the adaptive scheduler's counter surface
+// (implemented by policy.Detector); Process attributes per-frame
+// deltas through it without caring about the concrete detector.
+type schedCounters interface {
+	Sched() policy.Counters
 }
 
 // NewProcessor validates the per-frame configuration (cfg.Frames is
@@ -106,6 +117,11 @@ func (p *Processor) Process(w Work) FrameOutcome {
 		hitsBefore, missesBefore = w.Pool.Counters()
 		updatesBefore = w.Pool.QRUpdates()
 	}
+	var schedBefore policy.Counters
+	sched, adaptive := det.(schedCounters)
+	if adaptive {
+		schedBefore = sched.Sched()
+	}
 	hs := w.Channels
 	if cfg.SNRJitterDB > 0 {
 		hs = jitterClients(fsrc, hs, cfg.SNRJitterDB)
@@ -141,7 +157,7 @@ func (p *Processor) Process(w Work) FrameOutcome {
 			prepHits, prepMisses = h-hitsBefore, m-missesBefore
 			qrUpdates = w.Pool.QRUpdates() - updatesBefore
 		}
-		cfg.Recorder.RecordFrame(obs.FrameSample{
+		fs := obs.FrameSample{
 			Frame:  int(w.Frame),
 			Worker: w.Worker,
 			Tier:   w.Tier,
@@ -154,7 +170,22 @@ func (p *Processor) Process(w Work) FrameOutcome {
 			PrepMisses:   prepMisses,
 			ProjReuse:    out.Stats.ProjReuse,
 			QRUpdates:    qrUpdates,
-		})
+		}
+		if adaptive {
+			d := sched.Sched().Sub(schedBefore)
+			fs.SchedZF = d.SchedZF
+			fs.SchedKBest = d.SchedKBest
+			fs.SchedSphere = d.SchedSphere
+			fs.GatePass = d.GatePass
+			fs.KBestFallbacks = d.KBestFallbacks
+			fs.SphereFallbacks = d.SphereFallbacks
+			fs.SeededRadius = d.SeededRadius
+			if w.Pool != nil {
+				p.kappa = w.Pool.AppendKappa2dB(p.kappa[:0])
+				fs.Kappa2dB = p.kappa
+			}
+		}
+		cfg.Recorder.RecordFrame(fs)
 	}
 	return out
 }
@@ -182,7 +213,11 @@ func newFrameWorker(cfg RunConfig, factory DetectorFactory) (*frameWorker, error
 	}
 	w := &frameWorker{cfg: cfg, proc: proc, factory: factory, noiseVar: proc.noiseVar}
 	if !cfg.NoPrepCache {
-		w.det = factory(cfg.Cons, w.noiseVar)
+		det, err := cfg.buildDetector(factory, w.noiseVar)
+		if err != nil {
+			return nil, err
+		}
+		w.det = det
 		w.attachRecorder(w.det)
 		w.pool = core.NewPrepPool(ofdm.NumData)
 		w.pool.SetIncremental(cfg.IncrementalPrep)
@@ -204,7 +239,11 @@ func (w *frameWorker) attachRecorder(det core.Detector) {
 func (w *frameWorker) runFrame(fi int64, worker int, hs []*cmplxmat.Matrix) FrameOutcome {
 	det, pool := w.det, w.pool
 	if det == nil {
-		det = w.factory(w.cfg.Cons, w.noiseVar)
+		fresh, err := w.cfg.buildDetector(w.factory, w.noiseVar)
+		if err != nil {
+			return FrameOutcome{Err: err}
+		}
+		det = fresh
 		w.attachRecorder(det)
 	}
 	return w.proc.Process(Work{Frame: fi, Worker: worker, Channels: hs, Det: det, Pool: pool})
@@ -269,10 +308,14 @@ func NewSession(cfg RunConfig, factory DetectorFactory) (*Session, error) {
 		fws[i] = fw
 	}
 	noiseVar := channel.NoiseVarForSNRdB(cfg.SNRdB)
+	nameDet, err := cfg.buildDetector(factory, noiseVar)
+	if err != nil {
+		return nil, err
+	}
 	s := &Session{
 		cfg:      cfg,
 		noiseVar: noiseVar,
-		detName:  factory(cfg.Cons, noiseVar).Name(),
+		detName:  nameDet.Name(),
 		jobs:     make(chan sessionJob, depth),
 	}
 	for i, fw := range fws {

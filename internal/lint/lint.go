@@ -59,6 +59,7 @@ var DeterministicPackages = []string{
 	"repro/internal/core",
 	"repro/internal/link",
 	"repro/internal/phy",
+	"repro/internal/policy",
 	"repro/internal/rng",
 	"repro/internal/serve",
 	"repro/internal/sim",

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"time"
 )
@@ -124,6 +125,21 @@ type FrameSample struct {
 	// rank-1 QR updates instead of full refactorizations. Zero unless
 	// the pipeline enables incremental preparation.
 	QRUpdates uint64
+	// SchedZF, SchedKBest and SchedSphere count the condition-adaptive
+	// scheduler's tier assignments this frame (one per detector
+	// preparation call); GatePass, KBestFallbacks and SphereFallbacks
+	// split the frame's Detect calls by how each vector was resolved,
+	// and SeededRadius counts the sphere escalations that started from
+	// the ZF-residual radius. All zero when adaptive detection is off.
+	SchedZF, SchedKBest, SchedSphere uint64
+	GatePass, KBestFallbacks         uint64
+	SphereFallbacks, SeededRadius    uint64
+	// Kappa2dB holds the per-subcarrier diagonal condition estimates
+	// (dB) of the frame's prepared channels; entries may be NaN for
+	// unfilled cache slots. Like Levels, the slice is borrowed producer
+	// scratch, only valid during the RecordFrame call. Empty when the
+	// pipeline runs without a prep pool or with adaptive detection off.
+	Kappa2dB []float64
 }
 
 // PointSample is one completed sweep measurement point (one
@@ -280,6 +296,18 @@ type StatsRecorder struct {
 	tiers        [numTiers]Counter
 	workers      [maxWorkers]workerCounters
 
+	// Condition-adaptive scheduling.
+	schedZF         Counter
+	schedKBest      Counter
+	schedSphere     Counter
+	gatePass        Counter
+	kbestFallbacks  Counter
+	sphereFallbacks Counter
+	seededRadius    Counter
+	// kappa2dB buckets the per-subcarrier diagonal condition estimates
+	// the adaptive runs observed (NaN entries are skipped).
+	kappa2dB *Histogram
+
 	mu     sync.Mutex
 	points []PointSample
 }
@@ -293,6 +321,7 @@ func NewStatsRecorder() *StatsRecorder {
 		pedPerDetect: NewHistogram(4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096),
 		pruneDepth:   NewHistogram(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11),
 		pathMetric:   NewHistogram(0.25, 0.5, 0.75, 1, 1.25, 1.5, 2, 3),
+		kappa2dB:     NewHistogram(0, 3, 6, 9, 12, 15, 18, 21, 24, 30, 40),
 	}
 }
 
@@ -344,6 +373,18 @@ func (r *StatsRecorder) RecordFrame(s FrameSample) {
 	r.prepMisses.Add(int64(s.PrepMisses))
 	r.projReuse.Add(s.ProjReuse)
 	r.qrUpdates.Add(int64(s.QRUpdates))
+	r.schedZF.Add(int64(s.SchedZF))
+	r.schedKBest.Add(int64(s.SchedKBest))
+	r.schedSphere.Add(int64(s.SchedSphere))
+	r.gatePass.Add(int64(s.GatePass))
+	r.kbestFallbacks.Add(int64(s.KBestFallbacks))
+	r.sphereFallbacks.Add(int64(s.SphereFallbacks))
+	r.seededRadius.Add(int64(s.SeededRadius))
+	for _, k := range s.Kappa2dB {
+		if !math.IsNaN(k) {
+			r.kappa2dB.Observe(k)
+		}
+	}
 	t := s.Tier
 	if t >= numTiers {
 		t = TierNone
@@ -407,16 +448,34 @@ type DecodeSnapshot struct {
 // refactorizations. Tiers splits the frames by degradation-ladder
 // rung (all mass on "none" outside the serving path).
 type FrameSnapshot struct {
-	Frames        int64        `json:"frames"`
-	FrameErrors   int64        `json:"frame_errors"`
-	Streams       int64        `json:"streams"`
-	StreamErrors  int64        `json:"stream_errors"`
-	PrepareHits   int64        `json:"prepare_hits"`
-	PrepareMisses int64        `json:"prepare_misses"`
-	ProjReuse     int64        `json:"proj_reuse"`
-	QRUpdates     int64        `json:"qr_updates"`
-	Tiers         TierSnapshot `json:"tiers"`
-	BusySeconds   float64      `json:"busy_seconds"`
+	Frames        int64            `json:"frames"`
+	FrameErrors   int64            `json:"frame_errors"`
+	Streams       int64            `json:"streams"`
+	StreamErrors  int64            `json:"stream_errors"`
+	PrepareHits   int64            `json:"prepare_hits"`
+	PrepareMisses int64            `json:"prepare_misses"`
+	ProjReuse     int64            `json:"proj_reuse"`
+	QRUpdates     int64            `json:"qr_updates"`
+	Tiers         TierSnapshot     `json:"tiers"`
+	Adaptive      AdaptiveSnapshot `json:"adaptive"`
+	BusySeconds   float64          `json:"busy_seconds"`
+}
+
+// AdaptiveSnapshot aggregates the condition-adaptive scheduler:
+// per-subcarrier tier assignments (Sched*), per-vector resolutions
+// (GatePass emitted the provably-ML ZF decision; the fallbacks ran the
+// scheduled tree search, SeededRadius of the sphere ones starting from
+// the ZF-residual radius), and the observed κ̂² distribution in dB.
+// All-zero when adaptive detection is off.
+type AdaptiveSnapshot struct {
+	SchedZF         int64             `json:"sched_zf"`
+	SchedKBest      int64             `json:"sched_kbest"`
+	SchedSphere     int64             `json:"sched_sphere"`
+	GatePass        int64             `json:"gate_pass"`
+	KBestFallbacks  int64             `json:"kbest_fallbacks"`
+	SphereFallbacks int64             `json:"sphere_fallbacks"`
+	SeededRadius    int64             `json:"seeded_radius"`
+	Kappa2dB        HistogramSnapshot `json:"kappa2_db"`
 }
 
 // TierSnapshot counts frames per degradation-ladder rung.
@@ -476,6 +535,16 @@ func (r *StatsRecorder) Snapshot() Snapshot {
 				Geosphere: r.tiers[TierGeosphere].Load(),
 				KBest:     r.tiers[TierKBest].Load(),
 				ZF:        r.tiers[TierZF].Load(),
+			},
+			Adaptive: AdaptiveSnapshot{
+				SchedZF:         r.schedZF.Load(),
+				SchedKBest:      r.schedKBest.Load(),
+				SchedSphere:     r.schedSphere.Load(),
+				GatePass:        r.gatePass.Load(),
+				KBestFallbacks:  r.kbestFallbacks.Load(),
+				SphereFallbacks: r.sphereFallbacks.Load(),
+				SeededRadius:    r.seededRadius.Load(),
+				Kappa2dB:        r.kappa2dB.Snapshot(),
 			},
 		},
 		Workers: []WorkerSnapshot{},
@@ -541,6 +610,16 @@ func (s Snapshot) WriteText(w io.Writer) {
 	}
 	if tt := s.Frames.Tiers; tt.Geosphere+tt.KBest+tt.ZF > 0 {
 		fmt.Fprintf(w, "  tiers: %d geosphere, %d kbest, %d zf\n", tt.Geosphere, tt.KBest, tt.ZF)
+	}
+	if ad := s.Frames.Adaptive; ad.SchedZF+ad.SchedKBest+ad.SchedSphere > 0 {
+		resolved := ad.GatePass + ad.KBestFallbacks + ad.SphereFallbacks
+		rate := 0.0
+		if resolved > 0 {
+			rate = 100 * float64(ad.GatePass) / float64(resolved)
+		}
+		fmt.Fprintf(w, "  adaptive: sched %d zf / %d kbest / %d sphere, gate %.1f%% (%d kbest + %d sphere fallbacks, %d seeded), κ̂² mean %.1f dB\n",
+			ad.SchedZF, ad.SchedKBest, ad.SchedSphere, rate,
+			ad.KBestFallbacks, ad.SphereFallbacks, ad.SeededRadius, ad.Kappa2dB.Mean())
 	}
 	for _, ws := range s.Workers {
 		fmt.Fprintf(w, "    worker %2d: %6d frames %8.2fs busy\n", ws.Worker, ws.Frames, ws.BusySeconds)

@@ -1,0 +1,433 @@
+// Package policy implements condition-adaptive detector scheduling:
+// a per-subcarrier tier choice — gated zero-forcing, bounded K-best,
+// or the full Geosphere sphere search — driven by the channel's
+// conditioning and the operating SNR.
+//
+// The paper's own evaluation (§5.1, Figure 9) shows that the squared
+// condition number κ² upper-bounds how hard a subcarrier is to detect;
+// running the worst-case search everywhere therefore wastes most of
+// its work on the well-conditioned majority. The scheduler reads the
+// diagonal condition estimate κ̂² that core.PreparedChannel caches as a
+// byproduct of preparation (no SVD, no extra arithmetic) and assigns
+// each subcarrier a tier; every received vector is then first resolved
+// by the cheap QR-domain zero-forcing solve (internal/linear.SolveZF),
+// and a provable maximum-likelihood equality gate decides whether that
+// decision can be emitted as-is:
+//
+// With the thin QR of the (column-ordered) channel, ‖y − Hs‖² =
+// ‖P⊥y‖² + ‖R(ŝ−s)‖² where ŝ = R⁻¹Q*y is the unconstrained ZF
+// estimate. Let s₀ be ŝ sliced per coordinate, with lattice residual
+// r₀² = ‖Q*y − R·s₀‖². Any other constellation vector s differs from
+// s₀ in some coordinate by at least the constellation's minimum
+// distance 2d, and picking the highest such coordinate k (R upper
+// triangular) gives ‖R(s₀−s)‖ ≥ |R_kk|·2d ≥ 2d·min_l|R_ll|. By the
+// triangle inequality ‖R(ŝ−s)‖ ≥ ‖R(s₀−s)‖ − r₀, so
+//
+//	2·r₀ < 2d·min_l|R_ll|  ⇒  s₀ is the strict ML decision.
+//
+// The gate is sufficient, never necessary — conservative by
+// construction — and costs O(n²) per vector using only the cached R
+// diagonal. When it fails, the ZF and sphere tiers escalate to the
+// exact search seeded with s₀ and initial squared radius r₀² (the
+// SNR-aware radius: r₀ shrinks with the noise), preserving
+// maximum-likelihood decisions up to exact-distance ties.
+//
+// The tier ladder is ordered by measured cost, not by nominal
+// optimality. The depth-first sphere is near-free on most channels —
+// hundreds of nanoseconds, cheaper than any fixed-width search — and
+// only diverges on the ill-conditioned, noise-dominated tail, where
+// its visited-node count grows without bound (hundreds of microseconds
+// per vector at κ̂² ≳ 30 dB). The breadth-first K-best search is the
+// opposite: a flat, channel-independent few microseconds thanks to its
+// lazy Schnorr-Euchner level merge (internal/kbest). The scheduler
+// therefore runs gated ZF below the ZF cut, the exact sphere across
+// the mid band, and K-best as the bounded-cost tier ABOVE the K-best
+// cut — capping the explosion tail and trading a pinned, measured
+// error-rate delta on subcarriers that are already noise-dominated for
+// a hard per-vector work bound. Both cuts shift with the SNR headroom
+// over the constellation's minimum distance: at higher effective SNR
+// the sphere's tree stays narrow on worse-conditioned channels, so the
+// K-best band retreats.
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/kbest"
+	"repro/internal/linear"
+	"repro/internal/obs"
+)
+
+// Default scheduler calibration. The cuts are in the units the
+// scheduler actually reads: the cached diagonal estimate κ̂² of
+// core.PreparedChannel (a lower bound on the true κ², typically
+// ~0.75× of it in dB on conditioned draws — and a better predictor of
+// this draw's tree width, since min|R_ll| directly bounds the sphere's
+// branching). Measured on κ²-conditioned 4×4 sweeps
+// (channel.Conditioned), the K-best cut sits where the sphere's mean
+// cost crosses the lazy K-best's flat ~9 µs — beyond it the sphere's
+// mean cost climbs into hundreds of microseconds per vector — and the
+// ZF cut where the ML-equality gate passes essentially always. Both
+// cuts are referenced to DefaultRefSNRdB of effective SNR — SNR
+// shifted by the constellation's minimum-distance penalty relative to
+// 16-QAM — and shift by DefaultSNRSlopeDB dB of κ̂² per dB of
+// headroom: more headroom keeps the sphere narrow on worse-conditioned
+// channels, so the K-best band retreats and the ZF band grows. K = 16
+// keeps the bounded tier's error rate close to exact ML at the cut
+// (K = 8 measurably degrades it). The defaults are pinned by the
+// error-delta bound test in internal/link (adaptive vs all-sphere over
+// a κ² sweep).
+const (
+	DefaultZFKappa2dB    = 6
+	DefaultKBestKappa2dB = 26
+	DefaultRefSNRdB      = 20
+	DefaultSNRSlopeDB    = 1.0
+	DefaultKBestK        = 16
+)
+
+// Config tunes the adaptive scheduler. The zero value means "all
+// defaults": every zero field takes its Default* constant, so the
+// struct embeds cleanly into link.RunConfig. To genuinely disable a
+// tier, push its cut out of range (e.g. ZFKappa2dB = -1e3 leaves no
+// ZF band) rather than setting zero.
+type Config struct {
+	// ZFKappa2dB and KBestKappa2dB are the κ̂² tier cuts (in dB) at the
+	// reference effective SNR: subcarriers at or below ZFKappa2dB
+	// schedule the gated-ZF tier, above KBestKappa2dB the bounded
+	// K-best tier (the sphere's explosion tail), and the exact sphere
+	// owns the band between them. ZFKappa2dB must not exceed
+	// KBestKappa2dB.
+	ZFKappa2dB    float64
+	KBestKappa2dB float64
+	// RefSNRdB anchors the cuts on the effective-SNR scale (SNR plus
+	// the constellation's minimum-distance penalty relative to 16-QAM);
+	// SNRSlopeDB shifts both cuts by this many dB of κ̂² per dB of
+	// effective SNR above (or below) the anchor.
+	RefSNRdB   float64
+	SNRSlopeDB float64
+	// KBestK is the survivor width of the K-best tier.
+	KBestK int
+	// NoRadiusSeed makes the sphere escalations run the historical
+	// infinite-radius search instead of seeding with the ZF incumbent —
+	// the bit-identity reference for the radius-seeding equivalence
+	// tests. Decisions are identical up to exact-distance ties.
+	NoRadiusSeed bool
+}
+
+// withDefaults resolves zero fields to the Default* calibration.
+func (c Config) withDefaults() Config {
+	if c.ZFKappa2dB == 0 { //geolint:float-ok zero-value sentinel for an unset field, no arithmetic involved
+		c.ZFKappa2dB = DefaultZFKappa2dB
+	}
+	if c.KBestKappa2dB == 0 { //geolint:float-ok zero-value sentinel for an unset field, no arithmetic involved
+		c.KBestKappa2dB = DefaultKBestKappa2dB
+	}
+	if c.RefSNRdB == 0 { //geolint:float-ok zero-value sentinel for an unset field, no arithmetic involved
+		c.RefSNRdB = DefaultRefSNRdB
+	}
+	if c.SNRSlopeDB == 0 { //geolint:float-ok zero-value sentinel for an unset field, no arithmetic involved
+		c.SNRSlopeDB = DefaultSNRSlopeDB
+	}
+	if c.KBestK == 0 {
+		c.KBestK = DefaultKBestK
+	}
+	return c
+}
+
+// Validate rejects configurations whose resolved tier ladder is
+// inverted or whose K-best width is unusable.
+func (c Config) Validate() error {
+	r := c.withDefaults()
+	if r.ZFKappa2dB > r.KBestKappa2dB {
+		return fmt.Errorf("policy: ZF cut %.1f dB above K-best cut %.1f dB", r.ZFKappa2dB, r.KBestKappa2dB)
+	}
+	if r.KBestK < 1 {
+		return fmt.Errorf("policy: KBestK must be positive, got %d", r.KBestK)
+	}
+	if r.SNRSlopeDB < 0 {
+		return fmt.Errorf("policy: SNRSlopeDB must be non-negative, got %g", r.SNRSlopeDB)
+	}
+	return nil
+}
+
+// Counters are the scheduler's cumulative decision counts. Sched*
+// count tier assignments (one per preparation call); the per-vector
+// counters split every Detect by how it was resolved: GatePass emitted
+// the provably-ML ZF decision, KBestFallbacks ran the bounded
+// breadth-first tier on the explosion tail, SphereFallbacks ran the
+// exact search (SeededRadius of those with the ZF-residual initial
+// radius).
+type Counters struct {
+	SchedZF     uint64
+	SchedKBest  uint64
+	SchedSphere uint64
+
+	GatePass        uint64
+	GateFail        uint64
+	KBestFallbacks  uint64
+	SphereFallbacks uint64
+	SeededRadius    uint64
+}
+
+// Sub returns c − o, the per-interval delta between two snapshots.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		SchedZF:         c.SchedZF - o.SchedZF,
+		SchedKBest:      c.SchedKBest - o.SchedKBest,
+		SchedSphere:     c.SchedSphere - o.SchedSphere,
+		GatePass:        c.GatePass - o.GatePass,
+		GateFail:        c.GateFail - o.GateFail,
+		KBestFallbacks:  c.KBestFallbacks - o.KBestFallbacks,
+		SphereFallbacks: c.SphereFallbacks - o.SphereFallbacks,
+		SeededRadius:    c.SeededRadius - o.SeededRadius,
+	}
+}
+
+// Detector is the condition-adaptive detector: a core.SharedPreparer
+// wrapping a Geosphere sphere decoder and a K-best decoder that share
+// one cached ordered-QR preparation per subcarrier. Preparation picks
+// the tier from the cached κ̂² and the operating SNR; every Detect
+// first runs the QR-domain ZF solve and the ML-equality gate, then
+// escalates along the scheduled tier only when the gate fails. The
+// tier choice is a pure function of (channel, SNR, config), so runs
+// are deterministic: same seed, same tier sequence.
+type Detector struct {
+	cons  *constellation.Constellation
+	cfg   Config
+	snrdB float64
+	// Resolved cuts at the operating SNR.
+	zfCutdB, kbCutdB float64
+
+	geo *core.SphereDecoder
+	kb  *kbest.KBest
+
+	counters Counters
+	stats    core.Stats // gate-pass detections (tree engines count their own)
+
+	// Per-channel state aliasing the attached PreparedChannel, valid
+	// from PrepareShared until the next preparation.
+	h          *cmplxmat.Matrix
+	qr         *cmplxmat.QR
+	perm       []int
+	rinv       []complex128
+	nc         int
+	tier       obs.Tier
+	gateR2     float64 // gate threshold on r₀²: d²·min_l|R_ll|²
+	kbAttached bool
+
+	// Detection scratch.
+	yhat []complex128
+	est  []complex128
+	seed []int // ZF decision in QR-column order
+
+	// ownPrep backs plain Prepare calls, mirroring the sphere decoder.
+	ownPrep core.PreparedChannel
+}
+
+var _ core.Detector = (*Detector)(nil)
+var _ core.SharedPreparer = (*Detector)(nil)
+var _ core.Counter = (*Detector)(nil)
+var _ obs.Target = (*Detector)(nil)
+
+// NewDetector builds an adaptive detector for the given operating SNR.
+// cfg's zero fields resolve to the package defaults; an invalid
+// resolved config is rejected.
+func NewDetector(cons *constellation.Constellation, snrdB float64, cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	kb, err := kbest.NewKBest(cons, cfg.KBestK)
+	if err != nil {
+		return nil, err
+	}
+	// Effective SNR: the raw SNR shifted by the constellation's
+	// minimum-distance penalty relative to the 16-QAM anchor the
+	// defaults were calibrated on (≈ −6 dB per QAM order step). This
+	// makes one (cut, slope) pair track the sphere-cost crossover
+	// across constellation densities.
+	effSNRdB := snrdB + 20*math.Log10(cons.Scale()/constellation.QAM16.Scale())
+	headroom := cfg.SNRSlopeDB * (effSNRdB - cfg.RefSNRdB)
+	return &Detector{
+		cons:    cons,
+		cfg:     cfg,
+		snrdB:   snrdB,
+		zfCutdB: cfg.ZFKappa2dB + headroom,
+		kbCutdB: cfg.KBestKappa2dB + headroom,
+		geo:     core.NewGeosphere(cons),
+		kb:      kb,
+	}, nil
+}
+
+// Name implements core.Detector.
+func (d *Detector) Name() string {
+	return fmt.Sprintf("Adaptive(ZF/K-best(K=%d)/Geosphere)", d.cfg.KBestK)
+}
+
+// Constellation implements core.Detector.
+func (d *Detector) Constellation() *constellation.Constellation { return d.cons }
+
+// Stats implements core.Counter, summing the gate-pass detections with
+// both tree engines' counters.
+func (d *Detector) Stats() core.Stats {
+	s := d.stats
+	s.Add(d.geo.Stats())
+	s.Add(d.kb.Stats())
+	return s
+}
+
+// ResetStats implements core.Counter.
+func (d *Detector) ResetStats() {
+	d.stats = core.Stats{}
+	d.geo.ResetStats()
+	d.kb.ResetStats()
+}
+
+// Sched returns a snapshot of the scheduler's cumulative counters; the
+// link pipeline attributes per-frame deltas with Counters.Sub.
+func (d *Detector) Sched() Counters { return d.counters }
+
+// SetRecorder implements obs.Target, streaming the sphere engine's
+// per-detect samples. Gate passes and K-best detects have no tree walk
+// to sample; their mix is reported through the frame-level counters.
+func (d *Detector) SetRecorder(r obs.Recorder) {
+	d.geo.SetRecorder(obs.Fold(r))
+}
+
+// Tier returns the tier the scheduler picked for the currently
+// prepared channel (obs.TierNone before any preparation).
+func (d *Detector) Tier() obs.Tier { return d.tier }
+
+// Prepare implements core.Detector through the detector's private
+// cache, exactly like the sphere decoder.
+func (d *Detector) Prepare(h *cmplxmat.Matrix) error {
+	_, err := d.PrepareShared(&d.ownPrep, h)
+	return err
+}
+
+// PrepareShared implements core.SharedPreparer: the wrapped sphere
+// decoder fills (or revalidates) pc's ordered-QR derivation, then the
+// scheduler reads the cached κ̂², assigns the tier and derives the gate
+// threshold — all from state the preparation already built.
+//
+//geolint:noalloc
+func (d *Detector) PrepareShared(pc *core.PreparedChannel, h *cmplxmat.Matrix) (bool, error) {
+	hit, err := d.geo.PrepareShared(pc, h)
+	if err != nil {
+		return hit, err
+	}
+	d.h = h
+	d.qr = pc.QRFactors()
+	d.perm = pc.Perm()
+	rll2, rinv := pc.DiagTables()
+	d.rinv = rinv
+	d.nc = h.Cols
+	k2dB := pc.Kappa2dB()
+	switch {
+	case k2dB <= d.zfCutdB:
+		d.tier = obs.TierZF
+		d.counters.SchedZF++
+	case k2dB > d.kbCutdB:
+		// Explosion tail: bound the work instead of the error.
+		d.tier = obs.TierKBest
+		d.counters.SchedKBest++
+	default:
+		// Mid band (and κ̂² = NaN of an unfilled cache): exact sphere.
+		d.tier = obs.TierGeosphere
+		d.counters.SchedSphere++
+	}
+	// Gate threshold: 2·r₀ < 2d·min_l|R_ll| in squared form, with
+	// d = cons.Scale() the constellation's half minimum distance.
+	minR2 := rll2[0]
+	for _, m2 := range rll2[1:] {
+		if m2 < minR2 {
+			minR2 = m2
+		}
+	}
+	sc := d.cons.Scale()
+	d.gateR2 = sc * sc * minR2
+	if d.tier == obs.TierKBest {
+		if err := d.kb.PrepareFactors(h, d.qr, d.perm); err != nil {
+			return hit, err
+		}
+		d.kbAttached = true
+	} else {
+		d.kbAttached = false
+	}
+	d.sizeScratch(d.nc)
+	return hit, nil
+}
+
+// sizeScratch (re)sizes the ZF-solve scratch; same-size calls touch
+// nothing but slice headers.
+//
+//geolint:noalloc
+func (d *Detector) sizeScratch(nc int) {
+	if cap(d.yhat) < nc {
+		d.yhat = make([]complex128, nc) //geolint:alloc-ok first use or reshape only
+		d.est = make([]complex128, nc)  //geolint:alloc-ok first use or reshape only
+		d.seed = make([]int, nc)        //geolint:alloc-ok first use or reshape only
+		return
+	}
+	d.yhat = d.yhat[:nc]
+	d.est = d.est[:nc]
+	d.seed = d.seed[:nc]
+}
+
+// Detect implements core.Detector: ZF solve + ML-equality gate first,
+// then the scheduled tier's engine only when the gate fails. The
+// steady-state path is allocation-free.
+//
+//geolint:noalloc
+func (d *Detector) Detect(dst []int, y []complex128) ([]int, error) {
+	if d.h == nil {
+		return nil, core.ErrNotPrepared
+	}
+	if len(y) != d.h.Rows {
+		//geolint:alloc-ok error path
+		return nil, fmt.Errorf("policy: received vector has %d entries, channel has %d rows", len(y), d.h.Rows)
+	}
+	if dst == nil {
+		dst = make([]int, d.nc) //geolint:alloc-ok one-time convenience path; steady state passes dst
+	} else if len(dst) != d.nc {
+		//geolint:alloc-ok error path
+		return nil, fmt.Errorf("policy: dst has %d entries, want %d", len(dst), d.nc)
+	}
+	d.qr.ApplyQConjT(d.yhat, y)
+	r02 := linear.SolveZF(d.cons, d.qr.R, d.rinv, d.yhat, d.est, d.seed)
+	if r02 < d.gateR2 {
+		// Provably the strict ML decision: emit it, whatever the tier.
+		d.counters.GatePass++
+		d.stats.Detections++
+		d.emit(dst, d.seed)
+		return dst, nil
+	}
+	d.counters.GateFail++
+	if d.tier == obs.TierKBest {
+		d.counters.KBestFallbacks++
+		return d.kb.Detect(dst, y)
+	}
+	d.counters.SphereFallbacks++
+	if d.cfg.NoRadiusSeed {
+		return d.geo.Detect(dst, y)
+	}
+	d.counters.SeededRadius++
+	return d.geo.DetectSeeded(dst, y, d.seed, r02)
+}
+
+// emit writes a QR-column-order decision into dst in stream order.
+//
+//geolint:noalloc
+func (d *Detector) emit(dst, path []int) {
+	if d.perm == nil {
+		copy(dst, path)
+		return
+	}
+	for i, stream := range d.perm {
+		dst[stream] = path[i]
+	}
+}

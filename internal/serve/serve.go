@@ -95,6 +95,21 @@ type Config struct {
 	// get the full Geosphere search, below ZFLoad the K-best search,
 	// above it ZF. Defaults: 0.5 and 0.85.
 	KBestLoad, ZFLoad float64
+	// KappaLowDB, KappaHighDB and KappaBias shape the ladder by group
+	// conditioning: the occupancy the ladder sees is occ +
+	// KappaBias·w(κ̂²), where w falls linearly from 1 at κ̂² ≤ KappaLowDB
+	// to 0 at κ̂² ≥ KappaHighDB. Well-conditioned groups are the ones ZF
+	// already detects near-optimally (their sphere search is cheap and
+	// its gain nil), so under overload they are shed to cheaper tiers
+	// first while poorly-conditioned groups — the ones that actually
+	// need the search — keep it longest. A group's κ̂² is the mean
+	// diagonal condition estimate of its preparation cache, learned
+	// after its first frame; unknown κ̂² is neutral (w = 0). The default
+	// bias 0.25 stays below the default KBestLoad, so an idle shard
+	// still serves every group the full search. Defaults: 6 dB, 18 dB,
+	// 0.25; a negative KappaBias disables the shaping.
+	KappaLowDB, KappaHighDB float64
+	KappaBias               float64
 	// Recorder, when non-nil, receives the pipeline's observability
 	// stream (per-frame samples carry the serving tier). It must be
 	// safe for concurrent use.
@@ -130,7 +145,30 @@ func (c Config) withDefaults() Config {
 	if c.KBestLoad == 0 && c.ZFLoad == 0 { //geolint:float-ok exact zero-value test for "fields unset", not a tolerance comparison
 		c.KBestLoad, c.ZFLoad = 0.5, 0.85
 	}
+	if c.KappaLowDB == 0 && c.KappaHighDB == 0 { //geolint:float-ok exact zero-value test for "fields unset", not a tolerance comparison
+		c.KappaLowDB, c.KappaHighDB = 6, 18
+	}
+	if c.KappaBias == 0 { //geolint:float-ok exact zero-value test for "field unset", not a tolerance comparison
+		c.KappaBias = 0.25
+	}
 	return c
+}
+
+// kappaWeight maps a group's κ̂² (dB) onto the ladder's conditioning
+// weight: 1 at or below KappaLowDB, 0 at or above KappaHighDB, linear
+// between, and 0 (neutral) for an unknown NaN estimate.
+func (c Config) kappaWeight(kappa2dB float64) float64 {
+	if math.IsNaN(kappa2dB) {
+		return 0
+	}
+	w := (c.KappaHighDB - kappa2dB) / (c.KappaHighDB - c.KappaLowDB)
+	if w < 0 {
+		return 0
+	}
+	if w > 1 {
+		return 1
+	}
+	return w
 }
 
 // runConfig maps the serving configuration onto the link pipeline's.
@@ -205,6 +243,20 @@ type shard struct {
 	groups    map[uint64]*groupState
 	clock     uint64
 	maxGroups int
+	// kappas publishes each resident group's learned κ̂² (dB, as
+	// math.Float64bits) from the shard goroutine to submitters: the
+	// group table itself is shard-owned, but pickTier runs on the
+	// submitter, so the conditioning signal crosses over atomically.
+	kappas sync.Map // uint64 group id → uint64 float bits
+}
+
+// groupKappa2dB returns the group's published κ̂² estimate, NaN before
+// its first frame completes (the ladder treats NaN as neutral).
+func (sh *shard) groupKappa2dB(group uint64) float64 {
+	if v, ok := sh.kappas.Load(group); ok {
+		return math.Float64frombits(v.(uint64))
+	}
+	return math.NaN()
 }
 
 // Server is the resident detection service. Safe for concurrent use
@@ -229,6 +281,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.KBestLoad < 0 || cfg.ZFLoad < cfg.KBestLoad || cfg.ZFLoad > 1 {
 		return nil, fmt.Errorf("%w: KBestLoad=%g ZFLoad=%g", ErrBadLadder, cfg.KBestLoad, cfg.ZFLoad)
+	}
+	if cfg.KappaHighDB <= cfg.KappaLowDB || cfg.KappaBias > 1 {
+		return nil, fmt.Errorf("%w: KappaLowDB=%g KappaHighDB=%g KappaBias=%g", ErrBadLadder, cfg.KappaLowDB, cfg.KappaHighDB, cfg.KappaBias)
 	}
 	if err := cfg.runConfig().ValidateFormat(); err != nil {
 		return nil, err
@@ -293,11 +348,17 @@ func (s *Server) shardFor(group uint64) *shard {
 }
 
 // pickTier applies the degradation ladder to a shard's queue occupancy
-// — the service's complexity-budget proxy: everything in the queue is
-// detection work already promised, so a deep backlog means the full
-// search cannot be afforded for new arrivals.
-func (s *Server) pickTier(queued, depth int) obs.Tier {
+// shaped by the group's conditioning — the service's complexity-budget
+// proxy: everything in the queue is detection work already promised,
+// so a deep backlog means the full search cannot be afforded for new
+// arrivals, and among the arrivals the well-conditioned (cheap,
+// ZF-friendly) groups are shed to lower tiers first (see the Kappa*
+// knobs). kappa2dB is the group's learned κ̂², NaN when unknown.
+func (s *Server) pickTier(queued, depth int, kappa2dB float64) obs.Tier {
 	occ := float64(queued) / float64(depth)
+	if s.cfg.KappaBias > 0 {
+		occ += s.cfg.KappaBias * s.cfg.kappaWeight(kappa2dB)
+	}
 	switch {
 	case occ < s.cfg.KBestLoad:
 		return obs.TierGeosphere
@@ -315,7 +376,7 @@ func (s *Server) pickTier(queued, depth int) obs.Tier {
 // cancelled still completes on its shard; Process just stops waiting.
 func (s *Server) Process(ctx context.Context, group uint64) (Outcome, error) {
 	sh := s.shardFor(group)
-	tier := s.pickTier(len(sh.jobs), cap(sh.jobs))
+	tier := s.pickTier(len(sh.jobs), cap(sh.jobs), sh.groupKappa2dB(group))
 	reply := make(chan Outcome, 1)
 
 	s.mu.RLock()
@@ -384,6 +445,11 @@ func (sh *shard) process(j job) Outcome {
 		Det:      sh.dets[j.tier],
 		Pool:     g.pool,
 	})
+	// Publish the group's conditioning for the ladder once its cache
+	// holds prepared channels (after the first Geosphere/K-best frame).
+	if k := g.pool.MeanKappa2dB(); !math.IsNaN(k) {
+		sh.kappas.Store(j.group, math.Float64bits(k))
+	}
 	o := Outcome{Group: j.group, Frame: fi, Tier: j.tier, Err: out.Err}
 	if out.Err == nil {
 		o.OK = out.Res.FrameOK()
@@ -431,6 +497,7 @@ func (sh *shard) evict() {
 		}
 	}
 	delete(sh.groups, victim)
+	sh.kappas.Delete(victim)
 }
 
 // groupChannels draws a group's static frequency-selective channel:

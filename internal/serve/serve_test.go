@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -103,20 +104,39 @@ func TestPickTierLadder(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
+	nan := math.NaN()
 	cases := []struct {
-		queued int
-		want   obs.Tier
+		queued   int
+		kappa2dB float64
+		want     obs.Tier
 	}{
-		{0, obs.TierGeosphere},
-		{7, obs.TierGeosphere}, // 7/16 < 0.5
-		{8, obs.TierKBest},     // 8/16 = 0.5
-		{13, obs.TierKBest},    // 13/16 < 0.85
-		{14, obs.TierZF},       // 14/16 >= 0.85
-		{16, obs.TierZF},
+		// Unknown conditioning is neutral: occupancy alone decides.
+		{0, nan, obs.TierGeosphere},
+		{7, nan, obs.TierGeosphere}, // 7/16 < 0.5
+		{8, nan, obs.TierKBest},     // 8/16 = 0.5
+		{13, nan, obs.TierKBest},    // 13/16 < 0.85
+		{14, nan, obs.TierZF},       // 14/16 >= 0.85
+		{16, nan, obs.TierZF},
+		// Poorly-conditioned groups (κ̂² ≥ KappaHighDB = 18) behave as
+		// occupancy-only: they keep the full search the longest.
+		{7, 25, obs.TierGeosphere},
+		{13, 25, obs.TierKBest},
+		// Well-conditioned groups (κ̂² ≤ KappaLowDB = 6) carry the full
+		// bias 0.25: idle shards still serve Geosphere, but the ladder
+		// sheds them 0.25 occupancy earlier on both rungs.
+		{0, 3, obs.TierGeosphere}, // 0 + 0.25 < 0.5
+		{4, 3, obs.TierKBest},     // 4/16 + 0.25 = 0.5
+		{9, 3, obs.TierKBest},     // 9/16 + 0.25 < 0.85
+		{10, 3, obs.TierZF},       // 10/16 + 0.25 >= 0.85
+		// Mid-band conditioning interpolates: κ̂² = 12 dB is halfway, so
+		// the effective bias is 0.125 and 6/16 + 0.125 lands exactly on
+		// the strict 0.5 boundary — degraded to K-best.
+		{6, 12, obs.TierKBest},
+		{5, 12, obs.TierGeosphere}, // 5/16 + 0.125 < 0.5
 	}
 	for _, c := range cases {
-		if got := s.pickTier(c.queued, 16); got != c.want {
-			t.Fatalf("pickTier(%d, 16) = %v, want %v", c.queued, got, c.want)
+		if got := s.pickTier(c.queued, 16, c.kappa2dB); got != c.want {
+			t.Fatalf("pickTier(%d, 16, %g) = %v, want %v", c.queued, c.kappa2dB, got, c.want)
 		}
 	}
 }

@@ -51,6 +51,9 @@ type ReceiverOptions struct {
 	// QueueDepth bounds the session's frame queue — the backpressure
 	// and admission-control knob. 0 means 4× workers.
 	QueueDepth int
+	// AdaptiveDetect replaces the detector with the condition-adaptive
+	// per-subcarrier scheduler; see UplinkOptions.AdaptiveDetect.
+	AdaptiveDetect bool
 	// Observer, when non-nil, receives per-detection, per-decode and
 	// per-frame samples as frames stream through. It must be safe for
 	// concurrent use; observing never changes outcomes.
@@ -88,6 +91,8 @@ func (o ReceiverOptions) uplinkOptions() UplinkOptions {
 		Workers:      o.Workers,
 		QueueDepth:   o.QueueDepth,
 		Observer:     o.Observer,
+
+		AdaptiveDetect: o.AdaptiveDetect,
 	}
 }
 

@@ -34,6 +34,9 @@ var (
 	// options, or a streamed frame whose channel matrices do not match
 	// the session shape.
 	ErrBadShape = link.ErrBadShape
+	// ErrBadAdaptive reports an AdaptiveDetect configuration the
+	// pipeline cannot serve (currently: combined with soft decoding).
+	ErrBadAdaptive = link.ErrBadAdaptive
 	// ErrQueueFull reports a frame rejected because the Receiver's
 	// bounded queue is at capacity — the admission-control signal of
 	// the streaming path; callers shed or retry instead of queueing
@@ -84,6 +87,16 @@ type UplinkOptions struct {
 	// the default (4× workers). The result is byte-identical for every
 	// value — the knob only matters for the streaming Receiver.
 	QueueDepth int
+	// AdaptiveDetect replaces the detector with the condition-adaptive
+	// scheduler: each subcarrier is assigned a ZF / K-best / sphere
+	// tier from its cached condition estimate κ̂² and SNRdB, every
+	// received vector is first resolved by a gated zero-forcing solve
+	// that provably equals the maximum-likelihood decision when it
+	// fires, and only gate failures pay for a tree search (sphere
+	// escalations start from the ZF residual radius). The Detector
+	// factory is ignored while set. Calibration is the pinned default
+	// of the internal policy package (see DESIGN.md §14).
+	AdaptiveDetect bool
 	// Observer, when non-nil, receives per-detection, per-decode and
 	// per-frame samples as the measurement runs. It must be safe for
 	// concurrent use when Workers > 1; observing never changes the
@@ -129,6 +142,8 @@ func (o UplinkOptions) runConfig() link.RunConfig {
 		Workers:      o.Workers,
 		QueueDepth:   o.QueueDepth,
 		Recorder:     o.Observer,
+
+		AdaptiveDetect: o.AdaptiveDetect,
 	}
 }
 
@@ -147,6 +162,8 @@ func (o UplinkOptions) receiverOptions() ReceiverOptions {
 		Workers:      o.Workers,
 		QueueDepth:   o.QueueDepth,
 		Observer:     o.Observer,
+
+		AdaptiveDetect: o.AdaptiveDetect,
 	}
 }
 
