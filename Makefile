@@ -12,7 +12,7 @@
 STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
-.PHONY: check fmt vet lint staticcheck vulncheck test shuffle equiv bench bench-smoke serve-bench fuzz-smoke race
+.PHONY: check fmt vet lint lint-json staticcheck vulncheck test shuffle equiv bench bench-smoke serve-bench fuzz-smoke race
 
 # Everything the merge gate requires. The detector-equivalence suite
 # runs a second time in shuffled order so an accidental coupling
@@ -31,6 +31,12 @@ vet:
 #   go build -o bin/geolint ./cmd/geolint && go vet -vettool=bin/geolint ./...
 lint:
 	go run ./cmd/geolint ./...
+
+# Machine-readable suite report (diagnostics + escape-hatch inventory
+# with per-hatch usage); CI uploads geolint.json as an artifact. Same
+# exit-code contract as lint, so the file is written even on failure.
+lint-json:
+	go run ./cmd/geolint -json ./... > geolint.json
 
 staticcheck:
 	go run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...

@@ -45,6 +45,7 @@ import (
 	"repro/internal/ofdm"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // Metrics is one scenario's measured numbers. NsPerFrame and
@@ -233,7 +234,7 @@ func kappaSweepTrace() ([]*cmplxmat.Matrix, error) {
 	src := rng.New(77)
 	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
 	for i := range hs {
-		k2 := kappaSweepMaxdB * float64(i) / float64(len(hs)-1)
+		k2 := units.DB(kappaSweepMaxdB * float64(i) / float64(len(hs)-1))
 		h, err := channel.Conditioned(src, 4, 4, k2)
 		if err != nil {
 			return nil, err

@@ -1,10 +1,13 @@
 // Command geolint runs the repository's static-analysis suite
-// (internal/lint): determinism, noalloc, recorderhygiene and floatdet.
+// (internal/lint): determinism, noalloc, recorderhygiene, floatdet,
+// units, the concurrency-hygiene analyzers (goleak, blockingsend,
+// syncmisuse) and the stale-hatch self-audit.
 //
 // Standalone usage, from anywhere inside the module:
 //
 //	go run ./cmd/geolint ./...
 //	go run ./cmd/geolint -list
+//	go run ./cmd/geolint -json ./... > geolint.json
 //	go run ./cmd/geolint ./internal/core ./internal/link
 //
 // Diagnostics print as file:line:col: [analyzer] message; the exit
@@ -19,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,8 +46,9 @@ func realMain(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("geolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	asJSON := fs.Bool("json", false, "emit a machine-readable report (diagnostics plus the escape-hatch inventory) on stdout")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: geolint [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: geolint [-list] [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
 		}
@@ -64,12 +69,14 @@ func realMain(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "geolint:", err)
 		return 2
 	}
-	return run(cwd, fs.Args(), stdout, stderr)
+	return run(cwd, fs.Args(), *asJSON, stdout, stderr)
 }
 
 // run loads the requested packages of the module containing dir and
-// applies the suite.
-func run(dir string, patterns []string, stdout, stderr *os.File) int {
+// applies the suite. With asJSON it emits a lint.Report (module-
+// relative paths, so the bytes are checkout-independent) instead of
+// file:line:col lines; the exit code contract is identical.
+func run(dir string, patterns []string, asJSON bool, stdout, stderr *os.File) int {
 	modPath, modDir, err := load.ModuleInfo(dir)
 	if err != nil {
 		fmt.Fprintln(stderr, "geolint:", err)
@@ -91,6 +98,21 @@ func run(dir string, patterns []string, stdout, stderr *os.File) int {
 	}
 	if broken > 0 {
 		return 2
+	}
+	if asJSON {
+		rep := lint.Audit(pkgs, modDir)
+		enc := json.NewEncoder(stdout)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "geolint:", err)
+			return 2
+		}
+		if len(rep.Diagnostics) > 0 {
+			fmt.Fprintf(stderr, "geolint: %d diagnostic(s) in %d package(s)\n", len(rep.Diagnostics), len(pkgs))
+			return 1
+		}
+		return 0
 	}
 	diags := lint.Run(pkgs)
 	for _, d := range diags {

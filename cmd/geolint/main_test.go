@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -47,7 +48,10 @@ func TestListFlag(t *testing.T) {
 			t.Errorf("geolint -list exited %d, want 0", code)
 		}
 	})
-	for _, name := range []string{"determinism", "noalloc", "recorderhygiene", "floatdet"} {
+	for _, name := range []string{
+		"determinism", "noalloc", "recorderhygiene", "floatdet",
+		"units", "goleak", "blockingsend", "syncmisuse", "stalehatch",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
 		}
@@ -80,7 +84,7 @@ func Tolerant(a, b float64) bool {
 }
 `)
 	out, errOut := withOutput(t, func(stdout, stderr *os.File) {
-		if code := run(dir, []string{"./..."}, stdout, stderr); code != 0 {
+		if code := run(dir, []string{"./..."}, false, stdout, stderr); code != 0 {
 			t.Errorf("clean module exited %d, want 0", code)
 		}
 	})
@@ -96,7 +100,7 @@ package a
 func Exact(a, b float64) bool { return a == b }
 `)
 	out, _ := withOutput(t, func(stdout, stderr *os.File) {
-		if code := run(dir, []string{"./..."}, stdout, stderr); code != 1 {
+		if code := run(dir, []string{"./..."}, false, stdout, stderr); code != 1 {
 			t.Errorf("module with violations exited %d, want 1", code)
 		}
 	})
@@ -108,12 +112,71 @@ func Exact(a, b float64) bool { return a == b }
 func TestRunRejectsBrokenModule(t *testing.T) {
 	dir := writeModule(t, "package a\n\nfunc Broken() { undefined() }\n")
 	_, errOut := withOutput(t, func(stdout, stderr *os.File) {
-		if code := run(dir, []string{"./..."}, stdout, stderr); code != 2 {
+		if code := run(dir, []string{"./..."}, false, stdout, stderr); code != 2 {
 			t.Errorf("broken module exited %d, want 2", code)
 		}
 	})
 	if !strings.Contains(errOut, "undefined") {
 		t.Errorf("stderr does not mention the type error:\n%s", errOut)
+	}
+}
+
+// TestJSONReportGolden pins the -json schema byte-for-byte: file paths
+// are module-relative, so the report is identical on every checkout,
+// and CI archives it as an artifact.
+func TestJSONReportGolden(t *testing.T) {
+	dir := writeModule(t, `//geolint:deterministic
+package a
+
+func Exact(a, b float64) bool { return a == b }
+
+func Allowed(a, b float64) bool {
+	return a == b //geolint:float-ok exact golden comparison pinned by a conformance test
+}
+`)
+	out, _ := withOutput(t, func(stdout, stderr *os.File) {
+		if code := run(dir, []string{"./..."}, true, stdout, stderr); code != 1 {
+			t.Errorf("module with one diagnostic exited %d, want 1", code)
+		}
+	})
+	const golden = `{
+  "version": 1,
+  "diagnostics": [
+    {
+      "file": "a.go",
+      "line": 4,
+      "col": 40,
+      "analyzer": "floatdet",
+      "message": "== on floating-point values is not reproducible across reassociation/FMA; compare with a tolerance or annotate //geolint:float-ok <reason>"
+    }
+  ],
+  "hatches": [
+    {
+      "file": "a.go",
+      "line": 7,
+      "key": "float-ok",
+      "reason": "exact golden comparison pinned by a conformance test",
+      "used": true
+    }
+  ]
+}
+`
+	if out != golden {
+		t.Errorf("-json report drifted from the golden schema:\ngot:\n%s\nwant:\n%s", out, golden)
+	}
+}
+
+// TestJSONReportClean checks the empty-report shape: both collections
+// present (not null), exit code 0.
+func TestJSONReportClean(t *testing.T) {
+	dir := writeModule(t, "package a\n\nfunc Fine() int { return 1 }\n")
+	out, _ := withOutput(t, func(stdout, stderr *os.File) {
+		if code := run(dir, []string{"./..."}, true, stdout, stderr); code != 0 {
+			t.Errorf("clean module exited %d, want 0", code)
+		}
+	})
+	if !strings.Contains(out, `"diagnostics": []`) || !strings.Contains(out, `"hatches": []`) {
+		t.Errorf("clean report should contain empty arrays, not null:\n%s", out)
 	}
 }
 
@@ -145,5 +208,52 @@ func TestVersionLine(t *testing.T) {
 	// The vet driver parses "name version ... buildID=<hex>".
 	if !strings.Contains(out, " version ") || !strings.Contains(out, "buildID=") {
 		t.Errorf("version line not in vet format: %q", out)
+	}
+}
+
+// TestVetToolEndToEnd drives the real `go vet -vettool` pipeline: it
+// builds the geolint binary and lets the standard vet driver feed it
+// unit-checker .cfg files for a clean module and for one with a
+// violation. Skipped under -short (`make race`): it shells out to the
+// go tool twice.
+func TestVetToolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "geolint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/geolint: %v\n%s", err, out)
+	}
+
+	clean := writeModule(t, `//geolint:deterministic
+package a
+
+func Tolerant(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = clean
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on a clean module failed: %v\n%s", err, out)
+	}
+
+	dirty := writeModule(t, `//geolint:deterministic
+package a
+
+func Exact(a, b float64) bool { return a == b }
+`)
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dirty
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on a module with a violation exited 0:\n%s", out)
+	}
+	if !strings.Contains(string(out), "not reproducible") {
+		t.Errorf("vet output is missing the floatdet diagnostic:\n%s", out)
 	}
 }

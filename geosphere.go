@@ -39,6 +39,7 @@ import (
 	"repro/internal/linear"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/units"
 )
 
 // Detector is the common interface of all MIMO detectors: Prepare
@@ -161,7 +162,7 @@ func NewCorrelatedChannel(src *Source, na, nc int, rhoRx, rhoTx float64) (*Matri
 // squared condition number κ² = kappa2dB, the knob behind the adaptive
 // scheduler's κ²-swept calibration traces.
 func NewConditionedChannel(src *Source, na, nc int, kappa2dB float64) (*Matrix, error) {
-	return channel.Conditioned(src, na, nc, kappa2dB)
+	return channel.Conditioned(src, na, nc, units.DB(kappa2dB))
 }
 
 // Transmit applies y = H·x + w with CN(0, noiseVar) noise per receive
@@ -170,9 +171,26 @@ func Transmit(dst []complex128, src *Source, h *Matrix, x []complex128, noiseVar
 	return channel.Transmit(dst, src, h, x, noiseVar)
 }
 
-// NoiseVarForSNRdB converts a per-stream average SNR in dB to the
-// total complex noise variance under the repository's conventions
-// (unit symbol energy, CN(0,1) channel entries).
+// DB is a power ratio in decibels: SNRs, condition numbers, losses.
+// It aliases the internal units package's typed quantity, so facade
+// options carry their domain in the type system (see DESIGN.md §15).
+type DB = units.DB
+
+// Linear is a dimensionless linear power ratio (noise variance σ²,
+// κ² as a plain ratio); the linear-domain counterpart of DB.
+type Linear = units.Linear
+
+// Hertz is a frequency in hertz.
+type Hertz = units.Hertz
+
+// NoiseVar converts a per-stream average SNR to the total complex
+// noise variance σ² = 10^(−SNRdB/10) under the repository's
+// conventions (unit symbol energy, CN(0,1) channel entries).
+func NoiseVar(snr DB) Linear {
+	return channel.NoiseVar(snr)
+}
+
+// NoiseVarForSNRdB is NoiseVar over bare float64s.
 func NoiseVarForSNRdB(snrdB float64) float64 {
 	return channel.NoiseVarForSNRdB(snrdB)
 }

@@ -16,17 +16,30 @@ import (
 
 	"repro/internal/cmplxmat"
 	"repro/internal/rng"
+	"repro/internal/units"
 )
 
-// NoiseVarForSNRdB converts a per-stream average SNR in dB to the
-// total complex noise variance σ² under the package's conventions.
+// NoiseVar converts a per-stream average SNR to the total complex
+// noise variance σ² = 10^(−SNRdB/10) under the package's conventions.
+func NoiseVar(snr units.DB) units.Linear {
+	return (-snr).Lin()
+}
+
+// SNRForNoiseVar is the inverse of NoiseVar.
+func SNRForNoiseVar(noiseVar units.Linear) units.DB {
+	return -units.LinToDB(noiseVar)
+}
+
+// NoiseVarForSNRdB is NoiseVar over bare float64s, kept for callers
+// (hot paths, tests) that carry the variance straight into phasor
+// arithmetic. Bit-identical to NoiseVar by construction.
 func NoiseVarForSNRdB(snrdB float64) float64 {
-	return math.Pow(10, -snrdB/10)
+	return float64(NoiseVar(units.DB(snrdB)))
 }
 
 // SNRdBForNoiseVar is the inverse of NoiseVarForSNRdB.
 func SNRdBForNoiseVar(noiseVar float64) float64 {
-	return -10 * math.Log10(noiseVar)
+	return float64(SNRForNoiseVar(units.Linear(noiseVar)))
 }
 
 // Rayleigh draws an na×nc channel with independent CN(0,1) entries,
@@ -103,13 +116,14 @@ func hermitianSqrt(a *cmplxmat.Matrix) *cmplxmat.Matrix {
 // source for the condition-adaptive detector benchmarks and tests:
 // unlike Correlated, whose conditioning is only statistical, every
 // draw lands exactly on the requested κ².
-func Conditioned(src *rng.Source, na, nc int, kappa2dB float64) (*cmplxmat.Matrix, error) {
+func Conditioned(src *rng.Source, na, nc int, kappa2 units.DB) (*cmplxmat.Matrix, error) {
 	if nc <= 0 || na < nc {
 		return nil, fmt.Errorf("channel: conditioned channel needs na >= nc >= 1, got %d×%d", na, nc)
 	}
-	if kappa2dB < 0 {
-		return nil, fmt.Errorf("channel: condition number must be >= 0 dB, got %g", kappa2dB)
+	if kappa2 < 0 {
+		return nil, fmt.Errorf("channel: condition number must be >= 0 dB, got %g", float64(kappa2))
 	}
+	kappa2dB := float64(kappa2)
 	u := cmplxmat.QRDecompose(Rayleigh(src, na, nc)).Q
 	v := cmplxmat.QRDecompose(Rayleigh(src, nc, nc)).Q
 	// Geometric singular-value ladder: σ_0 = 1 down to

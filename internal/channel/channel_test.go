@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cmplxmat"
 	"repro/internal/rng"
+	"repro/internal/units"
 )
 
 func TestNoiseVarSNRRoundTrip(t *testing.T) {
@@ -151,7 +152,7 @@ func TestConditionedHitsTargetKappa2(t *testing.T) {
 	for _, k2dB := range []float64{0, 6, 14, 25, 40} {
 		for _, shape := range [][2]int{{4, 4}, {6, 4}, {3, 2}} {
 			na, nc := shape[0], shape[1]
-			h, err := Conditioned(src, na, nc, k2dB)
+			h, err := Conditioned(src, na, nc, units.DB(k2dB))
 			if err != nil {
 				t.Fatalf("Conditioned(%d×%d, %g): %v", na, nc, k2dB, err)
 			}

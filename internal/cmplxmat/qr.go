@@ -44,19 +44,19 @@ func QRDecompose(a *Matrix) *QR {
 func QRDecomposeInto(dst *QR, a *Matrix) *QR {
 	m, n := a.Rows, a.Cols
 	if m < n {
-		panic(ErrShape) //geolint:alloc-ok shape bug, unreachable in hot path
+		panic(ErrShape)
 	}
 	// Working copy that will become the triangular factor (top n rows).
 	r := dst.work
 	if r == nil || r.Rows != m || r.Cols != n {
-		r = New(m, n) //geolint:alloc-ok first use or reshape only
+		r = New(m, n)
 		dst.work = r
 	}
 	copy(r.Data, a.Data)
 	// qfull accumulates the product of reflections, starting from I.
 	qfull := dst.qfull
 	if qfull == nil || qfull.Rows != m || qfull.Cols != m {
-		qfull = New(m, m) //geolint:alloc-ok first use or reshape only
+		qfull = New(m, m)
 		dst.qfull = qfull
 	} else {
 		for i := range qfull.Data {
@@ -153,7 +153,7 @@ func QRDecomposeInto(dst *QR, a *Matrix) *QR {
 	// Extract the thin factors.
 	q := dst.Q
 	if q == nil || q.Rows != m || q.Cols != n {
-		q = New(m, n) //geolint:alloc-ok first use or reshape only
+		q = New(m, n)
 		dst.Q = q
 	}
 	for i := 0; i < m; i++ {
@@ -161,7 +161,7 @@ func QRDecomposeInto(dst *QR, a *Matrix) *QR {
 	}
 	rt := dst.R
 	if rt == nil || rt.Rows != n || rt.Cols != n {
-		rt = New(n, n) //geolint:alloc-ok first use or reshape only
+		rt = New(n, n)
 		dst.R = rt
 	}
 	for i := 0; i < n; i++ {
@@ -197,11 +197,11 @@ func QRDecomposeInto(dst *QR, a *Matrix) *QR {
 //geolint:noalloc
 func QRUpdateInto(dst *QR, u, v []complex128) *QR {
 	if dst.Q == nil || dst.R == nil {
-		panic(ErrShape) //geolint:alloc-ok misuse, unreachable in hot path
+		panic(ErrShape)
 	}
 	m, n := dst.Q.Rows, dst.Q.Cols
 	if len(u) != m || len(v) != n {
-		panic(ErrShape) //geolint:alloc-ok misuse, unreachable in hot path
+		panic(ErrShape)
 	}
 	if cap(dst.uw) < n+1 {
 		dst.uw = make([]complex128, n+1) //geolint:alloc-ok first use or reshape only
@@ -253,7 +253,7 @@ func QRUpdateInto(dst *QR, u, v []complex128) *QR {
 	// row 0 and a second sweep re-triangularizes.
 	hs := dst.hess
 	if hs == nil || hs.Rows != n+1 || hs.Cols != n {
-		hs = New(n+1, n) //geolint:alloc-ok first use or reshape only
+		hs = New(n+1, n)
 		dst.hess = hs
 	}
 	for i := 0; i < n; i++ {

@@ -174,7 +174,7 @@ func (pc *PreparedChannel) fill(h *cmplxmat.Matrix, mode prepMode) error {
 	pc.mode = prepModeNone
 	na, nc := h.Rows, h.Cols
 	if pc.hcopy == nil || pc.hcopy.Rows != na || pc.hcopy.Cols != nc {
-		pc.hcopy = cmplxmat.New(na, nc) //geolint:alloc-ok first use or reshape only
+		pc.hcopy = cmplxmat.New(na, nc)
 	}
 	copy(pc.hcopy.Data, h.Data)
 	pc.fp = fingerprint(pc.hcopy)
@@ -196,13 +196,13 @@ func (pc *PreparedChannel) fill(h *cmplxmat.Matrix, mode prepMode) error {
 		}
 		columnOrderInto(pc.perm, pc.energy[:nc], h)
 		if pc.hq == nil || pc.hq.Rows != na || pc.hq.Cols != nc {
-			pc.hq = cmplxmat.New(na, nc) //geolint:alloc-ok first use or reshape only
+			pc.hq = cmplxmat.New(na, nc)
 		}
 		permuteColumnsInto(pc.hq, h, pc.perm)
 		hq = pc.hq
 	case prepModeRVD:
 		if pc.hq == nil || pc.hq.Rows != 2*na || pc.hq.Cols != 2*nc {
-			pc.hq = cmplxmat.New(2*na, 2*nc) //geolint:alloc-ok first use or reshape only
+			pc.hq = cmplxmat.New(2*na, 2*nc)
 		}
 		embedReal(pc.hq, h)
 		hq = pc.hq

@@ -398,7 +398,7 @@ func streamLess(a, b kStream) bool {
 //
 //geolint:noalloc
 func (d *KBest) pushStream(e kStream) {
-	d.heap = append(d.heap, e) //geolint:alloc-ok capacity 2K+1 is preallocated; appends stay in place
+	d.heap = append(d.heap, e)
 	i := len(d.heap) - 1
 	for i > 0 {
 		par := (i - 1) / 2

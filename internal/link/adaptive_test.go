@@ -14,6 +14,7 @@ import (
 	"repro/internal/ofdm"
 	"repro/internal/policy"
 	"repro/internal/rng"
+	"repro/internal/units"
 )
 
 // kappaSweepSource builds a frequency-selective static channel whose
@@ -25,7 +26,7 @@ func kappaSweepSource(t *testing.T, seed int64, na, nc int, maxKappa2dB float64)
 	src := rng.New(seed)
 	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
 	for i := range hs {
-		k2 := maxKappa2dB * float64(i) / float64(len(hs)-1)
+		k2 := units.DB(maxKappa2dB * float64(i) / float64(len(hs)-1))
 		h, err := channel.Conditioned(src, na, nc, k2)
 		if err != nil {
 			t.Fatal(err)

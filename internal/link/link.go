@@ -24,6 +24,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/rng"
 	"repro/internal/testbed"
+	"repro/internal/units"
 )
 
 // Typed configuration errors. RunConfig.Validate and the channel
@@ -370,7 +371,7 @@ func (cfg RunConfig) validateRest() error {
 // detector otherwise.
 func (cfg RunConfig) buildDetector(factory DetectorFactory, noiseVar float64) (core.Detector, error) {
 	if cfg.AdaptiveDetect {
-		return policy.NewDetector(cfg.Cons, cfg.SNRdB, cfg.Adaptive)
+		return policy.NewDetector(cfg.Cons, units.DB(cfg.SNRdB), cfg.Adaptive)
 	}
 	return factory(cfg.Cons, noiseVar), nil
 }

@@ -46,6 +46,12 @@ type Pass struct {
 	// Report receives each diagnostic as it is found.
 	Report func(Diagnostic)
 
+	// UsedHatch, when non-nil, is called every time Suppressed finds
+	// an escape-hatch directive that silences a finding, with the
+	// directive's own file, line and key. Drivers use it to tell live
+	// hatches from stale ones.
+	UsedHatch func(file string, line int, key string)
+
 	// directives caches per-file //geolint: comment directives,
 	// built lazily by Directive.
 	directives map[*ast.File]map[int]directive
@@ -108,9 +114,16 @@ func (p *Pass) fileOf(pos token.Pos) *ast.File {
 // and whether one exists. The second return value is the directive's
 // argument (the human reason or annotation payload).
 func (p *Pass) Directive(pos token.Pos, key string) (string, bool) {
+	arg, _, ok := p.directiveAt(pos, key)
+	return arg, ok
+}
+
+// directiveAt is Directive plus the line the directive itself sits on
+// (which may be the line above pos).
+func (p *Pass) directiveAt(pos token.Pos, key string) (string, int, bool) {
 	f := p.fileOf(pos)
 	if f == nil {
-		return "", false
+		return "", 0, false
 	}
 	if p.directives == nil {
 		p.directives = map[*ast.File]map[int]directive{}
@@ -123,20 +136,24 @@ func (p *Pass) Directive(pos token.Pos, key string) (string, bool) {
 	line := p.Fset.Position(pos).Line
 	for _, l := range []int{line, line - 1} {
 		if d, ok := m[l]; ok && d.key == key {
-			return d.arg, true
+			return d.arg, l, true
 		}
 	}
-	return "", false
+	return "", 0, false
 }
 
 // Suppressed reports whether the finding at pos is silenced by a
 // //geolint:<key> escape-hatch directive. A directive with an empty
 // argument does not suppress: every escape hatch must state a reason,
-// and a bare one is itself reported.
+// and a bare one is itself reported. Every hit is recorded through
+// UsedHatch so drivers can flag hatches that no longer fire.
 func (p *Pass) Suppressed(pos token.Pos, key string) bool {
-	arg, ok := p.Directive(pos, key)
+	arg, line, ok := p.directiveAt(pos, key)
 	if !ok {
 		return false
+	}
+	if p.UsedHatch != nil {
+		p.UsedHatch(p.Fset.Position(pos).Filename, line, key)
 	}
 	if arg == "" {
 		p.Reportf(pos, "%s%s must give a reason", DirectivePrefix, key)
@@ -145,6 +162,37 @@ func (p *Pass) Suppressed(pos token.Pos, key string) bool {
 		return true
 	}
 	return true
+}
+
+// DirectiveInfo is one //geolint:<key> <argument> comment, as
+// enumerated by FileDirectives.
+type DirectiveInfo struct {
+	Pos  token.Pos
+	Line int
+	Key  string
+	Arg  string
+}
+
+// FileDirectives lists every geolint directive in f in source order,
+// for drivers that audit the directives themselves (stale-hatch
+// detection, machine-readable reports).
+func FileDirectives(fset *token.FileSet, f *ast.File) []DirectiveInfo {
+	var out []DirectiveInfo
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			out = append(out, DirectiveInfo{
+				Pos:  c.Pos(),
+				Line: fset.Position(c.Pos()).Line,
+				Key:  d.key,
+				Arg:  d.arg,
+			})
+		}
+	}
+	return out
 }
 
 // HasFileDirective reports whether any file of the pass carries a

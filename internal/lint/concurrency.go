@@ -1,0 +1,451 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ConcurrencyPackages lists the import paths holding the resident
+// layer — long-lived sessions, worker pools and the serving
+// pipelines — whose goroutine and lock hygiene the concurrency
+// analyzers enforce. Other packages (and the analyzers' fixtures) opt
+// in with a //geolint:concurrent file marker.
+var ConcurrencyPackages = []string{
+	"repro/internal/link",
+	"repro/internal/serve",
+}
+
+// isConcurrencyPkg reports whether the pass's package is subject to
+// the concurrency analyzers. External test packages inherit the
+// verdict of the package under test.
+func isConcurrencyPkg(pass *analysis.Pass) bool {
+	path := strings.TrimSuffix(pass.Pkg.Path(), "_test")
+	for _, p := range ConcurrencyPackages {
+		if path == p {
+			return true
+		}
+	}
+	return pass.HasFileDirective("concurrent")
+}
+
+// GoroutineLeak flags goroutines whose body loops forever with no way
+// out: an unconditional for loop containing no return, no break that
+// actually targets the loop, and no panic. Such goroutines outlive
+// Close/ctx cancellation and accumulate under the resident serving
+// layer's churn. A break inside a select or switch exits the select,
+// not the loop — the classic shutdown bug — so it does not count as
+// an exit.
+//
+// Loops that range over a channel are not flagged: closing the
+// channel ends them, which is the session layer's shutdown idiom.
+//
+// Suppress with //geolint:leak-ok <reason>.
+var GoroutineLeak = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "flag goroutines that loop forever without a return/break exit path",
+	Run:  runGoroutineLeak,
+}
+
+const leakOK = "leak-ok"
+
+func runGoroutineLeak(pass *analysis.Pass) error {
+	if !isConcurrencyPkg(pass) {
+		return nil
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(inner ast.Node) bool {
+			if fl, ok := inner.(*ast.FuncLit); ok && fl != lit {
+				return false // nested closures run on their own terms
+			}
+			loop, ok := inner.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			if loop.Cond != nil {
+				return true
+			}
+			if loopHasExit(loop.Body, true) {
+				return true
+			}
+			if !pass.Suppressed(loop.Pos(), leakOK) {
+				pass.Reportf(loop.Pos(),
+					"goroutine loops forever: no return or loop-level break reaches this for statement (a break inside select/switch exits the select, not the loop); add a ctx.Done/close exit or annotate //geolint:%s <reason>",
+					leakOK)
+			}
+			return true
+		})
+		return true
+	})
+	return nil
+}
+
+// loopHasExit reports whether the loop body contains a statement that
+// escapes the loop: a return, a panic, or a break that targets the
+// loop itself. breakTargets tracks whether an unlabeled break at the
+// current nesting still refers to the loop under test.
+func loopHasExit(n ast.Node, breakTargets bool) bool {
+	exit := false
+	var walk func(n ast.Node, breakTargets bool)
+	walk = func(n ast.Node, breakTargets bool) {
+		if n == nil || exit {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			switch {
+			case n.Tok == token.BREAK && n.Label != nil:
+				// A labeled break always escapes at least this loop.
+				exit = true
+			case n.Tok == token.BREAK && breakTargets:
+				exit = true
+			case n.Tok == token.GOTO:
+				// Conservative: assume the goto leaves the loop.
+				exit = true
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				exit = true
+				return
+			}
+			for _, a := range n.Args {
+				walk(a, breakTargets)
+			}
+		case *ast.FuncLit:
+			// A nested closure's returns do not exit the loop.
+		case *ast.ForStmt:
+			walk(n.Body, false)
+		case *ast.RangeStmt:
+			walk(n.Body, false)
+		case *ast.SelectStmt:
+			walk(n.Body, false)
+		case *ast.SwitchStmt:
+			walk(n.Body, false)
+		case *ast.TypeSwitchStmt:
+			walk(n.Body, false)
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				walk(s, breakTargets)
+			}
+		case *ast.IfStmt:
+			walk(n.Body, breakTargets)
+			walk(n.Else, breakTargets)
+		case *ast.CaseClause:
+			for _, s := range n.Body {
+				walk(s, breakTargets)
+			}
+		case *ast.CommClause:
+			for _, s := range n.Body {
+				walk(s, breakTargets)
+			}
+		case *ast.LabeledStmt:
+			walk(n.Stmt, breakTargets)
+		case *ast.ExprStmt:
+			walk(n.X, breakTargets)
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				walk(r, breakTargets)
+			}
+		case *ast.GoStmt, *ast.DeferStmt:
+			// Spawned/deferred work does not exit this loop.
+		}
+	}
+	walk(n, breakTargets)
+	return exit
+}
+
+// BlockingSend flags select statements in the admission paths that
+// consist solely of channel sends with no default and no receive
+// case: when every consumer is gone (session closed, worker crashed)
+// such a select blocks its caller forever instead of shedding or
+// observing shutdown. Admission points must pair the send with a
+// default (non-blocking try) or a ctx.Done/closed-channel receive.
+//
+// Suppress with //geolint:block-ok <reason>.
+var BlockingSend = &analysis.Analyzer{
+	Name: "blockingsend",
+	Doc:  "flag select statements that only send, with no default and no receive to bound the wait",
+	Run:  runBlockingSend,
+}
+
+const blockOK = "block-ok"
+
+func runBlockingSend(pass *analysis.Pass) error {
+	if !isConcurrencyPkg(pass) {
+		return nil
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		sends, recvs, hasDefault := 0, 0, false
+		for _, cl := range sel.Body.List {
+			comm, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			switch comm.Comm.(type) {
+			case nil:
+				hasDefault = true
+			case *ast.SendStmt:
+				sends++
+			default:
+				recvs++
+			}
+		}
+		if sends == 0 || recvs > 0 || hasDefault {
+			return true
+		}
+		if !pass.Suppressed(sel.Pos(), blockOK) {
+			pass.Reportf(sel.Pos(),
+				"select only sends: with no default and no receive case it can block forever once the consumer stops; add a default (shed) or a ctx.Done/closed-channel case, or annotate //geolint:%s <reason>",
+				blockOK)
+		}
+		return true
+	})
+	return nil
+}
+
+// SyncMisuse flags the two sync mistakes that matter for the session
+// and serve layers:
+//
+//   - locks copied by value — a by-value receiver, parameter or
+//     assignment of a struct containing a sync.Mutex/RWMutex copies
+//     the lock state, silently splitting the critical section;
+//   - unguarded sibling writes — a pointer-receiver method of a
+//     mutex-bearing struct that writes the struct's other fields
+//     without any Lock/RLock call in its body bypasses the mutex the
+//     struct was given. Methods named *Locked are exempt (their
+//     callers hold the lock); shared counters belong in internal/obs
+//     atomics instead.
+//
+// Suppress with //geolint:sync-ok <reason>.
+var SyncMisuse = &analysis.Analyzer{
+	Name: "syncmisuse",
+	Doc:  "flag locks copied by value and mutex-bearing structs written without holding the mutex",
+	Run:  runSyncMisuse,
+}
+
+const syncOK = "sync-ok"
+
+func runSyncMisuse(pass *analysis.Pass) error {
+	if !isConcurrencyPkg(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkLockByValue(pass, n)
+				checkUnguardedWrites(pass, n)
+			case *ast.FuncLit:
+				checkFieldListLocks(pass, n.Type.Params)
+			case *ast.AssignStmt:
+				checkLockCopyAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLockByValue flags by-value receivers and parameters whose type
+// contains a mutex.
+func checkLockByValue(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Recv != nil {
+		checkFieldListLocks(pass, fn.Recv)
+	}
+	checkFieldListLocks(pass, fn.Type.Params)
+}
+
+func checkFieldListLocks(pass *analysis.Pass, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !containsMutex(t, nil) {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if !pass.Suppressed(field.Pos(), syncOK) {
+			pass.Reportf(field.Pos(),
+				"passes a lock by value: the type contains a sync mutex, so the copy splits the critical section; take a pointer or annotate //geolint:%s <reason>",
+				syncOK)
+		}
+	}
+}
+
+// checkLockCopyAssign flags assignments that copy an existing
+// mutex-bearing value (dereference, field or element read). Fresh
+// composite literals and zero values are initialization, not copies.
+func checkLockCopyAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for _, rhs := range as.Rhs {
+		switch rhs.(type) {
+		case *ast.StarExpr, *ast.SelectorExpr, *ast.IndexExpr, *ast.Ident:
+		default:
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(rhs)
+		if t == nil || !containsMutex(t, nil) {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if !pass.Suppressed(rhs.Pos(), syncOK) {
+			pass.Reportf(rhs.Pos(),
+				"copies a lock: the right-hand side's type contains a sync mutex; share a pointer instead or annotate //geolint:%s <reason>",
+				syncOK)
+		}
+	}
+}
+
+// checkUnguardedWrites flags pointer-receiver methods of mutex-bearing
+// structs that write sibling fields with no Lock/RLock in the body.
+func checkUnguardedWrites(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 || fn.Body == nil {
+		return
+	}
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return // convention: the caller holds the lock
+	}
+	recvIdent := fn.Recv.List[0].Names[0]
+	recvObj := pass.TypesInfo.ObjectOf(recvIdent)
+	if recvObj == nil {
+		return
+	}
+	ptr, ok := recvObj.Type().(*types.Pointer)
+	if !ok {
+		return
+	}
+	st, ok := ptr.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	mutexFields := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			mutexFields[st.Field(i).Name()] = true
+		}
+	}
+	if len(mutexFields) == 0 {
+		return
+	}
+	// Any Lock/RLock acquisition in the body marks the method as
+	// mutex-aware; the analyzer checks presence, not dominance.
+	locked := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+			locked = true
+		}
+		return true
+	})
+	if locked {
+		return
+	}
+	report := func(pos token.Pos, field string) {
+		if !pass.Suppressed(pos, syncOK) {
+			pass.Reportf(pos,
+				"writes %s.%s without holding the struct's mutex anywhere in this method; lock around the write, use internal/obs atomics for shared counters, or annotate //geolint:%s <reason>",
+				recvIdent.Name, field, syncOK)
+		}
+	}
+	isRecvField := func(e ast.Expr) (string, bool) {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.ObjectOf(id) != recvObj {
+			return "", false
+		}
+		if mutexFields[sel.Sel.Name] {
+			return "", false
+		}
+		return sel.Sel.Name, true
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures are usually the guarded goroutine body
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if field, ok := isRecvField(lhs); ok {
+					report(lhs.Pos(), field)
+				}
+			}
+		case *ast.IncDecStmt:
+			if field, ok := isRecvField(n.X); ok {
+				report(n.X.Pos(), field)
+			}
+		}
+		return true
+	})
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex itself.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// containsMutex reports whether t transitively embeds a sync mutex by
+// value (structs and arrays descend; pointers, slices and maps stop).
+func containsMutex(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if isMutexType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(u.Elem(), seen)
+	}
+	return false
+}

@@ -41,6 +41,11 @@ func Analyzers() []*analysis.Analyzer {
 		NoAlloc,
 		RecorderHygiene,
 		FloatDeterminism,
+		Units,
+		GoroutineLeak,
+		BlockingSend,
+		SyncMisuse,
+		StaleHatch,
 	}
 }
 
@@ -57,6 +62,7 @@ func Analyzers() []*analysis.Analyzer {
 var DeterministicPackages = []string{
 	"repro/internal/channel",
 	"repro/internal/core",
+	"repro/internal/kbest",
 	"repro/internal/link",
 	"repro/internal/phy",
 	"repro/internal/policy",

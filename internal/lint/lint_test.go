@@ -23,10 +23,30 @@ func TestFloatDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.FloatDeterminism, "floatdet/a", "determinism/free")
 }
 
+func TestUnits(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Units, "units/a")
+}
+
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.GoroutineLeak, "goleak/a")
+}
+
+func TestBlockingSend(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.BlockingSend, "blockingsend/a")
+}
+
+func TestSyncMisuse(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SyncMisuse, "syncmisuse/a")
+}
+
+func TestStaleHatch(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.StaleHatch, "stalehatch/a")
+}
+
 func TestSuiteRegistry(t *testing.T) {
 	as := lint.Analyzers()
-	if len(as) != 4 {
-		t.Fatalf("suite has %d analyzers, want 4", len(as))
+	if len(as) != 9 {
+		t.Fatalf("suite has %d analyzers, want 9", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {

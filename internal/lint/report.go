@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Report is the machine-readable result of one suite run, emitted by
+// `geolint -json` and archived by CI. Paths are module-relative with
+// forward slashes, so a report is byte-identical no matter where the
+// module is checked out.
+type Report struct {
+	Version     int           `json:"version"`
+	Diagnostics []ReportDiag  `json:"diagnostics"`
+	Hatches     []ReportHatch `json:"hatches"`
+}
+
+// ReportDiag is one diagnostic.
+type ReportDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// ReportHatch is one escape-hatch directive found in the audited
+// packages, with whether any analyzer actually consulted it to
+// suppress a finding this run.
+type ReportHatch struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Key    string `json:"key"`
+	Reason string `json:"reason"`
+	Used   bool   `json:"used"`
+}
+
+// Audit applies the suite like Run and additionally inventories every
+// escape hatch in the packages. modDir, when non-empty, is the module
+// root that file paths are made relative to.
+func Audit(pkgs []*load.Package, modDir string) Report {
+	rep := Report{Version: 1, Diagnostics: []ReportDiag{}, Hatches: []ReportHatch{}}
+	if len(pkgs) == 0 {
+		return rep
+	}
+	used := map[string]bool{}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				UsedHatch: func(file string, line int, key string) {
+					used[hatchID(file, line, key)] = true
+				},
+			}
+			pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				pos := pkg.Files[0].Package
+				diags = append(diags, analysis.Diagnostic{Pos: pos, Message: err.Error(), Analyzer: a})
+			}
+		}
+	}
+	fset := pkgs[0].Fset
+	analysis.SortDiagnostics(fset, diags)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		rep.Diagnostics = append(rep.Diagnostics, ReportDiag{
+			File:     relPath(modDir, pos.Filename),
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer.Name,
+			Message:  d.Message,
+		})
+	}
+	keys := hatchKeys()
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range analysis.FileDirectives(pkg.Fset, f) {
+				if !keys[d.Key] {
+					continue
+				}
+				file := pkg.Fset.Position(d.Pos).Filename
+				id := hatchID(file, d.Line, d.Key)
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				rep.Hatches = append(rep.Hatches, ReportHatch{
+					File:   relPath(modDir, file),
+					Line:   d.Line,
+					Key:    d.Key,
+					Reason: d.Arg,
+					Used:   used[id],
+				})
+			}
+		}
+	}
+	sort.Slice(rep.Hatches, func(i, j int) bool {
+		a, b := rep.Hatches[i], rep.Hatches[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Key < b.Key
+	})
+	return rep
+}
+
+// relPath renders file relative to modDir with forward slashes, or
+// cleans it unchanged when it lies outside the module.
+func relPath(modDir, file string) string {
+	if modDir != "" {
+		if r, err := filepath.Rel(modDir, file); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+	}
+	return filepath.ToSlash(file)
+}

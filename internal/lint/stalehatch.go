@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/lint/analysis"
+)
+
+// hatchKeys lists every escape-hatch key the suite understands — the
+// keys whose directives silence a diagnostic and therefore can rot.
+// Package/function MARKERS (deterministic, concurrent, noalloc) are
+// deliberately absent: they opt code in to analyzers rather than
+// silencing them, so an "unused" marker is meaningless.
+func hatchKeys() map[string]bool {
+	return map[string]bool{
+		nondetOK:   true,
+		allocOK:    true,
+		recorderOK: true,
+		floatOK:    true,
+		unitsOK:    true,
+		leakOK:     true,
+		blockOK:    true,
+		syncOK:     true,
+	}
+}
+
+// StaleHatch is the suite's self-audit: it re-runs every other
+// analyzer over the package with reporting muted, records which
+// escape-hatch directives actually suppressed a finding, and flags
+// the //geolint:<key> comments that no longer suppress anything. A
+// stale hatch is worse than dead weight — it documents a constraint
+// the code no longer violates, and it will silently swallow the next,
+// different finding that lands on its line.
+//
+// Escape hatches are attached to the line they silence (or the line
+// below the comment), and analyzers only consult them from the same
+// package's pass, so a per-package audit is exact — no cross-package
+// state is needed. There is intentionally no hatch for this analyzer:
+// a stale hatch is fixed by deleting it.
+var StaleHatch = &analysis.Analyzer{
+	Name: "stalehatch",
+	Doc:  "flag escape-hatch comments that no longer suppress any diagnostic",
+}
+
+// Run is attached in init: runStaleHatch iterates Analyzers(), which
+// contains StaleHatch itself, and Go rejects the direct
+// initialization cycle.
+func init() { StaleHatch.Run = runStaleHatch }
+
+func runStaleHatch(pass *analysis.Pass) error {
+	used := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a == StaleHatch {
+			continue
+		}
+		sub := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pass.Fset,
+			Files:     pass.Files,
+			Pkg:       pass.Pkg,
+			TypesInfo: pass.TypesInfo,
+			Report:    func(analysis.Diagnostic) {},
+			UsedHatch: func(file string, line int, key string) {
+				used[hatchID(file, line, key)] = true
+			},
+		}
+		if err := a.Run(sub); err != nil {
+			return fmt.Errorf("stalehatch: re-running %s: %w", a.Name, err)
+		}
+	}
+	keys := hatchKeys()
+	for _, f := range pass.Files {
+		for _, d := range analysis.FileDirectives(pass.Fset, f) {
+			if !keys[d.Key] {
+				continue
+			}
+			if used[hatchID(pass.Fset.Position(d.Pos).Filename, d.Line, d.Key)] {
+				continue
+			}
+			pass.Reportf(d.Pos,
+				"stale hatch: //geolint:%s suppresses no diagnostic here any more; delete the comment (it would silently swallow the next finding on this line)",
+				d.Key)
+		}
+	}
+	return nil
+}
+
+// hatchID keys one directive occurrence.
+func hatchID(file string, line int, key string) string {
+	return fmt.Sprintf("%s:%d:%s", file, line, key)
+}

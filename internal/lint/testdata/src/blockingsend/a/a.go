@@ -1,0 +1,40 @@
+// Package a exercises the blockingsend analyzer: selects consisting
+// solely of send cases (no default, no receive) are flagged; selects
+// that shed via default or observe shutdown via a receive are not.
+//
+//geolint:concurrent
+package a
+
+func admit(out chan int, done chan struct{}) {
+	select { // want `select only sends`
+	case out <- 1:
+	}
+
+	select { // want `select only sends`
+	case out <- 1:
+	case out <- 2:
+	}
+
+	// A default bounds the wait: overload sheds instead of blocking.
+	select {
+	case out <- 1:
+	default:
+	}
+
+	// A receive case observes shutdown.
+	select {
+	case out <- 1:
+	case <-done:
+	}
+
+	// Receive-only selects are the consumer side; not this analyzer's
+	// concern.
+	select {
+	case <-done:
+	}
+
+	//geolint:block-ok the consumer is joined after this send by construction
+	select {
+	case out <- 1:
+	}
+}

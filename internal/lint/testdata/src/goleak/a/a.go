@@ -1,0 +1,87 @@
+// Package a exercises the goleak analyzer: goroutines whose bodies
+// loop forever with no loop-level exit are flagged; loops with a
+// return, a labeled break, a channel range, or a terminating condition
+// are not.
+//
+//geolint:concurrent
+package a
+
+func spawn(work chan int, done chan struct{}) {
+	go func() {
+		for { // want `goroutine loops forever`
+			<-work
+		}
+	}()
+
+	// The classic shutdown bug: break exits the select, not the loop.
+	go func() {
+		for { // want `goroutine loops forever`
+			select {
+			case <-work:
+			case <-done:
+				break
+			}
+		}
+	}()
+
+	// A nested closure's return is the closure's exit, not the loop's.
+	go func() {
+		for { // want `goroutine loops forever`
+			f := func() { return }
+			f()
+		}
+	}()
+
+	// return escapes the loop.
+	go func() {
+		for {
+			select {
+			case <-work:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// A labeled break escapes the loop even from inside a select.
+	go func() {
+	drain:
+		for {
+			select {
+			case <-work:
+			case <-done:
+				break drain
+			}
+		}
+	}()
+
+	// Ranging over a channel ends when the channel closes: the
+	// session layer's shutdown idiom.
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+
+	// A terminating condition is an exit.
+	go func() {
+		for i := 0; i < 8; i++ {
+			_ = i
+		}
+	}()
+
+	// panic escapes (crash-only worker).
+	go func() {
+		for {
+			if _, ok := <-work; !ok {
+				panic("feed closed")
+			}
+		}
+	}()
+
+	go func() {
+		for { //geolint:leak-ok process-lifetime drainer by design; reaped by the runtime at exit
+			<-work
+		}
+	}()
+}

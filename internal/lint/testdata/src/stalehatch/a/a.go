@@ -1,0 +1,18 @@
+// Package a exercises the stalehatch analyzer: an escape hatch that
+// still suppresses a finding passes silently; a hatch whose finding
+// has evaporated is itself flagged.
+//
+//geolint:deterministic
+package a
+
+// live's hatch is consulted by floatdet (float equality in a
+// deterministic package), so it is in use.
+func live(a, b float64) bool {
+	return a == b //geolint:float-ok exact golden comparison pinned by the conformance suite
+}
+
+// stale's hatch silences nothing: integer equality is exact and
+// floatdet never fires here.
+func stale(a, b int) bool {
+	return a == b //geolint:float-ok integers compare exactly, nothing fires — want `stale hatch: //geolint:float-ok suppresses no diagnostic here any more`
+}

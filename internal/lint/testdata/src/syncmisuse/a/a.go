@@ -1,0 +1,72 @@
+// Package a exercises the syncmisuse analyzer: by-value receivers,
+// parameters and assignment copies of mutex-bearing types are flagged,
+// as are pointer-receiver methods that write sibling fields of a
+// mutex-bearing struct without ever locking; pointer plumbing, *Locked
+// helpers and locking methods are not.
+//
+//geolint:concurrent
+package a
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int
+	hits int
+}
+
+func (c counter) badReceiver() int { // want `passes a lock by value`
+	return c.n
+}
+
+func (c *counter) incr() {
+	c.n++ // want `writes c\.n without holding the struct's mutex`
+}
+
+func (c *counter) set(v int) {
+	c.hits = v // want `writes c\.hits without holding the struct's mutex`
+}
+
+// Any acquisition in the body marks the method mutex-aware.
+func (c *counter) incrSafe() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// The *Locked suffix says the caller holds the lock.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func snapshot(c counter) int { // want `passes a lock by value`
+	return c.n
+}
+
+func snapshotPtr(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func literals() {
+	f := func(c counter) int { // want `passes a lock by value`
+		return c.n
+	}
+	_ = f
+}
+
+func dup(c *counter) int {
+	d := *c // want `copies a lock`
+	return d.n
+}
+
+// A fresh composite literal is initialization, not a copy.
+func fresh() *counter {
+	c := counter{}
+	return &c
+}
+
+func snapshotQuiesced(c counter) int { //geolint:sync-ok read-only snapshot of a quiesced counter under test harness control
+	return c.n
+}

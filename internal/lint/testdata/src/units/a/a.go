@@ -1,0 +1,73 @@
+// Package a exercises the units analyzer: arithmetic, comparisons,
+// call arguments and composite-literal fields mixing dB-scale,
+// linear-scale and frequency values are flagged; explicit conversions
+// and annotated escapes are not.
+package a
+
+import "units"
+
+// noiseVarFor's parameter name marks its domain: callers must hand it
+// a dB-scale value.
+func noiseVarFor(snrdB float64) float64 { return snrdB }
+
+type opts struct {
+	SNRdB    float64
+	noiseVar float64
+	DoppHz   float64
+}
+
+func mixedArithmetic(snrdB, noiseVar, widthHz float64) {
+	_ = snrdB + noiseVar  // want `\+ mixes a dB-scale value with a linear-scale value`
+	_ = snrdB * widthHz   // want `\* mixes a dB-scale value with a frequency value`
+	_ = noiseVar - snrdB  // want `- mixes a linear-scale value with a dB-scale value`
+	if snrdB > noiseVar { // want `> mixes a dB-scale value with a linear-scale value`
+		return
+	}
+	_ = snrdB + snrdB             // same domain: fine
+	_ = widthHz * 2               // constants carry no domain: fine
+	_ = snrdB + float64(noiseVar) // explicit conversion resets the domain: fine
+}
+
+func flowCarriesDomain(o opts) {
+	snr := o.SNRdB   // flow: snr inherits dB from the field it came from
+	nv := o.noiseVar // flow: nv inherits linear
+	_ = snr + nv     // want `\+ mixes a dB-scale value with a linear-scale value`
+}
+
+func conflictingFlowErases(o opts, pick bool) {
+	x := o.SNRdB
+	if pick {
+		x = o.noiseVar // conflicting domains: x degrades to unknown
+	}
+	_ = x + o.SNRdB // no flag: x's domain is conflicted
+}
+
+func callArguments(o opts) {
+	_ = noiseVarFor(o.noiseVar) // want `noiseVarFor argument "snrdB" expects a dB-scale value but receives a linear-scale value`
+	_ = noiseVarFor(o.SNRdB)    // matching domain: fine
+	_ = noiseVarFor(3.0)        // constants carry no domain: fine
+}
+
+func compositeFields(noiseVar float64) opts {
+	return opts{
+		SNRdB:    noiseVar, // want `field "SNRdB" holds a dB-scale value but is set from a linear-scale value`
+		noiseVar: noiseVar,
+	}
+}
+
+// Call results take the domain of the RESULT TYPE only — the trailing
+// "dB" in a function's name describes its parameter, not its value.
+func resultTypeNotName(o opts) {
+	nv := noiseVarFor(o.SNRdB) // nv is unknown: float64 result, name ignored
+	_ = nv + o.SNRdB           // no flag
+}
+
+func typedFlow(o opts) {
+	lin := units.DB(o.SNRdB).Lin() // typed: units.Linear
+	erased := float64(lin)         // conversion is the sanctioned escape
+	_ = erased + o.SNRdB           // no flag
+}
+
+func suppressed(snrdB, noiseVar float64) {
+	_ = snrdB + noiseVar //geolint:units-ok adding a dB offset to a cached linear table index, verified by conformance test
+}

@@ -1,0 +1,15 @@
+// Package units is the fixture stand-in for repro/internal/units: the
+// units analyzer recognizes defined types DB/Linear/Hertz from any
+// package named "units", so the fixtures can exercise typed seeding
+// without importing the real module.
+package units
+
+type DB float64
+
+type Linear float64
+
+type Hertz float64
+
+func (d DB) Lin() Linear { return Linear(d) }
+
+func LinToDB(l Linear) DB { return DB(l) }

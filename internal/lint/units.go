@@ -1,0 +1,396 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Units flags cross-domain arithmetic between dB-scale, linear-scale
+// and frequency quantities. Mixing a dB value into a linear formula
+// (or vice versa) produces plausible-looking wrong throughput curves —
+// the precise failure mode the paper's evaluation methodology exists
+// to rule out — and the compiler cannot see it because both sides are
+// float64.
+//
+// The analyzer runs an intra-procedural flow analysis over go/ast and
+// go/types. A value's domain is seeded three ways, strongest first:
+//
+//  1. its static type is a defined type of a package named "units"
+//     (units.DB, units.Linear, units.Hertz — or facade aliases);
+//  2. the identifier it came from follows the repository's naming
+//     convention: *DB/*dB name dB-scale values, *Lin/*Linear/
+//     *noiseVar name linear-scale values, *Hz names frequencies;
+//  3. local flow: a variable assigned from a domain-carrying
+//     expression inherits that domain (conflicting assignments erase
+//     it).
+//
+// Name seeding deliberately applies only to value identifiers, never
+// to function names: channel.NoiseVarForSNRdB ends in "dB" but
+// returns a linear variance, so a call's domain comes from its result
+// type alone.
+//
+// Crossing domains is always legitimate through an explicit
+// conversion — units.DB(x), DB.Lin(), units.LinToDB, or a float64(x)
+// cast, all of which reset the domain — so the analyzer only flags
+// arithmetic, comparisons, call arguments and composite-literal
+// fields where BOTH sides carry known, different domains.
+//
+// Suppress with //geolint:units-ok <reason>.
+var Units = &analysis.Analyzer{
+	Name: "units",
+	Doc:  "flag arithmetic mixing dB-scale, linear-scale and frequency quantities without an explicit conversion",
+	Run:  runUnits,
+}
+
+const unitsOK = "units-ok"
+
+// domain is the physical scale a value lives on.
+type domain int
+
+const (
+	domUnknown domain = iota
+	domConflict
+	domDB
+	domLin
+	domHz
+)
+
+func (d domain) String() string {
+	switch d {
+	case domDB:
+		return "dB-scale"
+	case domLin:
+		return "linear-scale"
+	case domHz:
+		return "frequency"
+	}
+	return "unknown"
+}
+
+// known reports whether the domain is definite enough to flag against.
+func (d domain) known() bool { return d == domDB || d == domLin || d == domHz }
+
+// unitsFlow is the per-package analysis state: the inferred domain of
+// every local and package-level variable.
+type unitsFlow struct {
+	pass *analysis.Pass
+	vars map[*types.Var]domain
+}
+
+func runUnits(pass *analysis.Pass) error {
+	u := &unitsFlow{pass: pass, vars: map[*types.Var]domain{}}
+	// Two seeding sweeps over the package: assignments are merged in
+	// source order, and the second sweep lets a domain assigned late in
+	// one function flow into uses that textually precede it.
+	for i := 0; i < 2; i++ {
+		for _, f := range pass.Files {
+			ast.Inspect(f, u.seed)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, u.check)
+	}
+	return nil
+}
+
+// seed merges assignment right-hand sides into the variable domain
+// map.
+func (u *unitsFlow) seed(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) != len(n.Rhs) {
+			return true // multi-value call or comma-ok: no single RHS domain
+		}
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := u.pass.TypesInfo.ObjectOf(id).(*types.Var)
+			if !ok {
+				continue
+			}
+			u.merge(v, u.exprDomain(n.Rhs[i]))
+		}
+	case *ast.ValueSpec:
+		if len(n.Names) != len(n.Values) {
+			return true
+		}
+		for i, id := range n.Names {
+			if v, ok := u.pass.TypesInfo.ObjectOf(id).(*types.Var); ok {
+				u.merge(v, u.exprDomain(n.Values[i]))
+			}
+		}
+	}
+	return true
+}
+
+// merge folds a new observation into a variable's domain: unknown
+// observations change nothing, agreeing ones stick, disagreeing ones
+// poison the variable to conflict (never flagged, never seeded).
+func (u *unitsFlow) merge(v *types.Var, d domain) {
+	if !d.known() {
+		return
+	}
+	switch cur := u.vars[v]; {
+	case cur == domConflict:
+	case cur == domUnknown:
+		u.vars[v] = d
+	case cur != d:
+		u.vars[v] = domConflict
+	}
+}
+
+// check walks one file reporting cross-domain mixes.
+func (u *unitsFlow) check(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.BinaryExpr:
+		u.checkBinary(n)
+	case *ast.CallExpr:
+		u.checkCallArgs(n)
+	case *ast.CompositeLit:
+		u.checkCompositeLit(n)
+	}
+	return true
+}
+
+var mixableOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+}
+
+func (u *unitsFlow) checkBinary(n *ast.BinaryExpr) {
+	if !mixableOps[n.Op] {
+		return
+	}
+	dx, dy := u.exprDomain(n.X), u.exprDomain(n.Y)
+	if !dx.known() || !dy.known() || dx == dy {
+		return
+	}
+	if !u.pass.Suppressed(n.Pos(), unitsOK) {
+		u.pass.Reportf(n.Pos(),
+			"%s mixes a %s value with a %s value; convert explicitly (units.DB.Lin, units.LinToDB, or a float64 cast) or annotate //geolint:%s <reason>",
+			n.Op, dx, dy, unitsOK)
+	}
+}
+
+// checkCallArgs compares each argument's domain with the domain of
+// the parameter it lands in (from the parameter's type, or its name).
+func (u *unitsFlow) checkCallArgs(n *ast.CallExpr) {
+	if u.pass.TypesInfo.Types[n.Fun].IsType() {
+		return // conversion: an explicit domain reset, never a mix
+	}
+	sig, ok := u.pass.TypesInfo.TypeOf(n.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range n.Args {
+		if i >= params.Len() {
+			break
+		}
+		p := params.At(i)
+		if sig.Variadic() && i == params.Len()-1 {
+			break // variadic tails are interface-typed in practice
+		}
+		pd := u.typeDomain(p.Type())
+		if !pd.known() {
+			pd = nameDomain(p.Name(), p.Type())
+		}
+		ad := u.exprDomain(arg)
+		if !pd.known() || !ad.known() || pd == ad {
+			continue
+		}
+		if !u.pass.Suppressed(arg.Pos(), unitsOK) {
+			u.pass.Reportf(arg.Pos(),
+				"%s argument %q expects a %s value but receives a %s value; convert explicitly or annotate //geolint:%s <reason>",
+				funLabel(n.Fun), p.Name(), pd, ad, unitsOK)
+		}
+	}
+}
+
+// checkCompositeLit compares keyed struct-literal fields with the
+// domain of the values assigned to them.
+func (u *unitsFlow) checkCompositeLit(n *ast.CompositeLit) {
+	t := u.pass.TypesInfo.TypeOf(n)
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	fields := map[string]*types.Var{}
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i).Name()] = st.Field(i)
+	}
+	for _, el := range n.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		fld, ok := fields[key.Name]
+		if !ok {
+			continue
+		}
+		fd := u.typeDomain(fld.Type())
+		if !fd.known() {
+			fd = nameDomain(fld.Name(), fld.Type())
+		}
+		vd := u.exprDomain(kv.Value)
+		if !fd.known() || !vd.known() || fd == vd {
+			continue
+		}
+		if !u.pass.Suppressed(kv.Pos(), unitsOK) {
+			u.pass.Reportf(kv.Pos(),
+				"field %q holds a %s value but is set from a %s value; convert explicitly or annotate //geolint:%s <reason>",
+				key.Name, fd, vd, unitsOK)
+		}
+	}
+}
+
+// exprDomain computes the domain of an expression.
+func (u *unitsFlow) exprDomain(e ast.Expr) domain {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return u.exprDomain(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return u.exprDomain(e.X)
+		}
+	case *ast.Ident:
+		return u.objDomain(u.pass.TypesInfo.ObjectOf(e))
+	case *ast.SelectorExpr:
+		return u.objDomain(u.pass.TypesInfo.ObjectOf(e.Sel))
+	case *ast.IndexExpr:
+		return u.typeDomain(u.pass.TypesInfo.TypeOf(e))
+	case *ast.CallExpr:
+		if u.pass.TypesInfo.Types[e.Fun].IsType() {
+			// A conversion is the explicit escape: its domain is the
+			// target type's (none, for float64(x)).
+			return u.typeDomain(u.pass.TypesInfo.TypeOf(e))
+		}
+		// A call's domain comes from its result type ONLY: function
+		// names like NoiseVarForSNRdB describe their parameter, not
+		// their result.
+		return u.typeDomain(u.pass.TypesInfo.TypeOf(e))
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return domUnknown // comparisons yield bool, %, etc. carry nothing
+		}
+		dx, dy := u.exprDomain(e.X), u.exprDomain(e.Y)
+		switch {
+		case dx == dy:
+			return dx
+		case dx.known() && !dy.known():
+			return dx
+		case dy.known() && !dx.known():
+			return dy
+		}
+		return domUnknown
+	}
+	if t := u.pass.TypesInfo.TypeOf(e); t != nil {
+		return u.typeDomain(t)
+	}
+	return domUnknown
+}
+
+// objDomain resolves an object's domain: type first, then flow, then
+// naming convention.
+func (u *unitsFlow) objDomain(obj types.Object) domain {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		if c, ok := obj.(*types.Const); ok {
+			if d := u.typeDomain(c.Type()); d.known() {
+				return d
+			}
+			return nameDomain(c.Name(), c.Type())
+		}
+		return domUnknown
+	}
+	if d := u.typeDomain(v.Type()); d.known() {
+		return d
+	}
+	if d, ok := u.vars[v]; ok {
+		return d
+	}
+	return nameDomain(v.Name(), v.Type())
+}
+
+// typeDomain maps defined types of any package named "units" (the
+// real internal/units, or a fixture stand-in) to their domain.
+func (u *unitsFlow) typeDomain(t types.Type) domain {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return domUnknown
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "units" {
+		return domUnknown
+	}
+	switch obj.Name() {
+	case "DB":
+		return domDB
+	case "Linear":
+		return domLin
+	case "Hertz":
+		return domHz
+	}
+	return domUnknown
+}
+
+// nameDomain applies the repository naming convention to a float-ish
+// identifier: *DB/*dB are dB-scale, *Lin/*Linear/*noiseVar are
+// linear-scale, *Hz are frequencies.
+func nameDomain(name string, t types.Type) domain {
+	if !floatLike(t) {
+		return domUnknown
+	}
+	switch {
+	case strings.HasSuffix(name, "DB"), strings.HasSuffix(name, "dB"), name == "db":
+		return domDB
+	case strings.HasSuffix(name, "Lin"), strings.HasSuffix(name, "Linear"),
+		strings.HasSuffix(name, "NoiseVar"), strings.HasSuffix(name, "noiseVar"):
+		return domLin
+	case strings.HasSuffix(name, "Hz"):
+		return domHz
+	}
+	return domUnknown
+}
+
+// floatLike reports whether t is a floating-point basic type
+// (including untyped float constants), the only carrier the naming
+// convention speaks about.
+func floatLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// funLabel renders a call target for a diagnostic.
+func funLabel(fun ast.Expr) string {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return fmt.Sprintf("%s.%s", x.Name, f.Sel.Name)
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

@@ -11,13 +11,16 @@ import (
 	"sort"
 
 	"repro/internal/cmplxmat"
+	"repro/internal/units"
 )
 
-// DB converts a linear power ratio to decibels.
-func DB(x float64) float64 { return 10 * math.Log10(x) }
+// DB converts a linear power ratio to decibels. It is
+// units.LinToDB over bare float64s.
+func DB(x float64) float64 { return float64(units.LinToDB(units.Linear(x))) }
 
-// FromDB converts decibels to a linear power ratio.
-func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+// FromDB converts decibels to a linear power ratio. It is
+// units.DB.Lin over bare float64s.
+func FromDB(db float64) float64 { return float64(units.DB(db).Lin()) }
 
 // Kappa2dB returns κ²(H) in decibels, the paper's Figure 9 metric.
 // Higher values indicate worse channel conditioning.

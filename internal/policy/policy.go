@@ -60,6 +60,7 @@ import (
 	"repro/internal/kbest"
 	"repro/internal/linear"
 	"repro/internal/obs"
+	"repro/internal/units"
 )
 
 // Default scheduler calibration. The cuts are in the units the
@@ -101,13 +102,14 @@ type Config struct {
 	// K-best tier (the sphere's explosion tail), and the exact sphere
 	// owns the band between them. ZFKappa2dB must not exceed
 	// KBestKappa2dB.
-	ZFKappa2dB    float64
-	KBestKappa2dB float64
+	ZFKappa2dB    units.DB
+	KBestKappa2dB units.DB
 	// RefSNRdB anchors the cuts on the effective-SNR scale (SNR plus
 	// the constellation's minimum-distance penalty relative to 16-QAM);
 	// SNRSlopeDB shifts both cuts by this many dB of κ̂² per dB of
-	// effective SNR above (or below) the anchor.
-	RefSNRdB   float64
+	// effective SNR above (or below) the anchor — a dB/dB ratio, so it
+	// stays a bare float64.
+	RefSNRdB   units.DB
 	SNRSlopeDB float64
 	// KBestK is the survivor width of the K-best tier.
 	KBestK int
@@ -143,7 +145,7 @@ func (c Config) withDefaults() Config {
 func (c Config) Validate() error {
 	r := c.withDefaults()
 	if r.ZFKappa2dB > r.KBestKappa2dB {
-		return fmt.Errorf("policy: ZF cut %.1f dB above K-best cut %.1f dB", r.ZFKappa2dB, r.KBestKappa2dB)
+		return fmt.Errorf("policy: ZF cut %.1f dB above K-best cut %.1f dB", float64(r.ZFKappa2dB), float64(r.KBestKappa2dB))
 	}
 	if r.KBestK < 1 {
 		return fmt.Errorf("policy: KBestK must be positive, got %d", r.KBestK)
@@ -196,11 +198,11 @@ func (c Counters) Sub(o Counters) Counters {
 // tier choice is a pure function of (channel, SNR, config), so runs
 // are deterministic: same seed, same tier sequence.
 type Detector struct {
-	cons  *constellation.Constellation
-	cfg   Config
-	snrdB float64
+	cons *constellation.Constellation
+	cfg  Config
+	snr  units.DB
 	// Resolved cuts at the operating SNR.
-	zfCutdB, kbCutdB float64
+	zfCut, kbCut units.DB
 
 	geo *core.SphereDecoder
 	kb  *kbest.KBest
@@ -236,7 +238,7 @@ var _ obs.Target = (*Detector)(nil)
 // NewDetector builds an adaptive detector for the given operating SNR.
 // cfg's zero fields resolve to the package defaults; an invalid
 // resolved config is rejected.
-func NewDetector(cons *constellation.Constellation, snrdB float64, cfg Config) (*Detector, error) {
+func NewDetector(cons *constellation.Constellation, snr units.DB, cfg Config) (*Detector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -250,16 +252,16 @@ func NewDetector(cons *constellation.Constellation, snrdB float64, cfg Config) (
 	// defaults were calibrated on (≈ −6 dB per QAM order step). This
 	// makes one (cut, slope) pair track the sphere-cost crossover
 	// across constellation densities.
-	effSNRdB := snrdB + 20*math.Log10(cons.Scale()/constellation.QAM16.Scale())
-	headroom := cfg.SNRSlopeDB * (effSNRdB - cfg.RefSNRdB)
+	effSNR := snr + units.DB(20*math.Log10(cons.Scale()/constellation.QAM16.Scale()))
+	headroom := units.DB(cfg.SNRSlopeDB * float64(effSNR-cfg.RefSNRdB))
 	return &Detector{
-		cons:    cons,
-		cfg:     cfg,
-		snrdB:   snrdB,
-		zfCutdB: cfg.ZFKappa2dB + headroom,
-		kbCutdB: cfg.KBestKappa2dB + headroom,
-		geo:     core.NewGeosphere(cons),
-		kb:      kb,
+		cons:  cons,
+		cfg:   cfg,
+		snr:   snr,
+		zfCut: cfg.ZFKappa2dB + headroom,
+		kbCut: cfg.KBestKappa2dB + headroom,
+		geo:   core.NewGeosphere(cons),
+		kb:    kb,
 	}, nil
 }
 
@@ -326,12 +328,12 @@ func (d *Detector) PrepareShared(pc *core.PreparedChannel, h *cmplxmat.Matrix) (
 	rll2, rinv := pc.DiagTables()
 	d.rinv = rinv
 	d.nc = h.Cols
-	k2dB := pc.Kappa2dB()
+	k2 := units.DB(pc.Kappa2dB())
 	switch {
-	case k2dB <= d.zfCutdB:
+	case k2 <= d.zfCut:
 		d.tier = obs.TierZF
 		d.counters.SchedZF++
-	case k2dB > d.kbCutdB:
+	case k2 > d.kbCut:
 		// Explosion tail: bound the work instead of the error.
 		d.tier = obs.TierKBest
 		d.counters.SchedKBest++

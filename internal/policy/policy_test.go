@@ -9,12 +9,13 @@ import (
 	"repro/internal/constellation"
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/units"
 )
 
 // synth draws a channel with the requested correlation (rho → 1 is
 // poorly conditioned), a uniform symbol vector and a noisy receive
 // vector, all from src.
-func synth(t *testing.T, src *rng.Source, cons *constellation.Constellation, na, nc int, rho, snrdB float64) (*cmplxmat.Matrix, []int, []complex128) {
+func synth(t *testing.T, src *rng.Source, cons *constellation.Constellation, na, nc int, rho float64, snr units.DB) (*cmplxmat.Matrix, []int, []complex128) {
 	t.Helper()
 	h, err := channel.Correlated(src, na, nc, rho, rho)
 	if err != nil {
@@ -27,7 +28,7 @@ func synth(t *testing.T, src *rng.Source, cons *constellation.Constellation, na,
 		x[i] = cons.PointIndex(sent[i])
 	}
 	y := make([]complex128, na)
-	channel.Transmit(y, src, h, x, channel.NoiseVarForSNRdB(snrdB))
+	channel.Transmit(y, src, h, x, float64(channel.NoiseVar(snr)))
 	return h, sent, y
 }
 
@@ -39,7 +40,7 @@ func synth(t *testing.T, src *rng.Source, cons *constellation.Constellation, na,
 // everywhere.
 func TestExactTiersMatchGeosphere(t *testing.T) {
 	cons := constellation.QAM16
-	for _, snr := range []float64{8, 16, 24, 32} {
+	for _, snr := range []units.DB{8, 16, 24, 32} {
 		for _, rho := range []float64{0, 0.5, 0.9, 0.99} {
 			src := rng.New(4217)
 			ad, err := NewDetector(cons, snr, Config{ZFKappa2dB: 10, KBestKappa2dB: 1e3})

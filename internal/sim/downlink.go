@@ -8,6 +8,7 @@ import (
 	"repro/internal/constellation"
 	"repro/internal/precode"
 	"repro/internal/rng"
+	"repro/internal/units"
 )
 
 // DownlinkPrecoding reproduces the §6.3 extension: downlink symbol
@@ -22,11 +23,11 @@ func DownlinkPrecoding(opts Options) (*Table, error) {
 	}
 	type point struct {
 		k   int
-		snr float64
+		snr units.DB
 	}
 	var points []point
 	for _, k := range []int{2, 4} {
-		for _, snr := range []float64{15, 20, 25} {
+		for _, snr := range []units.DB{15, 20, 25} {
 			points = append(points, point{k, snr})
 		}
 	}
@@ -39,7 +40,7 @@ func DownlinkPrecoding(opts Options) (*Table, error) {
 		cons := constellation.QAM16
 		zf := precode.NewZF(cons)
 		vp := precode.NewVP(cons)
-		noiseVar := channel.NoiseVarForSNRdB(p.snr)
+		noiseVar := float64(channel.NoiseVar(p.snr))
 		var zfErrs, vpErrs, total int
 		var zfPow, vpPow float64
 		for v := 0; v < vectors; v++ {

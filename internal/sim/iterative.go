@@ -11,6 +11,7 @@ import (
 	"repro/internal/ofdm"
 	"repro/internal/phy"
 	"repro/internal/rng"
+	"repro/internal/units"
 )
 
 // IterativeReceiver reproduces the §7 future-work receiver end to end:
@@ -34,7 +35,7 @@ func IterativeReceiver(opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	snrs := []float64{10, 11, 12, 13, 14}
+	snrs := []units.DB{10, 11, 12, 13, 14}
 	// The turbo loop re-detects whole frames, so cap the per-point
 	// frame count to keep the experiment's runtime proportionate.
 	frames := 4 * opts.Frames
@@ -45,8 +46,8 @@ func IterativeReceiver(opts Options) (*Table, error) {
 	outer, _ := opts.splitWorkers(len(snrs))
 	if err := parallelFor(outer, len(snrs), func(i int) error {
 		snr := snrs[i]
-		noise := channel.NoiseVarForSNRdB(snr)
-		base := seedFor(opts, fmt.Sprintf("iterative/%g", snr))
+		noise := float64(channel.NoiseVar(snr))
+		base := seedFor(opts, fmt.Sprintf("iterative/%g", float64(snr)))
 		var hardErr, softErr, turboErr int
 		var iters int
 		for fi := 0; fi < frames; fi++ {

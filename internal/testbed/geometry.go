@@ -17,22 +17,29 @@ package testbed
 
 import (
 	"math"
+
+	"repro/internal/units"
 )
 
 // Physical constants of the deployment (§5: 20 MHz channel in the
 // 5 GHz ISM band, AP antennas 3.2λ apart).
 const (
 	// CarrierHz is the carrier frequency.
-	CarrierHz = 5.25e9
+	CarrierHz units.Hertz = carrierHz
+	// carrierHz is CarrierHz as an untyped constant: the phase
+	// formulas in model.go fold it into untyped constant expressions,
+	// and using the raw value there keeps that folding (and hence the
+	// trace bytes) identical to the pre-typed code.
+	carrierHz = 5.25e9
 	// SpeedOfLight in m/s.
 	SpeedOfLight = 2.99792458e8
 	// Wavelength at the carrier.
-	Wavelength = SpeedOfLight / CarrierHz
+	Wavelength = SpeedOfLight / carrierHz
 	// AntennaSpacing between consecutive AP antennas (≈3.2λ ≈ 18 cm,
 	// the paper quotes "about 20 cm").
 	AntennaSpacing = 3.2 * Wavelength
 	// SubcarrierSpacingHz of the 20 MHz OFDM channel.
-	SubcarrierSpacingHz = 312.5e3
+	SubcarrierSpacingHz units.Hertz = 312.5e3
 )
 
 // Point is a 2-D position in metres.
@@ -48,14 +55,14 @@ func (p Point) Dist(q Point) float64 {
 // Wall is a line segment that attenuates rays crossing it.
 type Wall struct {
 	A, B   Point
-	LossDB float64
+	LossDB units.DB
 }
 
 // Reflector is a point scatterer (furniture edge, metal cabinet, wall
 // corner) that contributes one reflected ray per link passing nearby.
 type Reflector struct {
 	Pos    Point
-	LossDB float64 // reflection loss relative to free space
+	LossDB units.DB // reflection loss relative to free space
 }
 
 // AP is a multi-antenna access point with a uniform linear array.
@@ -108,8 +115,8 @@ func segmentsIntersect(p1, p2, p3, p4 Point) bool {
 
 // WallLossDB sums the attenuation of all walls crossed by the straight
 // ray from a to b.
-func (p *Plan) WallLossDB(a, b Point) float64 {
-	var loss float64
+func (p *Plan) WallLossDB(a, b Point) units.DB {
+	var loss units.DB
 	for _, w := range p.Walls {
 		if segmentsIntersect(a, b, w.A, w.B) {
 			loss += w.LossDB
@@ -141,7 +148,7 @@ func OfficePlan() *Plan {
 	wall(10, 9, 10, 16) // north room dividers
 	wall(20, 9, 20, 16)
 
-	refl := func(x, y, loss float64) {
+	refl := func(x, y float64, loss units.DB) {
 		p.Reflectors = append(p.Reflectors, Reflector{Pos: Point{x, y}, LossDB: loss})
 	}
 	// Room-local scatterers: desks, cabinets, window frames. Each room
@@ -153,7 +160,7 @@ func OfficePlan() *Plan {
 	offsets := []Point{{-3.2, -2.1}, {3.1, -1.7}, {-2.7, 2.3}, {2.9, 2.0}, {0.4, -3.0}, {-1.1, 2.8}}
 	for ri, anchor := range roomAnchors {
 		for oi, off := range offsets {
-			refl(anchor.X+off.X*0.9, anchor.Y+off.Y*0.9, 6+float64((ri+oi)%3)*2)
+			refl(anchor.X+off.X*0.9, anchor.Y+off.Y*0.9, 6+units.DB((ri+oi)%3)*2)
 		}
 	}
 	// Corridor scatterers: metal door frames and pillars.

@@ -6,16 +6,17 @@ import (
 
 	"repro/internal/cmplxmat"
 	"repro/internal/rng"
+	"repro/internal/units"
 )
 
 // ray is one propagation path from a client to the AP: either LoS or a
 // single-bounce reflection. The receiving antenna's exact position
 // enters later, so a ray stores the last hop's origin.
 type ray struct {
-	origin   Point   // last point before the AP (client or reflector)
-	preDist  float64 // distance already travelled before origin
-	ampDB    float64 // total loss in dB excluding free-space spreading
-	phaseOff float64 // per-realization random phase (people moving)
+	origin   Point    // last point before the AP (client or reflector)
+	preDist  float64  // distance already travelled before origin
+	ampDB    units.DB // total loss excluding free-space spreading
+	phaseOff float64  // per-realization random phase (people moving)
 }
 
 // Model synthesizes per-subcarrier MIMO channel matrices for client
@@ -28,7 +29,7 @@ type Model struct {
 	MaxReflectorDist float64
 	// LoSLossDB de-emphasizes or emphasizes the direct path; 0 keeps
 	// pure free-space LoS.
-	LoSLossDB float64
+	LoSLossDB units.DB
 	// Subcarriers is the number of data subcarriers (48 for 20 MHz).
 	Subcarriers int
 }
@@ -47,12 +48,12 @@ func NewModel(plan *Plan) *Model {
 // subcarrierFreq returns the baseband frequency offset of data
 // subcarrier index i (0..Subcarriers−1) using the 802.11 layout
 // (signed indices −26..26 without DC and pilots).
-func subcarrierFreq(i, n int) float64 {
+func subcarrierFreq(i, n int) units.Hertz {
 	// Spread the n data subcarriers over ±26 spacing slots like the
 	// ofdm package does; the exact pilot gaps are immaterial to the
 	// channel statistics, so use an even spread.
 	k := float64(i) - float64(n-1)/2
-	return k * SubcarrierSpacingHz * 52.0 / float64(n)
+	return units.Hertz(k) * SubcarrierSpacingHz * 52.0 / units.Hertz(n)
 }
 
 // clientRays builds the ray set for one client towards one AP. Phases
@@ -111,17 +112,20 @@ func (m *Model) Realize(src *rng.Source, ap AP, clients []Point) ([]*cmplxmat.Ma
 			col[s] = make([]complex128, na)
 		}
 		for _, r := range rays {
-			amp := math.Pow(10, r.ampDB/20)
+			amp := r.ampDB.AmpLin()
 			for a := 0; a < na; a++ {
 				dist := r.preDist + r.origin.Dist(ap.AntennaPos(a))
 				// Free-space spreading over the full path length,
 				// referenced to 1 m.
 				g := amp / math.Max(dist, 1)
 				tau := dist / SpeedOfLight
-				carrier := -2*math.Pi*CarrierHz*tau + r.phaseOff
+				// carrierHz (the untyped twin of CarrierHz) keeps the
+				// constant folding — and the trace bytes — identical to
+				// the pre-typed formula.
+				carrier := -2*math.Pi*carrierHz*tau + r.phaseOff
 				for s := 0; s < nsc; s++ {
 					f := subcarrierFreq(s, nsc)
-					ph := carrier - 2*math.Pi*f*tau
+					ph := carrier - 2*math.Pi*float64(f)*tau
 					col[s][a] += complex(g*math.Cos(ph), g*math.Sin(ph))
 				}
 			}

@@ -1,0 +1,48 @@
+// Package units defines typed physical quantities for the dB/linear/
+// frequency arithmetic the measurement pipeline rests on, so the
+// compiler (and the geolint "units" analyzer) can see which domain a
+// number lives in.
+//
+// Conventions, matching internal/channel and the paper (§5):
+//
+//   - DB holds power ratios in decibels: SNRdB, κ²(H) in dB, the
+//     per-stream degradation Λ, wall/reflection losses. 10·log10.
+//   - Linear holds the same ratios in linear power: noise variances
+//     σ², κ², λ_k. A per-stream SNR of s dB is a noise variance of
+//     σ² = 10^(−s/10), i.e. (-s).Lin().
+//   - Hertz holds frequencies: carrier, subcarrier spacing, Doppler.
+//
+// Amplitude (voltage-level) quantities use 20·log10; DB.AmpLin is the
+// dB→linear-amplitude conversion for those, returning a bare float64
+// because amplitudes immediately enter complex phasor arithmetic.
+//
+// Every converter is a thin, inlinable wrapper over the exact same
+// float64 expression the untyped code used, so adopting the types is
+// bit-identical: Go defined types carry no representation change, and
+// the formulas are not reassociated.
+package units
+
+import "math"
+
+// DB is a power ratio in decibels (10·log10 of the linear ratio).
+type DB float64
+
+// Linear is a dimensionless linear power ratio (noise variance σ²,
+// condition number κ², SNR as a plain ratio).
+type Linear float64
+
+// Hertz is a frequency in hertz.
+type Hertz float64
+
+// Lin converts a power ratio from decibels to linear:
+// 10^(d/10).
+func (d DB) Lin() Linear { return Linear(math.Pow(10, float64(d)/10)) }
+
+// AmpLin converts an amplitude (voltage-level, 20·log10) quantity from
+// decibels to its linear amplitude: 10^(d/20). The result is a bare
+// float64 because linear amplitudes feed straight into complex phasor
+// arithmetic rather than power bookkeeping.
+func (d DB) AmpLin() float64 { return math.Pow(10, float64(d)/20) }
+
+// LinToDB converts a linear power ratio to decibels: 10·log10(l).
+func LinToDB(l Linear) DB { return DB(10 * math.Log10(float64(l))) }

@@ -1,0 +1,46 @@
+package units_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// The whole point of the package is that adopting the types changes no
+// bits: every converter must equal the exact float64 expression the
+// untyped code used, including through the unary negations the
+// SNR→noise-variance path takes.
+func TestBitIdentity(t *testing.T) {
+	samples := []float64{-40, -12.5, -3, -0.1, 0, 0.1, 1, 3.0103, 10, 14, 25.25, 40, 93.7}
+	for _, s := range samples {
+		if got, want := float64(units.DB(s).Lin()), math.Pow(10, s/10); got != want {
+			t.Errorf("DB(%g).Lin() = %g, want %g", s, got, want)
+		}
+		// σ² = 10^(−SNRdB/10): negation must be exact through the type.
+		if got, want := float64((-units.DB(s)).Lin()), math.Pow(10, -s/10); got != want {
+			t.Errorf("(-DB(%g)).Lin() = %g, want %g", s, got, want)
+		}
+		if got, want := units.DB(s).AmpLin(), math.Pow(10, s/20); got != want {
+			t.Errorf("DB(%g).AmpLin() = %g, want %g", s, got, want)
+		}
+	}
+	for _, l := range []float64{1e-9, 1e-4, 0.5, 1, 2, 10, 1234.5, 1e9} {
+		if got, want := float64(units.LinToDB(units.Linear(l))), 10*math.Log10(l); got != want {
+			t.Errorf("LinToDB(%g) = %g, want %g", l, got, want)
+		}
+		// SNRdB = −10·log10(σ²): (-10)*x and -(10*x) are the same bits.
+		if got, want := float64(-units.LinToDB(units.Linear(l))), -10*math.Log10(l); got != want {
+			t.Errorf("-LinToDB(%g) = %g, want %g", l, got, want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, s := range []float64{-20, 0, 3, 10, 30} {
+		back := float64(units.LinToDB(units.DB(s).Lin()))
+		if math.Abs(back-s) > 1e-12 {
+			t.Errorf("round trip of %g dB came back as %g", s, back)
+		}
+	}
+}

@@ -28,7 +28,7 @@ type ReceiverOptions struct {
 	// NumSymbols is the OFDM symbols per frame (4 µs each).
 	NumSymbols int
 	// SNRdB is the average per-stream SNR.
-	SNRdB float64
+	SNRdB DB
 	// Seed fixes the session's determinism root: frame i's randomness
 	// is the substream (Seed, i) regardless of submission order,
 	// worker count or queue depth.
@@ -40,7 +40,7 @@ type ReceiverOptions struct {
 	Detector DetectorFactory
 	// SNRJitterDB spreads per-client power over ±dB around SNRdB per
 	// frame (the §5.2 "SNR range" user-selection methodology).
-	SNRJitterDB float64
+	SNRJitterDB DB
 	// EstimatedCSI switches the receiver to noisy preamble-based
 	// channel estimates, charging the preamble's air time in
 	// Aggregate's throughput accounting.
@@ -317,7 +317,7 @@ loop:
 // with Err set contribute nothing.
 func (r *Receiver) Aggregate(outs []FrameOutcome) UplinkResult {
 	cfg := r.opts.runConfig()
-	noiseVar := NoiseVarForSNRdB(r.opts.SNRdB)
+	noiseVar := float64(NoiseVar(r.opts.SNRdB))
 	var m UplinkResult
 	m.Detector = r.opts.uplinkOptions().factory()(cfg.Cons, noiseVar).Name()
 	m.Constellation = cfg.Cons.Name()

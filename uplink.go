@@ -67,7 +67,7 @@ type UplinkOptions struct {
 	// Frames is the number of frames to measure.
 	Frames int
 	// SNRdB is the average per-stream SNR.
-	SNRdB float64
+	SNRdB DB
 	// Seed makes the measurement deterministic.
 	Seed int64
 	// NA and NC are the AP antenna and client counts.
@@ -76,7 +76,7 @@ type UplinkOptions struct {
 	Detector DetectorFactory
 	// SNRJitterDB spreads per-client power over ±dB around SNRdB per
 	// frame (the §5.2 "SNR range" user-selection methodology).
-	SNRJitterDB float64
+	SNRJitterDB DB
 	// EstimatedCSI switches the receiver to noisy preamble-based
 	// channel estimates, charging the preamble's air time.
 	EstimatedCSI bool
@@ -135,9 +135,9 @@ func (o UplinkOptions) runConfig() link.RunConfig {
 		Rate:         fec.Rate12,
 		NumSymbols:   o.NumSymbols,
 		Frames:       o.Frames,
-		SNRdB:        o.SNRdB,
+		SNRdB:        float64(o.SNRdB),
 		Seed:         o.Seed,
-		SNRJitterDB:  o.SNRJitterDB,
+		SNRJitterDB:  float64(o.SNRJitterDB),
 		EstimatedCSI: o.EstimatedCSI,
 		Workers:      o.Workers,
 		QueueDepth:   o.QueueDepth,
