@@ -1,6 +1,7 @@
 package geosphere
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/ofdm"
 	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -413,6 +415,23 @@ type benchReport struct {
 		SpeedupVsSphere float64 `json:"speedup_vs_sphere"`
 		PERDelta        float64 `json:"per_delta"`
 	} `json:"adaptive"`
+	Serve *struct {
+		Records []struct {
+			Config struct {
+				NA         int     `json:"na"`
+				NC         int     `json:"nc"`
+				NumSymbols int     `json:"num_symbols"`
+				SNRdB      float64 `json:"snr_db"`
+				Seed       int64   `json:"seed"`
+				Shards     int     `json:"shards"`
+				QueueDepth int     `json:"queue_depth"`
+				BatchMax   int     `json:"batch_max"`
+			} `json:"config"`
+			Report struct {
+				FramesPerSec float64 `json:"frames_per_sec"`
+			} `json:"report"`
+		} `json:"records"`
+	} `json:"serve"`
 }
 
 // readBenchReport parses BENCH_geosphere.json, skipping the test when
@@ -545,6 +564,66 @@ func TestBenchRegressionGuard(t *testing.T) {
 				t.Logf("%s: %.0f ns/frame vs %.0f recorded (limit %.0f)", tc.scenario, got, rec, limit)
 			}
 		})
+	}
+}
+
+// TestBenchServeRegressionGuard re-measures the resident serving
+// layer's throughput against the last recorded `make serve-bench` run:
+// a scaled-down in-process load (same service shape, fewer users) must
+// reach at least half the recorded frames/sec. The micro-batching
+// ingest makes the scaled run compute-bound rather than queue-bound,
+// so halving the recorded rate leaves generous headroom for shared
+// machines while still catching an order-of-magnitude ingest
+// regression.
+func TestBenchServeRegressionGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock regression guard skipped in -short mode")
+	}
+	rep := readBenchReport(t)
+	if rep.Serve == nil || len(rep.Serve.Records) == 0 {
+		t.Skip("no recorded serve run; regenerate with `make serve-bench`")
+	}
+	last := rep.Serve.Records[len(rep.Serve.Records)-1]
+	if last.Report.FramesPerSec <= 0 {
+		t.Fatal("recorded serve run has no throughput")
+	}
+	run := func() float64 {
+		srv, err := serve.New(serve.Config{
+			Cons:       QAM16,
+			NA:         last.Config.NA,
+			NC:         last.Config.NC,
+			NumSymbols: last.Config.NumSymbols,
+			SNRdB:      last.Config.SNRdB,
+			Seed:       last.Config.Seed,
+			Shards:     last.Config.Shards,
+			QueueDepth: last.Config.QueueDepth,
+			BatchMax:   last.Config.BatchMax,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		lrep := serve.RunLoad(context.Background(), srv, serve.LoadConfig{
+			Users:         512,
+			FramesPerUser: 3,
+			Seed:          last.Config.Seed,
+		})
+		if lrep.FramesServed == 0 {
+			t.Fatal("scaled serve run served nothing")
+		}
+		return lrep.FramesPerSec
+	}
+	best := run()
+	for i := 0; i < 2; i++ {
+		if fps := run(); fps > best {
+			best = fps
+		}
+	}
+	if floor := last.Report.FramesPerSec / 2; best < floor {
+		t.Errorf("serve: %.0f frames/sec (best of 3) is below half the recorded %.0f",
+			best, last.Report.FramesPerSec)
+	} else {
+		t.Logf("serve: %.0f frames/sec vs %.0f recorded", best, last.Report.FramesPerSec)
 	}
 }
 

@@ -55,7 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Int64("seed", 2014, "determinism root seed")
 		shards    = fs.Int("shards", 8, "pipeline shards")
 		queue     = fs.Int("queue", 64, "per-shard frame queue depth")
-		maxGroups = fs.Int("max-groups", 512, "resident user groups per shard (LRU beyond)")
+		batchMax  = fs.Int("batch", 16, "frames a shard drains and serves per wakeup")
+		maxGroups = fs.Int("max-groups", 0, "resident user groups per shard (0 = footprint-sized default; second-chance eviction beyond)")
 		kbestK    = fs.Int("kbest", 4, "K of the K-best degradation tier")
 		kbestLoad = fs.Float64("kbest-load", 0.5, "queue occupancy above which frames degrade to K-best")
 		zfLoad    = fs.Float64("zf-load", 0.85, "queue occupancy above which frames degrade to ZF")
@@ -82,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:       *seed,
 		Shards:     *shards,
 		QueueDepth: *queue,
+		BatchMax:   *batchMax,
 		MaxGroups:  *maxGroups,
 		KBestK:     *kbestK,
 		KBestLoad:  *kbestLoad,

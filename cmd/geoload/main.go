@@ -1,12 +1,14 @@
 // Command geoload is the load harness for the geocell serving
 // pipeline: it builds an in-process serve.Server, hammers it with
 // -users concurrent simulated user groups (each submitting -frames
-// frames with bounded retry on admission rejects), prints the
-// resulting report, and records it under the "serve" key of
+// frames, closed-loop with jittered exponential retry backoff by
+// default, or open-loop at a fixed -rate of offered frames/sec),
+// prints the resulting report, and records it under the "serve" key of
 // BENCH_geosphere.json — alongside, and without disturbing, the
 // batch-pipeline results that cmd/geobench maintains there.
 //
 //	go run ./cmd/geoload -users 10000 -frames 3 -o BENCH_geosphere.json
+//	go run ./cmd/geoload -users 1000 -frames 10 -rate 5000   # open loop
 package main
 
 import (
@@ -49,6 +51,7 @@ type serveConfigStamp struct {
 	Seed          int64   `json:"seed"`
 	Shards        int     `json:"shards"`
 	QueueDepth    int     `json:"queue_depth"`
+	BatchMax      int     `json:"batch_max"`
 	KBestLoad     float64 `json:"kbest_load"`
 	ZFLoad        float64 `json:"zf_load"`
 }
@@ -68,24 +71,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("geoload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		users     = fs.Int("users", 10000, "concurrent simulated user groups")
-		frames    = fs.Int("frames", 3, "frames per user")
-		retries   = fs.Int("retries", 3, "retries per frame after an admission reject")
-		backoff   = fs.Duration("backoff", 200*time.Microsecond, "wait between admission retries")
-		out       = fs.String("o", "", "bench file to update under the \"serve\" key (e.g. BENCH_geosphere.json); empty = print only")
-		label     = fs.String("label", "", "optional record label (e.g. CI run id)")
-		bits      = fs.Int("bits", 4, "constellation bits per symbol (2, 4, 6, 8)")
-		na        = fs.Int("na", 4, "AP antennas")
-		nc        = fs.Int("nc", 2, "clients per user group")
-		symbols   = fs.Int("symbols", 8, "OFDM symbols per frame")
-		snr       = fs.Float64("snr", 25, "per-stream SNR in dB")
-		seed      = fs.Int64("seed", 2014, "determinism root seed")
-		shards    = fs.Int("shards", 8, "pipeline shards")
-		queue     = fs.Int("queue", 64, "per-shard frame queue depth")
-		maxGroups = fs.Int("max-groups", 512, "resident user groups per shard (LRU beyond)")
-		kbestK    = fs.Int("kbest", 4, "K of the K-best degradation tier")
-		kbestLoad = fs.Float64("kbest-load", 0.5, "queue occupancy above which frames degrade to K-best")
-		zfLoad    = fs.Float64("zf-load", 0.85, "queue occupancy above which frames degrade to ZF")
+		users      = fs.Int("users", 10000, "concurrent simulated user groups")
+		frames     = fs.Int("frames", 3, "frames per user")
+		retries    = fs.Int("retries", 3, "retries per frame after an admission reject (closed loop)")
+		backoff    = fs.Duration("backoff", 200*time.Microsecond, "base retry backoff; doubles per attempt with jitter")
+		backoffMax = fs.Duration("backoff-max", 100*time.Millisecond, "cap on the exponential retry backoff")
+		rate       = fs.Float64("rate", 0, "open-loop offered load in frames/sec across all users (0 = closed loop)")
+		out        = fs.String("o", "", "bench file to update under the \"serve\" key (e.g. BENCH_geosphere.json); empty = print only")
+		label      = fs.String("label", "", "optional record label (e.g. CI run id)")
+		bits       = fs.Int("bits", 4, "constellation bits per symbol (2, 4, 6, 8)")
+		na         = fs.Int("na", 4, "AP antennas")
+		nc         = fs.Int("nc", 2, "clients per user group")
+		symbols    = fs.Int("symbols", 8, "OFDM symbols per frame")
+		snr        = fs.Float64("snr", 25, "per-stream SNR in dB")
+		seed       = fs.Int64("seed", 2014, "determinism root seed")
+		shards     = fs.Int("shards", 8, "pipeline shards")
+		queue      = fs.Int("queue", 64, "per-shard frame queue depth")
+		batchMax   = fs.Int("batch", 16, "frames a shard drains and serves per wakeup")
+		maxGroups  = fs.Int("max-groups", 0, "resident user groups per shard (0 = footprint-sized default; second-chance eviction beyond)")
+		kbestK     = fs.Int("kbest", 4, "K of the K-best degradation tier")
+		kbestLoad  = fs.Float64("kbest-load", 0.5, "queue occupancy above which frames degrade to K-best")
+		zfLoad     = fs.Float64("zf-load", 0.85, "queue occupancy above which frames degrade to ZF")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:       *seed,
 		Shards:     *shards,
 		QueueDepth: *queue,
+		BatchMax:   *batchMax,
 		MaxGroups:  *maxGroups,
 		KBestK:     *kbestK,
 		KBestLoad:  *kbestLoad,
@@ -116,13 +123,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	fmt.Fprintf(stderr, "geoload: %d users x %d frames on %d shards (queue %d)...\n",
-		*users, *frames, *shards, *queue)
+	fmt.Fprintf(stderr, "geoload: %d users x %d frames on %d shards (queue %d, batch %d)...\n",
+		*users, *frames, *shards, *queue, *batchMax)
 	rep := serve.RunLoad(context.Background(), srv, serve.LoadConfig{
 		Users:         *users,
 		FramesPerUser: *frames,
 		Retries:       *retries,
 		Backoff:       *backoff,
+		BackoffMax:    *backoffMax,
+		ArrivalRate:   *rate,
+		Seed:          *seed,
 	})
 	srv.Close()
 
@@ -147,6 +157,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Seed:          *seed,
 			Shards:        *shards,
 			QueueDepth:    *queue,
+			BatchMax:      *batchMax,
 			KBestLoad:     *kbestLoad,
 			ZFLoad:        *zfLoad,
 		},

@@ -19,7 +19,7 @@ func TestLoadRecordsPreserveBenchFile(t *testing.T) {
 
 	args := []string{
 		"-users", "4", "-frames", "1", "-shards", "2", "-queue", "8",
-		"-symbols", "2", "-bits", "2", "-label", "test", "-o", path,
+		"-batch", "4", "-symbols", "2", "-bits", "2", "-label", "test", "-o", path,
 	}
 	var stdout, stderr bytes.Buffer
 	if code := run(args, &stdout, &stderr); code != 0 {
@@ -53,6 +53,12 @@ func TestLoadRecordsPreserveBenchFile(t *testing.T) {
 	rec := doc.Serve.Records[0]
 	if rec.Label != "test" || rec.Config.Shards != 2 || rec.Report.Users != 4 {
 		t.Fatalf("record mangled: %+v", rec)
+	}
+	if rec.Config.BatchMax != 4 {
+		t.Fatalf("batch_max not stamped: %+v", rec.Config)
+	}
+	if rec.Report.FramesOffered != 4 {
+		t.Fatalf("offered load not reported: %+v", rec.Report)
 	}
 
 	// A second run appends rather than replacing.

@@ -61,6 +61,14 @@ type PreparedChannel struct {
 
 	energy []float64 // column-energy scratch for the ordering pass
 
+	// Zero-forcing filter side-cache: zfw is the cached pseudo-inverse
+	// of zfcopy. It lives beside the QR derivations rather than in the
+	// mode machinery, so a group alternating between a sphere tier and
+	// the ZF tier — the serving layer's degradation ladder does exactly
+	// that — thrashes neither cache.
+	zfw    *cmplxmat.Matrix
+	zfcopy *cmplxmat.Matrix
+
 	// Incremental re-preparation (opt-in via SetIncremental): a miss
 	// whose cached channel has the same shape and mode and has only
 	// drifted slightly is absorbed by per-column rank-1 QR updates
@@ -414,6 +422,51 @@ func (pc *PreparedChannel) prepare(h *cmplxmat.Matrix, mode prepMode) (bool, err
 		return false, nil
 	}
 	return false, pc.fill(h, mode)
+}
+
+// PrepareQR revalidates-or-fills the cache with the plain thin QR of h
+// and reports whether the cached derivation was reused. It is the
+// exported entry for detectors outside this package (K-best) that
+// implement SharedPreparer against the same plain-QR derivation the
+// unordered sphere decoders cache — sharing it means a group whose
+// frames alternate between those tiers never pays a second
+// factorization.
+//
+//geolint:noalloc
+func (pc *PreparedChannel) PrepareQR(h *cmplxmat.Matrix) (bool, error) {
+	return pc.prepare(h, prepModeQR)
+}
+
+// PrepareZF returns the zero-forcing (pseudo-inverse) filter of h,
+// served from the side-cache when h matches the filter's source copy
+// exactly and rederived — bitwise h.PseudoInverse() — otherwise. The
+// returned matrix is cache-owned and read-only. hit reports reuse.
+func (pc *PreparedChannel) PrepareZF(h *cmplxmat.Matrix) (w *cmplxmat.Matrix, hit bool, err error) {
+	if h == nil {
+		return nil, false, ErrNotPrepared
+	}
+	if pc.zfw != nil && pc.zfcopy.Rows == h.Rows && pc.zfcopy.Cols == h.Cols {
+		same := true
+		for i, v := range pc.zfcopy.Data {
+			if v != h.Data[i] { //geolint:float-ok exact cache-identity test: a hit must guarantee the bitwise-identical filter, so only exact equality qualifies
+				same = false
+				break
+			}
+		}
+		if same {
+			return pc.zfw, true, nil
+		}
+	}
+	w, err = h.PseudoInverse()
+	if err != nil {
+		return nil, false, err
+	}
+	if pc.zfcopy == nil || pc.zfcopy.Rows != h.Rows || pc.zfcopy.Cols != h.Cols {
+		pc.zfcopy = cmplxmat.New(h.Rows, h.Cols)
+	}
+	copy(pc.zfcopy.Data, h.Data)
+	pc.zfw = w
+	return w, false, nil
 }
 
 // fingerprint hashes a matrix's float bits with FNV-1a.

@@ -47,11 +47,16 @@ func init() {
 // code, appending K−1 zero tail bits to terminate the trellis. The
 // output has 2·(len(bits)+6) coded bits.
 func ConvEncode(bits []byte) []byte {
-	out := make([]byte, 0, 2*(len(bits)+ConstraintLength-1))
+	return ConvEncodeAppend(make([]byte, 0, 2*(len(bits)+ConstraintLength-1)), bits)
+}
+
+// ConvEncodeAppend is ConvEncode appending onto caller-owned dst, so
+// encode loops reuse one buffer across codewords. It returns dst.
+func ConvEncodeAppend(dst []byte, bits []byte) []byte {
 	state := 0
 	encode := func(b byte) {
 		o := outputs[state][b&1]
-		out = append(out, o>>1, o&1)
+		dst = append(dst, o>>1, o&1)
 		state = state>>1 | int(b&1)<<(ConstraintLength-2)
 	}
 	for _, b := range bits {
@@ -60,7 +65,7 @@ func ConvEncode(bits []byte) []byte {
 	for i := 0; i < ConstraintLength-1; i++ {
 		encode(0)
 	}
-	return out
+	return dst
 }
 
 // ViterbiDecode performs hard-decision maximum-likelihood decoding of
@@ -111,7 +116,8 @@ type ViterbiWorkspace struct {
 	next      []float64
 	imetrics  []int32 // integer twin of metrics for the hard-input path
 	inext     []int32
-	survivors []int16 // steps×numStates packed predecessor decisions
+	survivors []int16  // steps×numStates packed predecessor decisions (float path)
+	survWords []uint64 // one decision bit per state per step (integer path)
 	bits      []byte
 }
 
@@ -258,6 +264,14 @@ func (w *ViterbiWorkspace) DecodeHardMetric(vals []int8) ([]byte, float64, error
 // which is the same argument run itself makes for skipping explicit
 // reachability tracking.
 //
+// Survivors are stored as one decision bit per next state packed into
+// a single uint64 per trellis step (bit ns set ⇔ the odd predecessor
+// won), not the float path's int16-per-state array: the butterfly
+// structure makes predecessor and input recoverable from the next
+// state id alone (prev = 2·(ns mod 32) + bit, input = ns div 32), so
+// the bit is all the traceback needs — and the ACS loop's survivor
+// traffic drops from 128 bytes per step to one word.
+//
 //geolint:noalloc
 func (w *ViterbiWorkspace) runInt(vals []int8) ([]byte, error) {
 	steps := len(vals) / 2
@@ -269,19 +283,19 @@ func (w *ViterbiWorkspace) runInt(vals []int8) ([]byte, error) {
 		w.imetrics = make([]int32, numStates) //geolint:alloc-ok first use only
 		w.inext = make([]int32, numStates)    //geolint:alloc-ok first use only
 	}
-	metrics := w.imetrics[:numStates]
-	next := w.inext[:numStates]
-	if cap(w.survivors) < steps*numStates {
-		w.survivors = make([]int16, steps*numStates) //geolint:alloc-ok first use or longer codeword only
+	// Fixed-size array views let the compiler prove every state index
+	// in the butterfly loop (2k+1 ≤ 63) and drop its bounds checks.
+	metrics := (*[numStates]int32)(w.imetrics[:numStates])
+	next := (*[numStates]int32)(w.inext[:numStates])
+	if cap(w.survWords) < steps {
+		w.survWords = make([]uint64, steps) //geolint:alloc-ok first use or longer codeword only
 	}
-	survivors := w.survivors[:steps*numStates]
+	survWords := w.survWords[:steps]
 	for s := range metrics {
 		metrics[s] = deadMetric
 	}
 	metrics[0] = 0
 	for t := 0; t < steps; t++ {
-		surv := survivors[t*numStates : (t+1)*numStates]
-		_ = surv[numStates-1]
 		l0, l1 := int32(vals[2*t]), int32(vals[2*t+1])
 		// Branch metrics for the four output pairs, indexed by the
 		// packed outputs byte: bm[o] = ±l0 ± l1.
@@ -290,36 +304,53 @@ func (w *ViterbiWorkspace) runInt(vals []int8) ([]byte, error) {
 		bm[1] = -l0 + l1
 		bm[2] = l0 - l1
 		bm[3] = l0 + l1
+		var word uint64
 		for k := 0; k < numStates/2; k++ {
 			s0 := 2 * k
 			m0, m1 := metrics[s0], metrics[s0+1]
-			c0 := bm[outputs[s0][0]]
-			c1 := bm[outputs[s0+1][0]]
+			// Both generators have their low tap set (bit 0 of 133 and
+			// 171 octal), so flipping a predecessor's LSB flips both
+			// coded bits: the odd predecessor's branch metric is exactly
+			// −c0, one table lookup per butterfly.
+			c0 := bm[outputs[s0][0]&3]
 			// Input 0 → next state k. The selects below are
-			// branch-free (CMOV), which matters: the compare direction
-			// is data-dependent and essentially random.
-			a0, a1 := m0+c0, m1+c1
-			m, d := a0, int16(s0<<1)
+			// branch-free (SETcc/CMOV), which matters: the compare
+			// direction is data-dependent and essentially random.
+			a0, a1 := m0+c0, m1-c0
+			sel := uint64(0)
 			if a1 > a0 {
-				m, d = a1, int16((s0+1)<<1)
+				sel = 1
+			}
+			m := a0
+			if a1 > a0 {
+				m = a1
 			}
 			next[k] = m
-			surv[k] = d
-			// Input 1 → next state k+numStates/2. Both generators have
-			// the input tap set (bit K−1 of 133 and 171 octal), so
-			// flipping the input flips both coded bits and the branch
-			// metric exactly negates — no second table lookup.
-			b0, b1 := m0-c0, m1-c1
-			m, d = b0, int16(s0<<1|1)
+			word |= sel << uint(k)
+			// Input 1 → next state k+numStates/2. Both generators also
+			// have the input tap set (bit K−1), so flipping the input
+			// flips both coded bits and the branch metric negates again
+			// — still the same single lookup.
+			b0, b1 := m0-c0, m1+c0
+			sel = 0
 			if b1 > b0 {
-				m, d = b1, int16((s0+1)<<1|1)
+				sel = 1
+			}
+			m = b0
+			if b1 > b0 {
+				m = b1
 			}
 			next[k+numStates/2] = m
-			surv[k+numStates/2] = d
+			word |= sel << uint(k+numStates/2)
 		}
+		survWords[t] = word
 		metrics, next = next, metrics
 	}
-	w.imetrics, w.inext = metrics, next
+	// An odd number of swaps leaves the freshest metrics in w.inext;
+	// realign the fields so callers read the right buffer.
+	if &w.imetrics[0] != &metrics[0] {
+		w.imetrics, w.inext = w.inext, w.imetrics
+	}
 	if cap(w.bits) < steps {
 		w.bits = make([]byte, steps) //geolint:alloc-ok first use or longer codeword only
 	}
@@ -333,9 +364,9 @@ func (w *ViterbiWorkspace) runInt(vals []int8) ([]byte, error) {
 		return nil, fmt.Errorf("fec: trellis did not terminate in the zero state")
 	}
 	for t := steps - 1; t >= 0; t-- {
-		dec := survivors[t*numStates+state]
-		bits[t] = byte(dec & 1)
-		state = int(dec >> 1)
+		sel := int(survWords[t]>>uint(state)) & 1
+		bits[t] = byte(state >> (ConstraintLength - 2))
+		state = (state&(numStates/2-1))<<1 | sel
 	}
 	return bits, nil
 }
@@ -393,17 +424,26 @@ func (r Rate) puncturePattern() []bool {
 
 // Puncture removes coded bits per the rate's pattern.
 func Puncture(coded []byte, r Rate) []byte {
-	pat := r.puncturePattern()
-	if pat == nil {
+	if r.puncturePattern() == nil {
 		return coded
 	}
-	out := make([]byte, 0, len(coded))
+	return PunctureAppend(make([]byte, 0, len(coded)), coded, r)
+}
+
+// PunctureAppend is Puncture appending onto caller-owned dst (the
+// unpunctured rate appends a plain copy rather than aliasing coded,
+// so dst is always safe to mutate). It returns dst.
+func PunctureAppend(dst, coded []byte, r Rate) []byte {
+	pat := r.puncturePattern()
+	if pat == nil {
+		return append(dst, coded...)
+	}
 	for i, b := range coded {
 		if pat[i%len(pat)] {
-			out = append(out, b)
+			dst = append(dst, b)
 		}
 	}
-	return out
+	return dst
 }
 
 // Depuncture re-inserts erasures (LLR 0) at punctured positions so the

@@ -119,13 +119,19 @@ func CRC32(bits []byte) uint32 {
 
 // AppendCRC appends the 32 CRC bits (MSB first) to bits.
 func AppendCRC(bits []byte) []byte {
+	return AppendCRCTo(make([]byte, 0, len(bits)+32), bits)
+}
+
+// AppendCRCTo appends bits followed by their 32 CRC bits (MSB first)
+// onto caller-owned dst, so encode loops reuse one info buffer across
+// blocks. It returns dst.
+func AppendCRCTo(dst, bits []byte) []byte {
 	c := CRC32(bits)
-	out := make([]byte, len(bits), len(bits)+32)
-	copy(out, bits)
+	dst = append(dst, bits...)
 	for i := 31; i >= 0; i-- {
-		out = append(out, byte(c>>uint(i))&1)
+		dst = append(dst, byte(c>>uint(i))&1)
 	}
-	return out
+	return dst
 }
 
 // CheckCRC verifies and strips a trailing 32-bit CRC, returning the

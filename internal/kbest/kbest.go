@@ -128,6 +128,37 @@ func (d *KBest) Prepare(h *cmplxmat.Matrix) error {
 	return nil
 }
 
+var _ core.SharedPreparer = (*KBest)(nil)
+
+// PrepareShared implements core.SharedPreparer: the K-best search runs
+// on the pool's cached plain thin QR of h — the same derivation the
+// unordered sphere decoders cache, and bitwise the factorization
+// Prepare would compute itself (QRDecomposeInto is deterministic on
+// identical input bits) — so decisions are identical to Prepare's and
+// a group whose frames alternate between the sphere and K-best tiers
+// never pays a second factorization.
+//
+//geolint:noalloc
+func (d *KBest) PrepareShared(pc *core.PreparedChannel, h *cmplxmat.Matrix) (bool, error) {
+	if h == nil {
+		return false, core.ErrNotPrepared
+	}
+	if h.Rows < h.Cols {
+		//geolint:alloc-ok error path
+		return false, fmt.Errorf("kbest: need na ≥ nc, got %d×%d channel", h.Rows, h.Cols)
+	}
+	hit, err := pc.PrepareQR(h)
+	if err != nil {
+		return false, err
+	}
+	d.h = h
+	d.qr = pc.QRFactors()
+	d.perm = nil
+	d.nc = h.Cols
+	d.sizeScratch(h.Cols)
+	return hit, nil
+}
+
 // PrepareFactors attaches an externally computed thin-QR factorization
 // of h instead of refactorizing: qr holds Q and R (of h's columns
 // permuted by perm when perm is non-nil, with perm[l] naming the

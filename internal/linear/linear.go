@@ -44,10 +44,38 @@ func (d *ZF) Prepare(h *cmplxmat.Matrix) error {
 	if err != nil {
 		return fmt.Errorf("linear: zero-forcing filter: %w", err)
 	}
+	d.attach(h, w)
+	return nil
+}
+
+// attach points the detector at a prepared filter, resizing the
+// estimate scratch only on a shape change.
+func (d *ZF) attach(h, w *cmplxmat.Matrix) {
 	d.h = h
 	d.w = w
-	d.est = make([]complex128, h.Cols)
-	return nil
+	if cap(d.est) < h.Cols {
+		d.est = make([]complex128, h.Cols)
+	}
+	d.est = d.est[:h.Cols]
+}
+
+var _ core.SharedPreparer = (*ZF)(nil)
+
+// PrepareShared implements core.SharedPreparer: the same filter bits
+// Prepare computes, but cached in pc — against the serving layer's
+// per-subcarrier preparation caches a static channel's pseudo-inverse
+// becomes a one-time cost instead of a per-frame one, which is what
+// makes the ZF rung of the degradation ladder actually cheap.
+func (d *ZF) PrepareShared(pc *core.PreparedChannel, h *cmplxmat.Matrix) (bool, error) {
+	if h == nil {
+		return false, core.ErrNotPrepared
+	}
+	w, hit, err := pc.PrepareZF(h)
+	if err != nil {
+		return false, fmt.Errorf("linear: zero-forcing filter: %w", err)
+	}
+	d.attach(h, w)
+	return hit, nil
 }
 
 // Detect implements core.Detector.

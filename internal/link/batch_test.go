@@ -1,0 +1,202 @@
+package link
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmplxmat"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fec"
+	"repro/internal/obs"
+	"repro/internal/ofdm"
+	"repro/internal/rng"
+)
+
+// batchChannels builds one static per-subcarrier channel set, the
+// "one user group" shape the serving layer batches over.
+func batchChannels(seed int64, na, nc int) []*cmplxmat.Matrix {
+	src := rng.New(seed)
+	hs := make([]*cmplxmat.Matrix, ofdm.NumData)
+	for i := range hs {
+		hs[i] = channel.Rayleigh(src, na, nc)
+	}
+	return hs
+}
+
+// runFramesSingle is the reference: one persistent detector + pool,
+// frames processed one at a time through Process.
+func runFramesSingle(t *testing.T, cfg RunConfig, factory DetectorFactory, hs []*cmplxmat.Matrix, frames []int64) []FrameOutcome {
+	t.Helper()
+	proc, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := cfg.buildDetector(factory, proc.NoiseVar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := core.NewPrepPool(ofdm.NumData)
+	pool.SetIncremental(cfg.IncrementalPrep)
+	outs := make([]FrameOutcome, 0, len(frames))
+	for _, fi := range frames {
+		outs = append(outs, proc.Process(Work{Frame: fi, Channels: hs, Det: det, Pool: pool}))
+	}
+	return outs
+}
+
+// runFramesBatched runs the same frames through ProcessBatch in
+// batchSize-sized chunks over a fresh persistent detector + pool.
+func runFramesBatched(t *testing.T, cfg RunConfig, factory DetectorFactory, hs []*cmplxmat.Matrix, frames []int64, batchSize int) []FrameOutcome {
+	t.Helper()
+	proc, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := cfg.buildDetector(factory, proc.NoiseVar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := core.NewPrepPool(ofdm.NumData)
+	pool.SetIncremental(cfg.IncrementalPrep)
+	outs := make([]FrameOutcome, 0, len(frames))
+	var scratch []FrameOutcome
+	for at := 0; at < len(frames); at += batchSize {
+		end := at + batchSize
+		if end > len(frames) {
+			end = len(frames)
+		}
+		scratch = proc.ProcessBatch(scratch, BatchWork{Frames: frames[at:end], Channels: hs, Det: det, Pool: pool})
+		outs = append(outs, scratch...)
+	}
+	return outs
+}
+
+// TestProcessBatchEqualsProcess is the batching byte-identity
+// conformance suite of the micro-batching tentpole: for every detector
+// family × constellation × batch size, ProcessBatch's per-frame Res
+// and Err must be byte-identical to running Process once per frame —
+// batching may only change scheduling, attribution and latency, never
+// a decision.
+func TestProcessBatchEqualsProcess(t *testing.T) {
+	conss := []*constellation.Constellation{constellation.QPSK, constellation.QAM16}
+	batchSizes := []int{1, 2, 3, 7, 16}
+	const frames = 16
+	for _, d := range conformanceFactories {
+		for _, cons := range conss {
+			name := fmt.Sprintf("%s/%s", d.name, cons.Name())
+			t.Run(name, func(t *testing.T) {
+				cfg := RunConfig{
+					Cons: cons, Rate: fec.Rate12,
+					NumSymbols: 2, Frames: frames,
+					SNRdB:        18, // low enough that some frames fail
+					Seed:         int64(len(name)) * 257,
+					SoftDecoding: d.soft,
+				}
+				hs := batchChannels(int64(len(name)), 4, 2)
+				fis := make([]int64, frames)
+				for i := range fis {
+					fis[i] = int64(i)
+				}
+				ref := runFramesSingle(t, cfg, d.factory, hs, fis)
+				for _, bs := range batchSizes {
+					got := runFramesBatched(t, cfg, d.factory, hs, fis, bs)
+					if len(got) != len(ref) {
+						t.Fatalf("batch=%d returned %d outcomes, want %d", bs, len(got), len(ref))
+					}
+					for i := range ref {
+						if (ref[i].Err == nil) != (got[i].Err == nil) {
+							t.Fatalf("batch=%d frame %d error mismatch: single %v, batch %v", bs, i, ref[i].Err, got[i].Err)
+						}
+						if !reflect.DeepEqual(ref[i].Res, got[i].Res) {
+							t.Fatalf("batch=%d frame %d diverged:\n  single: %+v\n  batch:  %+v", bs, i, ref[i].Res, got[i].Res)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestProcessBatchFallbackModes pins that the per-frame-perturbation
+// modes (SNR jitter, estimated CSI) take the frame-by-frame fallback
+// and still match Process exactly.
+func TestProcessBatchFallbackModes(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		jitter float64
+		estCSI bool
+	}{{"jitter", 4, false}, {"estcsi", 0, true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := RunConfig{
+				Cons: constellation.QAM16, Rate: fec.Rate12,
+				NumSymbols: 2, Frames: 6,
+				SNRdB: 20, Seed: 43,
+				SNRJitterDB:  mode.jitter,
+				EstimatedCSI: mode.estCSI,
+			}
+			hs := batchChannels(17, 4, 2)
+			fis := []int64{0, 1, 2, 3, 4, 5}
+			ref := runFramesSingle(t, cfg, GeoFactoryForTest, hs, fis)
+			got := runFramesBatched(t, cfg, GeoFactoryForTest, hs, fis, 3)
+			for i := range ref {
+				if !reflect.DeepEqual(ref[i].Res, got[i].Res) {
+					t.Fatalf("frame %d diverged:\n  single: %+v\n  batch:  %+v", i, ref[i].Res, got[i].Res)
+				}
+			}
+		})
+	}
+}
+
+// TestProcessBatchStatsAndSamples pins the attribution contract: the
+// batch's detector-stats delta lands on the first outcome (so sums
+// over a run stay exact), and the recorder sees one FrameSample per
+// frame with the Batch field set.
+func TestProcessBatchStatsAndSamples(t *testing.T) {
+	rec := obs.NewStatsRecorder()
+	cfg := RunConfig{
+		Cons: constellation.QAM16, Rate: fec.Rate12,
+		NumSymbols: 2, Frames: 4,
+		SNRdB: 24, Seed: 91,
+		Recorder: rec,
+	}
+	proc, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := cfg.buildDetector(GeoFactoryForTest, proc.NoiseVar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := core.NewPrepPool(ofdm.NumData)
+	hs := batchChannels(29, 4, 2)
+	outs := proc.ProcessBatch(nil, BatchWork{Frames: []int64{0, 1, 2, 3}, Channels: hs, Det: det, Pool: pool})
+	if len(outs) != 4 {
+		t.Fatalf("got %d outcomes, want 4", len(outs))
+	}
+	var zero core.Stats
+	if outs[0].Stats == zero {
+		t.Error("batch stats delta missing from first outcome")
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i].Stats != zero {
+			t.Errorf("outcome %d carries stats; batch attribution must fold into the first", i)
+		}
+	}
+	snap := rec.Snapshot()
+	if snap.Frames.Frames != 4 {
+		t.Errorf("recorder saw %d frames, want 4", snap.Frames.Frames)
+	}
+	// One preparation per subcarrier for the whole batch: every probe
+	// after the 48 misses is a hit, and hits+misses is far below the
+	// per-frame path's 4 frames × 2 symbols × 48 probes.
+	probes := snap.Frames.PrepareHits + snap.Frames.PrepareMisses
+	if snap.Frames.PrepareMisses != int64(ofdm.NumData) {
+		t.Errorf("prepare misses = %d, want %d (one per subcarrier)", snap.Frames.PrepareMisses, ofdm.NumData)
+	}
+	if probes != int64(ofdm.NumData) {
+		t.Errorf("prepare probes = %d, want %d (one per subcarrier per batch)", probes, ofdm.NumData)
+	}
+}

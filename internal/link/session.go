@@ -190,6 +190,162 @@ func (p *Processor) Process(w Work) FrameOutcome {
 	return out
 }
 
+// BatchWork describes a batch of frames for Processor.ProcessBatch:
+// every frame in the batch shares the same channels, detector and
+// preparation cache, so the per-subcarrier preparation amortizes
+// across the whole batch instead of repeating per frame. Worker and
+// Tier label every frame's observability sample.
+type BatchWork struct {
+	// Frames holds the batch's frame indices; each frame's randomness
+	// still comes from its own rng.Substream(cfg.Seed, Frames[i]).
+	Frames   []int64
+	Worker   int
+	Tier     obs.Tier
+	Channels []*cmplxmat.Matrix
+	Det      core.Detector
+	Pool     *core.PrepPool
+}
+
+// ProcessBatch runs a batch of frames sharing one prepared channel
+// set, appending one FrameOutcome per frame (in Frames order) to dst
+// and returning it. Per-frame Res and Err are byte-identical to
+// calling Process once per frame — every frame encodes and transmits
+// from its own substream, and detection decisions are pure functions
+// of (prepared state, observation) — only the attribution of batch-
+// amortized observability (detector Stats deltas, preparation-cache
+// counters, scheduler counters) changes: those are measured across the
+// whole batch and folded into the first outcome/sample, so sums over a
+// run stay exact while per-frame shares are no longer split out.
+//
+// Configurations that perturb channels per frame (SNR jitter,
+// estimated CSI) break the shared-preparation premise and fall back to
+// the frame-by-frame path, as does a batch of one.
+func (p *Processor) ProcessBatch(dst []FrameOutcome, w BatchWork) []FrameOutcome {
+	cfg := p.cfg
+	dst = dst[:0]
+	if len(w.Frames) == 0 {
+		return dst
+	}
+	if len(w.Frames) == 1 || cfg.EstimatedCSI || cfg.SNRJitterDB > 0 {
+		return p.processSingly(dst, w)
+	}
+	start := time.Now() //geolint:nondeterminism-ok wall-clock duration only labels the observability samples
+	if len(w.Channels) == 0 || w.Channels[0] == nil {
+		err := fmt.Errorf("%w: batch has no channels", ErrBadShape)
+		for range w.Frames {
+			dst = append(dst, FrameOutcome{Err: err})
+		}
+		return dst
+	}
+	nc := w.Channels[0].Cols
+	det := w.Det
+	p.l.SetPrepPool(w.Pool)
+	before, _ := core.StatsOf(det)
+	var hitsBefore, missesBefore, updatesBefore uint64
+	if w.Pool != nil {
+		hitsBefore, missesBefore = w.Pool.Counters()
+		updatesBefore = w.Pool.QRUpdates()
+	}
+	var schedBefore policy.Counters
+	sched, adaptive := det.(schedCounters)
+	if adaptive {
+		schedBefore = sched.Sched()
+	}
+	srcs := make([]*rng.Source, len(w.Frames))
+	frames := make([]*phy.Frame, len(w.Frames))
+	for i, fi := range w.Frames {
+		srcs[i] = rng.Substream(cfg.Seed, fi)
+		f, err := p.l.Encode(srcs[i], nc)
+		if err != nil {
+			// Encode failures are configuration-level; re-run the batch
+			// frame-by-frame so every frame reports its own error.
+			return p.processSingly(dst, w)
+		}
+		frames[i] = f
+	}
+	res, err := p.l.TransmitReceiveBatchCSI(srcs, frames, w.Channels, w.Channels, det, p.noiseVar)
+	if err != nil {
+		return p.processSingly(dst, w)
+	}
+	after, _ := core.StatsOf(det)
+	batchStats := after.Sub(before)
+	for i := range w.Frames {
+		o := FrameOutcome{Res: res[i]}
+		if i == 0 {
+			// The detector's complexity delta spans the whole batch;
+			// attribute it to the first outcome so run-level sums over
+			// outcomes stay exact.
+			o.Stats = batchStats
+		}
+		dst = append(dst, o)
+	}
+	if cfg.Recorder != nil {
+		//geolint:nondeterminism-ok wall-clock duration only labels the observability samples
+		dur := time.Since(start) / time.Duration(len(w.Frames))
+		var prepHits, prepMisses, qrUpdates uint64
+		if w.Pool != nil {
+			h, m := w.Pool.Counters()
+			prepHits, prepMisses = h-hitsBefore, m-missesBefore
+			qrUpdates = w.Pool.QRUpdates() - updatesBefore
+		}
+		var schedDelta policy.Counters
+		if adaptive {
+			schedDelta = sched.Sched().Sub(schedBefore)
+		}
+		for i, fi := range w.Frames {
+			r := res[i]
+			errs := 0
+			for _, ok := range r.StreamOK {
+				if !ok {
+					errs++
+				}
+			}
+			fs := obs.FrameSample{
+				Frame:        int(fi),
+				Worker:       w.Worker,
+				Tier:         w.Tier,
+				Duration:     dur,
+				Batch:        len(w.Frames),
+				OK:           r.FrameOK(),
+				Streams:      len(r.StreamOK),
+				StreamErrors: errs,
+			}
+			if i == 0 {
+				// Batch-amortized counters are measured once per batch;
+				// fold them into the first sample so run-level sums stay
+				// exact.
+				fs.PrepHits, fs.PrepMisses = prepHits, prepMisses
+				fs.ProjReuse = batchStats.ProjReuse
+				fs.QRUpdates = qrUpdates
+				if adaptive {
+					fs.SchedZF = schedDelta.SchedZF
+					fs.SchedKBest = schedDelta.SchedKBest
+					fs.SchedSphere = schedDelta.SchedSphere
+					fs.GatePass = schedDelta.GatePass
+					fs.KBestFallbacks = schedDelta.KBestFallbacks
+					fs.SphereFallbacks = schedDelta.SphereFallbacks
+					fs.SeededRadius = schedDelta.SeededRadius
+					if w.Pool != nil {
+						p.kappa = w.Pool.AppendKappa2dB(p.kappa[:0])
+						fs.Kappa2dB = p.kappa
+					}
+				}
+			}
+			cfg.Recorder.RecordFrame(fs)
+		}
+	}
+	return dst
+}
+
+// processSingly is ProcessBatch's frame-by-frame path: the batch run
+// through Process one frame at a time, in order.
+func (p *Processor) processSingly(dst []FrameOutcome, w BatchWork) []FrameOutcome {
+	for _, fi := range w.Frames {
+		dst = append(dst, p.Process(Work{Frame: fi, Worker: w.Worker, Tier: w.Tier, Channels: w.Channels, Det: w.Det, Pool: w.Pool}))
+	}
+	return dst
+}
+
 // frameWorker is one session worker's long-lived state: a Processor
 // and — unless the prep cache is disabled — a persistent detector plus
 // a PrepPool holding one PreparedChannel per data subcarrier, so

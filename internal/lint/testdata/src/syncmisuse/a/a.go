@@ -70,3 +70,21 @@ func fresh() *counter {
 func snapshotQuiesced(c counter) int { //geolint:sync-ok read-only snapshot of a quiesced counter under test harness control
 	return c.n
 }
+
+// ringCursor models the MPSC ring's consumer cursor: an RWMutex-
+// bearing struct whose pop path advances an unguarded field. The
+// analyzer must flag the bare write — the real ring's single-consumer
+// fast path is exactly this shape and carries an explicit sync-ok
+// hatch for it.
+type ringCursor struct {
+	mu   sync.RWMutex
+	head uint64
+}
+
+func (r *ringCursor) pop() {
+	r.head++ // want `writes r\.head without holding the struct's mutex`
+}
+
+func (r *ringCursor) popSanctioned() {
+	r.head++ //geolint:sync-ok single-consumer private cursor: producers read an atomic mirror instead
+}

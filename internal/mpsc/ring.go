@@ -1,0 +1,198 @@
+// Package mpsc is the serving layer's admission queue: a bounded
+// multi-producer single-consumer ring buffer with batched consumer
+// wakeups. Producers admit with a cheap CAS/append (TryPush) that never
+// blocks — a full ring sheds instead of queueing unboundedly — and the
+// single consumer drains as many items as it likes per wakeup, so the
+// per-item cost of waking a goroutine amortizes across a batch.
+//
+// The slot protocol is the classic sequence-stamped bounded queue: each
+// cell carries a sequence number; a producer claims cell tail%cap by
+// CASing tail forward when the cell's sequence says it is free, writes
+// the value, and publishes by bumping the sequence; the consumer reads
+// the cell when the sequence says it is full and releases it one lap
+// ahead. Claim and publish are separate steps, so a consumer that
+// catches a cell mid-write simply sees it as not-ready — the producer's
+// wakeup signal (sent after publish) guarantees the item is noticed.
+//
+// Close is serialized against producers with an RWMutex (producers
+// share the read side, so admission stays concurrent): once Close
+// returns, no further TryPush succeeds, and every item admitted before
+// Close is still in the ring for the consumer's final drain. That is
+// the serving layer's "every admitted frame completes" guarantee.
+//
+//geolint:concurrent
+package mpsc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Typed sentinel errors of the admission path.
+var (
+	// ErrFull reports a TryPush against a ring with no free slot — the
+	// admission-control shed signal.
+	ErrFull = errors.New("mpsc: ring full")
+	// ErrClosed reports a TryPush after Close.
+	ErrClosed = errors.New("mpsc: ring closed")
+)
+
+// slot is one ring cell: the sequence stamp that carries the claim/
+// publish/consume protocol, and the value itself.
+type slot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// Ring is a bounded MPSC ring buffer. Any number of producers may call
+// TryPush and Len concurrently; TryPop, Wait and the unguarded head
+// cursor belong to exactly one consumer goroutine.
+type Ring[T any] struct {
+	mask  uint64
+	slots []slot[T]
+
+	// tail is the producers' claim cursor; head the consumer's release
+	// cursor, mirrored in headPub so producers can read the fill level
+	// without touching the consumer's cache line protocol.
+	tail    atomic.Uint64
+	headPub atomic.Uint64
+	// head is the consumer's private cursor. Only the single consumer
+	// goroutine reads or writes it; producers observe headPub instead.
+	head uint64
+
+	// wake is the batched wakeup channel (capacity 1): producers signal
+	// it non-blockingly after every publish, coalescing any number of
+	// pushes into at most one pending wakeup; Close closes it.
+	wake chan struct{}
+
+	// mu serializes Close against in-flight pushes: producers hold the
+	// read side across the closed check and the slot claim, so after
+	// Close's write lock no admission can race the final drain.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New returns a ring with at least the requested capacity, rounded up
+// to the next power of two. The minimum is 2: in a one-slot ring the
+// published-item marker (pos+1) is indistinguishable from the next
+// lap's free marker (pos+cap), so a producer could claim a slot still
+// holding an unconsumed item.
+func New[T any](capacity int) *Ring[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring[T]{
+		mask:  uint64(n - 1),
+		slots: make([]slot[T], n),
+		wake:  make(chan struct{}, 1),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Len returns the current fill level: items admitted and not yet
+// popped. It is a racy snapshot by nature — producers and the consumer
+// keep moving — which is exactly what an occupancy-based load proxy
+// wants.
+func (r *Ring[T]) Len() int {
+	t, h := r.tail.Load(), r.headPub.Load()
+	if t < h {
+		return 0
+	}
+	n := t - h
+	if n > uint64(len(r.slots)) {
+		n = uint64(len(r.slots))
+	}
+	return int(n)
+}
+
+// TryPush admits v without blocking: ErrFull when no slot is free (the
+// shed path), ErrClosed after Close, nil on success. Safe for any
+// number of concurrent producers.
+func (r *Ring[T]) TryPush(v T) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return ErrClosed
+	}
+	pos := r.tail.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		switch seq := s.seq.Load(); {
+		case seq == pos:
+			// The slot is free at this lap; claim it by advancing tail.
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1) // publish
+				// Batched wakeup: at most one signal pends regardless of
+				// how many producers land between consumer drains.
+				select {
+				case r.wake <- struct{}{}:
+				default:
+				}
+				return nil
+			}
+			pos = r.tail.Load() // lost the race; re-read and retry
+		case seq < pos:
+			// The slot still holds the previous lap's item: the ring is
+			// full. tail-head could legally disagree for an instant, but
+			// the slot's own sequence is authoritative.
+			return ErrFull
+		default:
+			// Another producer claimed this position; move past it.
+			pos = r.tail.Load()
+		}
+	}
+}
+
+// TryPop removes the oldest item, or reports false when the ring is
+// empty (or its head slot is claimed but not yet published — the
+// producer's post-publish wakeup re-arms the consumer). Consumer-only.
+func (r *Ring[T]) TryPop() (T, bool) {
+	var zero T
+	pos := r.head
+	s := &r.slots[pos&r.mask]
+	if s.seq.Load() != pos+1 {
+		return zero, false
+	}
+	v := s.val
+	s.val = zero // drop the reference; outcomes can be large
+	// Release the slot for the next lap, then publish the new head for
+	// producer-side Len readers.
+	s.seq.Store(pos + r.mask + 1)
+	r.head = pos + 1 //geolint:sync-ok head is the single consumer's private cursor: only the consumer goroutine touches it, producers read the headPub atomic mirror instead
+	r.headPub.Store(pos + 1)
+	return v, true
+}
+
+// Wait blocks until a producer signals new items or the ring is
+// closed; it returns false exactly once the ring is closed (drain the
+// ring one final time after that, then stop). Consumer-only. Signals
+// are coalesced, so after a true return the consumer must drain until
+// TryPop reports empty before waiting again.
+func (r *Ring[T]) Wait() bool {
+	_, ok := <-r.wake
+	return ok
+}
+
+// Close stops admission: it waits out in-flight pushes, marks the ring
+// closed (every later TryPush returns ErrClosed), and wakes the
+// consumer permanently (Wait returns false forever). Items admitted
+// before Close remain in the ring for the consumer's final drain.
+// Close is idempotent.
+func (r *Ring[T]) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	close(r.wake)
+}

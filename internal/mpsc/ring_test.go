@@ -1,0 +1,249 @@
+package mpsc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := New[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d, want 4", r.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if err := r.TryPush(i); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if err := r.TryPush(99); !errors.Is(err, ErrFull) {
+		t.Fatalf("push into full ring: %v", err)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	// Laps reuse slots.
+	for lap := 0; lap < 3; lap++ {
+		for i := 0; i < 3; i++ {
+			if err := r.TryPush(lap*10 + i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if v, ok := r.TryPop(); !ok || v != lap*10+i {
+				t.Fatalf("lap %d pop %d = %d, %v", lap, i, v, ok)
+			}
+		}
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {5, 8}, {64, 64}, {100, 128},
+	} {
+		if got := New[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestRingMinCapacityFullness is the regression test for the
+// one-slot ambiguity that forces the minimum capacity of 2: at every
+// point of a push/pop lap pattern, a push into a logically full ring
+// must shed with ErrFull, never claim a slot holding an unconsumed
+// item (which would silently drop it).
+func TestRingMinCapacityFullness(t *testing.T) {
+	r := New[int](1) // rounds up to the minimum of 2
+	if r.Cap() != 2 {
+		t.Fatalf("cap = %d, want 2", r.Cap())
+	}
+	for lap := 0; lap < 5; lap++ {
+		base := lap * 10
+		if err := r.TryPush(base); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.TryPush(base + 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.TryPush(base + 2); !errors.Is(err, ErrFull) {
+			t.Fatalf("lap %d: push into full ring: %v", lap, err)
+		}
+		if v, ok := r.TryPop(); !ok || v != base {
+			t.Fatalf("lap %d: pop = %d, %v", lap, v, ok)
+		}
+		if err := r.TryPush(base + 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.TryPush(base + 4); !errors.Is(err, ErrFull) {
+			t.Fatalf("lap %d: push into refilled ring: %v", lap, err)
+		}
+		if v, ok := r.TryPop(); !ok || v != base+1 {
+			t.Fatalf("lap %d: pop = %d, %v", lap, v, ok)
+		}
+		if v, ok := r.TryPop(); !ok || v != base+3 {
+			t.Fatalf("lap %d: pop = %d, %v", lap, v, ok)
+		}
+		if _, ok := r.TryPop(); ok {
+			t.Fatalf("lap %d: pop from empty ring succeeded", lap)
+		}
+	}
+}
+
+func TestRingClose(t *testing.T) {
+	r := New[int](2)
+	if err := r.TryPush(1); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close() // idempotent
+	if err := r.TryPush(2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+	// The admitted item survives close for the final drain, and Wait
+	// reports closure immediately.
+	if ok := r.Wait(); ok {
+		// A pre-close wakeup token may pend; the next Wait must report
+		// closure.
+		if r.Wait() {
+			t.Fatal("Wait kept returning true after Close")
+		}
+	}
+	if v, ok := r.TryPop(); !ok || v != 1 {
+		t.Fatalf("final drain lost the admitted item: %d, %v", v, ok)
+	}
+}
+
+// TestRingHammer is the race-detector workout of the ISSUE's checklist:
+// many concurrent producers against the single consumer, queue-full
+// shedding, and a close/drain handoff. Every successfully pushed value
+// must be popped exactly once, in per-producer order.
+func TestRingHammer(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 2000
+	)
+	r := New[[2]int](64)
+	var pushed [producers][]int
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				if err := r.TryPush([2]int{p, i}); err == nil {
+					pushed[p] = append(pushed[p], i)
+				}
+				_ = r.Len() // exercise the producer-side occupancy read
+			}
+		}(p)
+	}
+
+	var popped [producers][]int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			for {
+				v, ok := r.TryPop()
+				if !ok {
+					break
+				}
+				popped[v[0]] = append(popped[v[0]], v[1])
+			}
+			if !r.Wait() {
+				for {
+					v, ok := r.TryPop()
+					if !ok {
+						return
+					}
+					popped[v[0]] = append(popped[v[0]], v[1])
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	r.Close()
+	<-done
+
+	for p := 0; p < producers; p++ {
+		if len(popped[p]) != len(pushed[p]) {
+			t.Fatalf("producer %d: pushed %d, popped %d", p, len(pushed[p]), len(popped[p]))
+		}
+		for i := range pushed[p] {
+			if popped[p][i] != pushed[p][i] {
+				t.Fatalf("producer %d item %d: popped %d, want %d (order broken)",
+					p, i, popped[p][i], pushed[p][i])
+			}
+		}
+	}
+}
+
+// TestRingCloseRace hammers Close against in-flight producers: the
+// RWMutex serialization must guarantee that every push that returned
+// nil is drained, and every push after Close fails with ErrClosed.
+func TestRingCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		r := New[int](8)
+		var admitted atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 100; i++ {
+					if err := r.TryPush(i); err == nil {
+						admitted.Add(1)
+					} else if errors.Is(err, ErrClosed) {
+						return
+					}
+				}
+			}()
+		}
+		var drained int64
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				for {
+					if _, ok := r.TryPop(); !ok {
+						break
+					}
+					drained++
+				}
+				if !r.Wait() {
+					for {
+						if _, ok := r.TryPop(); !ok {
+							return
+						}
+						drained++
+					}
+				}
+			}
+		}()
+		close(start)
+		if round%2 == 0 {
+			r.Close() // close racing the producers
+			wg.Wait()
+		} else {
+			wg.Wait()
+			r.Close()
+		}
+		<-done
+		if drained != admitted.Load() {
+			t.Fatalf("round %d: admitted %d, drained %d", round, admitted.Load(), drained)
+		}
+	}
+}

@@ -104,8 +104,13 @@ type FrameSample struct {
 	// Tier is the degradation-ladder rung that served the frame;
 	// TierNone outside the ladder.
 	Tier Tier
-	// Duration is the frame's wall-clock processing time.
+	// Duration is the frame's wall-clock processing time. For a frame
+	// served in a batch it is the batch duration divided by the batch
+	// size — per-frame shares of a fused sweep are not separable.
 	Duration time.Duration
+	// Batch is the size of the micro-batch the frame was served in;
+	// 0 or 1 both mean the frame ran through the single-frame path.
+	Batch int
 	// OK reports whether every stream's CRC verified.
 	OK bool
 	// Streams and StreamErrors count the frame's spatial streams and

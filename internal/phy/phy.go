@@ -113,6 +113,21 @@ type Link struct {
 
 	rx  receiveScratch
 	dec decodeScratch
+	enc encodeScratch
+}
+
+// encodeScratch holds the per-stream encode buffers Encode reuses
+// across streams and frames: the CRC-extended (then in-place
+// scrambled) info block, the convolutional mother code, the punctured
+// codeword, its per-symbol interleaving, and the per-subcarrier bit
+// group fed to the constellation mapper. Only state the Frame retains
+// — payloads and the symbol grid — is allocated per call.
+type encodeScratch struct {
+	info   []byte
+	mother []byte
+	coded  []byte
+	inter  []byte
+	bitbuf []byte
 }
 
 // receiveScratch holds the per-frame detector output buffers
@@ -173,15 +188,27 @@ func (l *Link) Encode(src *rng.Source, nc int) (*Frame, error) {
 	cfg := l.cfg
 	f := &Frame{Config: cfg}
 	f.Payloads = make([][]byte, nc)
+	// The symbol grid's shape is fixed by the frame format, so its
+	// nested slices are views into two backing allocations (cells and
+	// points) instead of NumSymbols·(NumData+1) separate ones; full
+	// slice expressions keep the views from growing into each other.
+	cells := make([][]complex128, cfg.NumSymbols*ofdm.NumData)
+	points := make([]complex128, len(cells)*nc)
 	f.X = make([][][]complex128, cfg.NumSymbols)
 	for t := range f.X {
-		f.X[t] = make([][]complex128, ofdm.NumData)
+		f.X[t] = cells[t*ofdm.NumData : (t+1)*ofdm.NumData : (t+1)*ofdm.NumData]
 		for s := range f.X[t] {
-			f.X[t][s] = make([]complex128, nc)
+			off := (t*ofdm.NumData + s) * nc
+			f.X[t][s] = points[off : off+nc : off+nc]
 		}
 	}
+	payloads := make([]byte, nc*cfg.PayloadBits())
+	if cap(l.enc.bitbuf) < l.nbps {
+		l.enc.bitbuf = make([]byte, l.nbps)
+	}
+	bitbuf := l.enc.bitbuf[:l.nbps]
 	for k := 0; k < nc; k++ {
-		payload := make([]byte, cfg.PayloadBits())
+		payload := payloads[k*cfg.PayloadBits() : (k+1)*cfg.PayloadBits() : (k+1)*cfg.PayloadBits()]
 		src.Bits(payload)
 		f.Payloads[k] = payload
 		coded, err := l.encodeStream(payload, byte(0x5d+k))
@@ -189,7 +216,6 @@ func (l *Link) Encode(src *rng.Source, nc int) (*Frame, error) {
 			return nil, err
 		}
 		// Map interleaved coded bits to constellation points.
-		bitbuf := make([]byte, l.nbps)
 		for t := 0; t < cfg.NumSymbols; t++ {
 			block := coded[t*cfg.BitsPerSymbol() : (t+1)*cfg.BitsPerSymbol()]
 			for s := 0; s < ofdm.NumData; s++ {
@@ -203,31 +229,35 @@ func (l *Link) Encode(src *rng.Source, nc int) (*Frame, error) {
 }
 
 // encodeStream runs one stream's payload through CRC, scrambling,
-// convolutional coding, puncturing and per-symbol interleaving.
+// convolutional coding, puncturing and per-symbol interleaving, all
+// in the link's reusable encode scratch. The returned slice aliases
+// that scratch: it is valid only until the next encodeStream call.
 func (l *Link) encodeStream(payload []byte, scramblerSeed byte) ([]byte, error) {
 	cfg := l.cfg
-	info := fec.AppendCRC(payload)
-	if len(info) != cfg.InfoBits() {
-		return nil, fmt.Errorf("phy: info block is %d bits, want %d", len(info), cfg.InfoBits())
+	es := &l.enc
+	// AppendCRCTo already copies the payload into the scratch, so the
+	// scrambler can run in place without a second buffer.
+	es.info = fec.AppendCRCTo(es.info[:0], payload)
+	if len(es.info) != cfg.InfoBits() {
+		return nil, fmt.Errorf("phy: info block is %d bits, want %d", len(es.info), cfg.InfoBits())
 	}
-	scrambled := make([]byte, len(info))
-	copy(scrambled, info)
-	fec.Scramble(scrambled, scramblerSeed)
-	mother := fec.ConvEncode(scrambled)
-	coded := fec.Puncture(mother, cfg.Rate)
-	if len(coded) != cfg.CodedBits() {
-		return nil, fmt.Errorf("phy: coded block is %d bits, want %d", len(coded), cfg.CodedBits())
+	fec.Scramble(es.info, scramblerSeed)
+	es.mother = fec.ConvEncodeAppend(es.mother[:0], es.info)
+	es.coded = fec.PunctureAppend(es.coded[:0], es.mother, cfg.Rate)
+	if len(es.coded) != cfg.CodedBits() {
+		return nil, fmt.Errorf("phy: coded block is %d bits, want %d", len(es.coded), cfg.CodedBits())
 	}
-	out := make([]byte, 0, len(coded))
+	if cap(es.inter) < len(es.coded) {
+		es.inter = make([]byte, len(es.coded))
+	}
+	es.inter = es.inter[:len(es.coded)]
 	for t := 0; t < cfg.NumSymbols; t++ {
-		block := coded[t*cfg.BitsPerSymbol() : (t+1)*cfg.BitsPerSymbol()]
-		inter, err := l.il.Interleave(nil, block)
-		if err != nil {
+		lo, hi := t*cfg.BitsPerSymbol(), (t+1)*cfg.BitsPerSymbol()
+		if _, err := l.il.Interleave(es.inter[lo:hi], es.coded[lo:hi]); err != nil {
 			return nil, err
 		}
-		out = append(out, inter...)
 	}
-	return out, nil
+	return es.inter, nil
 }
 
 // Result reports one frame's reception.
@@ -291,7 +321,7 @@ func (l *Link) TransmitReceiveCSI(src *rng.Source, f *Frame, hsTrue, hsDet []*cm
 	// detIdx[t][s] holds the detected point indices; detLLR the
 	// per-bit soft values when soft decoding is on. Both live in
 	// link-owned scratch reused across frames of the same geometry.
-	detIdx, detLLR, yb := l.sizeReceive(nc, na, soft != nil)
+	detIdx, detLLR, yb := l.sizeReceive(cfg.NumSymbols, nc, na, soft != nil)
 	res := &Result{StreamOK: make([]bool, nc)}
 	for s := 0; s < ofdm.NumData; s++ {
 		if hsDet[s].Rows != na || hsDet[s].Cols != nc {
@@ -362,6 +392,126 @@ func (l *Link) TransmitReceiveCSI(src *rng.Source, f *Frame, hsTrue, hsDet []*cm
 	return res, nil
 }
 
+// TransmitReceiveBatchCSI runs a batch of frames that share one
+// per-subcarrier channel set through transmit → detect → decode,
+// producing per-frame Results byte-identical to calling
+// TransmitReceiveCSI once per frame. Two things change, neither of
+// which can alter a decision:
+//
+//   - Transmission still runs frame-by-frame in the single-frame
+//     subcarrier-major order, each frame drawing noise from its own
+//     source, so every frame's noise schedule is exactly the
+//     single-frame schedule.
+//   - Detection extends the symbol-major SoA sweep across the whole
+//     batch: each subcarrier's detector preparation happens once per
+//     batch instead of once per (frame, symbol), and then every frame's
+//     observations on that subcarrier are swept in one pass. A
+//     preparation is a pure function of the subcarrier's channel (the
+//     cache-hit contract: a hit changes where prepared state comes
+//     from, never what it contains), and a detection is a pure function
+//     of (prepared state, observation), so reordering detections across
+//     frames cannot change any of them.
+//
+// Only the complexity accounting (pool counters, detector stats) is
+// attributed batch-wide rather than per frame.
+func (l *Link) TransmitReceiveBatchCSI(srcs []*rng.Source, frames []*Frame, hsTrue, hsDet []*cmplxmat.Matrix, det core.Detector, noiseVar float64) ([]*Result, error) {
+	cfg := l.cfg
+	b := len(frames)
+	if b == 0 || len(srcs) != b {
+		return nil, fmt.Errorf("phy: batch of %d frames with %d sources", b, len(srcs))
+	}
+	hs := hsTrue
+	if len(hs) != ofdm.NumData || len(hsDet) != ofdm.NumData {
+		return nil, fmt.Errorf("phy: %d/%d subcarrier channels, want %d", len(hs), len(hsDet), ofdm.NumData)
+	}
+	nc := len(frames[0].Payloads)
+	na := hs[0].Rows
+	if hs[0].Cols != nc {
+		return nil, fmt.Errorf("phy: channel has %d streams, frame has %d", hs[0].Cols, nc)
+	}
+	for _, f := range frames {
+		if len(f.Payloads) != nc {
+			return nil, fmt.Errorf("phy: mixed stream counts in batch (%d vs %d)", len(f.Payloads), nc)
+		}
+	}
+	var soft core.SoftDetector
+	if cfg.SoftDecoding {
+		sd, ok := det.(core.SoftDetector)
+		if !ok {
+			return nil, fmt.Errorf("phy: soft decoding requires a SoftDetector, %s is not one", det.Name())
+		}
+		if noiseVar <= 0 {
+			return nil, fmt.Errorf("phy: soft decoding needs a positive noise variance")
+		}
+		soft = sd
+	}
+	for s := 0; s < ofdm.NumData; s++ {
+		if hsDet[s].Rows != na || hsDet[s].Cols != nc {
+			return nil, fmt.Errorf("phy: CSI shape mismatch at subcarrier %d", s)
+		}
+	}
+	T := cfg.NumSymbols
+	detIdx, detLLR, yb := l.sizeReceive(b*T, nc, na, soft != nil)
+	results := make([]*Result, b)
+	// Transmit frame-by-frame in the single-frame subcarrier-major
+	// order: frame f's symbol t on subcarrier s lands at SoA row f·T+t.
+	for f := 0; f < b; f++ {
+		for s := 0; s < ofdm.NumData; s++ {
+			for t := 0; t < T; t++ {
+				at := ((f*T+t)*ofdm.NumData + s) * na
+				channel.Transmit(yb[at:at+na], srcs[f], hs[s], frames[f].X[t][s], noiseVar)
+			}
+		}
+		results[f] = &Result{StreamOK: make([]bool, nc)}
+	}
+	// Batched detection: one preparation per subcarrier per batch, then
+	// a single sweep over every frame's symbols on that subcarrier.
+	for s := 0; s < ofdm.NumData; s++ {
+		if err := l.prepareDetector(det, s, hsDet[s]); err != nil {
+			return nil, fmt.Errorf("phy: prepare subcarrier %d: %w", s, err)
+		}
+		for f := 0; f < b; f++ {
+			fIdx := detIdx[f*T : (f+1)*T]
+			var fLLR [][][]float64
+			if soft != nil {
+				fLLR = detLLR[f*T : (f+1)*T]
+			}
+			for t := 0; t < T; t++ {
+				at := ((f*T+t)*ofdm.NumData + s) * na
+				if err := l.detectOne(det, soft, frames[f], results[f], fIdx, fLLR, yb[at:at+na], t, s, nc, noiseVar); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Per-frame, per-stream decoding, in frame order.
+	for f := 0; f < b; f++ {
+		fIdx := detIdx[f*T : (f+1)*T]
+		var fLLR [][][]float64
+		if soft != nil {
+			fLLR = detLLR[f*T : (f+1)*T]
+		}
+		for k := 0; k < nc; k++ {
+			var ok bool
+			var metric float64
+			var err error
+			if soft != nil {
+				ok, metric, err = l.decodeStreamSoft(frames[f], fLLR, k, byte(0x5d+k))
+			} else {
+				ok, metric, err = l.decodeStream(frames[f], fIdx, k, byte(0x5d+k))
+			}
+			if err != nil {
+				return nil, err
+			}
+			results[f].StreamOK[k] = ok
+			if cfg.Recorder != nil {
+				cfg.Recorder.RecordDecode(obs.DecodeSample{Stream: k, PathMetric: metric, OK: ok})
+			}
+		}
+	}
+	return results, nil
+}
+
 // prepareDetector prepares det for subcarrier s's channel, through the
 // attached PrepPool when one is set.
 func (l *Link) prepareDetector(det core.Detector, s int, h *cmplxmat.Matrix) error {
@@ -398,19 +548,21 @@ func (l *Link) detectOne(det core.Detector, soft core.SoftDetector, f *Frame, re
 	return nil
 }
 
-// sizeReceive returns the frame-geometry-dependent detector output
-// buffers and the flat SoA receive buffer, reusing the link's scratch
-// when the shape is unchanged. Every entry is fully overwritten before
-// use (Transmit writes every observation, Detect and DetectSoft write
-// all nc entries of their slot), so reuse cannot leak one frame's
-// signal or decisions into the next.
-func (l *Link) sizeReceive(nc, na int, soft bool) (detIdx [][][]int, detLLR [][][]float64, yb []complex128) {
+// sizeReceive returns the geometry-dependent detector output buffers
+// and the flat SoA receive buffer for rows symbol rows (NumSymbols for
+// a single frame, batch×NumSymbols for a frame batch), reusing the
+// link's scratch when it is already large enough — so alternating
+// batch sizes slice the same high-water-mark allocation instead of
+// reallocating. Every entry is fully overwritten before use (Transmit
+// writes every observation, Detect and DetectSoft write all nc entries
+// of their slot), so reuse cannot leak one frame's signal or decisions
+// into the next.
+func (l *Link) sizeReceive(rows, nc, na int, soft bool) (detIdx [][][]int, detLLR [][][]float64, yb []complex128) {
 	cfg := l.cfg
 	r := &l.rx
-	T := cfg.NumSymbols
-	if len(r.detIdx) != T || len(r.detIdx[0][0]) != nc {
-		r.detIdx = make([][][]int, T)
-		flat := make([]int, T*ofdm.NumData*nc)
+	if len(r.detIdx) < rows || len(r.detIdx[0][0]) != nc {
+		r.detIdx = make([][][]int, rows)
+		flat := make([]int, rows*ofdm.NumData*nc)
 		for t := range r.detIdx {
 			r.detIdx[t] = make([][]int, ofdm.NumData)
 			for s := range r.detIdx[t] {
@@ -418,11 +570,12 @@ func (l *Link) sizeReceive(nc, na int, soft bool) (detIdx [][][]int, detLLR [][]
 			}
 		}
 	}
+	detIdx = r.detIdx[:rows]
 	if soft {
 		q := nc * cfg.Cons.Bits()
-		if len(r.detLLR) != T || len(r.detLLR[0][0]) != q {
-			r.detLLR = make([][][]float64, T)
-			flat := make([]float64, T*ofdm.NumData*q)
+		if len(r.detLLR) < rows || len(r.detLLR[0][0]) != q {
+			r.detLLR = make([][][]float64, rows)
+			flat := make([]float64, rows*ofdm.NumData*q)
 			for t := range r.detLLR {
 				r.detLLR[t] = make([][]float64, ofdm.NumData)
 				for s := range r.detLLR[t] {
@@ -430,13 +583,13 @@ func (l *Link) sizeReceive(nc, na int, soft bool) (detIdx [][][]int, detLLR [][]
 				}
 			}
 		}
-		detLLR = r.detLLR
+		detLLR = r.detLLR[:rows]
 	}
-	n := T * ofdm.NumData * na
+	n := rows * ofdm.NumData * na
 	if cap(r.yb) < n {
 		r.yb = make([]complex128, n)
 	}
-	return r.detIdx, detLLR, r.yb[:n]
+	return detIdx, detLLR, r.yb[:n]
 }
 
 // depuncture re-inserts erasures into one stream's coded LLRs using

@@ -297,7 +297,7 @@ func TestBatchedDetectZeroAllocs(t *testing.T) {
 	if _, err := link.TransmitReceive(src, f, hs, det, noiseVar); err != nil {
 		t.Fatal(err)
 	}
-	detIdx, _, yb := link.sizeReceive(nc, na, false)
+	detIdx, _, yb := link.sizeReceive(cfg.NumSymbols, nc, na, false)
 	res := &Result{StreamOK: make([]bool, nc)}
 	allocs := testing.AllocsPerRun(20, func() {
 		for s := 0; s < ofdm.NumData; s++ {

@@ -10,18 +10,41 @@ import (
 )
 
 // LoadConfig drives RunLoad: Users concurrent simulated user groups,
-// each submitting FramesPerUser frames as fast as the service admits
-// them. A rejected frame (ErrOverload) is retried up to Retries times
-// after Backoff; still-rejected frames are dropped and counted — the
-// harness exercises exactly the admission-control contract the service
-// promises instead of hiding it.
+// each submitting FramesPerUser frames. Two arrival models:
+//
+//   - Closed-loop (ArrivalRate == 0, the default): every user submits
+//     its next frame the moment the previous one completes, as fast as
+//     the service admits them. A rejected frame (ErrOverload) is
+//     retried up to Retries times under jittered exponential backoff —
+//     the wait doubles from Backoff up to BackoffMax and is scaled by a
+//     uniform [0.5, 1.5) factor drawn from the user's deterministic
+//     jitter stream, so retry storms decorrelate instead of
+//     hammering the ring in lockstep. Still-rejected frames are dropped
+//     and counted.
+//   - Open-loop (ArrivalRate > 0, total frames/sec): arrivals are
+//     scheduled on a fixed clock independent of service latency — each
+//     user offers a frame every Users/ArrivalRate seconds, with starts
+//     staggered across the period so the aggregate arrival process is
+//     smooth. An open-loop reject is a drop (no retry): the offered
+//     load is the experiment's control variable, and the report's
+//     offered-vs-served split shows what the service shed.
 type LoadConfig struct {
 	Users         int
 	FramesPerUser int
-	// Retries per frame after an admission reject; default 3.
+	// Retries per frame after an admission reject (closed-loop only);
+	// default 3.
 	Retries int
-	// Backoff between retries; default 200µs.
+	// Backoff is the base retry wait; it doubles per attempt. Default
+	// 200µs.
 	Backoff time.Duration
+	// BackoffMax caps the exponential growth; default 100ms.
+	BackoffMax time.Duration
+	// ArrivalRate switches to open-loop mode: total offered frames/sec
+	// across all users. 0 keeps the closed loop.
+	ArrivalRate float64
+	// Seed roots the per-user jitter streams; runs with the same seed
+	// draw the same backoff schedule.
+	Seed int64
 }
 
 // withDefaults fills unset fields.
@@ -38,7 +61,57 @@ func (lc LoadConfig) withDefaults() LoadConfig {
 	if lc.Backoff <= 0 {
 		lc.Backoff = 200 * time.Microsecond
 	}
+	if lc.BackoffMax <= 0 {
+		lc.BackoffMax = 100 * time.Millisecond
+	}
 	return lc
+}
+
+// jitterStream is the tiny splitmix64-backed uniform stream behind
+// backoff jitter. Unlike the simulation substreams it needs no
+// statistical pedigree, only decorrelation and per-(seed, user)
+// determinism — and its O(1) seeding matters: one lagged-Fibonacci
+// warmup per user goroutine used to burn nearly half a second of the
+// single-core spawn phase at 10k users, starving the shard drains
+// that the latency histogram was busy measuring.
+type jitterStream struct{ state uint64 }
+
+// newJitterStream seeds the stream from (seed, user) with one mix
+// round, so distinct users decorrelate immediately.
+func newJitterStream(seed, user int64) *jitterStream {
+	return &jitterStream{state: mix64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(user))}
+}
+
+// mix64 is the SplitMix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns the next uniform draw in [0, 1).
+func (j *jitterStream) Float64() float64 {
+	j.state += 0x9e3779b97f4a7c15
+	return float64(mix64(j.state)>>11) / (1 << 53)
+}
+
+// retryWait is the jittered exponential backoff schedule: attempt 0
+// waits about Backoff, each further attempt doubles, BackoffMax caps
+// the growth, and the whole wait is scaled by a uniform [0.5, 1.5)
+// draw from the user's jitter stream.
+func (lc LoadConfig) retryWait(src *jitterStream, attempt int) time.Duration {
+	d := lc.Backoff
+	for i := 0; i < attempt && d < lc.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > lc.BackoffMax {
+		d = lc.BackoffMax
+	}
+	d = time.Duration(float64(d) * (0.5 + src.Float64()))
+	if d > lc.BackoffMax {
+		d = lc.BackoffMax
+	}
+	return d
 }
 
 // LatencyReport is the exact (fully sorted, not bucketed) end-to-end
@@ -53,16 +126,24 @@ type LatencyReport struct {
 }
 
 // LoadReport summarizes one load run; cmd/geoload appends it to
-// BENCH_geosphere.json.
+// BENCH_geosphere.json. FramesOffered counts every frame the harness
+// attempted (served + dropped); the offered-vs-served split is the
+// overload picture — a healthy closed-loop run serves everything it
+// offers, an open-loop run past saturation sheds the difference.
 type LoadReport struct {
-	Users         int              `json:"users"`
-	FramesPerUser int              `json:"frames_per_user"`
-	FramesServed  int64            `json:"frames_served"`
-	FramesOK      int64            `json:"frames_ok"`
-	FrameErrors   int64            `json:"frame_errors"`
-	Rejects       int64            `json:"rejects"`
-	Dropped       int64            `json:"dropped"`
-	ElapsedSec    float64          `json:"elapsed_sec"`
+	Users         int     `json:"users"`
+	FramesPerUser int     `json:"frames_per_user"`
+	ArrivalRate   float64 `json:"arrival_rate,omitempty"`
+	FramesOffered int64   `json:"frames_offered"`
+	FramesServed  int64   `json:"frames_served"`
+	FramesOK      int64   `json:"frames_ok"`
+	FrameErrors   int64   `json:"frame_errors"`
+	Rejects       int64   `json:"rejects"`
+	Dropped       int64   `json:"dropped"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	// OfferedPerSec and FramesPerSec are the offered and served
+	// throughput; their gap is the shed load.
+	OfferedPerSec float64          `json:"offered_per_sec"`
 	FramesPerSec  float64          `json:"frames_per_sec"`
 	Latency       LatencyReport    `json:"latency"`
 	Tiers         obs.TierSnapshot `json:"tiers"`
@@ -70,16 +151,23 @@ type LoadReport struct {
 }
 
 // RunLoad hammers s with lc.Users concurrent simulated user groups
-// (group ids 0..Users-1, one goroutine each) and reports throughput,
-// the exact p50/p90/p99/max frame latency, the ladder-tier mix and the
-// admission-control counters. Cancelling ctx stops every user at its
-// next frame boundary; the report covers the frames served so far.
+// (group ids 0..Users-1, one goroutine each) and reports offered and
+// served throughput, the exact p50/p90/p99/max frame latency, the
+// ladder-tier mix and the admission-control counters. Cancelling ctx
+// stops every user at its next frame boundary; the report covers the
+// frames offered so far.
 func RunLoad(ctx context.Context, s *Server, lc LoadConfig) LoadReport {
 	lc = lc.withDefaults()
 	var (
-		served, okFrames, rejects, dropped obs.Counter
-		tiers                              [4]obs.Counter
+		offered, served, okFrames, rejects, dropped obs.Counter
+		tiers                                       [4]obs.Counter
 	)
+	// Open-loop pacing: each user offers one frame per period, with
+	// starts staggered across the period.
+	var period time.Duration
+	if lc.ArrivalRate > 0 {
+		period = time.Duration(float64(lc.Users) / lc.ArrivalRate * float64(time.Second))
+	}
 	latencies := make([][]float64, lc.Users) // per-user, merged after the run
 	var wg sync.WaitGroup
 	start := time.Now() //geolint:nondeterminism-ok load-harness wall clock: throughput and latency are the measurement
@@ -87,12 +175,50 @@ func RunLoad(ctx context.Context, s *Server, lc LoadConfig) LoadReport {
 		wg.Add(1)
 		go func(user int) {
 			defer wg.Done()
+			jitter := newJitterStream(lc.Seed, int64(user))
 			lats := make([]float64, 0, lc.FramesPerUser)
 			group := uint64(user)
+			// One reusable timer per user instead of a time.After
+			// allocation per retry — under overload the retry waits are
+			// the harness's hottest allocation site. sleep leaves the
+			// timer stopped-and-drained, so the next Reset is safe.
+			var timer *time.Timer
+			sleep := func(d time.Duration) {
+				if timer == nil {
+					timer = time.NewTimer(d)
+				} else {
+					timer.Reset(d)
+				}
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					if !timer.Stop() {
+						<-timer.C
+					}
+				}
+			}
+			var ticker *time.Ticker
+			if period > 0 {
+				// Stagger this user's phase across the period, then tick.
+				sleep(period * time.Duration(user) / time.Duration(lc.Users))
+				if ctx.Err() != nil {
+					return
+				}
+				ticker = time.NewTicker(period)
+				defer ticker.Stop()
+			}
 			for f := 0; f < lc.FramesPerUser; f++ {
 				if ctx.Err() != nil {
 					break
 				}
+				if ticker != nil && f > 0 {
+					select {
+					case <-ticker.C:
+					case <-ctx.Done():
+						return
+					}
+				}
+				offered.Inc()
 				t0 := time.Now() //geolint:nondeterminism-ok load-harness wall clock: throughput and latency are the measurement
 				var o Outcome
 				var err error
@@ -102,13 +228,12 @@ func RunLoad(ctx context.Context, s *Server, lc LoadConfig) LoadReport {
 						break
 					}
 					rejects.Inc()
-					if attempt >= lc.Retries {
+					// Open-loop arrivals never retry: the offered rate is
+					// the control variable, a shed frame stays shed.
+					if ticker != nil || attempt >= lc.Retries {
 						break
 					}
-					select {
-					case <-time.After(lc.Backoff):
-					case <-ctx.Done():
-					}
+					sleep(lc.retryWait(jitter, attempt))
 				}
 				switch {
 				case err == nil:
@@ -141,6 +266,8 @@ func RunLoad(ctx context.Context, s *Server, lc LoadConfig) LoadReport {
 	rep := LoadReport{
 		Users:         lc.Users,
 		FramesPerUser: lc.FramesPerUser,
+		ArrivalRate:   lc.ArrivalRate,
+		FramesOffered: offered.Load(),
 		FramesServed:  served.Load(),
 		FramesOK:      okFrames.Load(),
 		FrameErrors:   served.Load() - okFrames.Load(),
@@ -156,6 +283,7 @@ func RunLoad(ctx context.Context, s *Server, lc LoadConfig) LoadReport {
 		Stats: s.Stats().Snapshot(),
 	}
 	if elapsed > 0 {
+		rep.OfferedPerSec = float64(rep.FramesOffered) / elapsed
 		rep.FramesPerSec = float64(rep.FramesServed) / elapsed
 	}
 	if n := len(all); n > 0 {

@@ -1,23 +1,37 @@
 // Package serve is the resident multi-user detection service behind
 // cmd/geocell: a sharded pool of link.Processor pipelines serving
 // uplink frames for an unbounded population of user groups, with
-// bounded per-shard queues (backpressure and admission control),
-// per-group channel state and preparation caches behind an LRU cap,
-// and graceful degradation under overload — each frame is served at
-// the deepest affordable rung of the Geosphere → K-best → ZF ladder,
-// chosen from the target shard's queue occupancy (the complexity-
-// budget proxy: a backlog means the full search is too expensive right
-// now). Every ladder decision is counted in obs, so the served mix is
-// observable, and a full queue rejects (ErrOverload) instead of
-// queueing unboundedly.
+// bounded per-shard admission rings (backpressure and admission
+// control), per-group channel state and preparation caches behind a
+// second-chance residency cap, and graceful degradation under overload
+// — each frame is served at the deepest affordable rung of the
+// Geosphere → K-best → ZF ladder, chosen from the shard's ring
+// occupancy at drain time (the complexity-budget proxy: a backlog
+// means the full search is too expensive right now). Every ladder
+// decision is counted in obs, so the served mix is observable, and a
+// full ring rejects (ErrOverload) instead of queueing unboundedly.
+//
+// Ingest is built for throughput: admission is a lock-free append onto
+// a bounded MPSC ring (internal/mpsc) with coalesced consumer wakeups,
+// and each shard drains up to BatchMax queued frames per wakeup,
+// groups them by user group, and serves each group's run as one
+// micro-batch through link.Processor.ProcessBatch — amortizing the
+// group-table lookup, the ladder decision, every per-subcarrier
+// detector preparation and the recorder fold across the batch instead
+// of paying them per frame. The same shape as request coalescing in an
+// inference server: batch size adapts to load, an idle shard serves
+// singles at single-frame latency, a backlogged shard serves batches
+// at batch throughput.
 //
 // Detection itself stays deterministic: a group's channels are drawn
 // from the substream (Seed+1, group), a frame's randomness from the
-// substream (Seed, frameKey(group, seq)), so the outcome of a group's
-// n-th frame at a given tier is a pure function of the configuration —
-// independent of shard scheduling, interleaving with other groups, or
-// wall-clock time. Only the tier choice (explicitly load-dependent)
-// and the latency metrics depend on the environment.
+// substream (Seed, frameKey(group, seq)), and ProcessBatch's per-frame
+// outcomes are byte-identical to the single-frame path — so the
+// outcome of a group's n-th frame at a given tier is a pure function
+// of the configuration, independent of shard scheduling, batch
+// composition, interleaving with other groups, or wall-clock time.
+// Only the tier choice (explicitly load-dependent) and the latency
+// metrics depend on the environment.
 package serve
 
 import (
@@ -36,6 +50,7 @@ import (
 	"repro/internal/kbest"
 	"repro/internal/linear"
 	"repro/internal/link"
+	"repro/internal/mpsc"
 	"repro/internal/obs"
 	"repro/internal/ofdm"
 	"repro/internal/rng"
@@ -44,7 +59,7 @@ import (
 // Typed sentinel errors of the serving layer.
 var (
 	// ErrOverload reports a frame rejected by admission control: the
-	// target shard's bounded queue is full even for the cheapest tier.
+	// target shard's bounded ring is full even for the cheapest tier.
 	// It wraps link.ErrQueueFull, so errors.Is matches either.
 	ErrOverload = fmt.Errorf("serve: shard overloaded: %w", link.ErrQueueFull)
 	// ErrServerClosed reports a frame submitted to a closed Server.
@@ -77,23 +92,31 @@ type Config struct {
 	// group's frames always hit the same shard — and therefore the
 	// same preparation caches. Defaults to 8.
 	Shards int
-	// QueueDepth bounds each shard's frame queue; a full queue rejects
-	// with ErrOverload. Defaults to 64.
+	// QueueDepth bounds each shard's admission ring; a full ring
+	// rejects with ErrOverload. The ring rounds the depth up to the
+	// next power of two. Defaults to 64.
 	QueueDepth int
-	// MaxGroups caps each shard's resident group table; beyond it the
-	// least-recently-used group's channel state and preparation cache
-	// are evicted (bounded memory for an unbounded user population; a
-	// returning evicted group is rebuilt from its substreams with its
-	// frame sequence restarted). Defaults to 512, so the global
-	// residency cap is Shards × MaxGroups groups.
+	// BatchMax caps the frames one shard drains and serves per wakeup
+	// as micro-batches (grouped by user group, so the per-subcarrier
+	// detector preparations amortize across each group's run).
+	// Defaults to 16.
+	BatchMax int
+	// MaxGroups caps each shard's resident group table; beyond it a
+	// second-chance (clock) sweep evicts the first group not touched
+	// since the hand last passed it (bounded memory for an unbounded
+	// user population; a returning evicted group is rebuilt lazily
+	// from its substreams with its frame sequence restarted). Defaults
+	// to the number of groups whose measured state fits the per-shard
+	// residency budget (at least 512), so the global cap is
+	// Shards × MaxGroups groups.
 	MaxGroups int
 	// KBestK is the K-best list size of the middle ladder rung;
 	// defaults to 4.
 	KBestK int
 	// KBestLoad and ZFLoad are the degradation thresholds on shard
-	// queue occupancy (queued / QueueDepth): below KBestLoad frames
-	// get the full Geosphere search, below ZFLoad the K-best search,
-	// above it ZF. Defaults: 0.5 and 0.85.
+	// ring occupancy (queued / QueueDepth, read once per drain): below
+	// KBestLoad frames get the full Geosphere search, below ZFLoad the
+	// K-best search, above it ZF. Defaults: 0.5 and 0.85.
 	KBestLoad, ZFLoad float64
 	// KappaLowDB, KappaHighDB and KappaBias shape the ladder by group
 	// conditioning: the occupancy the ladder sees is occ +
@@ -116,6 +139,30 @@ type Config struct {
 	Recorder obs.Recorder
 }
 
+// groupBudgetBytes is the per-shard residency budget the MaxGroups
+// default is sized against.
+const groupBudgetBytes = 64 << 20
+
+// defaultMaxGroups sizes the residency cap from the measured per-group
+// footprint: 48 per-subcarrier na×nc complex channel matrices, the
+// prepared state the cache derives from them (QR factors and scratch,
+// ≈4× the channel itself), and fixed map/struct overhead. For the
+// default 4×2 shape that is ≈32 KiB per group → ≈2048 resident groups
+// per shard, four times the old flat 512 cap that thrashed under 10k
+// users.
+func defaultMaxGroups(na, nc int) int {
+	chanBytes := ofdm.NumData * na * nc * 16
+	perGroup := chanBytes + 4*chanBytes + 2048
+	n := groupBudgetBytes / perGroup
+	if n < 512 {
+		n = 512
+	}
+	if n > 8192 {
+		n = 8192
+	}
+	return n
+}
+
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
 	if c.Cons == nil {
@@ -136,8 +183,11 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
 	if c.MaxGroups <= 0 {
-		c.MaxGroups = 512
+		c.MaxGroups = defaultMaxGroups(c.NA, c.NC)
 	}
 	if c.KBestK <= 0 {
 		c.KBestK = 4
@@ -213,50 +263,57 @@ type Outcome struct {
 }
 
 // groupState is one resident group's serving state: its (static,
-// frequency-selective) per-subcarrier channels, the preparation cache
-// those channels warm, the frame sequence counter, and the LRU tick.
+// frequency-selective) per-subcarrier channels and the preparation
+// cache those channels warm — both materialized lazily on the group's
+// first served frame, so table residency is cheap until a group
+// actually transmits — plus the frame sequence counter and the
+// second-chance reference bit.
 type groupState struct {
-	hs       []*cmplxmat.Matrix
-	pool     *core.PrepPool
-	seq      int64
-	lastUsed uint64
+	hs   []*cmplxmat.Matrix
+	pool *core.PrepPool
+	seq  int64
+	// ref is the clock algorithm's reference bit: set on every touch,
+	// cleared when the eviction hand sweeps past; a group is evicted
+	// only when the hand finds it unreferenced twice in a row.
+	ref bool
 }
 
-// job is one queued frame request.
+// job is one admitted frame request. admitted is the admission
+// timestamp; the latency histogram spans admission to completion, so
+// it includes ring queueing, not just in-shard service.
 type job struct {
-	group uint64
-	tier  obs.Tier
-	reply chan<- Outcome
+	group    uint64
+	admitted time.Time
+	reply    chan<- Outcome
 }
 
 // shard is one pipeline shard: a single goroutine draining a bounded
-// queue through its own link.Processor, with a persistent detector per
-// ladder tier and a resident-group table. Single-goroutine execution
-// is what makes the non-concurrency-safe Processor and PrepPools safe
-// without locks.
+// MPSC ring through its own link.Processor, with a persistent detector
+// per ladder tier and a resident-group table. Single-goroutine
+// execution is what makes the non-concurrency-safe Processor,
+// PrepPools and eviction state safe without locks; the ring is the
+// only producer/consumer boundary.
 type shard struct {
-	id        int
-	srv       *Server
-	proc      *link.Processor
-	dets      [4]core.Detector // indexed by obs.Tier; TierNone unused
-	jobs      chan job
-	groups    map[uint64]*groupState
-	clock     uint64
-	maxGroups int
-	// kappas publishes each resident group's learned κ̂² (dB, as
-	// math.Float64bits) from the shard goroutine to submitters: the
-	// group table itself is shard-owned, but pickTier runs on the
-	// submitter, so the conditioning signal crosses over atomically.
-	kappas sync.Map // uint64 group id → uint64 float bits
-}
+	id   int
+	srv  *Server
+	proc *link.Processor
+	dets [4]core.Detector // indexed by obs.Tier; TierNone unused
+	ring *mpsc.Ring[job]
 
-// groupKappa2dB returns the group's published κ̂² estimate, NaN before
-// its first frame completes (the ladder treats NaN as neutral).
-func (sh *shard) groupKappa2dB(group uint64) float64 {
-	if v, ok := sh.kappas.Load(group); ok {
-		return math.Float64frombits(v.(uint64))
-	}
-	return math.NaN()
+	groups    map[uint64]*groupState
+	maxGroups int
+	// order and hand are the clock sweep over resident groups:
+	// insertion-ordered ids with swap-removal, so eviction is
+	// deterministic (never map iteration) and O(1) amortized.
+	order []uint64
+	hand  int
+
+	// Drain scratch, reused across wakeups.
+	batch  []job
+	taken  []bool
+	gjobs  []job
+	frames []int64
+	outs   []link.FrameOutcome
 }
 
 // Server is the resident detection service. Safe for concurrent use
@@ -266,9 +323,15 @@ type Server struct {
 	shards []*shard
 	stats  *Stats
 	wg     sync.WaitGroup
-
-	mu     sync.RWMutex // guards closed against concurrent submits
-	closed bool
+	once   sync.Once
+	// replies recycles Process's buffered reply channels: under
+	// overload most admissions reject, and a reject's channel never
+	// sees a send, so pooling turns the retry storm's hottest
+	// allocation into a pool hit. A channel is repooled only when it
+	// is provably empty — after a reject (no job holds it) or after
+	// its one outcome was received; an abandoned wait (ctx cancelled
+	// after admission) leaks its channel to the GC instead.
+	replies sync.Pool
 }
 
 // New validates the configuration, builds every shard's pipeline and
@@ -318,9 +381,13 @@ func newShard(id int, s *Server) (*shard, error) {
 		id:        id,
 		srv:       s,
 		proc:      proc,
-		jobs:      make(chan job, cfg.QueueDepth),
+		ring:      mpsc.New[job](cfg.QueueDepth),
 		groups:    make(map[uint64]*groupState, cfg.MaxGroups),
 		maxGroups: cfg.MaxGroups,
+		batch:     make([]job, 0, cfg.BatchMax),
+		taken:     make([]bool, cfg.BatchMax),
+		gjobs:     make([]job, 0, cfg.BatchMax),
+		frames:    make([]int64, 0, cfg.BatchMax),
 	}
 	sh.dets[obs.TierGeosphere] = core.NewGeosphere(cfg.Cons)
 	sh.dets[obs.TierKBest] = kb
@@ -347,13 +414,15 @@ func (s *Server) shardFor(group uint64) *shard {
 	return s.shards[group%uint64(len(s.shards))]
 }
 
-// pickTier applies the degradation ladder to a shard's queue occupancy
+// pickTier applies the degradation ladder to a shard's ring occupancy
 // shaped by the group's conditioning — the service's complexity-budget
-// proxy: everything in the queue is detection work already promised,
+// proxy: everything in the ring is detection work already promised,
 // so a deep backlog means the full search cannot be afforded for new
 // arrivals, and among the arrivals the well-conditioned (cheap,
 // ZF-friendly) groups are shed to lower tiers first (see the Kappa*
-// knobs). kappa2dB is the group's learned κ̂², NaN when unknown.
+// knobs). Occupancy is read once per drain; the κ̂²-biased decision is
+// re-applied per group within the batch. kappa2dB is the group's
+// learned κ̂², NaN when unknown.
 func (s *Server) pickTier(queued, depth int, kappa2dB float64) obs.Tier {
 	occ := float64(queued) / float64(depth)
 	if s.cfg.KappaBias > 0 {
@@ -369,135 +438,223 @@ func (s *Server) pickTier(queued, depth int, kappa2dB float64) obs.Tier {
 	}
 }
 
-// Process serves one frame for group: the ladder picks a tier from the
-// home shard's current queue occupancy, admission control either
-// enqueues the frame or rejects with ErrOverload (never blocks), and
-// the outcome is awaited under ctx. A frame admitted before ctx is
-// cancelled still completes on its shard; Process just stops waiting.
+// Process serves one frame for group: admission control either appends
+// the frame onto the home shard's ring or rejects with ErrOverload
+// (never blocks), the shard picks the ladder tier at drain time from
+// the ring's occupancy, and the outcome is awaited under ctx. A frame
+// admitted before ctx is cancelled still completes on its shard;
+// Process just stops waiting.
 func (s *Server) Process(ctx context.Context, group uint64) (Outcome, error) {
 	sh := s.shardFor(group)
-	tier := s.pickTier(len(sh.jobs), cap(sh.jobs), sh.groupKappa2dB(group))
-	reply := make(chan Outcome, 1)
-
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return Outcome{}, ErrServerClosed
+	reply, _ := s.replies.Get().(chan Outcome)
+	if reply == nil {
+		reply = make(chan Outcome, 1)
 	}
-	admitted := false
-	select {
-	case sh.jobs <- job{group: group, tier: tier, reply: reply}:
-		admitted = true
-	default:
+	j := job{
+		group:    group,
+		admitted: time.Now(), //geolint:nondeterminism-ok wall-clock latency only feeds the service metrics, never detection
+		reply:    reply,
 	}
-	s.mu.RUnlock()
-	if !admitted {
+	switch err := sh.ring.TryPush(j); {
+	case errors.Is(err, mpsc.ErrFull):
 		s.stats.rejected.Inc()
+		s.replies.Put(reply)
 		return Outcome{}, ErrOverload
+	case errors.Is(err, mpsc.ErrClosed):
+		s.replies.Put(reply)
+		return Outcome{}, ErrServerClosed
 	}
 	s.stats.submitted.Inc()
 
 	select {
 	case o := <-reply:
+		s.replies.Put(reply)
 		return o, o.Err
 	case <-ctx.Done():
 		return Outcome{}, ctx.Err()
 	}
 }
 
-// Close stops the service: every admitted frame completes, then the
-// shard goroutines exit. Further submissions return ErrServerClosed.
-// Close is idempotent.
+// Close stops the service: every admitted frame completes on its
+// shard's final drain, then the shard goroutines exit. Further
+// submissions return ErrServerClosed. Close is idempotent.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	for _, sh := range s.shards {
-		close(sh.jobs)
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
+	s.once.Do(func() {
+		for _, sh := range s.shards {
+			sh.ring.Close()
+		}
+		s.wg.Wait()
+	})
 	return nil
 }
 
-// run drains the shard's queue until Close.
+// run is the shard goroutine: drain the ring dry, sleep until a
+// producer wakeup, repeat; after Close, one final drain serves every
+// frame admitted before it.
+//
+// The timer park between consecutive non-empty drains is scheduler
+// fairness, not pacing. Under a sustained backlog the drain loop is
+// CPU-bound, and on a saturated GOMAXPROCS the async-preempted shard
+// goroutine lands in the runtime's global run queue — which is only
+// polled occasionally while thousands of timer-woken submitters keep
+// the local queue warm, so a preempted shard can starve for seconds
+// with a full ring (measured: multi-second p99 spikes at 10k users on
+// one core). Re-entering through a timer wakeup instead queues the
+// shard with the same priority as the submitters it competes with,
+// bounding the gap between drains at roughly one pass of the run
+// queue. The park costs ~the timer resolution once per micro-batch
+// only while a backlog persists; an idle shard still blocks in Wait
+// and serves its next frame immediately.
 func (sh *shard) run() {
 	defer sh.srv.wg.Done()
-	for j := range sh.jobs {
-		j.reply <- sh.process(j)
+	for {
+		for sh.drain() {
+			time.Sleep(time.Microsecond)
+		}
+		if !sh.ring.Wait() {
+			for sh.drain() {
+			}
+			return
+		}
 	}
 }
 
-// process serves one frame on the shard goroutine.
-func (sh *shard) process(j job) Outcome {
-	start := time.Now() //geolint:nondeterminism-ok wall-clock latency only feeds the service metrics, never detection
-	g := sh.group(j.group)
-	fi := frameKey(j.group, g.seq)
-	g.seq++
-	out := sh.proc.Process(link.Work{
-		Frame:    fi,
-		Worker:   sh.id,
-		Tier:     j.tier,
-		Channels: g.hs,
-		Det:      sh.dets[j.tier],
-		Pool:     g.pool,
-	})
-	// Publish the group's conditioning for the ladder once its cache
-	// holds prepared channels (after the first Geosphere/K-best frame).
-	if k := g.pool.MeanKappa2dB(); !math.IsNaN(k) {
-		sh.kappas.Store(j.group, math.Float64bits(k))
+// drain pops and serves one micro-batch of up to BatchMax frames,
+// reporting whether it served anything. The ring occupancy is read
+// once, before popping — the batch-aware ladder's load signal — and
+// the popped frames are grouped by user group (preserving arrival
+// order within and across groups) so each group's run is served as one
+// ProcessBatch call against its prepared channel.
+func (sh *shard) drain() bool {
+	occ := sh.ring.Len()
+	jobs := sh.batch[:0]
+	for len(jobs) < cap(jobs) {
+		j, ok := sh.ring.TryPop()
+		if !ok {
+			break
+		}
+		jobs = append(jobs, j)
 	}
-	o := Outcome{Group: j.group, Frame: fi, Tier: j.tier, Err: out.Err}
-	if out.Err == nil {
-		o.OK = out.Res.FrameOK()
-		for _, ok := range out.Res.StreamOK {
-			if !ok {
-				o.StreamErrors++
+	sh.batch = jobs
+	if len(jobs) == 0 {
+		return false
+	}
+	sh.srv.stats.observeBatch(len(jobs), occ)
+	taken := sh.taken[:len(jobs)]
+	for i := range taken {
+		taken[i] = false
+	}
+	for i := range jobs {
+		if taken[i] {
+			continue
+		}
+		gid := jobs[i].group
+		gjobs := sh.gjobs[:0]
+		for k := i; k < len(jobs); k++ {
+			if !taken[k] && jobs[k].group == gid {
+				taken[k] = true
+				gjobs = append(gjobs, jobs[k])
 			}
 		}
+		sh.gjobs = gjobs
+		sh.serveGroup(gid, gjobs, occ)
 	}
-	sh.srv.stats.observe(o, time.Since(start)) //geolint:nondeterminism-ok wall-clock latency only feeds the service metrics, never detection
-	return o
+	return true
+}
+
+// serveGroup serves one group's run of the drained batch as a single
+// ProcessBatch call: one group-table touch, one ladder decision, one
+// prepared-channel sweep.
+func (sh *shard) serveGroup(gid uint64, gjobs []job, occ int) {
+	g := sh.group(gid)
+	tier := sh.srv.pickTier(occ, sh.ring.Cap(), g.pool.MeanKappa2dB())
+	frames := sh.frames[:0]
+	for range gjobs {
+		frames = append(frames, frameKey(gid, g.seq))
+		g.seq++
+	}
+	sh.frames = frames
+	sh.outs = sh.proc.ProcessBatch(sh.outs, link.BatchWork{
+		Frames:   frames,
+		Worker:   sh.id,
+		Tier:     tier,
+		Channels: g.hs,
+		Det:      sh.dets[tier],
+		Pool:     g.pool,
+	})
+	for i, j := range gjobs {
+		out := sh.outs[i]
+		o := Outcome{Group: gid, Frame: frames[i], Tier: tier, Err: out.Err}
+		if out.Err == nil {
+			o.OK = out.Res.FrameOK()
+			for _, ok := range out.Res.StreamOK {
+				if !ok {
+					o.StreamErrors++
+				}
+			}
+		}
+		sh.srv.stats.observe(o, time.Since(j.admitted)) //geolint:nondeterminism-ok wall-clock latency only feeds the service metrics, never detection
+		j.reply <- o
+	}
 }
 
 // group returns the resident state for id, creating it (and evicting
-// the least-recently-used group past the cap) on first use.
+// past the cap with the second-chance sweep) on first use. A new —
+// or returning, previously evicted — group's channels and preparation
+// cache are rebuilt lazily here, on its first served frame, and its
+// substream-derived state is identical to what eviction dropped
+// (except the frame sequence, which restarts).
 func (sh *shard) group(id uint64) *groupState {
-	sh.clock++
-	if g, ok := sh.groups[id]; ok {
-		g.lastUsed = sh.clock
-		return g
+	g, ok := sh.groups[id]
+	if ok {
+		g.ref = true
+	} else {
+		if len(sh.groups) >= sh.maxGroups {
+			sh.evict()
+			sh.srv.stats.groupsEvicted.Inc()
+		}
+		g = &groupState{ref: true}
+		sh.groups[id] = g
+		sh.order = append(sh.order, id)
+		sh.srv.stats.groupsCreated.Inc()
 	}
-	if len(sh.groups) >= sh.maxGroups {
-		sh.evict()
-		sh.srv.stats.groupsEvicted.Inc()
+	if g.hs == nil {
+		// Lazy (re)build: the channels and the preparation cache are
+		// derived from the group's substream only when a frame actually
+		// needs them — a returning evicted group pays this once, on its
+		// first touch, and gets byte-identical state back.
+		g.hs = groupChannels(sh.srv.cfg, id)
+		g.pool = core.NewPrepPool(ofdm.NumData)
+		sh.srv.stats.lazyBuilds.Inc()
 	}
-	g := &groupState{
-		hs:       groupChannels(sh.srv.cfg, id),
-		pool:     core.NewPrepPool(ofdm.NumData),
-		lastUsed: sh.clock,
-	}
-	sh.groups[id] = g
-	sh.srv.stats.groupsCreated.Inc()
 	return g
 }
 
-// evict removes the least-recently-used group. The victim is the
-// unique entry with the strictly smallest lastUsed tick, so the choice
-// does not depend on map iteration order.
+// evict runs the second-chance (clock) sweep: the hand walks the
+// insertion ring, granting every referenced group one more lap (its
+// ref bit is cleared and counted as a second-chance hit) and evicting
+// the first group found unreferenced. Unlike strict LRU this keeps a
+// steadily re-touched working set resident under a scan of one-shot
+// groups, and the sweep never depends on map iteration order.
 func (sh *shard) evict() {
-	var victim uint64
-	oldest := uint64(math.MaxUint64)
-	for id, g := range sh.groups { //geolint:nondeterminism-ok victim selection by strictly-minimal unique lastUsed tick is iteration-order independent
-		if g.lastUsed < oldest {
-			oldest, victim = g.lastUsed, id
+	for {
+		if sh.hand >= len(sh.order) {
+			sh.hand = 0
 		}
+		id := sh.order[sh.hand]
+		g := sh.groups[id]
+		if g.ref {
+			g.ref = false
+			sh.srv.stats.secondChanceHits.Inc()
+			sh.hand++
+			continue
+		}
+		delete(sh.groups, id)
+		last := len(sh.order) - 1
+		sh.order[sh.hand] = sh.order[last]
+		sh.order = sh.order[:last]
+		return
 	}
-	delete(sh.groups, victim)
-	sh.kappas.Delete(victim)
 }
 
 // groupChannels draws a group's static frequency-selective channel:

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"math"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/constellation"
 	"repro/internal/link"
@@ -52,8 +54,17 @@ func TestDefaults(t *testing.T) {
 	defer s.Close()
 	cfg := s.Config()
 	if cfg.Cons == nil || cfg.NA != 4 || cfg.NC != 2 || cfg.Shards != 8 ||
-		cfg.QueueDepth != 64 || cfg.MaxGroups != 512 {
+		cfg.QueueDepth != 64 || cfg.BatchMax != 16 {
 		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+	// MaxGroups is sized from the per-group footprint: at least the old
+	// flat 512 cap, and large enough that the recorded 10k-user load
+	// (1250 groups/shard) stays resident without thrash.
+	if cfg.MaxGroups < 512 {
+		t.Fatalf("MaxGroups default %d below the 512 floor", cfg.MaxGroups)
+	}
+	if cfg.MaxGroups < 1250 {
+		t.Fatalf("MaxGroups default %d cannot hold 10k users across 8 shards", cfg.MaxGroups)
 	}
 }
 
@@ -144,12 +155,13 @@ func TestPickTierLadder(t *testing.T) {
 // TestAdmissionControl verifies that overload sheds via ErrOverload
 // instead of queueing unboundedly. The overload is constructed
 // deterministically: the single shard's worker is wedged by
-// withholding the read of an unbuffered reply channel, the depth-1
-// queue is filled behind it, and only then is Process asked to admit.
+// withholding the read of an unbuffered reply channel, the ring is
+// filled to capacity behind it, and only then is Process asked to
+// admit.
 func TestAdmissionControl(t *testing.T) {
 	cfg := quickConfig()
 	cfg.Shards = 1
-	cfg.QueueDepth = 1
+	cfg.QueueDepth = 1 // the ring rounds this up to its minimum of 2
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -157,16 +169,26 @@ func TestAdmissionControl(t *testing.T) {
 	defer s.Close()
 
 	// Unbuffered: the shard goroutine blocks delivering the first job's
-	// outcome until this test reads it. The second (blocking) send can
-	// therefore only complete into the queue buffer — after it returns,
-	// the worker is busy and the queue is full.
+	// outcome until this test reads it. Wait for the shard to pop the
+	// job (the ring drains the instant the shard wakes), then fill the
+	// ring to capacity behind the wedged worker.
 	wedge := make(chan Outcome)
 	sh := s.shards[0]
-	sh.jobs <- job{group: 0, tier: obs.TierGeosphere, reply: wedge}
-	sh.jobs <- job{group: 0, tier: obs.TierGeosphere, reply: wedge}
+	if err := sh.ring.TryPush(job{group: 0, reply: wedge}); err != nil {
+		t.Fatal(err)
+	}
+	for sh.ring.Len() != 0 {
+		runtime.Gosched()
+	}
+	queued := sh.ring.Cap()
+	for i := 0; i < queued; i++ {
+		if err := sh.ring.TryPush(job{group: 0, reply: wedge}); err != nil {
+			t.Fatal(err)
+		}
+	}
 
 	if _, err := s.Process(context.Background(), 0); !errors.Is(err, ErrOverload) {
-		t.Fatalf("full queue admitted a frame: %v", err)
+		t.Fatalf("full ring admitted a frame: %v", err)
 	}
 	// ErrOverload is also the link-layer queue-full signal.
 	if !errors.Is(ErrOverload, link.ErrQueueFull) {
@@ -176,9 +198,11 @@ func TestAdmissionControl(t *testing.T) {
 		t.Fatalf("stats counted %d rejects, want 1", snap.Rejected)
 	}
 
-	// Unwedge, drain both outcomes, and confirm the service recovers.
-	<-wedge
-	<-wedge
+	// Unwedge, drain every withheld outcome, and confirm the service
+	// recovers.
+	for i := 0; i < queued+1; i++ {
+		<-wedge
+	}
 	if _, err := s.Process(context.Background(), 0); err != nil {
 		t.Fatalf("service did not recover after overload: %v", err)
 	}
@@ -258,8 +282,14 @@ func TestRunLoadReport(t *testing.T) {
 	if rep.Users != 8 || rep.FramesPerUser != 2 {
 		t.Fatalf("config not echoed: %+v", rep)
 	}
-	if rep.FramesServed+rep.Dropped != 16 {
-		t.Fatalf("served %d + dropped %d != 16", rep.FramesServed, rep.Dropped)
+	if rep.FramesOffered != 16 {
+		t.Fatalf("offered %d frames, want 16", rep.FramesOffered)
+	}
+	if rep.FramesServed+rep.Dropped != rep.FramesOffered {
+		t.Fatalf("served %d + dropped %d != offered %d", rep.FramesServed, rep.Dropped, rep.FramesOffered)
+	}
+	if rep.FramesServed > 0 && rep.OfferedPerSec < rep.FramesPerSec {
+		t.Fatalf("offered rate %g below served rate %g", rep.OfferedPerSec, rep.FramesPerSec)
 	}
 	if rep.FramesServed > 0 {
 		if rep.FramesPerSec <= 0 {
@@ -272,6 +302,64 @@ func TestRunLoadReport(t *testing.T) {
 		if total != rep.FramesServed {
 			t.Fatalf("tier counts sum to %d, served %d", total, rep.FramesServed)
 		}
+	}
+}
+
+// TestRetryWait pins the jittered exponential backoff schedule: the
+// wait doubles from Backoff, stays within the ±50% jitter envelope,
+// never exceeds BackoffMax, and is deterministic per (seed, user).
+func TestRetryWait(t *testing.T) {
+	lc := LoadConfig{Backoff: time.Millisecond, BackoffMax: 8 * time.Millisecond}
+	for attempt := 0; attempt < 8; attempt++ {
+		base := time.Millisecond << attempt
+		if base > lc.BackoffMax {
+			base = lc.BackoffMax
+		}
+		src := newJitterStream(42, 7)
+		for i := 0; i < attempt; i++ {
+			// Advance the stream the way a real retry sequence would.
+			lc.retryWait(src, i)
+		}
+		d := lc.retryWait(src, attempt)
+		if d < base/2 || d > lc.BackoffMax {
+			t.Fatalf("attempt %d: wait %v outside [%v, %v]", attempt, d, base/2, lc.BackoffMax)
+		}
+	}
+	// Same seed, same schedule.
+	a, b := newJitterStream(9, 3), newJitterStream(9, 3)
+	for i := 0; i < 5; i++ {
+		if lc.retryWait(a, i) != lc.retryWait(b, i) {
+			t.Fatalf("attempt %d: jitter schedule not deterministic", i)
+		}
+	}
+}
+
+// TestRunLoadOpenLoop drives the arrival-rate mode: offered load is
+// fixed by the clock, rejects are never retried, and the report
+// separates offered from served throughput.
+func TestRunLoadOpenLoop(t *testing.T) {
+	s, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep := RunLoad(context.Background(), s, LoadConfig{
+		Users:         4,
+		FramesPerUser: 3,
+		ArrivalRate:   2000, // 4 users / 2000 fps → 2ms period, fast test
+	})
+	if rep.FramesOffered != 12 {
+		t.Fatalf("offered %d frames, want 12", rep.FramesOffered)
+	}
+	if rep.FramesServed+rep.Dropped != rep.FramesOffered {
+		t.Fatalf("served %d + dropped %d != offered %d", rep.FramesServed, rep.Dropped, rep.FramesOffered)
+	}
+	// Open-loop rejects drop without retry: rejects == dropped frames.
+	if rep.Rejects != rep.Dropped {
+		t.Fatalf("open-loop retried: %d rejects for %d drops", rep.Rejects, rep.Dropped)
+	}
+	if rep.ArrivalRate != 2000 { //geolint:float-ok exact echo of the configured rate, not a computed float
+		t.Fatalf("arrival rate not echoed: %+v", rep.ArrivalRate)
 	}
 }
 

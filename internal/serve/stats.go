@@ -7,33 +7,52 @@ import (
 )
 
 // Stats is the serving layer's live counter set: admission decisions,
-// frame outcomes, ladder-tier mix, group-table churn and the end-to-
-// end frame-service latency histogram (queueing plus detection,
-// measured on the shard). All fields are atomic; a Stats is safe for
-// concurrent use.
+// frame outcomes, ladder-tier mix, group-table churn, micro-batching
+// amortization, and the end-to-end frame latency histogram. Latency is
+// measured admission-to-completion — ring queueing plus detection — so
+// the /stats view agrees with what a load generator measures from the
+// outside. All fields are atomic; a Stats is safe for concurrent use.
 type Stats struct {
-	submitted     obs.Counter
-	rejected      obs.Counter
-	frames        obs.Counter
-	frameErrors   obs.Counter
-	streamErrors  obs.Counter
-	tiers         [4]obs.Counter // indexed by obs.Tier
-	groupsCreated obs.Counter
-	groupsEvicted obs.Counter
-	latencyUS     *obs.Histogram
+	submitted    obs.Counter
+	rejected     obs.Counter
+	frames       obs.Counter
+	frameErrors  obs.Counter
+	streamErrors obs.Counter
+	tiers        [4]obs.Counter // indexed by obs.Tier
+	// Group-table churn: creations, evictions, second-chance reprieves
+	// granted by the clock sweep, and lazy channel/prep-cache
+	// materializations (first touches, including returning evicted
+	// groups).
+	groupsCreated    obs.Counter
+	groupsEvicted    obs.Counter
+	secondChanceHits obs.Counter
+	lazyBuilds       obs.Counter
+	// Micro-batching: drains that served work, frames served through
+	// them, the batch-size distribution and the ring occupancy the
+	// batch-aware ladder observed at each drain.
+	batches   obs.Counter
+	batchSize *obs.Histogram
+	occupancy *obs.Histogram
+	latencyUS *obs.Histogram
 }
 
 // NewStats returns an empty counter set. The latency histogram buckets
 // are microseconds, spanning sub-100µs cache-hit frames up to the
-// tens-of-milliseconds queueing tail.
+// tens-of-seconds queueing tails an overloaded service produces
+// (admission-to-completion latency saturates toward the load
+// generator's timeout, not the in-shard service time).
 func NewStats() *Stats {
 	return &Stats{
 		latencyUS: obs.NewHistogram(50, 100, 200, 500, 1000, 2000, 5000,
-			10000, 20000, 50000, 100000, 200000, 500000),
+			10000, 20000, 50000, 100000, 200000, 500000,
+			1e6, 2e6, 5e6, 1e7, 2e7, 5e7),
+		batchSize: obs.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128),
+		occupancy: obs.NewHistogram(0, 1, 2, 4, 8, 16, 32, 64, 128, 256),
 	}
 }
 
-// observe folds one served frame into the counters.
+// observe folds one served frame into the counters. d is the frame's
+// admission-to-completion latency.
 func (st *Stats) observe(o Outcome, d time.Duration) {
 	st.frames.Inc()
 	if !o.OK {
@@ -44,27 +63,46 @@ func (st *Stats) observe(o Outcome, d time.Duration) {
 	st.latencyUS.Observe(float64(d.Microseconds()))
 }
 
+// observeBatch folds one shard drain into the batching counters: n
+// frames served this wakeup, occ the ring occupancy the ladder read.
+func (st *Stats) observeBatch(n, occ int) {
+	st.batches.Inc()
+	st.batchSize.Observe(float64(n))
+	st.occupancy.Observe(float64(occ))
+}
+
 // StatsSnapshot is the serializable state of Stats, served by the
 // /stats endpoint and embedded in load reports.
 type StatsSnapshot struct {
-	Submitted     int64                 `json:"submitted"`
-	Rejected      int64                 `json:"rejected"`
-	Frames        int64                 `json:"frames"`
-	FrameErrors   int64                 `json:"frame_errors"`
-	StreamErrors  int64                 `json:"stream_errors"`
-	Tiers         obs.TierSnapshot      `json:"tiers"`
-	GroupsCreated int64                 `json:"groups_created"`
-	GroupsEvicted int64                 `json:"groups_evicted"`
-	LatencyMsP50  float64               `json:"latency_ms_p50"`
-	LatencyMsP99  float64               `json:"latency_ms_p99"`
-	LatencyUS     obs.HistogramSnapshot `json:"latency_us"`
+	Submitted    int64            `json:"submitted"`
+	Rejected     int64            `json:"rejected"`
+	Frames       int64            `json:"frames"`
+	FrameErrors  int64            `json:"frame_errors"`
+	StreamErrors int64            `json:"stream_errors"`
+	Tiers        obs.TierSnapshot `json:"tiers"`
+	// Group-table churn and clock-eviction behavior.
+	GroupsCreated    int64 `json:"groups_created"`
+	GroupsEvicted    int64 `json:"groups_evicted"`
+	SecondChanceHits int64 `json:"second_chance_hits"`
+	LazyBuilds       int64 `json:"lazy_builds"`
+	// Micro-batching amortization: drains served, mean frames per
+	// drain, and the full batch-size / ring-occupancy distributions.
+	Batches       int64                 `json:"batches"`
+	AvgBatch      float64               `json:"avg_batch"`
+	BatchSize     obs.HistogramSnapshot `json:"batch_size"`
+	RingOccupancy obs.HistogramSnapshot `json:"ring_occupancy"`
+	// Latency is admission-to-completion (queueing + service).
+	LatencyMsP50 float64               `json:"latency_ms_p50"`
+	LatencyMsP99 float64               `json:"latency_ms_p99"`
+	LatencyUS    obs.HistogramSnapshot `json:"latency_us"`
 }
 
 // Snapshot returns a point-in-time copy. Counters are individually
 // atomic but not mutually consistent while shards are still serving.
 func (st *Stats) Snapshot() StatsSnapshot {
 	lat := st.latencyUS.Snapshot()
-	return StatsSnapshot{
+	bs := st.batchSize.Snapshot()
+	s := StatsSnapshot{
 		Submitted:    st.submitted.Load(),
 		Rejected:     st.rejected.Load(),
 		Frames:       st.frames.Load(),
@@ -76,10 +114,19 @@ func (st *Stats) Snapshot() StatsSnapshot {
 			KBest:     st.tiers[obs.TierKBest].Load(),
 			ZF:        st.tiers[obs.TierZF].Load(),
 		},
-		GroupsCreated: st.groupsCreated.Load(),
-		GroupsEvicted: st.groupsEvicted.Load(),
-		LatencyMsP50:  lat.Quantile(0.5) / 1000,
-		LatencyMsP99:  lat.Quantile(0.99) / 1000,
-		LatencyUS:     lat,
+		GroupsCreated:    st.groupsCreated.Load(),
+		GroupsEvicted:    st.groupsEvicted.Load(),
+		SecondChanceHits: st.secondChanceHits.Load(),
+		LazyBuilds:       st.lazyBuilds.Load(),
+		Batches:          st.batches.Load(),
+		BatchSize:        bs,
+		RingOccupancy:    st.occupancy.Snapshot(),
+		LatencyMsP50:     lat.Quantile(0.5) / 1000,
+		LatencyMsP99:     lat.Quantile(0.99) / 1000,
+		LatencyUS:        lat,
 	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(s.Frames) / float64(s.Batches)
+	}
+	return s
 }
